@@ -1,0 +1,91 @@
+// Graphs 1-3: integer and floating-point arithmetic throughput across the
+// seven VM profiles plus the native baseline. Four dependent operations per
+// loop iteration, exactly as the JGF Arith benchmark chains them.
+#include "cil/micro.hpp"
+#include "paper_bench.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::bench;
+
+constexpr std::int32_t kSize = 1 << 17;
+
+// Native twins of the cyclic-update loops (volatile sinks defeat hoisting).
+template <typename T>
+void native_cyclic_add(std::int32_t size) {
+  T x1 = 1, x2 = 2, x3 = 3, x4 = 4;
+  for (std::int32_t i = 0; i < size; ++i) {
+    x1 += x2;
+    x2 += x3;
+    x3 += x4;
+    x4 += x1;
+  }
+  volatile T sink = x4;
+  (void)sink;
+}
+template <typename T>
+void native_cyclic_mul(std::int32_t size) {
+  T x1 = 1, x2 = 2, x3 = 3, x4 = 4;
+  for (std::int32_t i = 0; i < size; ++i) {
+    x1 *= x2;
+    x2 *= x3;
+    x3 *= x4;
+    x4 *= x1;
+  }
+  volatile T sink = x4;
+  (void)sink;
+}
+template <typename T>
+void native_div(std::int32_t size) {
+  T x = std::is_integral_v<T> ? static_cast<T>(2147483647) : static_cast<T>(1.7e308);
+  for (std::int32_t i = 0; i < size; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      x = static_cast<T>(x / static_cast<T>(3));
+    }
+    if constexpr (std::is_integral_v<T>) {
+      if (x < 3) x = static_cast<T>(2147483647);
+    }
+  }
+  volatile T sink = x;
+  (void)sink;
+}
+
+void register_all() {
+  auto& v = ctx().vm();
+  register_sized("Addition-Int", cil::build_arith_add_i32(v), 4, kSize);
+  register_native("Addition-Int", native_cyclic_add<std::int32_t>, 4, kSize);
+  register_sized("Multiplication-Int", cil::build_arith_mul_i32(v), 4, kSize);
+  register_native("Multiplication-Int", native_cyclic_mul<std::int32_t>, 4, kSize);
+  register_sized("Division-Int", cil::build_arith_div_i32(v), 4, kSize / 4);
+  register_native("Division-Int", native_div<std::int32_t>, 4, kSize / 4);
+
+  register_sized("Addition-Long", cil::build_arith_add_i64(v), 4, kSize);
+  register_native("Addition-Long", native_cyclic_add<std::int64_t>, 4, kSize);
+  register_sized("Multiplication-Long", cil::build_arith_mul_i64(v), 4, kSize);
+  register_native("Multiplication-Long", native_cyclic_mul<std::int64_t>, 4, kSize);
+  register_sized("Division-Long", cil::build_arith_div_i64(v), 4, kSize / 4);
+  register_native("Division-Long", native_div<std::int64_t>, 4, kSize / 4);
+
+  register_sized("Add-Float", cil::build_arith_add_f32(v), 4, kSize);
+  register_native("Add-Float", native_cyclic_add<float>, 4, kSize);
+  register_sized("Multiply-Float", cil::build_arith_mul_f32(v), 4, kSize);
+  register_native("Multiply-Float", native_cyclic_mul<float>, 4, kSize);
+  register_sized("Division-Float", cil::build_arith_div_f32(v), 4, kSize / 2);
+  register_native("Division-Float", native_div<float>, 4, kSize / 2);
+
+  register_sized("Add-Double", cil::build_arith_add_f64(v), 4, kSize);
+  register_native("Add-Double", native_cyclic_add<double>, 4, kSize);
+  register_sized("Multiply-Double", cil::build_arith_mul_f64(v), 4, kSize);
+  register_native("Multiply-Double", native_cyclic_mul<double>, 4, kSize);
+  register_sized("Division-Double", cil::build_arith_div_f64(v), 4, kSize / 2);
+  register_native("Division-Double", native_div<double>, 4, kSize / 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return hpcnet::bench::run_main(
+      argc, argv, "Graphs 1-3: integer / floating point arithmetic");
+}

@@ -1,0 +1,108 @@
+// Table 4: the Java Grande section 2/3 kernels. Fibonacci, Sieve, Hanoi,
+// HeapSort and Crypt (IDEA) run both as CIL (on every engine, validated
+// against native) and natively; MolDyn, Euler, Search and RayTracer run
+// natively (the paper itself had only SciMark + micros ported/validated at
+// submission; see EXPERIMENTS.md).
+#include <iostream>
+
+#include "cil/jg.hpp"
+#include "cil/suite.hpp"
+#include "kernels/jgf.hpp"
+#include "support/reporter.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using vm::Slot;
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = support::now_ns();
+  fn();
+  return support::elapsed_seconds(t0, support::now_ns());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcnet::cil;
+  BenchContext bc;
+  auto& v = bc.vm();
+  support::ResultTable t("Table 4 kernels [work units/sec]");
+
+  struct Row {
+    const char* name;
+    std::int32_t method;
+    std::vector<Slot> args;
+    double work;  // work units per run (calls, elements, moves, ...)
+    std::int64_t expect;
+  };
+
+  const int crypt_n = 1 << 16;
+  const int fib_n = 24;
+  const int sieve_n = 200000;
+  const int hanoi_n = 18;
+  const int sort_n = 100000;
+  const std::vector<Row> rows = {
+      {"Fibonacci", build_jg_fib(v), {Slot::from_i32(fib_n)},
+       kernels::fib::num_calls(fib_n), kernels::fib::compute(fib_n)},
+      {"Sieve", build_jg_sieve(v), {Slot::from_i32(sieve_n)},
+       static_cast<double>(sieve_n), kernels::sieve::count_primes(sieve_n)},
+      {"Hanoi", build_jg_hanoi(v), {Slot::from_i32(hanoi_n)},
+       static_cast<double>(kernels::hanoi::solve(hanoi_n)),
+       kernels::hanoi::solve(hanoi_n)},
+      {"HeapSort", build_jg_heapsort(v), {Slot::from_i32(sort_n)},
+       static_cast<double>(sort_n), kernels::heapsort::run(sort_n)},
+      {"Crypt(IDEA)", build_jg_crypt(v), {Slot::from_i32(crypt_n)},
+       static_cast<double>(crypt_n), kernels::crypt::run(crypt_n)},
+  };
+
+  for (const Row& r : rows) {
+    for (auto& e : bc.engines()) {
+      std::int64_t got = 0;
+      const double secs = time_once([&] {
+        const Slot s = bc.invoke(*e, r.method, r.args);
+        got = v.module().method(r.method).sig.ret == vm::ValType::I32
+                  ? s.i32
+                  : s.i64;
+      });
+      if (got != r.expect) {
+        std::cerr << "VALIDATION FAILED: " << r.name << " on " << e->name()
+                  << ": got " << got << ", want " << r.expect << "\n";
+        return 1;
+      }
+      t.set(r.name, e->name(), r.work / secs);
+    }
+  }
+  // Native columns for the same four kernels.
+  {
+    double secs = time_once([&] { kernels::fib::compute(fib_n); });
+    t.set("Fibonacci", "native", kernels::fib::num_calls(fib_n) / secs);
+    secs = time_once([&] { kernels::sieve::count_primes(sieve_n); });
+    t.set("Sieve", "native", sieve_n / secs);
+    secs = time_once([&] { kernels::hanoi::solve(hanoi_n); });
+    t.set("Hanoi", "native",
+          static_cast<double>(kernels::hanoi::solve(hanoi_n)) / secs);
+    secs = time_once([&] { kernels::heapsort::run(sort_n); });
+    t.set("HeapSort", "native", sort_n / secs);
+  }
+  // Native-only kernels (the remainder of Table 4's inventory).
+  {
+    double secs = time_once([&] { kernels::crypt::run(crypt_n); });
+    t.set("Crypt(IDEA)", "native", crypt_n / secs);
+    kernels::moldyn::Result md{};
+    secs = time_once([&] { md = kernels::moldyn::simulate(6, 10); });
+    t.set("MolDyn", "native", md.interactions / secs);
+    secs = time_once([&] { kernels::euler::solve(48, 60); });
+    t.set("Euler", "native", 48.0 * 24 * 60 / secs);  // cell-steps/sec
+    std::int64_t nodes = 0;
+    secs = time_once([&] { nodes = kernels::search::solve(11, nullptr); });
+    t.set("Search", "native", static_cast<double>(nodes) / secs);
+    secs = time_once([&] { kernels::raytracer::render(96); });
+    t.set("RayTracer", "native", 96.0 * 96 / secs);  // pixels/sec
+  }
+
+  t.print(std::cout);
+  std::cout << "\nCIL results validated against native kernels.\n";
+  return 0;
+}

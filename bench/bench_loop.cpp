@@ -1,0 +1,43 @@
+// Graph 4: loop overheads (for / reverse-for / while).
+#include "cil/micro.hpp"
+#include "paper_bench.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::bench;
+
+constexpr std::int32_t kSize = 1 << 18;
+
+void native_for(std::int32_t size) {
+  std::int32_t i = 0;
+  for (; i < size; ++i) {
+    benchmark::DoNotOptimize(i);
+  }
+}
+void native_reverse(std::int32_t size) {
+  std::int32_t i = size;
+  for (; i > 0; --i) {
+    benchmark::DoNotOptimize(i);
+  }
+}
+void native_while(std::int32_t size) {
+  std::int32_t i = 0;
+  while (i < size) {
+    ++i;
+    benchmark::DoNotOptimize(i);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& v = ctx().vm();
+  register_sized("For", cil::build_loop_for(v), 1, kSize);
+  register_native("For", native_for, 1, kSize);
+  register_sized("ReverseFor", cil::build_loop_reverse_for(v), 1, kSize);
+  register_native("ReverseFor", native_reverse, 1, kSize);
+  register_sized("While", cil::build_loop_while(v), 1, kSize);
+  register_native("While", native_while, 1, kSize);
+  return run_main(argc, argv, "Graph 4: loop performance");
+}

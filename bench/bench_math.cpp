@@ -1,0 +1,48 @@
+// Graphs 6-8: the System.Math routine set, one row per routine with the
+// paper's row names. The fast_math profiles (clr11, jsharp11) inline these
+// into the register IR — the "CLR Math library is faster" observation.
+#include "cil/micro.hpp"
+#include "paper_bench.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::bench;
+
+constexpr std::int32_t kSize = 1 << 15;
+
+struct RowDef {
+  const char* row;
+  std::int32_t intr;
+};
+
+// Row names follow the paper's graphs 6-8 labels.
+constexpr RowDef kRows[] = {
+    {"AbsInt", vm::I_ABS_I4},       {"AbsLong", vm::I_ABS_I8},
+    {"AbsFloat", vm::I_ABS_R4},     {"AbsDouble", vm::I_ABS_R8},
+    {"MaxInt", vm::I_MAX_I4},       {"MaxLong", vm::I_MAX_I8},
+    {"MaxFloat", vm::I_MAX_R4},     {"MaxDouble", vm::I_MAX_R8},
+    {"MinInt", vm::I_MIN_I4},       {"MinLong", vm::I_MIN_I8},
+    {"MinFloat", vm::I_MIN_R4},     {"MinDouble", vm::I_MIN_R8},
+    {"SinDouble", vm::I_SIN},       {"CosDouble", vm::I_COS},
+    {"TanDouble", vm::I_TAN},       {"AsinDouble", vm::I_ASIN},
+    {"AcosDouble", vm::I_ACOS},     {"AtanDouble", vm::I_ATAN},
+    {"Atan2Double", vm::I_ATAN2},   {"FloorDouble", vm::I_FLOOR},
+    {"CeilDouble", vm::I_CEIL},     {"SqrtDouble", vm::I_SQRT},
+    {"ExpDouble", vm::I_EXP},       {"LogDouble", vm::I_LOG},
+    {"PowDouble", vm::I_POW},       {"RintDouble", vm::I_RINT},
+    {"Random", vm::I_RANDOM},       {"RoundFloat", vm::I_ROUND_R4},
+    {"RoundDouble", vm::I_ROUND_R8},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& v = ctx().vm();
+  for (const RowDef& r : kRows) {
+    register_sized(r.row, cil::build_math_call(v, r.intr), 1, kSize);
+  }
+  return run_main(argc, argv, "Graphs 6-8: Math library routines",
+                  "calls/sec");
+}

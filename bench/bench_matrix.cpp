@@ -1,0 +1,54 @@
+// Graph 12 + Table 3 "Matrix": copy-assignment throughput of true rank-2
+// rectangular matrices vs jagged arrays, for value (f64) and object (ref)
+// element types. The paper's finding: on CLR 1.1 the true multidimensional
+// matrix runs at ~25% of jagged speed; fast_multidim profiles close the gap.
+#include "cil/micro.hpp"
+#include "paper_bench.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::bench;
+using vm::Slot;
+
+constexpr std::int32_t kN = 64;
+constexpr std::int32_t kReps = 8;
+constexpr double kCopies = static_cast<double>(kReps) * kN * kN;
+
+void reg(const std::string& row, std::int32_t method) {
+  register_custom(
+      row,
+      [method](vm::Engine& e) {
+        ctx().invoke(e, method, {Slot::from_i32(kReps), Slot::from_i32(kN)});
+      },
+      kCopies);
+}
+
+void native_multidim(std::int32_t) {
+  static std::vector<double> a(kN * kN), b(kN * kN, 1.5);
+  for (int r = 0; r < kReps; ++r) {
+    for (int i = 0; i < kN; ++i) {
+      for (int j = 0; j < kN; ++j) a[i * kN + j] = b[i * kN + j];
+    }
+  }
+  benchmark::DoNotOptimize(a[kN + 1]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& v = ctx().vm();
+  reg("Multidim-ValueType", cil::build_matrix_multidim_f64(v));
+  reg("Jagged-ValueType", cil::build_matrix_jagged_f64(v));
+  reg("Multidim-ObjectType", cil::build_matrix_multidim_ref(v));
+  reg("Jagged-ObjectType", cil::build_matrix_jagged_ref(v));
+  register_native("Multidim-ValueType", native_multidim, kCopies, 1);
+
+  // Table 3 "Boxing" rows live here too (same table in the paper).
+  register_sized("Boxing-Int", cil::build_boxing_i32(v), 2, 1 << 14);
+  register_sized("Boxing-Double", cil::build_boxing_f64(v), 2, 1 << 14);
+
+  return run_main(argc, argv,
+                  "Graph 12 / Table 3: matrix styles and boxing",
+                  "copies/sec (boxing: ops/sec)");
+}

@@ -1,0 +1,60 @@
+// Graphs 9-11: SciMark MFlops. Graph 9 = composite for both memory models;
+// Graphs 10/11 = per-kernel breakdown for the small and large models. Every
+// CIL run validates its checksum against the native kernel before scoring.
+// (These are long single-shot kernel runs, timed directly rather than
+// through google-benchmark's sampling loop.)
+#include <iostream>
+
+#include "cil/suite.hpp"
+#include "support/reporter.hpp"
+
+int main() {
+  using namespace hpcnet;
+  using namespace hpcnet::cil;
+
+  BenchContext bc;
+  const ScimarkSizes small = ScimarkSizes::small_model();
+  const ScimarkSizes large = ScimarkSizes::large_model();
+
+  support::ResultTable g9("Graph 9: SciMark composite MFlops");
+  support::ResultTable g10(
+      "Graph 10: SciMark kernels, small (cache-resident) model [MFlops]");
+  support::ResultTable g11(
+      "Graph 11: SciMark kernels, large (memory-resident) model [MFlops]");
+
+  auto record = [](support::ResultTable& t, const std::string& col,
+                   const ScimarkResult& r) {
+    for (const auto& k : r.kernels) t.set(k.name, col, k.mflops);
+  };
+
+  {
+    const ScimarkResult rs = run_scimark_native(small);
+    const ScimarkResult rl = run_scimark_native(large);
+    g9.set("small memory model", "native", rs.composite);
+    g9.set("large memory model", "native", rl.composite);
+    record(g10, "native", rs);
+    record(g11, "native", rl);
+  }
+  for (auto& e : bc.engines()) {
+    std::cerr << "running scimark on " << e->name() << "...\n";
+    const ScimarkResult rs = run_scimark_cil(bc.vm(), *e, small, true);
+    const ScimarkResult rl = run_scimark_cil(bc.vm(), *e, large, true);
+    g9.set("small memory model", e->name(), rs.composite);
+    g9.set("large memory model", e->name(), rl.composite);
+    record(g10, e->name(), rs);
+    record(g11, e->name(), rl);
+  }
+
+  g9.print(std::cout);
+  std::cout << "\n";
+  g10.print(std::cout);
+  std::cout << "\n";
+  g11.print(std::cout);
+  std::cout << "\n";
+  g10.normalized_to("native", "Graph 10 normalized to native C++ (= the "
+                              "paper's 'compared to C performance')")
+      .print(std::cout);
+  std::cout << "\nAll kernel checksums validated against the native "
+               "baselines.\n";
+  return 0;
+}

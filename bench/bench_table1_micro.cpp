@@ -1,0 +1,58 @@
+// Table 1 micro-benchmarks not covered by dedicated graph binaries:
+// Assign (variable kinds), Cast (primitive conversions), Create (objects and
+// arrays), Method (call kinds) and Serial (object-graph serialization).
+#include "cil/micro.hpp"
+#include "paper_bench.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::bench;
+using vm::Slot;
+
+constexpr std::int32_t kSize = 1 << 16;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& v = ctx().vm();
+
+  register_sized("Assign-Local", cil::build_assign_local(v), 4, kSize);
+  register_sized("Assign-Instance", cil::build_assign_instance(v), 4, kSize);
+  register_sized("Assign-Static", cil::build_assign_static(v), 4, kSize);
+  register_sized("Assign-Array", cil::build_assign_array(v), 4, kSize);
+
+  register_sized("Cast-IntLong", cil::build_cast_i32_i64(v), 2, kSize);
+  register_sized("Cast-IntFloat", cil::build_cast_i32_f32(v), 2, kSize);
+  register_sized("Cast-IntDouble", cil::build_cast_i32_f64(v), 2, kSize);
+  register_sized("Cast-FloatDouble", cil::build_cast_f32_f64(v), 2, kSize);
+  register_sized("Cast-LongDouble", cil::build_cast_i64_f64(v), 2, kSize);
+
+  register_sized("Create-Object", cil::build_create_object(v), 1, kSize / 4);
+  register_sized("Create-Array1", cil::build_create_array(v, 1), 1, kSize / 4);
+  register_sized("Create-Array8", cil::build_create_array(v, 8), 1, kSize / 4);
+  register_sized("Create-Array128", cil::build_create_array(v, 128), 1,
+                 kSize / 8);
+
+  register_sized("Method-Static", cil::build_method_static(v), 1, kSize / 2);
+  register_sized("Method-StaticArgs", cil::build_method_static_args(v), 1,
+                 kSize / 2);
+  register_sized("Method-Instance", cil::build_method_instance(v), 1,
+                 kSize / 2);
+  register_sized("Method-Synchronized", cil::build_method_synchronized(v), 1,
+                 kSize / 8);
+  register_sized("Method-Library", cil::build_method_intrinsic(v), 1,
+                 kSize / 2);
+
+  // Serial: one invoke serializes+deserializes a 256-node list; count the
+  // nodes written+read.
+  const auto serial = cil::build_serial_roundtrip(v);
+  register_custom(
+      "Serial-ObjectGraph",
+      [serial](vm::Engine& e) {
+        ctx().invoke(e, serial, {Slot::from_i32(256)});
+      },
+      512);
+
+  return run_main(argc, argv, "Table 1: assign / cast / create / method / serial");
+}

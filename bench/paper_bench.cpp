@@ -1,0 +1,149 @@
+#include "paper_bench.hpp"
+
+#include <iostream>
+#include <memory>
+
+namespace hpcnet::bench {
+
+using vm::Slot;
+
+cil::BenchContext& ctx() {
+  static cil::BenchContext instance;
+  return instance;
+}
+
+namespace {
+
+support::ResultTable* capture = nullptr;
+
+support::ResultTable& table() {
+  static support::ResultTable t("results");
+  return t;
+}
+
+/// Splits "row/engine" at the last '/'.
+void record(const std::string& bench_name, double items_per_sec) {
+  const auto cut = bench_name.rfind('/');
+  if (cut == std::string::npos) return;
+  table().set(bench_name.substr(0, cut), bench_name.substr(cut + 1),
+              items_per_sec);
+}
+
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        record(run.benchmark_name(), it->second.value);
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+
+support::ResultTable& capture_table() { return table(); }
+
+void register_sized(const std::string& row, std::int32_t method,
+                    double ops_per_iter, std::int32_t size) {
+  for (auto& e : ctx().engines()) {
+    vm::Engine* engine = e.get();
+    benchmark::RegisterBenchmark(
+        (row + "/" + engine->name()).c_str(),
+        [method, ops_per_iter, size, engine](benchmark::State& st) {
+          auto& c = ctx();
+          for (auto _ : st) {
+            benchmark::DoNotOptimize(
+                c.invoke(*engine, method, {Slot::from_i32(size)}).raw);
+          }
+          st.counters["items_per_second"] = benchmark::Counter(
+              static_cast<double>(st.iterations()) * size * ops_per_iter,
+              benchmark::Counter::kIsRate);
+        })
+        ->MinTime(0.05)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void register_sized2(const std::string& row, std::int32_t method,
+                     double ops_per_iter, std::int32_t size,
+                     std::int32_t arg2) {
+  for (auto& e : ctx().engines()) {
+    vm::Engine* engine = e.get();
+    benchmark::RegisterBenchmark(
+        (row + "/" + engine->name()).c_str(),
+        [method, ops_per_iter, size, arg2, engine](benchmark::State& st) {
+          auto& c = ctx();
+          for (auto _ : st) {
+            benchmark::DoNotOptimize(
+                c.invoke(*engine, method,
+                         {Slot::from_i32(size), Slot::from_i32(arg2)})
+                    .raw);
+          }
+          st.counters["items_per_second"] = benchmark::Counter(
+              static_cast<double>(st.iterations()) * size * ops_per_iter,
+              benchmark::Counter::kIsRate);
+        })
+        ->MinTime(0.05)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void register_custom(const std::string& row,
+                     std::function<void(vm::Engine&)> invoke_once,
+                     double items_per_invoke) {
+  for (auto& e : ctx().engines()) {
+    vm::Engine* engine = e.get();
+    benchmark::RegisterBenchmark(
+        (row + "/" + engine->name()).c_str(),
+        [invoke_once, items_per_invoke, engine](benchmark::State& st) {
+          for (auto _ : st) invoke_once(*engine);
+          st.counters["items_per_second"] = benchmark::Counter(
+              static_cast<double>(st.iterations()) * items_per_invoke,
+              benchmark::Counter::kIsRate);
+        })
+        ->MinTime(0.05)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void register_native(const std::string& row,
+                     std::function<void(std::int32_t)> fn,
+                     double ops_per_iter, std::int32_t size) {
+  benchmark::RegisterBenchmark(
+      (row + "/native").c_str(),
+      [fn = std::move(fn), ops_per_iter, size](benchmark::State& st) {
+        for (auto _ : st) fn(size);
+        st.counters["items_per_second"] = benchmark::Counter(
+            static_cast<double>(st.iterations()) * size * ops_per_iter,
+            benchmark::Counter::kIsRate);
+      })
+      ->MinTime(0.05)
+      ->Unit(benchmark::kMillisecond);
+}
+
+int run_main(int argc, char** argv, const std::string& title,
+             const std::string& unit) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::cout << "\n";
+  support::ResultTable out = table();
+  // Re-title for the paper-style print.
+  support::ResultTable titled(title + " (" + unit + ")");
+  for (const auto& r : out.rows()) {
+    for (const auto& c : out.columns()) {
+      if (out.has(r, c)) titled.set(r, c, out.get(r, c));
+    }
+  }
+  titled.print(std::cout);
+  (void)capture;
+  return 0;
+}
+
+}  // namespace hpcnet::bench

@@ -1,0 +1,56 @@
+// Shared glue for the bench binaries: registers one google-benchmark entry
+// per (benchmark row, engine profile), captures the measured throughput, and
+// after the run prints the results in the paper's layout — one row per
+// operation, one column per virtual machine (plus native where applicable),
+// in the scientific notation of the paper's graph axes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cil/suite.hpp"
+#include "support/reporter.hpp"
+
+namespace hpcnet::bench {
+
+/// Process-wide context: one VM with all programs, one engine per profile.
+cil::BenchContext& ctx();
+
+/// Registers `row` for every engine profile. The benchmark invokes
+/// `method(size)` per iteration and reports size * ops_per_iter items/sec
+/// (== the paper's ops/sec axis).
+void register_sized(const std::string& row, std::int32_t method,
+                    double ops_per_iter, std::int32_t size);
+
+/// As register_sized but with two i32 arguments (size is the first).
+void register_sized2(const std::string& row, std::int32_t method,
+                     double ops_per_iter, std::int32_t size,
+                     std::int32_t arg2);
+
+/// Registers `row` for every engine with a caller-supplied invocation (for
+/// methods whose signature or work accounting doesn't fit register_sized).
+/// `invoke_once` runs one timed unit on the engine; `items_per_invoke` is
+/// the operation count of that unit.
+void register_custom(const std::string& row,
+                     std::function<void(vm::Engine&)> invoke_once,
+                     double items_per_invoke);
+
+/// Registers a native (C++) baseline column for `row`; `fn(size)` must
+/// perform size iterations of the measured operation.
+void register_native(const std::string& row,
+                     std::function<void(std::int32_t)> fn,
+                     double ops_per_iter, std::int32_t size);
+
+/// Runs google-benchmark, then prints the captured paper-style table titled
+/// `title`. Returns the process exit code.
+int run_main(int argc, char** argv, const std::string& title,
+             const std::string& unit = "ops/sec");
+
+/// Access to the capture table for benches that add rows manually (e.g.
+/// SciMark MFlops measured outside google-benchmark).
+support::ResultTable& capture_table();
+
+}  // namespace hpcnet::bench

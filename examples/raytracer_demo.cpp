@@ -1,0 +1,46 @@
+// raytracer_demo: the JGF 64-sphere ray tracer (Table 4) rendered natively
+// to a PPM image, plus the JGF-style pixel checksum.
+//
+//   $ ./raytracer_demo [n] [out.ppm]     (default 256, no file)
+//
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "kernels/jgf.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcnet;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
+  if (n < 8 || n > 4096) {
+    std::fprintf(stderr, "usage: raytracer_demo [n 8..4096] [out.ppm]\n");
+    return 1;
+  }
+
+  std::printf("RayTracer: 64 spheres at %dx%d\n", n, n);
+  std::vector<std::int32_t> pixels;
+  const auto t0 = support::now_ns();
+  const std::int64_t checksum = kernels::raytracer::render_image(n, pixels);
+  const double secs = support::elapsed_seconds(t0, support::now_ns());
+  std::printf("  checksum:  %lld\n", static_cast<long long>(checksum));
+  std::printf("  wall time: %.3f s (%.2f Kpixels/s)\n", secs,
+              n * static_cast<double>(n) / secs * 1e-3);
+
+  if (argc > 2) {
+    FILE* f = std::fopen(argv[2], "wb");
+    if (f == nullptr) {
+      std::perror("fopen");
+      return 1;
+    }
+    std::fprintf(f, "P6\n%d %d\n255\n", n, n);
+    for (const std::int32_t pix : pixels) {
+      std::fputc((pix >> 16) & 0xFF, f);
+      std::fputc((pix >> 8) & 0xFF, f);
+      std::fputc(pix & 0xFF, f);
+    }
+    std::fclose(f);
+    std::printf("  wrote %s\n", argv[2]);
+  }
+  return 0;
+}

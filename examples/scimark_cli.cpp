@@ -1,0 +1,63 @@
+// scimark_cli: the paper's headline experiment as a command-line tool.
+//
+//   $ ./scimark_cli [small|large] [engine ...]
+//
+// Runs the SciMark suite on the requested engines (default: all seven
+// profiles plus the native baseline), validates every kernel against the
+// native implementation and prints the Graph 9/10/11-style table.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cil/suite.hpp"
+#include "support/reporter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcnet;
+  using namespace hpcnet::cil;
+
+  bool large = false;
+  std::vector<std::string> engines;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "large") == 0) {
+      large = true;
+    } else if (std::strcmp(argv[i], "small") == 0) {
+      large = false;
+    } else {
+      engines.emplace_back(argv[i]);
+    }
+  }
+
+  const ScimarkSizes sizes =
+      large ? ScimarkSizes::large_model() : ScimarkSizes::small_model();
+  BenchContext bc;
+  if (engines.empty()) {
+    for (auto& e : bc.engines()) engines.push_back(e->name());
+  }
+
+  support::ResultTable t(std::string("SciMark MFlops, ") +
+                         (large ? "large" : "small") + " memory model");
+  {
+    const ScimarkResult r = run_scimark_native(sizes);
+    for (const auto& k : r.kernels) t.set(k.name, "native", k.mflops);
+    t.set("composite", "native", r.composite);
+  }
+  for (const std::string& name : engines) {
+    std::fprintf(stderr, "running %s...\n", name.c_str());
+    try {
+      const ScimarkResult r =
+          run_scimark_cil(bc.vm(), bc.engine(name), sizes, true);
+      for (const auto& k : r.kernels) t.set(k.name, name, k.mflops);
+      t.set("composite", name, r.composite);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "  %s failed: %s\n", name.c_str(), e.what());
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nall kernel results validated against the native "
+               "baselines\n";
+  return 0;
+}

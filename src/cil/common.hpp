@@ -1,0 +1,62 @@
+// Helpers shared by the CIL benchmark authors: counted-loop emission, and
+// the cached-builder pattern (every program is built into a Module once,
+// then executed unmodified by each engine — the paper's single-compiler
+// methodology).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "vm/execution.hpp"
+#include "vm/ilbuilder.hpp"
+#include "vm/verifier.hpp"
+
+namespace hpcnet::cil {
+
+using vm::ILBuilder;
+using vm::MethodSig;
+using vm::ValType;
+
+/// Emits `for (i = 0; i < bound; ++i) { body(); }` where `i` and `bound` are
+/// i32 locals. The loop shape matches what the C# compiler emits (branch to
+/// the condition first), which is also the shape the BCE pass recognizes.
+inline void counted_loop(ILBuilder& b, std::int32_t i_local,
+                         std::int32_t bound_local,
+                         const std::function<void()>& body) {
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(i_local).br(cond);
+  b.bind(top);
+  body();
+  b.ldloc(i_local).ldc_i4(1).add().stloc(i_local);
+  b.bind(cond);
+  b.ldloc(i_local).ldloc(bound_local).blt(top);
+}
+
+/// `for (i = 0; i < arr.Length; ++i)` — the ldlen-bounded form whose bounds
+/// checks the CLR 1.1 eliminates (paper §5, the +15% sparse-matmul result).
+inline void ldlen_loop(ILBuilder& b, std::int32_t i_local,
+                       std::int32_t arr_local,
+                       const std::function<void()>& body) {
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(i_local).br(cond);
+  b.bind(top);
+  body();
+  b.ldloc(i_local).ldc_i4(1).add().stloc(i_local);
+  b.bind(cond);
+  b.ldloc(i_local).ldloc(arr_local).ldlen().blt(top);
+}
+
+/// Returns the method id if `name` is already built, else invokes `build`
+/// (which must register a method under `name`) and verifies it.
+inline std::int32_t cached(vm::VirtualMachine& v, const std::string& name,
+                           const std::function<std::int32_t()>& build) {
+  const std::int32_t existing = v.module().find_method(name);
+  if (existing >= 0) return existing;
+  const std::int32_t id = build();
+  vm::verify(v.module(), id);
+  return id;
+}
+
+}  // namespace hpcnet::cil

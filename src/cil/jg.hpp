@@ -1,0 +1,30 @@
+// Java Grande section 2/3 kernels authored as CIL (paper Table 4). The
+// heapsort input generator is an IL port of java.util.Random's 48-bit LCG so
+// the sorted checksum matches the native kernel bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::cil {
+
+/// jg.fib.run(i32 n) -> i64 — naive double recursion.
+std::int32_t build_jg_fib(vm::VirtualMachine& v);
+
+/// jg.sieve.run(i32 n) -> i32 — count of primes <= n.
+std::int32_t build_jg_sieve(vm::VirtualMachine& v);
+
+/// jg.hanoi.run(i32 n) -> i64 — move count, computed by real recursion.
+std::int32_t build_jg_hanoi(vm::VirtualMachine& v);
+
+/// jg.heapsort.run(i32 n) -> i64 — checksum of the sorted random array
+/// (equals kernels::heapsort::run(n)).
+std::int32_t build_jg_heapsort(vm::VirtualMachine& v);
+
+/// jg.crypt.run(i32 n) -> i64 — IDEA encrypt+decrypt round trip over n
+/// bytes; returns the encrypted-text checksum (equals
+/// kernels::crypt::run(n)) or -1 if the round trip failed.
+std::int32_t build_jg_crypt(vm::VirtualMachine& v);
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,389 @@
+// CIL port of the JGF Crypt benchmark: full IDEA key expansion (including
+// the extended-Euclid inverse) and the 8.5-round cipher, over byte streams
+// held in i32 arrays. Validated bit-for-bit against kernels::crypt::run —
+// both sides use the same java.util.Random data/key generation and the same
+// corrected IDEA multiply (see src/kernels/crypt.cpp).
+#include "cil/common.hpp"
+#include "cil/jg.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+/// i32 mul16(i32 a, i32 k): IDEA multiplication mod 2^16+1, 0 == 2^16.
+std::int32_t build_mul16(vm::VirtualMachine& v) {
+  return cached(v, "jg.crypt.mul16", [&] {
+    ILBuilder b(v.module(), "jg.crypt.mul16",
+                {{ValType::I32, ValType::I32}, ValType::I32});
+    auto a_nonzero = b.new_label();
+    auto k_nonzero = b.new_label();
+    b.ldarg(0).ldc_i4(0).bne(a_nonzero);
+    b.ldc_i4(0x10001).ldarg(1).sub().ldc_i4(0xFFFF).and_().ret();
+    b.bind(a_nonzero);
+    b.ldarg(1).ldc_i4(0).bne(k_nonzero);
+    b.ldc_i4(0x10001).ldarg(0).sub().ldc_i4(0xFFFF).and_().ret();
+    b.bind(k_nonzero);
+    b.ldarg(0).conv_i8().ldarg(1).conv_i8().mul()
+        .ldc_i8(0x10001).rem().conv_i4().ldc_i4(0xFFFF).and_().ret();
+    return b.finish();
+  });
+}
+
+/// i32 inv(i32 x): multiplicative inverse mod 0x10001 (JGF's algorithm).
+std::int32_t build_inv(vm::VirtualMachine& v) {
+  return cached(v, "jg.crypt.inv", [&] {
+    ILBuilder b(v.module(), "jg.crypt.inv", {{ValType::I32}, ValType::I32});
+    const auto x = b.add_local(ValType::I64);
+    const auto y = b.add_local(ValType::I64);
+    const auto t0 = b.add_local(ValType::I64);
+    const auto t1 = b.add_local(ValType::I64);
+    const auto q = b.add_local(ValType::I64);
+    auto big = b.new_label();
+    b.ldarg(0).ldc_i4(1).bgt(big);
+    b.ldarg(0).ret();
+    b.bind(big);
+    b.ldarg(0).conv_i8().stloc(x);
+    b.ldc_i8(0x10001).ldloc(x).div().stloc(t1);
+    b.ldc_i8(0x10001).ldloc(x).rem().stloc(y);
+    auto general = b.new_label();
+    b.ldloc(y).ldc_i8(1).bne(general);
+    b.ldc_i8(1).ldloc(t1).sub().ldc_i8(0xFFFF).and_().conv_i4().ret();
+    b.bind(general);
+    b.ldc_i8(1).stloc(t0);
+    auto loop = b.new_label();
+    b.bind(loop);
+    // q = x / y; x = x % y; t0 += q * t1; if (x == 1) return t0;
+    b.ldloc(x).ldloc(y).div().stloc(q);
+    b.ldloc(x).ldloc(y).rem().stloc(x);
+    b.ldloc(t0).ldloc(q).ldloc(t1).mul().add().stloc(t0);
+    auto not_done1 = b.new_label();
+    b.ldloc(x).ldc_i8(1).bne(not_done1);
+    b.ldloc(t0).conv_i4().ret();
+    b.bind(not_done1);
+    // q = y / x; y = y % x; t1 += q * t0; loop while (y != 1).
+    b.ldloc(y).ldloc(x).div().stloc(q);
+    b.ldloc(y).ldloc(x).rem().stloc(y);
+    b.ldloc(t1).ldloc(q).ldloc(t0).mul().add().stloc(t1);
+    b.ldloc(y).ldc_i8(1).bne(loop);
+    b.ldc_i8(1).ldloc(t1).sub().ldc_i8(0xFFFF).and_().conv_i4().ret();
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_jg_crypt(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  // Reuse the jg.Rand LCG built by the heapsort port.
+  build_jg_heapsort(v);
+  const std::int32_t rand_new = mod.find_method("jg.rand.new");
+  const std::int32_t rand_next32 = mod.find_method("jg.rand.next32");
+  const std::int32_t mul16 = build_mul16(v);
+  const std::int32_t inv = build_inv(v);
+
+  // i32 nextInt255(ref rnd): java.util.Random.nextInt(255) incl. rejection.
+  const std::int32_t next255 = cached(v, "jg.crypt.next255", [&] {
+    ILBuilder b(mod, "jg.crypt.next255", {{ValType::Ref}, ValType::I32});
+    const auto bits = b.add_local(ValType::I32);
+    const auto val = b.add_local(ValType::I32);
+    auto retry = b.new_label();
+    b.bind(retry);
+    // bits = next(31) == next32() >>> 1.
+    b.ldarg(0).call(rand_next32).ldc_i4(1).shr_un().stloc(bits);
+    b.ldloc(bits).ldc_i4(255).rem().stloc(val);
+    b.ldloc(bits).ldloc(val).sub().ldc_i4(254).add().ldc_i4(0).blt(retry);
+    b.ldloc(val).ret();
+    return b.finish();
+  });
+
+  // ref makeKeys(i64 seed): returns i32[104]: [0..52) encrypt, [52..104) dec.
+  const std::int32_t makekeys = cached(v, "jg.crypt.makekeys", [&] {
+    ILBuilder b(mod, "jg.crypt.makekeys", {{ValType::I64}, ValType::Ref});
+    const auto rnd = b.add_local(ValType::Ref);
+    const auto Z = b.add_local(ValType::Ref);  // the 104-entry key block
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto k = b.add_local(ValType::I32);
+    const auto t1 = b.add_local(ValType::I32);
+    const auto t2 = b.add_local(ValType::I32);
+    const auto t3 = b.add_local(ValType::I32);
+    const auto eight = b.add_local(ValType::I32);
+
+    auto ldZ = [&](const std::function<void()>& idx) {
+      b.ldloc(Z);
+      idx();
+      b.ldelem(ValType::I32);
+    };
+    auto stZ = [&](const std::function<void()>& idx,
+                   const std::function<void()>& val) {
+      b.ldloc(Z);
+      idx();
+      val();
+      b.stelem(ValType::I32);
+    };
+
+    b.ldarg(0).call(rand_new).stloc(rnd);
+    b.ldc_i4(104).newarr(ValType::I32).stloc(Z);
+    // userkey: 8 shorts from nextInt().
+    b.ldc_i4(8).stloc(eight);
+    counted_loop(b, i, eight, [&] {
+      stZ([&] { b.ldloc(i); },
+          [&] { b.ldloc(rnd).call(rand_next32).ldc_i4(0xFFFF).and_(); });
+    });
+    // Expansion for i in [8, 52).
+    {
+      auto top = b.new_label();
+      auto end = b.new_label();
+      b.ldc_i4(8).stloc(i);
+      b.bind(top);
+      b.ldloc(i).ldc_i4(52).bge(end);
+      auto case6 = b.new_label();
+      auto case7 = b.new_label();
+      auto done = b.new_label();
+      b.ldloc(i).ldc_i4(7).and_().ldc_i4(6).beq(case6);
+      b.ldloc(i).ldc_i4(7).and_().ldc_i4(7).beq(case7);
+      // default: (Z[i-7]&0x7F)<<9 | Z[i-6]>>7
+      stZ([&] { b.ldloc(i); },
+          [&] {
+            ldZ([&] { b.ldloc(i).ldc_i4(7).sub(); });
+            b.ldc_i4(0x7F).and_().ldc_i4(9).shl();
+            ldZ([&] { b.ldloc(i).ldc_i4(6).sub(); });
+            b.ldc_i4(7).shr().or_().ldc_i4(0xFFFF).and_();
+          });
+      b.br(done);
+      b.bind(case6);
+      stZ([&] { b.ldloc(i); },
+          [&] {
+            ldZ([&] { b.ldloc(i).ldc_i4(7).sub(); });
+            b.ldc_i4(0x7F).and_().ldc_i4(9).shl();
+            ldZ([&] { b.ldloc(i).ldc_i4(14).sub(); });
+            b.ldc_i4(7).shr().or_().ldc_i4(0xFFFF).and_();
+          });
+      b.br(done);
+      b.bind(case7);
+      stZ([&] { b.ldloc(i); },
+          [&] {
+            ldZ([&] { b.ldloc(i).ldc_i4(15).sub(); });
+            b.ldc_i4(0x7F).and_().ldc_i4(9).shl();
+            ldZ([&] { b.ldloc(i).ldc_i4(14).sub(); });
+            b.ldc_i4(7).shr().or_().ldc_i4(0xFFFF).and_();
+          });
+      b.bind(done);
+      b.ldloc(i).ldc_i4(1).add().stloc(i);
+      b.br(top);
+      b.bind(end);
+    }
+    // Decryption schedule at offset 52 (JGF calcDecryptKey).
+    auto DKst = [&](std::int32_t at_local_minus, const std::function<void()>& val) {
+      // Z[52 + j--] = val: we keep j as the running index.
+      (void)at_local_minus;
+      b.ldloc(Z).ldc_i4(52).ldloc(j).add();
+      val();
+      b.stelem(ValType::I32);
+      b.ldloc(j).ldc_i4(1).sub().stloc(j);
+    };
+    b.ldc_i4(51).stloc(j);
+    // t1 = inv(Z[0]); t2 = -Z[1]&0xFFFF; t3 = -Z[2]&0xFFFF;
+    ldZ([&] { b.ldc_i4(0); });
+    b.call(inv).stloc(t1);
+    ldZ([&] { b.ldc_i4(1); });
+    b.neg().ldc_i4(0xFFFF).and_().stloc(t2);
+    ldZ([&] { b.ldc_i4(2); });
+    b.neg().ldc_i4(0xFFFF).and_().stloc(t3);
+    DKst(51, [&] { ldZ([&] { b.ldc_i4(3); }); b.call(inv); });
+    DKst(50, [&] { b.ldloc(t3); });
+    DKst(49, [&] { b.ldloc(t2); });
+    DKst(48, [&] { b.ldloc(t1); });
+    // k = 4; 7 middle rounds then the final group with swapped t2/t3.
+    b.ldc_i4(4).stloc(k);
+    auto middle = [&](bool last) {
+      // t1 = Z[k++]; DK[j--] = Z[k++]; DK[j--] = t1;
+      ldZ([&] { b.ldloc(k); });
+      b.stloc(t1);
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      DKst(0, [&] { ldZ([&] { b.ldloc(k); }); });
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      DKst(0, [&] { b.ldloc(t1); });
+      // t1 = inv(Z[k++]); t2 = -Z[k++]&FFFF; t3 = -Z[k++]&FFFF;
+      ldZ([&] { b.ldloc(k); });
+      b.call(inv).stloc(t1);
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      ldZ([&] { b.ldloc(k); });
+      b.neg().ldc_i4(0xFFFF).and_().stloc(t2);
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      ldZ([&] { b.ldloc(k); });
+      b.neg().ldc_i4(0xFFFF).and_().stloc(t3);
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      // DK[j--] = inv(Z[k++]); then t2/t3 (middle) or t3/t2 (last); then t1.
+      DKst(0, [&] {
+        ldZ([&] { b.ldloc(k); });
+        b.call(inv);
+      });
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      if (!last) {
+        DKst(0, [&] { b.ldloc(t2); });
+        DKst(0, [&] { b.ldloc(t3); });
+      } else {
+        DKst(0, [&] { b.ldloc(t3); });
+        DKst(0, [&] { b.ldloc(t2); });
+      }
+      DKst(0, [&] { b.ldloc(t1); });
+    };
+    for (int round = 0; round < 7; ++round) middle(false);
+    middle(true);
+    b.ldloc(Z).ret();
+    return b.finish();
+  });
+
+  // void cipher(ref text_in, ref text_out, ref keys, i32 key_offset):
+  // byte stream in i32 arrays (one byte per element).
+  const std::int32_t cipher = cached(v, "jg.crypt.cipher", [&] {
+    ILBuilder b(mod, "jg.crypt.cipher",
+                {{ValType::Ref, ValType::Ref, ValType::Ref, ValType::I32},
+                 ValType::None});
+    const auto i1 = b.add_local(ValType::I32);
+    const auto ik = b.add_local(ValType::I32);
+    const auto r = b.add_local(ValType::I32);
+    const auto x1 = b.add_local(ValType::I32);
+    const auto x2 = b.add_local(ValType::I32);
+    const auto x3 = b.add_local(ValType::I32);
+    const auto x4 = b.add_local(ValType::I32);
+    const auto t1 = b.add_local(ValType::I32);
+    const auto t2 = b.add_local(ValType::I32);
+
+    auto load16 = [&](std::int32_t dst) {
+      // dst = in[i1++] | in[i1++] << 8
+      b.ldarg(0).ldloc(i1).ldelem(ValType::I32);
+      b.ldarg(0).ldloc(i1).ldc_i4(1).add().ldelem(ValType::I32)
+          .ldc_i4(8).shl().or_().stloc(dst);
+      b.ldloc(i1).ldc_i4(2).add().stloc(i1);
+    };
+    auto key = [&] {
+      // push keys[key_offset + ik]; ik++
+      b.ldarg(2).ldarg(3).ldloc(ik).add().ldelem(ValType::I32);
+      b.ldloc(ik).ldc_i4(1).add().stloc(ik);
+    };
+    auto store16 = [&](std::int32_t src, int offset) {
+      b.ldarg(1).ldloc(i1).ldc_i4(offset).add()
+          .ldloc(src).ldc_i4(0xFF).and_().stelem(ValType::I32);
+      b.ldarg(1).ldloc(i1).ldc_i4(offset + 1).add()
+          .ldloc(src).ldc_i4(8).shr_un().ldc_i4(0xFF).and_()
+          .stelem(ValType::I32);
+    };
+
+    auto blocks = b.new_label();
+    auto end = b.new_label();
+    b.ldc_i4(0).stloc(i1);
+    b.bind(blocks);
+    b.ldloc(i1).ldarg(0).ldlen().bge(end);
+    b.ldc_i4(0).stloc(ik);
+    load16(x1);
+    load16(x2);
+    load16(x3);
+    load16(x4);
+    b.ldc_i4(8).stloc(r);
+    {
+      auto round = b.new_label();
+      b.bind(round);
+      // x1 = mul16(x1, key); x2 = (x2+key)&FFFF; x3 = (x3+key)&FFFF;
+      // x4 = mul16(x4, key);
+      b.ldloc(x1);
+      key();
+      b.call(mul16).stloc(x1);
+      b.ldloc(x2);
+      key();
+      b.add().ldc_i4(0xFFFF).and_().stloc(x2);
+      b.ldloc(x3);
+      key();
+      b.add().ldc_i4(0xFFFF).and_().stloc(x3);
+      b.ldloc(x4);
+      key();
+      b.call(mul16).stloc(x4);
+      // t2 = mul16(x1^x3, key); t1 = mul16((t2 + (x2^x4)) & FFFF, key);
+      // t2 = (t1 + t2) & FFFF;
+      b.ldloc(x1).ldloc(x3).xor_();
+      key();
+      b.call(mul16).stloc(t2);
+      b.ldloc(t2).ldloc(x2).ldloc(x4).xor_().add().ldc_i4(0xFFFF).and_();
+      key();
+      b.call(mul16).stloc(t1);
+      b.ldloc(t1).ldloc(t2).add().ldc_i4(0xFFFF).and_().stloc(t2);
+      // x1 ^= t1; x4 ^= t2; t2 ^= x2; x2 = x3 ^ t1; x3 = t2;
+      b.ldloc(x1).ldloc(t1).xor_().stloc(x1);
+      b.ldloc(x4).ldloc(t2).xor_().stloc(x4);
+      b.ldloc(t2).ldloc(x2).xor_().stloc(t2);
+      b.ldloc(x3).ldloc(t1).xor_().stloc(x2);
+      b.ldloc(t2).stloc(x3);
+      b.ldloc(r).ldc_i4(1).sub().stloc(r);
+      b.ldloc(r).ldc_i4(0).bgt(round);
+    }
+    // Output transform: x1*K, x3+K, x2+K, x4*K, emitted x1 x3 x2 x4.
+    b.ldloc(x1);
+    key();
+    b.call(mul16).stloc(x1);
+    b.ldloc(x3);
+    key();
+    b.add().ldc_i4(0xFFFF).and_().stloc(x3);
+    b.ldloc(x2);
+    key();
+    b.add().ldc_i4(0xFFFF).and_().stloc(x2);
+    b.ldloc(x4);
+    key();
+    b.call(mul16).stloc(x4);
+    b.ldloc(i1).ldc_i4(8).sub().stloc(i1);
+    store16(x1, 0);
+    store16(x3, 2);
+    store16(x2, 4);
+    store16(x4, 6);
+    b.ldloc(i1).ldc_i4(8).add().stloc(i1);
+    b.br(blocks);
+    b.bind(end);
+    b.ret();
+    return b.finish();
+  });
+
+  // i64 run(i32 n): matches kernels::crypt::run(n) exactly.
+  return cached(v, "jg.crypt.run", [&] {
+    ILBuilder b(mod, "jg.crypt.run", {{ValType::I32}, ValType::I64});
+    const auto n = b.add_local(ValType::I32);
+    const auto rnd = b.add_local(ValType::Ref);
+    const auto plain = b.add_local(ValType::Ref);
+    const auto enc = b.add_local(ValType::Ref);
+    const auto dec = b.add_local(ValType::Ref);
+    const auto keys = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto checksum = b.add_local(ValType::I64);
+
+    b.ldarg(0).ldc_i4(8).div().ldc_i4(8).mul().stloc(n);
+    b.ldc_i8(136506717).call(rand_new).stloc(rnd);
+    b.ldloc(n).newarr(ValType::I32).stloc(plain);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(plain).ldloc(i).ldloc(rnd).call(next255).stelem(ValType::I32);
+    });
+    b.ldc_i8(0x1234ABCDLL).call(makekeys).stloc(keys);
+    b.ldloc(n).newarr(ValType::I32).stloc(enc);
+    b.ldloc(n).newarr(ValType::I32).stloc(dec);
+    b.ldloc(plain).ldloc(enc).ldloc(keys).ldc_i4(0).call(cipher);
+    b.ldloc(enc).ldloc(dec).ldloc(keys).ldc_i4(52).call(cipher);
+    // Verify the round trip; a failure returns -1 (tests reject it).
+    counted_loop(b, i, n, [&] {
+      auto ok = b.new_label();
+      b.ldloc(dec).ldloc(i).ldelem(ValType::I32)
+          .ldloc(plain).ldloc(i).ldelem(ValType::I32).beq(ok);
+      b.ldc_i8(-1).ret();
+      b.bind(ok);
+    });
+    // checksum over the encrypted bytes, matching the native loop.
+    b.ldc_i8(0).stloc(checksum);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(checksum).ldc_i4(1).shl()
+          .ldloc(checksum).ldc_i4(7).shr().xor_()
+          .ldloc(enc).ldloc(i).ldelem(ValType::I32).conv_i8().xor_()
+          .stloc(checksum);
+    });
+    b.ldloc(checksum).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

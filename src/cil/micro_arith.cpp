@@ -1,0 +1,147 @@
+// Arithmetic micro-benchmarks (JGF section 1 "Arith"): four variables
+// updated cyclically per iteration for add/mul; division repeatedly divides
+// by a small constant exactly as in the paper's Table 5 study.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+/// Cyclic add/mul over four variables of type T.
+/// add: i1+=i2; i2+=i3; i3+=i4; i4+=i1;  (values stay bounded by wrap)
+/// mul: i1*=i2; ... with multipliers near 1.0 for floats.
+template <typename EmitConst>
+std::int32_t build_cyclic(vm::VirtualMachine& v, const std::string& name,
+                          ValType t, bool mul, EmitConst init) {
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, t});
+    const auto size = 0;  // arg 0
+    const auto i = b.add_local(ValType::I32);
+    std::int32_t x[4];
+    for (auto& xi : x) xi = b.add_local(t);
+    for (int k = 0; k < 4; ++k) {
+      init(b, k);
+      b.stloc(x[k]);
+    }
+    const auto bound = b.add_local(ValType::I32);
+    b.ldarg(size).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      for (int k = 0; k < 4; ++k) {
+        const int next = (k + 1) % 4;
+        b.ldloc(x[k]).ldloc(x[next]);
+        if (mul) {
+          b.mul();
+        } else {
+          b.add();
+        }
+        b.stloc(x[k]);
+      }
+    });
+    b.ldloc(x[3]).ret();
+    return b.finish();
+  });
+}
+
+/// Division: x = x / C repeated 4x per iteration, reseeding when the value
+/// bottoms out (matching the JGF loop which restarts from MaxValue).
+std::int32_t build_div(vm::VirtualMachine& v, const std::string& name,
+                       ValType t) {
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, t});
+    const auto i = b.add_local(ValType::I32);
+    const auto x = b.add_local(t);
+    const auto bound = b.add_local(ValType::I32);
+    b.ldarg(0).stloc(bound);
+    switch (t) {
+      case ValType::I32: b.ldc_i4(2147483647); break;
+      case ValType::I64: b.ldc_i8(9223372036854775807LL); break;
+      case ValType::F32: b.ldc_r4(3.4e38f); break;
+      default: b.ldc_r8(1.7e308); break;
+    }
+    b.stloc(x);
+    counted_loop(b, i, bound, [&] {
+      for (int k = 0; k < 4; ++k) {
+        b.ldloc(x);
+        switch (t) {
+          case ValType::I32: b.ldc_i4(3); break;
+          case ValType::I64: b.ldc_i8(3); break;
+          case ValType::F32: b.ldc_r4(1.0000001f); break;
+          default: b.ldc_r8(1.000000000001); break;
+        }
+        b.div().stloc(x);
+      }
+      if (t == ValType::I32 || t == ValType::I64) {
+        // Reseed when exhausted so the divide never degenerates to 0/3.
+        auto ok = b.new_label();
+        b.ldloc(x);
+        if (t == ValType::I32) {
+          b.ldc_i4(3).bge(ok);
+          b.ldc_i4(2147483647).stloc(x);
+        } else {
+          b.ldc_i8(3).bge(ok);
+          b.ldc_i8(9223372036854775807LL).stloc(x);
+        }
+        b.bind(ok);
+      }
+    });
+    b.ldloc(x).ret();
+    return b.finish();
+  });
+}
+
+void const_i32(ILBuilder& b, int k) { b.ldc_i4(k + 1); }
+void const_i64(ILBuilder& b, int k) { b.ldc_i8(k + 1); }
+void const_f32_add(ILBuilder& b, int k) { b.ldc_r4(0.5f + 0.25f * k); }
+void const_f64_add(ILBuilder& b, int k) { b.ldc_r8(0.5 + 0.25 * k); }
+void const_f32_mul(ILBuilder& b, int k) {
+  b.ldc_r4(k % 2 == 0 ? 1.0000002f : 0.9999998f);
+}
+void const_f64_mul(ILBuilder& b, int k) {
+  b.ldc_r8(k % 2 == 0 ? 1.0000000002 : 0.9999999998);
+}
+
+}  // namespace
+
+std::int32_t build_arith_add_i32(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.add.i32", ValType::I32, false, const_i32);
+}
+std::int32_t build_arith_mul_i32(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.mul.i32", ValType::I32, true, const_i32);
+}
+std::int32_t build_arith_div_i32(vm::VirtualMachine& v) {
+  return build_div(v, "micro.arith.div.i32", ValType::I32);
+}
+std::int32_t build_arith_add_i64(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.add.i64", ValType::I64, false, const_i64);
+}
+std::int32_t build_arith_mul_i64(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.mul.i64", ValType::I64, true, const_i64);
+}
+std::int32_t build_arith_div_i64(vm::VirtualMachine& v) {
+  return build_div(v, "micro.arith.div.i64", ValType::I64);
+}
+std::int32_t build_arith_add_f32(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.add.f32", ValType::F32, false,
+                      const_f32_add);
+}
+std::int32_t build_arith_mul_f32(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.mul.f32", ValType::F32, true,
+                      const_f32_mul);
+}
+std::int32_t build_arith_div_f32(vm::VirtualMachine& v) {
+  return build_div(v, "micro.arith.div.f32", ValType::F32);
+}
+std::int32_t build_arith_add_f64(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.add.f64", ValType::F64, false,
+                      const_f64_add);
+}
+std::int32_t build_arith_mul_f64(vm::VirtualMachine& v) {
+  return build_cyclic(v, "micro.arith.mul.f64", ValType::F64, true,
+                      const_f64_mul);
+}
+std::int32_t build_arith_div_f64(vm::VirtualMachine& v) {
+  return build_div(v, "micro.arith.div.f64", ValType::F64);
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,109 @@
+// Assign micro-benchmark (Table 1): cost of assigning to the different
+// variable kinds — locals, instance fields, static fields, array elements —
+// four assignments per iteration like the JGF original.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+std::int32_t assign_holder_class(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t cls = mod.find_class("bench.AssignHolder");
+  if (cls < 0) {
+    cls = mod.define_class(
+        "bench.AssignHolder",
+        {{"a", ValType::I32}, {"b", ValType::I32}},
+        -1,
+        {{"sa", ValType::I32}, {"sb", ValType::I32}});
+  }
+  return cls;
+}
+
+}  // namespace
+
+std::int32_t build_assign_local(vm::VirtualMachine& v) {
+  return cached(v, "micro.assign.local", [&] {
+    ILBuilder b(v.module(), "micro.assign.local", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto a = b.add_local(ValType::I32);
+    const auto c = b.add_local(ValType::I32);
+    b.ldarg(0).stloc(bound);
+    b.ldc_i4(7).stloc(a);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(a).stloc(c);
+      b.ldloc(c).stloc(a);
+      b.ldloc(a).stloc(c);
+      b.ldloc(i).stloc(a);
+    });
+    b.ldloc(a).ldloc(c).add().ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_assign_instance(vm::VirtualMachine& v) {
+  const std::int32_t cls = assign_holder_class(v);
+  return cached(v, "micro.assign.instance", [&] {
+    ILBuilder b(v.module(), "micro.assign.instance",
+                {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto obj = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    b.newobj(cls).stloc(obj);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(obj).ldloc(i).stfld(cls, "a");
+      b.ldloc(obj).ldloc(obj).ldfld(cls, "a").stfld(cls, "b");
+      b.ldloc(obj).ldloc(obj).ldfld(cls, "b").stfld(cls, "a");
+      b.ldloc(obj).ldloc(i).stfld(cls, "b");
+    });
+    b.ldloc(obj).ldfld(cls, "a").ldloc(obj).ldfld(cls, "b").add().ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_assign_static(vm::VirtualMachine& v) {
+  const std::int32_t cls = assign_holder_class(v);
+  return cached(v, "micro.assign.static", [&] {
+    ILBuilder b(v.module(), "micro.assign.static",
+                {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    b.ldarg(0).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(i).stsfld(cls, "sa");
+      b.ldsfld(cls, "sa").stsfld(cls, "sb");
+      b.ldsfld(cls, "sb").stsfld(cls, "sa");
+      b.ldloc(i).stsfld(cls, "sb");
+    });
+    b.ldsfld(cls, "sa").ldsfld(cls, "sb").add().ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_assign_array(vm::VirtualMachine& v) {
+  return cached(v, "micro.assign.array", [&] {
+    ILBuilder b(v.module(), "micro.assign.array",
+                {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto arr = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    b.ldc_i4(4).newarr(ValType::I32).stloc(arr);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(arr).ldc_i4(0).ldloc(i).stelem(ValType::I32);
+      b.ldloc(arr).ldc_i4(1).ldloc(arr).ldc_i4(0).ldelem(ValType::I32)
+          .stelem(ValType::I32);
+      b.ldloc(arr).ldc_i4(2).ldloc(arr).ldc_i4(1).ldelem(ValType::I32)
+          .stelem(ValType::I32);
+      b.ldloc(arr).ldc_i4(3).ldloc(arr).ldc_i4(2).ldelem(ValType::I32)
+          .stelem(ValType::I32);
+    });
+    b.ldloc(arr).ldc_i4(3).ldelem(ValType::I32).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

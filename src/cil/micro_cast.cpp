@@ -1,0 +1,66 @@
+// Cast micro-benchmark (Table 1): round-trip conversions between primitive
+// types, two casts per iteration.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+std::int32_t build_roundtrip(vm::VirtualMachine& v, const std::string& name,
+                             ValType src,
+                             const std::function<void(ILBuilder&)>& there,
+                             const std::function<void(ILBuilder&)>& back) {
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, src});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto x = b.add_local(src);
+    b.ldarg(0).stloc(bound);
+    switch (src) {
+      case ValType::I32: b.ldc_i4(123456); break;
+      case ValType::I64: b.ldc_i8(1234567890123LL); break;
+      case ValType::F32: b.ldc_r4(1234.5f); break;
+      default: b.ldc_r8(123456.75); break;
+    }
+    b.stloc(x);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(x);
+      there(b);
+      back(b);
+      b.stloc(x);
+    });
+    b.ldloc(x).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_cast_i32_i64(vm::VirtualMachine& v) {
+  return build_roundtrip(
+      v, "micro.cast.i32_i64", ValType::I32,
+      [](ILBuilder& b) { b.conv_i8(); }, [](ILBuilder& b) { b.conv_i4(); });
+}
+std::int32_t build_cast_i32_f32(vm::VirtualMachine& v) {
+  return build_roundtrip(
+      v, "micro.cast.i32_f32", ValType::I32,
+      [](ILBuilder& b) { b.conv_r4(); }, [](ILBuilder& b) { b.conv_i4(); });
+}
+std::int32_t build_cast_i32_f64(vm::VirtualMachine& v) {
+  return build_roundtrip(
+      v, "micro.cast.i32_f64", ValType::I32,
+      [](ILBuilder& b) { b.conv_r8(); }, [](ILBuilder& b) { b.conv_i4(); });
+}
+std::int32_t build_cast_f32_f64(vm::VirtualMachine& v) {
+  return build_roundtrip(
+      v, "micro.cast.f32_f64", ValType::F32,
+      [](ILBuilder& b) { b.conv_r8(); }, [](ILBuilder& b) { b.conv_r4(); });
+}
+std::int32_t build_cast_i64_f64(vm::VirtualMachine& v) {
+  return build_roundtrip(
+      v, "micro.cast.i64_f64", ValType::I64,
+      [](ILBuilder& b) { b.conv_r8(); }, [](ILBuilder& b) { b.conv_i8(); });
+}
+
+}  // namespace hpcnet::cil

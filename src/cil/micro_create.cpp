@@ -1,0 +1,48 @@
+// Create micro-benchmark (Table 1): object and array allocation throughput.
+// Allocation-heavy by design — this is also the GC stress path, since the
+// engines collect at the heap threshold mid-benchmark.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+std::int32_t build_create_object(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t cls = mod.find_class("bench.CreateTarget");
+  if (cls < 0) {
+    cls = mod.define_class("bench.CreateTarget",
+                           {{"x", ValType::I32}, {"y", ValType::F64}});
+  }
+  return cached(v, "micro.create.object", [&] {
+    ILBuilder b(mod, "micro.create.object", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto last = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      b.newobj(cls).stloc(last);
+      b.ldloc(last).ldloc(i).stfld(cls, "x");
+    });
+    b.ldloc(last).ldfld(cls, "x").ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_create_array(vm::VirtualMachine& v, std::int32_t length) {
+  const std::string name =
+      "micro.create.array" + std::to_string(length);
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto last = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      b.ldc_i4(length).newarr(ValType::F64).stloc(last);
+    });
+    b.ldloc(last).ldlen().ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,89 @@
+// Exception-handling micro-benchmarks (Graph 5). Three variants per the JGF
+// Exception benchmark: rethrowing one pre-created object, constructing a new
+// exception per iteration, and an exception raised one call level down.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+/// Common shape: count = 0; loop { try { <raise> } catch (Exception) {
+/// count++ } } return count. Every iteration must take the handler.
+std::int32_t build_catch_loop(
+    vm::VirtualMachine& v, const std::string& name,
+    const std::function<void(ILBuilder&, std::int32_t /*excl*/)>& raise,
+    bool needs_exc_local) {
+  return cached(v, name, [&] {
+    vm::Module& mod = v.module();
+    ILBuilder b(mod, name, {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto count = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto exc = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    b.ldc_i4(0).stloc(count);
+    if (needs_exc_local) {
+      b.newobj(mod.exception_class()).stloc(exc);
+    }
+    counted_loop(b, i, bound, [&] {
+      auto try_begin = b.new_label();
+      auto try_end = b.new_label();
+      auto handler = b.new_label();
+      auto after = b.new_label();
+      b.bind(try_begin);
+      raise(b, exc);
+      b.bind(try_end);
+      b.add_catch(try_begin, try_end, handler, mod.exception_class());
+      b.bind(handler);
+      b.pop();  // discard the exception object
+      b.ldloc(count).ldc_i4(1).add().stloc(count);
+      b.leave(after);
+      b.bind(after);
+    });
+    b.ldloc(count).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_exception_throw(vm::VirtualMachine& v) {
+  return build_catch_loop(
+      v, "micro.exception.throw",
+      [](ILBuilder& b, std::int32_t exc) { b.ldloc(exc).throw_(); }, true);
+}
+
+std::int32_t build_exception_new(vm::VirtualMachine& v) {
+  const std::int32_t exc_class = v.module().exception_class();
+  return build_catch_loop(
+      v, "micro.exception.new",
+      [exc_class](ILBuilder& b, std::int32_t) {
+        b.newobj(exc_class).throw_();
+      },
+      false);
+}
+
+std::int32_t build_exception_method(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  // Callee: void thrower() { throw new Exception(); }
+  const std::int32_t thrower =
+      cached(v, "micro.exception.thrower_fn", [&] {
+        ILBuilder b(mod, "micro.exception.thrower_fn", {{}, ValType::None});
+        b.newobj(mod.exception_class()).throw_();
+        return b.finish();
+      });
+  return build_catch_loop(
+      v, "micro.exception.method",
+      [thrower](ILBuilder& b, std::int32_t) {
+        auto unreachable = b.new_label();
+        b.call(thrower);
+        // The call always throws; branch back keeps the region well-formed.
+        b.br(unreachable);
+        b.bind(unreachable);
+        b.newobj(b.module().exception_class()).throw_();
+      },
+      false);
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,59 @@
+// Loop-overhead micro-benchmarks (Graph 4): for, reverse-for and while loops
+// whose body only keeps the induction variable live, measuring pure loop
+// machinery as the JGF Loop benchmark does.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+std::int32_t build_loop_for(vm::VirtualMachine& v) {
+  return cached(v, "micro.loop.for", [&] {
+    ILBuilder b(v.module(), "micro.loop.for", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldc_i4(0).stloc(i).br(cond);
+    b.bind(top);
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldarg(0).blt(top);
+    b.ldloc(i).ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_loop_reverse_for(vm::VirtualMachine& v) {
+  return cached(v, "micro.loop.reversefor", [&] {
+    ILBuilder b(v.module(), "micro.loop.reversefor",
+                {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldarg(0).stloc(i).br(cond);
+    b.bind(top);
+    b.ldloc(i).ldc_i4(1).sub().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldc_i4(0).bgt(top);
+    b.ldloc(i).ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_loop_while(vm::VirtualMachine& v) {
+  return cached(v, "micro.loop.while", [&] {
+    ILBuilder b(v.module(), "micro.loop.while", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    auto top = b.new_label();
+    auto done = b.new_label();
+    b.ldc_i4(0).stloc(i);
+    b.bind(top);
+    b.ldloc(i).ldarg(0).bge(done);
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.br(top);
+    b.bind(done);
+    b.ldloc(i).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

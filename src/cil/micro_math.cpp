@@ -1,0 +1,67 @@
+// Math-library micro-benchmarks (Graphs 6-8): one CIL loop per System.Math
+// routine, feeding each call an iteration-dependent argument and folding the
+// result into an accumulator so no tier can hoist the call.
+#include <stdexcept>
+
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+std::int32_t build_math_call(vm::VirtualMachine& v, std::int32_t intrinsic_id) {
+  using namespace hpcnet::vm;
+  const IntrinsicDef& def = intrinsic(intrinsic_id);
+  const std::string name = std::string("micro.math.") + def.name;
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, ValType::F64});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::F64);
+    b.ldarg(0).stloc(bound);
+    b.ldc_r8(0.0).stloc(acc);
+
+    // Pushes an argument of the requested type derived from `i` (bounded to
+    // keep trig/asin arguments in domain).
+    auto push_arg = [&](ValType t, bool second) {
+      b.ldloc(i).ldc_i4(second ? 63 : 255).and_();
+      switch (t) {
+        case ValType::I32:
+          b.ldc_i4(second ? 7 : 13).sub();
+          break;
+        case ValType::I64:
+          b.conv_i8().ldc_i8(second ? 7 : 13).sub();
+          break;
+        case ValType::F32:
+          b.conv_r4().ldc_r4(0.00390625f).mul();  // in [0, ~1)
+          if (second) b.ldc_r4(0.25f).add();
+          break;
+        default:
+          b.conv_r8().ldc_r8(0.00390625).mul();
+          if (second) b.ldc_r8(0.25).add();
+          break;
+      }
+    };
+
+    counted_loop(b, i, bound, [&] {
+      for (std::size_t k = 0; k < def.sig.params.size(); ++k) {
+        push_arg(def.sig.params[k], k == 1);
+      }
+      b.call_intr(intrinsic_id);
+      // Fold the result into the f64 accumulator.
+      switch (def.sig.ret) {
+        case ValType::I32: b.conv_r8(); break;
+        case ValType::I64: b.conv_r8(); break;
+        case ValType::F32: b.conv_r8(); break;
+        case ValType::F64: break;
+        default:
+          throw std::logic_error("math benchmark: unsupported return type");
+      }
+      b.ldloc(acc).add().stloc(acc);
+    });
+    b.ldloc(acc).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,148 @@
+// Matrix-style micro-benchmark (Table 3 / Graph 12): element-wise copy
+// assignments A[i,j] = B[i,j] over an n x n matrix, comparing true rank-2
+// rectangular arrays against jagged (array-of-arrays) layout, for both value
+// (f64) and object (ref) element types.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+/// (i32 reps, i32 n) -> f64: performs reps full n*n copies, then returns
+/// A[1,1] (value type) or the element count reachable (ref type -> count).
+std::int32_t build_multidim(vm::VirtualMachine& v, const std::string& name,
+                            ValType elem) {
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name,
+                {{ValType::I32, ValType::I32}, ValType::I32});
+    const auto rep = b.add_local(ValType::I32);
+    const auto reps = b.add_local(ValType::I32);
+    const auto n = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto A = b.add_local(ValType::Ref);
+    const auto B = b.add_local(ValType::Ref);
+    const auto boxv = b.add_local(ValType::Ref);
+
+    b.ldarg(0).stloc(reps);
+    b.ldarg(1).stloc(n);
+    b.ldloc(n).ldloc(n).newmat(elem).stloc(A);
+    b.ldloc(n).ldloc(n).newmat(elem).stloc(B);
+    if (elem == ValType::Ref) {
+      // Fill B with one shared object so ref copies are real pointer moves.
+      b.ldc_i4(1).box(ValType::I32).stloc(boxv);
+      counted_loop(b, i, n, [&] {
+        counted_loop(b, j, n, [&] {
+          b.ldloc(B).ldloc(i).ldloc(j).ldloc(boxv).stelem2(ValType::Ref);
+        });
+      });
+    } else {
+      counted_loop(b, i, n, [&] {
+        counted_loop(b, j, n, [&] {
+          b.ldloc(B).ldloc(i).ldloc(j);
+          b.ldloc(i).ldloc(j).add().conv_r8();
+          b.stelem2(ValType::F64);
+        });
+      });
+    }
+    counted_loop(b, rep, reps, [&] {
+      counted_loop(b, i, n, [&] {
+        counted_loop(b, j, n, [&] {
+          b.ldloc(A).ldloc(i).ldloc(j);
+          b.ldloc(B).ldloc(i).ldloc(j).ldelem2(elem);
+          b.stelem2(elem);
+        });
+      });
+    });
+    if (elem == ValType::Ref) {
+      b.ldloc(A).ldc_i4(1).ldc_i4(1).ldelem2(ValType::Ref)
+          .unbox(ValType::I32).ret();
+    } else {
+      b.ldloc(A).ldc_i4(1).ldc_i4(1).ldelem2(ValType::F64).conv_i4().ret();
+    }
+    return b.finish();
+  });
+}
+
+std::int32_t build_jagged(vm::VirtualMachine& v, const std::string& name,
+                          ValType elem) {
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name,
+                {{ValType::I32, ValType::I32}, ValType::I32});
+    const auto rep = b.add_local(ValType::I32);
+    const auto reps = b.add_local(ValType::I32);
+    const auto n = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto A = b.add_local(ValType::Ref);
+    const auto B = b.add_local(ValType::Ref);
+    const auto rowA = b.add_local(ValType::Ref);
+    const auto rowB = b.add_local(ValType::Ref);
+    const auto boxv = b.add_local(ValType::Ref);
+
+    b.ldarg(0).stloc(reps);
+    b.ldarg(1).stloc(n);
+    // A = new elem[n][]; B likewise, with per-row arrays.
+    b.ldloc(n).newarr(ValType::Ref).stloc(A);
+    b.ldloc(n).newarr(ValType::Ref).stloc(B);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(A).ldloc(i).ldloc(n).newarr(elem).stelem(ValType::Ref);
+      b.ldloc(B).ldloc(i).ldloc(n).newarr(elem).stelem(ValType::Ref);
+    });
+    if (elem == ValType::Ref) {
+      b.ldc_i4(1).box(ValType::I32).stloc(boxv);
+      counted_loop(b, i, n, [&] {
+        b.ldloc(B).ldloc(i).ldelem(ValType::Ref).stloc(rowB);
+        counted_loop(b, j, n, [&] {
+          b.ldloc(rowB).ldloc(j).ldloc(boxv).stelem(ValType::Ref);
+        });
+      });
+    } else {
+      counted_loop(b, i, n, [&] {
+        b.ldloc(B).ldloc(i).ldelem(ValType::Ref).stloc(rowB);
+        counted_loop(b, j, n, [&] {
+          b.ldloc(rowB).ldloc(j);
+          b.ldloc(i).ldloc(j).add().conv_r8();
+          b.stelem(ValType::F64);
+        });
+      });
+    }
+    counted_loop(b, rep, reps, [&] {
+      counted_loop(b, i, n, [&] {
+        b.ldloc(A).ldloc(i).ldelem(ValType::Ref).stloc(rowA);
+        b.ldloc(B).ldloc(i).ldelem(ValType::Ref).stloc(rowB);
+        counted_loop(b, j, n, [&] {
+          b.ldloc(rowA).ldloc(j);
+          b.ldloc(rowB).ldloc(j).ldelem(elem);
+          b.stelem(elem);
+        });
+      });
+    });
+    if (elem == ValType::Ref) {
+      b.ldloc(A).ldc_i4(1).ldelem(ValType::Ref).ldc_i4(1).ldelem(ValType::Ref)
+          .unbox(ValType::I32).ret();
+    } else {
+      b.ldloc(A).ldc_i4(1).ldelem(ValType::Ref).ldc_i4(1).ldelem(ValType::F64)
+          .conv_i4().ret();
+    }
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_matrix_multidim_f64(vm::VirtualMachine& v) {
+  return build_multidim(v, "micro.matrix.multidim.f64", ValType::F64);
+}
+std::int32_t build_matrix_jagged_f64(vm::VirtualMachine& v) {
+  return build_jagged(v, "micro.matrix.jagged.f64", ValType::F64);
+}
+std::int32_t build_matrix_multidim_ref(vm::VirtualMachine& v) {
+  return build_multidim(v, "micro.matrix.multidim.ref", ValType::Ref);
+}
+std::int32_t build_matrix_jagged_ref(vm::VirtualMachine& v) {
+  return build_jagged(v, "micro.matrix.jagged.ref", ValType::Ref);
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,173 @@
+// Method-call micro-benchmark (Table 1): static calls, static calls with
+// arguments, instance calls (explicit this argument, as our CIL subset
+// models instance methods), synchronized methods (Monitor-wrapped body, the
+// JGF "synchronized method" case) and base-library (intrinsic) calls.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+std::int32_t target_class(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t cls = mod.find_class("bench.MethodTarget");
+  if (cls < 0) cls = mod.define_class("bench.MethodTarget", {{"v", ValType::I32}});
+  return cls;
+}
+
+std::int32_t build_loop_calling(
+    vm::VirtualMachine& v, const std::string& name,
+    const std::function<void(ILBuilder&, std::int32_t i, std::int32_t obj)>&
+        call_once,
+    bool needs_obj) {
+  const std::int32_t cls = target_class(v);
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name, {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::I32);
+    const auto obj = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    b.ldc_i4(0).stloc(acc);
+    if (needs_obj) b.newobj(cls).stloc(obj);
+    counted_loop(b, i, bound, [&] {
+      call_once(b, i, obj);
+      b.ldloc(acc).add().stloc(acc);
+    });
+    b.ldloc(acc).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_method_static(vm::VirtualMachine& v) {
+  const std::int32_t callee = cached(v, "micro.method.static_fn", [&] {
+    ILBuilder b(v.module(), "micro.method.static_fn", {{}, ValType::I32});
+    b.ldc_i4(1).ret();
+    return b.finish();
+  });
+  return build_loop_calling(
+      v, "micro.method.static",
+      [callee](ILBuilder& b, std::int32_t, std::int32_t) { b.call(callee); },
+      false);
+}
+
+std::int32_t build_method_static_args(vm::VirtualMachine& v) {
+  const std::int32_t callee = cached(v, "micro.method.staticargs_fn", [&] {
+    ILBuilder b(v.module(), "micro.method.staticargs_fn",
+                {{ValType::I32, ValType::I32}, ValType::I32});
+    b.ldarg(0).ldarg(1).add().ret();
+    return b.finish();
+  });
+  return build_loop_calling(
+      v, "micro.method.staticargs",
+      [callee](ILBuilder& b, std::int32_t i, std::int32_t) {
+        b.ldloc(i).ldc_i4(3).call(callee);
+      },
+      false);
+}
+
+std::int32_t build_method_instance(vm::VirtualMachine& v) {
+  const std::int32_t cls = target_class(v);
+  const std::int32_t callee = cached(v, "micro.method.instance_fn", [&] {
+    // int get(this): reads a field through the this-pointer.
+    ILBuilder b(v.module(), "micro.method.instance_fn",
+                {{ValType::Ref}, ValType::I32});
+    b.ldarg(0).ldfld(cls, "v").ldc_i4(1).add().ret();
+    return b.finish();
+  });
+  return build_loop_calling(
+      v, "micro.method.instance",
+      [callee](ILBuilder& b, std::int32_t, std::int32_t obj) {
+        b.ldloc(obj).call(callee);
+      },
+      true);
+}
+
+std::int32_t build_method_synchronized(vm::VirtualMachine& v) {
+  const std::int32_t cls = target_class(v);
+  const std::int32_t callee = cached(v, "micro.method.sync_fn", [&] {
+    // int get(this) { lock(this) { return this.v + 1; } }
+    ILBuilder b(v.module(), "micro.method.sync_fn",
+                {{ValType::Ref}, ValType::I32});
+    const auto r = b.add_local(ValType::I32);
+    b.ldarg(0).call_intr(vm::I_MON_ENTER);
+    b.ldarg(0).ldfld(cls, "v").ldc_i4(1).add().stloc(r);
+    b.ldarg(0).call_intr(vm::I_MON_EXIT);
+    b.ldloc(r).ret();
+    return b.finish();
+  });
+  return build_loop_calling(
+      v, "micro.method.synchronized",
+      [callee](ILBuilder& b, std::int32_t, std::int32_t obj) {
+        b.ldloc(obj).call(callee);
+      },
+      true);
+}
+
+std::int32_t build_method_intrinsic(vm::VirtualMachine& v) {
+  return build_loop_calling(
+      v, "micro.method.intrinsic",
+      [](ILBuilder& b, std::int32_t i, std::int32_t) {
+        b.ldloc(i).ldc_i4(-17).call_intr(vm::I_MAX_I4);
+      },
+      false);
+}
+
+std::int32_t build_lock_uncontended(vm::VirtualMachine& v) {
+  const std::int32_t cls = target_class(v);
+  return cached(v, "micro.lock.uncontended", [&] {
+    ILBuilder b(v.module(), "micro.lock.uncontended",
+                {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::I32);
+    const auto obj = b.add_local(ValType::Ref);
+    b.ldarg(0).stloc(bound);
+    b.newobj(cls).stloc(obj);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(obj).call_intr(vm::I_MON_ENTER);
+      b.ldloc(acc).ldc_i4(1).add().stloc(acc);
+      b.ldloc(obj).call_intr(vm::I_MON_EXIT);
+    });
+    b.ldloc(acc).ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_boxing_i32(vm::VirtualMachine& v) {
+  return cached(v, "micro.boxing.i32", [&] {
+    ILBuilder b(v.module(), "micro.boxing.i32", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::I32);
+    b.ldarg(0).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(i).box(ValType::I32).unbox(ValType::I32)
+          .ldloc(acc).add().stloc(acc);
+    });
+    b.ldloc(acc).ret();
+    return b.finish();
+  });
+}
+
+std::int32_t build_boxing_f64(vm::VirtualMachine& v) {
+  return cached(v, "micro.boxing.f64", [&] {
+    ILBuilder b(v.module(), "micro.boxing.f64", {{ValType::I32}, ValType::F64});
+    const auto i = b.add_local(ValType::I32);
+    const auto bound = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::F64);
+    b.ldarg(0).stloc(bound);
+    counted_loop(b, i, bound, [&] {
+      b.ldloc(i).conv_r8().box(ValType::F64).unbox(ValType::F64)
+          .ldloc(acc).add().stloc(acc);
+    });
+    b.ldloc(acc).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,56 @@
+// Serial micro-benchmark (Table 1): build a linked list of `size` nodes,
+// serialize it through the base-library serializer, deserialize it back and
+// walk the reconstructed list — the write-and-read object graph round trip
+// of the JGF Serial benchmark.
+#include "cil/common.hpp"
+#include "cil/micro.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+std::int32_t build_serial_roundtrip(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t node = mod.find_class("bench.ListNode");
+  if (node < 0) {
+    node = mod.define_class("bench.ListNode",
+                            {{"value", ValType::I32}, {"next", ValType::Ref}});
+  }
+  return cached(v, "micro.serial.roundtrip", [&] {
+    ILBuilder b(mod, "micro.serial.roundtrip", {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto size = b.add_local(ValType::I32);
+    const auto head = b.add_local(ValType::Ref);
+    const auto blob = b.add_local(ValType::Ref);
+    const auto cur = b.add_local(ValType::Ref);
+    const auto count = b.add_local(ValType::I32);
+
+    b.ldarg(0).stloc(size);
+    // Build the list: head = null; for i in [0, size): n = new Node(i, head).
+    b.ldnull().stloc(head);
+    counted_loop(b, i, size, [&] {
+      b.newobj(node).stloc(cur);
+      b.ldloc(cur).ldloc(i).stfld(node, "value");
+      b.ldloc(cur).ldloc(head).stfld(node, "next");
+      b.ldloc(cur).stloc(head);
+    });
+
+    // blob = Serialize(head); head2 = Deserialize(blob).
+    b.ldloc(head).call_intr(vm::I_SERIALIZE).stloc(blob);
+    b.ldloc(blob).call_intr(vm::I_DESERIALIZE).stloc(cur);
+
+    // Walk the reconstructed list, counting nodes and checking values.
+    auto walk = b.new_label();
+    auto done = b.new_label();
+    b.ldc_i4(0).stloc(count);
+    b.bind(walk);
+    b.ldloc(cur).brfalse(done);
+    b.ldloc(count).ldc_i4(1).add().stloc(count);
+    b.ldloc(cur).ldfld(node, "next").stloc(cur);
+    b.br(walk);
+    b.bind(done);
+    b.ldloc(count).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

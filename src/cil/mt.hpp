@@ -1,0 +1,31 @@
+// Multithreaded benchmark programs (paper Table 2 and the Thread/Lock rows
+// of Table 3), authored as CIL against the managed threading surface
+// (Thread.Start/Join, Monitor.Enter/Exit/Wait/PulseAll).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::cil {
+
+/// ForkJoin: (i32 nthreads) -> i32. Starts and joins nthreads no-op
+/// threads; returns the number of threads that ran (via a shared counter).
+std::int32_t build_mt_forkjoin(vm::VirtualMachine& v);
+
+/// Sync: (i32 nthreads, i32 iters) -> i32. Each thread increments a shared
+/// counter under a contended monitor `iters` times; returns the counter
+/// (must equal nthreads * iters).
+std::int32_t build_mt_sync(vm::VirtualMachine& v);
+
+/// Simple barrier: (i32 nthreads, i32 iters) -> i32. Sense-reversing
+/// counter barrier over a monitor; every thread passes `iters` barriers.
+/// Returns the number of completed barrier rounds (== iters).
+std::int32_t build_mt_barrier_simple(vm::VirtualMachine& v);
+
+/// Tournament barrier: same signature/semantics as the simple barrier but
+/// built from a tree of per-node flags (the JGF 4-ary tournament design,
+/// realized as a binary tournament over arrays).
+std::int32_t build_mt_barrier_tournament(vm::VirtualMachine& v);
+
+}  // namespace hpcnet::cil

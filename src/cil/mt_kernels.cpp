@@ -1,0 +1,318 @@
+// Multithreaded CIL benchmark programs. Shared state lives in managed
+// objects handed to each thread through its argument object; coordination
+// uses the Monitor intrinsics (sync, simple barrier) or flag arrays with
+// yielding spins (tournament barrier), matching the JGF multithreaded
+// section-1 benchmark designs.
+#include "cil/common.hpp"
+#include "cil/mt.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+using vm::I_MON_ENTER;
+using vm::I_MON_EXIT;
+using vm::I_MON_PULSEALL;
+using vm::I_MON_WAIT;
+using vm::I_THREAD_JOIN;
+using vm::I_THREAD_START;
+using vm::I_THREAD_YIELD;
+
+struct MtClasses {
+  std::int32_t shared;
+  std::int32_t arg;
+};
+
+MtClasses mt_classes(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t shared = mod.find_class("mt.Shared");
+  if (shared < 0) {
+    shared = mod.define_class("mt.Shared", {
+                                               {"counter", ValType::I32},
+                                               {"n", ValType::I32},
+                                               {"iters", ValType::I32},
+                                               {"sense", ValType::I32},
+                                               {"rounds", ValType::I32},
+                                               {"flags", ValType::Ref},
+                                               {"release", ValType::I32},
+                                           });
+  }
+  std::int32_t arg = mod.find_class("mt.WorkerArg");
+  if (arg < 0) {
+    arg = mod.define_class("mt.WorkerArg",
+                           {{"id", ValType::I32}, {"shared", ValType::Ref}});
+  }
+  return {shared, arg};
+}
+
+/// Emits the driver: creates the shared object (caller initializes extra
+/// fields via `init_shared(shared_local)`), spawns nthreads workers, joins
+/// them, then runs `epilogue` to produce the i32 return value.
+std::int32_t build_driver(
+    vm::VirtualMachine& v, const std::string& name, bool has_iters,
+    std::int32_t worker_id,
+    const std::function<void(ILBuilder&, std::int32_t shared_local)>&
+        init_shared,
+    const std::function<void(ILBuilder&, std::int32_t shared_local)>&
+        epilogue) {
+  const MtClasses c = mt_classes(v);
+  return cached(v, name, [&] {
+    MethodSig sig;
+    sig.params = has_iters
+                     ? std::vector<ValType>{ValType::I32, ValType::I32}
+                     : std::vector<ValType>{ValType::I32};
+    sig.ret = ValType::I32;
+    ILBuilder b(v.module(), name, sig);
+    const auto t = b.add_local(ValType::I32);
+    const auto n = b.add_local(ValType::I32);
+    const auto shared = b.add_local(ValType::Ref);
+    const auto handles = b.add_local(ValType::Ref);
+    const auto warg = b.add_local(ValType::Ref);
+
+    b.ldarg(0).stloc(n);
+    b.newobj(c.shared).stloc(shared);
+    b.ldloc(shared).ldloc(n).stfld(c.shared, "n");
+    if (has_iters) {
+      b.ldloc(shared).ldarg(1).stfld(c.shared, "iters");
+    }
+    init_shared(b, shared);
+
+    b.ldloc(n).newarr(ValType::Ref).stloc(handles);
+    counted_loop(b, t, n, [&] {
+      b.newobj(c.arg).stloc(warg);
+      b.ldloc(warg).ldloc(t).stfld(c.arg, "id");
+      b.ldloc(warg).ldloc(shared).stfld(c.arg, "shared");
+      b.ldloc(handles).ldloc(t);
+      b.ldc_i4(worker_id).ldloc(warg).call_intr(I_THREAD_START);
+      b.stelem(ValType::Ref);
+    });
+    counted_loop(b, t, n, [&] {
+      b.ldloc(handles).ldloc(t).ldelem(ValType::Ref).call_intr(I_THREAD_JOIN);
+    });
+    epilogue(b, shared);
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_mt_forkjoin(vm::VirtualMachine& v) {
+  const MtClasses c = mt_classes(v);
+  const std::int32_t worker = cached(v, "mt.forkjoin.worker", [&] {
+    // Each thread bumps the shared counter once, under the monitor.
+    ILBuilder b(v.module(), "mt.forkjoin.worker", {{ValType::Ref}, ValType::I32});
+    const auto shared = b.add_local(ValType::Ref);
+    b.ldarg(0).ldfld(c.arg, "shared").stloc(shared);
+    b.ldloc(shared).call_intr(I_MON_ENTER);
+    b.ldloc(shared).ldloc(shared).ldfld(c.shared, "counter")
+        .ldc_i4(1).add().stfld(c.shared, "counter");
+    b.ldloc(shared).call_intr(I_MON_EXIT);
+    b.ldc_i4(0).ret();
+    return b.finish();
+  });
+  return build_driver(
+      v, "mt.forkjoin.run", /*has_iters=*/false, worker,
+      [](ILBuilder&, std::int32_t) {},
+      [&](ILBuilder& b, std::int32_t shared) {
+        b.ldloc(shared).ldfld(c.shared, "counter").ret();
+      });
+}
+
+std::int32_t build_mt_sync(vm::VirtualMachine& v) {
+  const MtClasses c = mt_classes(v);
+  const std::int32_t worker = cached(v, "mt.sync.worker", [&] {
+    ILBuilder b(v.module(), "mt.sync.worker", {{ValType::Ref}, ValType::I32});
+    const auto shared = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    b.ldarg(0).ldfld(c.arg, "shared").stloc(shared);
+    b.ldloc(shared).ldfld(c.shared, "iters").stloc(iters);
+    counted_loop(b, i, iters, [&] {
+      b.ldloc(shared).call_intr(I_MON_ENTER);
+      b.ldloc(shared).ldloc(shared).ldfld(c.shared, "counter")
+          .ldc_i4(1).add().stfld(c.shared, "counter");
+      b.ldloc(shared).call_intr(I_MON_EXIT);
+    });
+    b.ldc_i4(0).ret();
+    return b.finish();
+  });
+  return build_driver(
+      v, "mt.sync.run", /*has_iters=*/true, worker,
+      [](ILBuilder&, std::int32_t) {},
+      [&](ILBuilder& b, std::int32_t shared) {
+        b.ldloc(shared).ldfld(c.shared, "counter").ret();
+      });
+}
+
+std::int32_t build_mt_barrier_simple(vm::VirtualMachine& v) {
+  const MtClasses c = mt_classes(v);
+  const std::int32_t worker = cached(v, "mt.barrier.simple.worker", [&] {
+    // Sense-reversing counter barrier under the shared object's monitor.
+    ILBuilder b(v.module(), "mt.barrier.simple.worker",
+                {{ValType::Ref}, ValType::I32});
+    const auto shared = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    const auto my_sense = b.add_local(ValType::I32);
+    b.ldarg(0).ldfld(c.arg, "shared").stloc(shared);
+    b.ldloc(shared).ldfld(c.shared, "iters").stloc(iters);
+    counted_loop(b, i, iters, [&] {
+      auto last_in = b.new_label();
+      auto done = b.new_label();
+      auto wait_top = b.new_label();
+      b.ldloc(shared).call_intr(I_MON_ENTER);
+      b.ldloc(shared).ldfld(c.shared, "sense").stloc(my_sense);
+      b.ldloc(shared).ldloc(shared).ldfld(c.shared, "counter")
+          .ldc_i4(1).add().stfld(c.shared, "counter");
+      b.ldloc(shared).ldfld(c.shared, "counter")
+          .ldloc(shared).ldfld(c.shared, "n").beq(last_in);
+      // Not last: wait until the sense flips.
+      b.bind(wait_top);
+      b.ldloc(shared).ldfld(c.shared, "sense").ldloc(my_sense).bne(done);
+      b.ldloc(shared).call_intr(I_MON_WAIT);
+      b.br(wait_top);
+      // Last arrival: reset, flip sense, count the round, wake everyone.
+      b.bind(last_in);
+      b.ldloc(shared).ldc_i4(0).stfld(c.shared, "counter");
+      b.ldloc(shared).ldc_i4(1).ldloc(my_sense).sub().stfld(c.shared, "sense");
+      b.ldloc(shared).ldloc(shared).ldfld(c.shared, "rounds")
+          .ldc_i4(1).add().stfld(c.shared, "rounds");
+      b.ldloc(shared).call_intr(I_MON_PULSEALL);
+      b.bind(done);
+      b.ldloc(shared).call_intr(I_MON_EXIT);
+    });
+    b.ldc_i4(0).ret();
+    return b.finish();
+  });
+  return build_driver(
+      v, "mt.barrier.simple.run", /*has_iters=*/true, worker,
+      [](ILBuilder&, std::int32_t) {},
+      [&](ILBuilder& b, std::int32_t shared) {
+        b.ldloc(shared).ldfld(c.shared, "rounds").ret();
+      });
+}
+
+std::int32_t build_mt_barrier_tournament(vm::VirtualMachine& v) {
+  const MtClasses c = mt_classes(v);
+  const std::int32_t worker = cached(v, "mt.barrier.tournament.worker", [&] {
+    // Binary tournament: in round r, thread `id` with id % 2^(r+1) == 2^r
+    // posts its arrival flag and drops out; id % 2^(r+1) == 0 spins for the
+    // partner's flag. The champion (id 0) flips the release word; everyone
+    // else spins on it. All spins yield. Flags live in a rank-2 i32 matrix
+    // flags[round][thread]; sense alternates 1/0 by barrier parity.
+    ILBuilder b(v.module(), "mt.barrier.tournament.worker",
+                {{ValType::Ref}, ValType::I32});
+    const auto shared = b.add_local(ValType::Ref);
+    const auto id = b.add_local(ValType::I32);
+    const auto n = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto sense = b.add_local(ValType::I32);
+    const auto flags = b.add_local(ValType::Ref);
+    const auto step = b.add_local(ValType::I32);   // 2^r
+    const auto round = b.add_local(ValType::I32);
+    const auto partner = b.add_local(ValType::I32);
+
+    b.ldarg(0).ldfld(c.arg, "shared").stloc(shared);
+    b.ldarg(0).ldfld(c.arg, "id").stloc(id);
+    b.ldloc(shared).ldfld(c.shared, "n").stloc(n);
+    b.ldloc(shared).ldfld(c.shared, "iters").stloc(iters);
+    b.ldloc(shared).ldfld(c.shared, "flags").stloc(flags);
+
+    counted_loop(b, i, iters, [&] {
+      // sense = 1 - (i & 1)
+      b.ldc_i4(1).ldloc(i).ldc_i4(1).and_().sub().stloc(sense);
+      auto rounds_done = b.new_label();
+      auto next_round = b.new_label();
+      auto round_top = b.new_label();
+      b.ldc_i4(1).stloc(step);
+      b.ldc_i4(0).stloc(round);
+      b.bind(round_top);
+      b.ldloc(step).ldloc(n).bge(rounds_done);
+      {
+        auto is_loser = b.new_label();
+        auto advance = b.new_label();
+        // if (id & (2*step - 1)) == step -> loser: post flag, go wait for
+        // release. if == 0 and id+step < n -> winner: spin for partner.
+        b.ldloc(id).ldloc(step).ldc_i4(2).mul().ldc_i4(1).sub().and_()
+            .ldloc(step).beq(is_loser);
+        // Winner path: partner = id + step; spin while flags[round][partner]
+        // != sense.
+        b.ldloc(id).ldloc(step).add().stloc(partner);
+        {
+          auto spin = b.new_label();
+          auto got = b.new_label();
+          b.ldloc(partner).ldloc(n).bge(advance);  // no partner this round
+          b.bind(spin);
+          b.ldloc(flags).ldloc(round).ldloc(partner).ldelem2(ValType::I32)
+              .ldloc(sense).beq(got);
+          b.call_intr(I_THREAD_YIELD);
+          b.br(spin);
+          b.bind(got);
+        }
+        b.br(advance);
+        // Loser: post arrival and exit the ascent.
+        b.bind(is_loser);
+        b.ldloc(flags).ldloc(round).ldloc(id).ldloc(sense).stelem2(ValType::I32);
+        b.br(rounds_done);
+        b.bind(advance);
+        b.ldloc(step).ldc_i4(2).mul().stloc(step);
+        b.ldloc(round).ldc_i4(1).add().stloc(round);
+        b.br(round_top);
+      }
+      b.bind(rounds_done);
+      {
+        auto champion = b.new_label();
+        auto wait_release = b.new_label();
+        auto released = b.new_label();
+        b.ldloc(id).ldc_i4(0).beq(champion);
+        // Spin on the release word.
+        b.bind(wait_release);
+        b.ldloc(shared).ldfld(c.shared, "release").ldloc(sense).beq(released);
+        b.call_intr(I_THREAD_YIELD);
+        b.br(wait_release);
+        // Champion: all arrived; count the round and release.
+        b.bind(champion);
+        b.ldloc(shared).ldloc(shared).ldfld(c.shared, "rounds")
+            .ldc_i4(1).add().stfld(c.shared, "rounds");
+        b.ldloc(shared).ldloc(sense).stfld(c.shared, "release");
+        b.bind(released);
+      }
+      b.bind(next_round);
+    });
+    b.ldc_i4(0).ret();
+    return b.finish();
+  });
+  return build_driver(
+      v, "mt.barrier.tournament.run", /*has_iters=*/true, worker,
+      [&](ILBuilder& b, std::int32_t shared) {
+        // flags = new i32[rounds][n]; release starts "even" (0 means the
+        // previous (imaginary) odd round completed).
+        const auto rounds = b.add_local(ValType::I32);
+        const auto tmp = b.add_local(ValType::I32);
+        auto grow = b.new_label();
+        auto done = b.new_label();
+        b.ldc_i4(0).stloc(rounds);
+        b.ldc_i4(1).stloc(tmp);
+        b.bind(grow);
+        b.ldloc(tmp).ldarg(0).bge(done);
+        b.ldloc(tmp).ldc_i4(2).mul().stloc(tmp);
+        b.ldloc(rounds).ldc_i4(1).add().stloc(rounds);
+        b.br(grow);
+        b.bind(done);
+        // At least one round so the matrix is never 0-rowed.
+        auto ok = b.new_label();
+        b.ldloc(rounds).ldc_i4(0).bgt(ok);
+        b.ldc_i4(1).stloc(rounds);
+        b.bind(ok);
+        b.ldloc(shared).ldloc(rounds).ldarg(0).newmat(ValType::I32)
+            .stfld(c.shared, "flags");
+        b.ldloc(shared).ldc_i4(0).stfld(c.shared, "release");
+      },
+      [&](ILBuilder& b, std::int32_t shared) {
+        b.ldloc(shared).ldfld(c.shared, "rounds").ret();
+      });
+}
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,196 @@
+// Shared-memory parallel SciMark (the paper's §6 future work: "the port of
+// the parallel versions, for shared memory ... is planned"). Red-black SOR:
+// each worker sweeps an interleaved set of rows; a monitor-based
+// sense-reversing barrier separates the red and black phases, so the result
+// is deterministic and identical for every thread count — validated against
+// kernels::sor::checksum_redblack.
+#include "cil/common.hpp"
+#include "cil/sm.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+
+struct PsorClasses {
+  std::int32_t shared;
+  std::int32_t arg;
+};
+
+PsorClasses psor_classes(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t shared = mod.find_class("sm.PsorShared");
+  if (shared < 0) {
+    shared = mod.define_class("sm.PsorShared",
+                              {{"G", ValType::Ref},
+                               {"n", ValType::I32},
+                               {"iters", ValType::I32},
+                               {"nthreads", ValType::I32},
+                               {"count", ValType::I32},
+                               {"sense", ValType::I32}});
+  }
+  std::int32_t arg = mod.find_class("sm.PsorArg");
+  if (arg < 0) {
+    arg = mod.define_class("sm.PsorArg",
+                           {{"id", ValType::I32}, {"shared", ValType::Ref}});
+  }
+  return {shared, arg};
+}
+
+/// Emits a full sense-reversing barrier over the shared object's monitor.
+void emit_barrier(ILBuilder& b, const PsorClasses& c, std::int32_t shared,
+                  std::int32_t my_sense) {
+  using vm::I_MON_ENTER;
+  using vm::I_MON_EXIT;
+  using vm::I_MON_PULSEALL;
+  using vm::I_MON_WAIT;
+  auto last_in = b.new_label();
+  auto done = b.new_label();
+  auto wait_top = b.new_label();
+  b.ldloc(shared).call_intr(I_MON_ENTER);
+  b.ldloc(shared).ldfld(c.shared, "sense").stloc(my_sense);
+  b.ldloc(shared).ldloc(shared).ldfld(c.shared, "count")
+      .ldc_i4(1).add().stfld(c.shared, "count");
+  b.ldloc(shared).ldfld(c.shared, "count")
+      .ldloc(shared).ldfld(c.shared, "nthreads").beq(last_in);
+  b.bind(wait_top);
+  b.ldloc(shared).ldfld(c.shared, "sense").ldloc(my_sense).bne(done);
+  b.ldloc(shared).call_intr(I_MON_WAIT);
+  b.br(wait_top);
+  b.bind(last_in);
+  b.ldloc(shared).ldc_i4(0).stfld(c.shared, "count");
+  b.ldloc(shared).ldc_i4(1).ldloc(my_sense).sub().stfld(c.shared, "sense");
+  b.ldloc(shared).call_intr(I_MON_PULSEALL);
+  b.bind(done);
+  b.ldloc(shared).call_intr(I_MON_EXIT);
+}
+
+}  // namespace
+
+std::int32_t build_sm_psor(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const PsorClasses c = psor_classes(v);
+  const SmRandom rnd = build_sm_random(v);
+
+  const std::int32_t worker = cached(v, "sm.psor.worker", [&] {
+    ILBuilder b(mod, "sm.psor.worker", {{ValType::Ref}, ValType::I32});
+    const auto shared = b.add_local(ValType::Ref);
+    const auto id = b.add_local(ValType::I32);
+    const auto G = b.add_local(ValType::Ref);
+    const auto n = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    const auto nthreads = b.add_local(ValType::I32);
+    const auto nm1 = b.add_local(ValType::I32);
+    const auto p = b.add_local(ValType::I32);
+    const auto phase = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto gi = b.add_local(ValType::Ref);
+    const auto gim1 = b.add_local(ValType::Ref);
+    const auto gip1 = b.add_local(ValType::Ref);
+    const auto my_sense = b.add_local(ValType::I32);
+
+    b.ldarg(0).ldfld(c.arg, "shared").stloc(shared);
+    b.ldarg(0).ldfld(c.arg, "id").stloc(id);
+    b.ldloc(shared).ldfld(c.shared, "G").stloc(G);
+    b.ldloc(shared).ldfld(c.shared, "n").stloc(n);
+    b.ldloc(shared).ldfld(c.shared, "iters").stloc(iters);
+    b.ldloc(shared).ldfld(c.shared, "nthreads").stloc(nthreads);
+    b.ldloc(n).ldc_i4(1).sub().stloc(nm1);
+
+    counted_loop(b, p, iters, [&] {
+      auto phase_loop = [&] {
+        // Interleaved rows: i = 1 + id; i < n-1; i += nthreads.
+        auto itop = b.new_label();
+        auto iend = b.new_label();
+        b.ldc_i4(1).ldloc(id).add().stloc(i);
+        b.bind(itop);
+        b.ldloc(i).ldloc(nm1).bge(iend);
+        b.ldloc(G).ldloc(i).ldelem(ValType::Ref).stloc(gi);
+        b.ldloc(G).ldloc(i).ldc_i4(1).sub().ldelem(ValType::Ref).stloc(gim1);
+        b.ldloc(G).ldloc(i).ldc_i4(1).add().ldelem(ValType::Ref).stloc(gip1);
+        // j starts at the first column of this colour in row i:
+        // j0 = 1 + ((i + 1 + phase) & 1), then j += 2.
+        auto jtop = b.new_label();
+        auto jend = b.new_label();
+        b.ldc_i4(1)
+            .ldloc(i).ldc_i4(1).add().ldloc(phase).add().ldc_i4(1).and_()
+            .add().stloc(j);
+        b.bind(jtop);
+        b.ldloc(j).ldloc(nm1).bge(jend);
+        b.ldloc(gi).ldloc(j);
+        b.ldc_r8(1.25 * 0.25);
+        b.ldloc(gim1).ldloc(j).ldelem(ValType::F64);
+        b.ldloc(gip1).ldloc(j).ldelem(ValType::F64).add();
+        b.ldloc(gi).ldloc(j).ldc_i4(1).sub().ldelem(ValType::F64).add();
+        b.ldloc(gi).ldloc(j).ldc_i4(1).add().ldelem(ValType::F64).add();
+        b.mul();
+        b.ldc_r8(1.0 - 1.25).ldloc(gi).ldloc(j).ldelem(ValType::F64).mul()
+            .add();
+        b.stelem(ValType::F64);
+        b.ldloc(j).ldc_i4(2).add().stloc(j);
+        b.br(jtop);
+        b.bind(jend);
+        b.ldloc(i).ldloc(nthreads).add().stloc(i);
+        b.br(itop);
+        b.bind(iend);
+      };
+      b.ldc_i4(0).stloc(phase);
+      phase_loop();
+      emit_barrier(b, c, shared, my_sense);
+      b.ldc_i4(1).stloc(phase);
+      phase_loop();
+      emit_barrier(b, c, shared, my_sense);
+    });
+    b.ldc_i4(0).ret();
+    return b.finish();
+  });
+
+  return cached(v, "sm.psor.run", [&] {
+    ILBuilder b(mod, "sm.psor.run",
+                {{ValType::I32, ValType::I32, ValType::I32}, ValType::F64});
+    const auto n = b.add_local(ValType::I32);
+    const auto nthreads = b.add_local(ValType::I32);
+    const auto st = b.add_local(ValType::Ref);
+    const auto G = b.add_local(ValType::Ref);
+    const auto shared = b.add_local(ValType::Ref);
+    const auto handles = b.add_local(ValType::Ref);
+    const auto warg = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto t = b.add_local(ValType::I32);
+
+    b.ldarg(0).stloc(n);
+    b.ldarg(2).stloc(nthreads);
+    // Same grid initialization as the serial kernel (seed 101010, row by
+    // row) so checksum_redblack applies.
+    b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
+    b.ldloc(n).newarr(ValType::Ref).stloc(G);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(G).ldloc(i).ldloc(n).newarr(ValType::F64).stelem(ValType::Ref);
+      b.ldloc(st).ldloc(G).ldloc(i).ldelem(ValType::Ref).call(rnd.fill_fn);
+    });
+    b.newobj(c.shared).stloc(shared);
+    b.ldloc(shared).ldloc(G).stfld(c.shared, "G");
+    b.ldloc(shared).ldloc(n).stfld(c.shared, "n");
+    b.ldloc(shared).ldarg(1).stfld(c.shared, "iters");
+    b.ldloc(shared).ldloc(nthreads).stfld(c.shared, "nthreads");
+    b.ldloc(nthreads).newarr(ValType::Ref).stloc(handles);
+    counted_loop(b, t, nthreads, [&] {
+      b.newobj(c.arg).stloc(warg);
+      b.ldloc(warg).ldloc(t).stfld(c.arg, "id");
+      b.ldloc(warg).ldloc(shared).stfld(c.arg, "shared");
+      b.ldloc(handles).ldloc(t);
+      b.ldc_i4(worker).ldloc(warg).call_intr(vm::I_THREAD_START);
+      b.stelem(ValType::Ref);
+    });
+    counted_loop(b, t, nthreads, [&] {
+      b.ldloc(handles).ldloc(t).ldelem(ValType::Ref)
+          .call_intr(vm::I_THREAD_JOIN);
+    });
+    b.ldloc(G).ldc_i4(1).ldelem(ValType::Ref).ldc_i4(1).ldelem(ValType::F64)
+        .ret();
+    return b.finish();
+  });
+}
+
+}  // namespace hpcnet::cil

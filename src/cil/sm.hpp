@@ -1,0 +1,51 @@
+// SciMark 2.0 kernels authored as CIL (the macro benchmarks of Graphs 9-11).
+// The SciMark lagged-Fibonacci RNG is itself ported to CIL (`sm.rand.*`), so
+// every engine generates bit-identical inputs and the kernel results can be
+// validated against the native baselines in src/kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::cil {
+
+/// sm.rand.new(i32 seed) -> ref state; sm.rand.next(ref) -> f64;
+/// sm.rand.fill(ref state, ref f64[]) -> void.
+struct SmRandom {
+  std::int32_t new_fn;
+  std::int32_t next_fn;
+  std::int32_t fill_fn;
+};
+SmRandom build_sm_random(vm::VirtualMachine& v);
+
+/// sm.fft.run(i32 n, i32 cycles) -> f64: `cycles` forward+inverse round
+/// trips over a random 2n-element interleaved complex vector (seed 7);
+/// returns data[0] (equals fft_roundtrip_checksum on the native side).
+std::int32_t build_sm_fft(vm::VirtualMachine& v);
+
+/// sm.sor.run(i32 n, i32 iters) -> f64: returns G[1][1] (jagged grid).
+std::int32_t build_sm_sor(vm::VirtualMachine& v);
+
+/// sm.montecarlo.run(i32 samples) -> f64: the pi estimate.
+std::int32_t build_sm_montecarlo(vm::VirtualMachine& v);
+
+/// sm.sparse.run(i32 n, i32 nz, i32 iters) -> f64: sum of y.
+std::int32_t build_sm_sparse(vm::VirtualMachine& v);
+
+/// sm.lu.run(i32 n) -> f64: A[0][0] after the in-place factorization.
+std::int32_t build_sm_lu(vm::VirtualMachine& v);
+
+/// psor.run(i32 n, i32 iters, i32 nthreads) -> f64: shared-memory parallel
+/// red-black SOR — the paper's stated future work (porting the JGF parallel
+/// benchmarks). Thread-count independent and validated against
+/// kernels::sor::checksum_redblack.
+std::int32_t build_sm_psor(vm::VirtualMachine& v);
+
+/// bce.daxpy.ldlen(i32 n, i32 reps) -> f64 and bce.daxpy.var(...): the §5
+/// bounds-check-elimination experiment — identical loops except that one is
+/// bounded by `arr.Length` (BCE-eligible) and one by a separate local.
+std::int32_t build_bce_daxpy_ldlen(vm::VirtualMachine& v);
+std::int32_t build_bce_daxpy_var(vm::VirtualMachine& v);
+
+}  // namespace hpcnet::cil

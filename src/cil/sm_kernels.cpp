@@ -1,0 +1,717 @@
+// CIL ports of the SciMark 2.0 kernels. Algorithm structure follows the
+// reference Java sources statement-for-statement (the paper's port rule);
+// see src/kernels for the native twins these validate against.
+#include "cil/common.hpp"
+#include "cil/sm.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::cil {
+
+namespace {
+constexpr std::int32_t kM1 = 2147483647;  // 2^31 - 1
+constexpr std::int32_t kM2 = 65536;       // 2^16
+constexpr double kPi = 3.141592653589793;
+}  // namespace
+
+SmRandom build_sm_random(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  std::int32_t cls = mod.find_class("sm.RandState");
+  if (cls < 0) {
+    cls = mod.define_class("sm.RandState", {{"m", ValType::Ref},
+                                            {"i", ValType::I32},
+                                            {"j", ValType::I32}});
+  }
+
+  SmRandom r{};
+  r.new_fn = cached(v, "sm.rand.new", [&] {
+    ILBuilder b(mod, "sm.rand.new", {{ValType::I32}, ValType::Ref});
+    const auto st = b.add_local(ValType::Ref);
+    const auto marr = b.add_local(ValType::Ref);
+    const auto jseed = b.add_local(ValType::I32);
+    const auto k0 = b.add_local(ValType::I32);
+    const auto k1 = b.add_local(ValType::I32);
+    const auto j0 = b.add_local(ValType::I32);
+    const auto j1 = b.add_local(ValType::I32);
+    const auto iloop = b.add_local(ValType::I32);
+    const auto seventeen = b.add_local(ValType::I32);
+
+    b.newobj(cls).stloc(st);
+    b.ldc_i4(17).newarr(ValType::I32).stloc(marr);
+    b.ldloc(st).ldloc(marr).stfld(cls, "m");
+    // jseed = min(abs(seed), m1); force odd.
+    b.ldarg(0).call_intr(vm::I_ABS_I4).ldc_i4(kM1).call_intr(vm::I_MIN_I4)
+        .stloc(jseed);
+    auto odd = b.new_label();
+    b.ldloc(jseed).ldc_i4(2).rem().ldc_i4(0).bne(odd);
+    b.ldloc(jseed).ldc_i4(1).sub().stloc(jseed);
+    b.bind(odd);
+    b.ldc_i4(9069).ldc_i4(kM2).rem().stloc(k0);
+    b.ldc_i4(9069).ldc_i4(kM2).div().stloc(k1);
+    b.ldloc(jseed).ldc_i4(kM2).rem().stloc(j0);
+    b.ldloc(jseed).ldc_i4(kM2).div().stloc(j1);
+    b.ldc_i4(17).stloc(seventeen);
+    counted_loop(b, iloop, seventeen, [&] {
+      // jseed = j0 * k0
+      b.ldloc(j0).ldloc(k0).mul().stloc(jseed);
+      // j1 = (jseed / m2 + j0 * k1 + j1 * k0) % (m2 / 2)
+      b.ldloc(jseed).ldc_i4(kM2).div()
+          .ldloc(j0).ldloc(k1).mul().add()
+          .ldloc(j1).ldloc(k0).mul().add()
+          .ldc_i4(kM2 / 2).rem().stloc(j1);
+      // j0 = jseed % m2
+      b.ldloc(jseed).ldc_i4(kM2).rem().stloc(j0);
+      // m[iloop] = j0 + m2 * j1
+      b.ldloc(marr).ldloc(iloop)
+          .ldloc(j0).ldc_i4(kM2).ldloc(j1).mul().add()
+          .stelem(ValType::I32);
+    });
+    b.ldloc(st).ldc_i4(4).stfld(cls, "i");
+    b.ldloc(st).ldc_i4(16).stfld(cls, "j");
+    b.ldloc(st).ret();
+    return b.finish();
+  });
+
+  r.next_fn = cached(v, "sm.rand.next", [&] {
+    ILBuilder b(mod, "sm.rand.next", {{ValType::Ref}, ValType::F64});
+    const auto marr = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto k = b.add_local(ValType::I32);
+    b.ldarg(0).ldfld(cls, "m").stloc(marr);
+    b.ldarg(0).ldfld(cls, "i").stloc(i);
+    b.ldarg(0).ldfld(cls, "j").stloc(j);
+    // k = m[i] - m[j]; if (k < 0) k += m1; m[j] = k;
+    b.ldloc(marr).ldloc(i).ldelem(ValType::I32)
+        .ldloc(marr).ldloc(j).ldelem(ValType::I32).sub().stloc(k);
+    auto nonneg = b.new_label();
+    b.ldloc(k).ldc_i4(0).bge(nonneg);
+    b.ldloc(k).ldc_i4(kM1).add().stloc(k);
+    b.bind(nonneg);
+    b.ldloc(marr).ldloc(j).ldloc(k).stelem(ValType::I32);
+    // i = (i == 0) ? 16 : i - 1; likewise j.
+    auto idec = b.new_label();
+    auto iout = b.new_label();
+    b.ldloc(i).ldc_i4(0).bne(idec);
+    b.ldc_i4(16).stloc(i).br(iout);
+    b.bind(idec);
+    b.ldloc(i).ldc_i4(1).sub().stloc(i);
+    b.bind(iout);
+    auto jdec = b.new_label();
+    auto jout = b.new_label();
+    b.ldloc(j).ldc_i4(0).bne(jdec);
+    b.ldc_i4(16).stloc(j).br(jout);
+    b.bind(jdec);
+    b.ldloc(j).ldc_i4(1).sub().stloc(j);
+    b.bind(jout);
+    b.ldarg(0).ldloc(i).stfld(cls, "i");
+    b.ldarg(0).ldloc(j).stfld(cls, "j");
+    // return dm1 * (double)k
+    b.ldc_r8(1.0 / kM1).ldloc(k).conv_r8().mul().ret();
+    return b.finish();
+  });
+
+  r.fill_fn = cached(v, "sm.rand.fill", [&] {
+    ILBuilder b(mod, "sm.rand.fill",
+                {{ValType::Ref, ValType::Ref}, ValType::None});
+    const auto i = b.add_local(ValType::I32);
+    const auto arr = b.add_local(ValType::Ref);
+    b.ldarg(1).stloc(arr);
+    ldlen_loop(b, i, arr, [&] {
+      b.ldloc(arr).ldloc(i).ldarg(0).call(r.next_fn).stelem(ValType::F64);
+    });
+    b.ret();
+    return b.finish();
+  });
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// FFT.
+
+std::int32_t build_sm_fft(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const SmRandom rnd = build_sm_random(v);
+
+  const std::int32_t log2_fn = cached(v, "sm.fft.log2", [&] {
+    ILBuilder b(mod, "sm.fft.log2", {{ValType::I32}, ValType::I32});
+    const auto k = b.add_local(ValType::I32);
+    const auto log = b.add_local(ValType::I32);
+    auto top = b.new_label();
+    auto done = b.new_label();
+    b.ldc_i4(1).stloc(k);
+    b.ldc_i4(0).stloc(log);
+    b.bind(top);
+    b.ldloc(k).ldarg(0).bge(done);
+    b.ldloc(k).ldc_i4(2).mul().stloc(k);
+    b.ldloc(log).ldc_i4(1).add().stloc(log);
+    b.br(top);
+    b.bind(done);
+    b.ldloc(log).ret();
+    return b.finish();
+  });
+
+  const std::int32_t bitrev_fn = cached(v, "sm.fft.bitreverse", [&] {
+    ILBuilder b(mod, "sm.fft.bitreverse", {{ValType::Ref}, ValType::None});
+    const auto data = b.add_local(ValType::Ref);
+    const auto n = b.add_local(ValType::I32);
+    const auto nm1 = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto ii = b.add_local(ValType::I32);
+    const auto jj = b.add_local(ValType::I32);
+    const auto k = b.add_local(ValType::I32);
+    const auto tr = b.add_local(ValType::F64);
+    const auto ti = b.add_local(ValType::F64);
+    b.ldarg(0).stloc(data);
+    b.ldloc(data).ldlen().ldc_i4(2).div().stloc(n);
+    b.ldloc(n).ldc_i4(1).sub().stloc(nm1);
+    b.ldc_i4(0).stloc(j);
+    counted_loop(b, i, nm1, [&] {
+      b.ldloc(i).ldc_i4(1).shl().stloc(ii);
+      b.ldloc(j).ldc_i4(1).shl().stloc(jj);
+      b.ldloc(n).ldc_i4(1).shr().stloc(k);
+      auto noswap = b.new_label();
+      b.ldloc(i).ldloc(j).bge(noswap);
+      // swap pairs (ii, ii+1) <-> (jj, jj+1)
+      b.ldloc(data).ldloc(ii).ldelem(ValType::F64).stloc(tr);
+      b.ldloc(data).ldloc(ii).ldc_i4(1).add().ldelem(ValType::F64).stloc(ti);
+      b.ldloc(data).ldloc(ii)
+          .ldloc(data).ldloc(jj).ldelem(ValType::F64).stelem(ValType::F64);
+      b.ldloc(data).ldloc(ii).ldc_i4(1).add()
+          .ldloc(data).ldloc(jj).ldc_i4(1).add().ldelem(ValType::F64)
+          .stelem(ValType::F64);
+      b.ldloc(data).ldloc(jj).ldloc(tr).stelem(ValType::F64);
+      b.ldloc(data).ldloc(jj).ldc_i4(1).add().ldloc(ti).stelem(ValType::F64);
+      b.bind(noswap);
+      // while (k <= j) { j -= k; k >>= 1; }
+      auto wtop = b.new_label();
+      auto wend = b.new_label();
+      b.bind(wtop);
+      b.ldloc(k).ldloc(j).bgt(wend);
+      b.ldloc(j).ldloc(k).sub().stloc(j);
+      b.ldloc(k).ldc_i4(1).shr().stloc(k);
+      b.br(wtop);
+      b.bind(wend);
+      b.ldloc(j).ldloc(k).add().stloc(j);
+    });
+    b.ret();
+    return b.finish();
+  });
+
+  const std::int32_t xform_fn = cached(v, "sm.fft.transform_internal", [&] {
+    ILBuilder b(mod, "sm.fft.transform_internal",
+                {{ValType::Ref, ValType::I32}, ValType::None});
+    const auto data = b.add_local(ValType::Ref);
+    const auto n = b.add_local(ValType::I32);
+    const auto logn = b.add_local(ValType::I32);
+    const auto bit = b.add_local(ValType::I32);
+    const auto dual = b.add_local(ValType::I32);
+    const auto w_real = b.add_local(ValType::F64);
+    const auto w_imag = b.add_local(ValType::F64);
+    const auto theta = b.add_local(ValType::F64);
+    const auto s = b.add_local(ValType::F64);
+    const auto t = b.add_local(ValType::F64);
+    const auto s2 = b.add_local(ValType::F64);
+    const auto a = b.add_local(ValType::I32);
+    const auto bb = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto wd_real = b.add_local(ValType::F64);
+    const auto wd_imag = b.add_local(ValType::F64);
+    const auto z1_real = b.add_local(ValType::F64);
+    const auto z1_imag = b.add_local(ValType::F64);
+    const auto tmp_real = b.add_local(ValType::F64);
+
+    b.ldarg(0).stloc(data);
+    b.ldloc(data).ldlen().ldc_i4(2).div().stloc(n);
+    auto not_trivial = b.new_label();
+    b.ldloc(n).ldc_i4(1).bgt(not_trivial);
+    b.ret();
+    b.bind(not_trivial);
+    b.ldloc(n).call(log2_fn).stloc(logn);
+    b.ldloc(data).call(bitrev_fn);
+
+    b.ldc_i4(1).stloc(dual);
+    counted_loop(b, bit, logn, [&] {
+      b.ldc_r8(1.0).stloc(w_real);
+      b.ldc_r8(0.0).stloc(w_imag);
+      // theta = 2 * direction * PI / (2 * dual)
+      b.ldc_r8(2.0).ldarg(1).conv_r8().mul().ldc_r8(kPi).mul()
+          .ldc_r8(2.0).ldloc(dual).conv_r8().mul().div().stloc(theta);
+      b.ldloc(theta).call_intr(vm::I_SIN).stloc(s);
+      b.ldloc(theta).ldc_r8(2.0).div().call_intr(vm::I_SIN).stloc(t);
+      b.ldc_r8(2.0).ldloc(t).mul().ldloc(t).mul().stloc(s2);
+
+      // a == 0 butterfly: for (b = 0; b < n; b += 2*dual)
+      auto btop0 = b.new_label();
+      auto bend0 = b.new_label();
+      b.ldc_i4(0).stloc(bb);
+      b.bind(btop0);
+      b.ldloc(bb).ldloc(n).bge(bend0);
+      b.ldloc(bb).ldc_i4(2).mul().stloc(i);
+      b.ldloc(bb).ldloc(dual).add().ldc_i4(2).mul().stloc(j);
+      b.ldloc(data).ldloc(j).ldelem(ValType::F64).stloc(wd_real);
+      b.ldloc(data).ldloc(j).ldc_i4(1).add().ldelem(ValType::F64).stloc(wd_imag);
+      b.ldloc(data).ldloc(j)
+          .ldloc(data).ldloc(i).ldelem(ValType::F64).ldloc(wd_real).sub()
+          .stelem(ValType::F64);
+      b.ldloc(data).ldloc(j).ldc_i4(1).add()
+          .ldloc(data).ldloc(i).ldc_i4(1).add().ldelem(ValType::F64)
+          .ldloc(wd_imag).sub().stelem(ValType::F64);
+      b.ldloc(data).ldloc(i)
+          .ldloc(data).ldloc(i).ldelem(ValType::F64).ldloc(wd_real).add()
+          .stelem(ValType::F64);
+      b.ldloc(data).ldloc(i).ldc_i4(1).add()
+          .ldloc(data).ldloc(i).ldc_i4(1).add().ldelem(ValType::F64)
+          .ldloc(wd_imag).add().stelem(ValType::F64);
+      b.ldloc(bb).ldc_i4(2).ldloc(dual).mul().add().stloc(bb);
+      b.br(btop0);
+      b.bind(bend0);
+
+      // for (a = 1; a < dual; a++)
+      auto atop = b.new_label();
+      auto aend = b.new_label();
+      b.ldc_i4(1).stloc(a);
+      b.bind(atop);
+      b.ldloc(a).ldloc(dual).bge(aend);
+      // trig recurrence
+      b.ldloc(w_real).ldloc(s).ldloc(w_imag).mul().sub()
+          .ldloc(s2).ldloc(w_real).mul().sub().stloc(tmp_real);
+      b.ldloc(w_imag).ldloc(s).ldloc(w_real).mul().add()
+          .ldloc(s2).ldloc(w_imag).mul().sub().stloc(w_imag);
+      b.ldloc(tmp_real).stloc(w_real);
+      // inner butterfly loop
+      auto btop = b.new_label();
+      auto bend = b.new_label();
+      b.ldc_i4(0).stloc(bb);
+      b.bind(btop);
+      b.ldloc(bb).ldloc(n).bge(bend);
+      b.ldloc(bb).ldloc(a).add().ldc_i4(2).mul().stloc(i);
+      b.ldloc(bb).ldloc(a).add().ldloc(dual).add().ldc_i4(2).mul().stloc(j);
+      b.ldloc(data).ldloc(j).ldelem(ValType::F64).stloc(z1_real);
+      b.ldloc(data).ldloc(j).ldc_i4(1).add().ldelem(ValType::F64).stloc(z1_imag);
+      b.ldloc(w_real).ldloc(z1_real).mul()
+          .ldloc(w_imag).ldloc(z1_imag).mul().sub().stloc(wd_real);
+      b.ldloc(w_real).ldloc(z1_imag).mul()
+          .ldloc(w_imag).ldloc(z1_real).mul().add().stloc(wd_imag);
+      b.ldloc(data).ldloc(j)
+          .ldloc(data).ldloc(i).ldelem(ValType::F64).ldloc(wd_real).sub()
+          .stelem(ValType::F64);
+      b.ldloc(data).ldloc(j).ldc_i4(1).add()
+          .ldloc(data).ldloc(i).ldc_i4(1).add().ldelem(ValType::F64)
+          .ldloc(wd_imag).sub().stelem(ValType::F64);
+      b.ldloc(data).ldloc(i)
+          .ldloc(data).ldloc(i).ldelem(ValType::F64).ldloc(wd_real).add()
+          .stelem(ValType::F64);
+      b.ldloc(data).ldloc(i).ldc_i4(1).add()
+          .ldloc(data).ldloc(i).ldc_i4(1).add().ldelem(ValType::F64)
+          .ldloc(wd_imag).add().stelem(ValType::F64);
+      b.ldloc(bb).ldc_i4(2).ldloc(dual).mul().add().stloc(bb);
+      b.br(btop);
+      b.bind(bend);
+      b.ldloc(a).ldc_i4(1).add().stloc(a);
+      b.br(atop);
+      b.bind(aend);
+      b.ldloc(dual).ldc_i4(2).mul().stloc(dual);
+    });
+    b.ret();
+    return b.finish();
+  });
+
+  const std::int32_t inverse_fn = cached(v, "sm.fft.inverse", [&] {
+    ILBuilder b(mod, "sm.fft.inverse", {{ValType::Ref}, ValType::None});
+    const auto data = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto norm = b.add_local(ValType::F64);
+    b.ldarg(0).stloc(data);
+    b.ldloc(data).ldc_i4(1).call(xform_fn);
+    b.ldc_r8(1.0)
+        .ldloc(data).ldlen().ldc_i4(2).div().conv_r8().div().stloc(norm);
+    ldlen_loop(b, i, data, [&] {
+      b.ldloc(data).ldloc(i)
+          .ldloc(data).ldloc(i).ldelem(ValType::F64).ldloc(norm).mul()
+          .stelem(ValType::F64);
+    });
+    b.ret();
+    return b.finish();
+  });
+
+  return cached(v, "sm.fft.run", [&] {
+    ILBuilder b(mod, "sm.fft.run",
+                {{ValType::I32, ValType::I32}, ValType::F64});
+    const auto st = b.add_local(ValType::Ref);
+    const auto data = b.add_local(ValType::Ref);
+    const auto c = b.add_local(ValType::I32);
+    const auto cycles = b.add_local(ValType::I32);
+    b.ldarg(1).stloc(cycles);
+    b.ldc_i4(7).call(rnd.new_fn).stloc(st);
+    b.ldarg(0).ldc_i4(2).mul().newarr(ValType::F64).stloc(data);
+    b.ldloc(st).ldloc(data).call(rnd.fill_fn);
+    counted_loop(b, c, cycles, [&] {
+      b.ldloc(data).ldc_i4(-1).call(xform_fn);
+      b.ldloc(data).call(inverse_fn);
+    });
+    b.ldloc(data).ldc_i4(0).ldelem(ValType::F64).ret();
+    return b.finish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SOR (jagged grid, like the Java source).
+
+std::int32_t build_sm_sor(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const SmRandom rnd = build_sm_random(v);
+  return cached(v, "sm.sor.run", [&] {
+    ILBuilder b(mod, "sm.sor.run",
+                {{ValType::I32, ValType::I32}, ValType::F64});
+    const auto n = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    const auto st = b.add_local(ValType::Ref);
+    const auto G = b.add_local(ValType::Ref);
+    const auto gi = b.add_local(ValType::Ref);
+    const auto gim1 = b.add_local(ValType::Ref);
+    const auto gip1 = b.add_local(ValType::Ref);
+    const auto p = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto nm1 = b.add_local(ValType::I32);
+    const auto o4 = b.add_local(ValType::F64);   // omega/4
+    const auto omo = b.add_local(ValType::F64);  // 1 - omega
+
+    b.ldarg(0).stloc(n);
+    b.ldarg(1).stloc(iters);
+    b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
+    b.ldloc(n).newarr(ValType::Ref).stloc(G);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(G).ldloc(i).ldloc(n).newarr(ValType::F64).stelem(ValType::Ref);
+      b.ldloc(st).ldloc(G).ldloc(i).ldelem(ValType::Ref).call(rnd.fill_fn);
+    });
+    b.ldc_r8(1.25 * 0.25).stloc(o4);
+    b.ldc_r8(1.0 - 1.25).stloc(omo);
+    b.ldloc(n).ldc_i4(1).sub().stloc(nm1);
+    counted_loop(b, p, iters, [&] {
+      // for (i = 1; i < n-1; i++)
+      auto itop = b.new_label();
+      auto iend = b.new_label();
+      b.ldc_i4(1).stloc(i);
+      b.bind(itop);
+      b.ldloc(i).ldloc(nm1).bge(iend);
+      b.ldloc(G).ldloc(i).ldelem(ValType::Ref).stloc(gi);
+      b.ldloc(G).ldloc(i).ldc_i4(1).sub().ldelem(ValType::Ref).stloc(gim1);
+      b.ldloc(G).ldloc(i).ldc_i4(1).add().ldelem(ValType::Ref).stloc(gip1);
+      auto jtop = b.new_label();
+      auto jend = b.new_label();
+      b.ldc_i4(1).stloc(j);
+      b.bind(jtop);
+      b.ldloc(j).ldloc(nm1).bge(jend);
+      // Gi[j] = o4*(Gim1[j] + Gip1[j] + Gi[j-1] + Gi[j+1]) + omo*Gi[j]
+      b.ldloc(gi).ldloc(j);
+      b.ldloc(o4);
+      b.ldloc(gim1).ldloc(j).ldelem(ValType::F64);
+      b.ldloc(gip1).ldloc(j).ldelem(ValType::F64).add();
+      b.ldloc(gi).ldloc(j).ldc_i4(1).sub().ldelem(ValType::F64).add();
+      b.ldloc(gi).ldloc(j).ldc_i4(1).add().ldelem(ValType::F64).add();
+      b.mul();
+      b.ldloc(omo).ldloc(gi).ldloc(j).ldelem(ValType::F64).mul().add();
+      b.stelem(ValType::F64);
+      b.ldloc(j).ldc_i4(1).add().stloc(j);
+      b.br(jtop);
+      b.bind(jend);
+      b.ldloc(i).ldc_i4(1).add().stloc(i);
+      b.br(itop);
+      b.bind(iend);
+    });
+    b.ldloc(G).ldc_i4(1).ldelem(ValType::Ref).ldc_i4(1).ldelem(ValType::F64)
+        .ret();
+    return b.finish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo.
+
+std::int32_t build_sm_montecarlo(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const SmRandom rnd = build_sm_random(v);
+  return cached(v, "sm.montecarlo.run", [&] {
+    ILBuilder b(mod, "sm.montecarlo.run", {{ValType::I32}, ValType::F64});
+    const auto st = b.add_local(ValType::Ref);
+    const auto count = b.add_local(ValType::I32);
+    const auto under = b.add_local(ValType::I32);
+    const auto samples = b.add_local(ValType::I32);
+    const auto x = b.add_local(ValType::F64);
+    const auto y = b.add_local(ValType::F64);
+    b.ldarg(0).stloc(samples);
+    b.ldc_i4(113).call(rnd.new_fn).stloc(st);
+    b.ldc_i4(0).stloc(under);
+    counted_loop(b, count, samples, [&] {
+      b.ldloc(st).call(rnd.next_fn).stloc(x);
+      b.ldloc(st).call(rnd.next_fn).stloc(y);
+      auto outside = b.new_label();
+      b.ldloc(x).ldloc(x).mul().ldloc(y).ldloc(y).mul().add()
+          .ldc_r8(1.0).bgt(outside);
+      b.ldloc(under).ldc_i4(1).add().stloc(under);
+      b.bind(outside);
+    });
+    b.ldloc(under).conv_r8().ldloc(samples).conv_r8().div()
+        .ldc_r8(4.0).mul().ret();
+    return b.finish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Sparse matmul (CRS).
+
+std::int32_t build_sm_sparse(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const SmRandom rnd = build_sm_random(v);
+  return cached(v, "sm.sparse.run", [&] {
+    ILBuilder b(mod, "sm.sparse.run",
+                {{ValType::I32, ValType::I32, ValType::I32}, ValType::F64});
+    const auto n = b.add_local(ValType::I32);
+    const auto iters = b.add_local(ValType::I32);
+    const auto st = b.add_local(ValType::Ref);
+    const auto x = b.add_local(ValType::Ref);
+    const auto y = b.add_local(ValType::Ref);
+    const auto val = b.add_local(ValType::Ref);
+    const auto col = b.add_local(ValType::Ref);
+    const auto row = b.add_local(ValType::Ref);
+    const auto nr = b.add_local(ValType::I32);
+    const auto anz = b.add_local(ValType::I32);
+    const auto r = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto reps = b.add_local(ValType::I32);
+    const auto rowr = b.add_local(ValType::I32);
+    const auto rowrp1 = b.add_local(ValType::I32);
+    const auto step = b.add_local(ValType::I32);
+    const auto sum = b.add_local(ValType::F64);
+    const auto total = b.add_local(ValType::F64);
+
+    b.ldarg(0).stloc(n);
+    b.ldarg(2).stloc(iters);
+    b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
+    b.ldloc(n).newarr(ValType::F64).stloc(x);
+    b.ldloc(st).ldloc(x).call(rnd.fill_fn);
+    b.ldloc(n).newarr(ValType::F64).stloc(y);
+    b.ldarg(1).ldloc(n).div().stloc(nr);
+    b.ldloc(nr).ldloc(n).mul().stloc(anz);
+    b.ldloc(anz).newarr(ValType::F64).stloc(val);
+    b.ldloc(st).ldloc(val).call(rnd.fill_fn);
+    b.ldloc(anz).newarr(ValType::I32).stloc(col);
+    b.ldloc(n).ldc_i4(1).add().newarr(ValType::I32).stloc(row);
+    b.ldloc(row).ldc_i4(0).ldc_i4(0).stelem(ValType::I32);
+    counted_loop(b, r, n, [&] {
+      b.ldloc(row).ldloc(r).ldelem(ValType::I32).stloc(rowr);
+      b.ldloc(row).ldloc(r).ldc_i4(1).add()
+          .ldloc(rowr).ldloc(nr).add().stelem(ValType::I32);
+      b.ldloc(r).ldloc(nr).div().stloc(step);
+      auto step_ok = b.new_label();
+      b.ldloc(step).ldc_i4(1).bge(step_ok);
+      b.ldc_i4(1).stloc(step);
+      b.bind(step_ok);
+      counted_loop(b, i, nr, [&] {
+        b.ldloc(col).ldloc(rowr).ldloc(i).add()
+            .ldloc(i).ldloc(step).mul().stelem(ValType::I32);
+      });
+    });
+    counted_loop(b, reps, iters, [&] {
+      counted_loop(b, r, n, [&] {
+        b.ldc_r8(0.0).stloc(sum);
+        b.ldloc(row).ldloc(r).ldelem(ValType::I32).stloc(i);
+        b.ldloc(row).ldloc(r).ldc_i4(1).add().ldelem(ValType::I32)
+            .stloc(rowrp1);
+        auto ktop = b.new_label();
+        auto kend = b.new_label();
+        b.bind(ktop);
+        b.ldloc(i).ldloc(rowrp1).bge(kend);
+        b.ldloc(sum)
+            .ldloc(x).ldloc(col).ldloc(i).ldelem(ValType::I32)
+            .ldelem(ValType::F64)
+            .ldloc(val).ldloc(i).ldelem(ValType::F64).mul().add().stloc(sum);
+        b.ldloc(i).ldc_i4(1).add().stloc(i);
+        b.br(ktop);
+        b.bind(kend);
+        b.ldloc(y).ldloc(r).ldloc(sum).stelem(ValType::F64);
+      });
+    });
+    b.ldc_r8(0.0).stloc(total);
+    ldlen_loop(b, i, y, [&] {
+      b.ldloc(total).ldloc(y).ldloc(i).ldelem(ValType::F64).add().stloc(total);
+    });
+    b.ldloc(total).ret();
+    return b.finish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// LU (jagged rows; pivoting swaps row references like the Java source).
+
+std::int32_t build_sm_lu(vm::VirtualMachine& v) {
+  vm::Module& mod = v.module();
+  const SmRandom rnd = build_sm_random(v);
+  return cached(v, "sm.lu.run", [&] {
+    ILBuilder b(mod, "sm.lu.run", {{ValType::I32}, ValType::F64});
+    const auto n = b.add_local(ValType::I32);
+    const auto st = b.add_local(ValType::Ref);
+    const auto A = b.add_local(ValType::Ref);
+    const auto pivot = b.add_local(ValType::Ref);
+    const auto i = b.add_local(ValType::I32);
+    const auto j = b.add_local(ValType::I32);
+    const auto jp = b.add_local(ValType::I32);
+    const auto k = b.add_local(ValType::I32);
+    const auto ii = b.add_local(ValType::I32);
+    const auto jj = b.add_local(ValType::I32);
+    const auto t = b.add_local(ValType::F64);
+    const auto ab = b.add_local(ValType::F64);
+    const auto recp = b.add_local(ValType::F64);
+    const auto aii = b.add_local(ValType::Ref);
+    const auto aj = b.add_local(ValType::Ref);
+    const auto aii_j = b.add_local(ValType::F64);
+    const auto tmprow = b.add_local(ValType::Ref);
+
+    b.ldarg(0).stloc(n);
+    b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
+    b.ldloc(n).newarr(ValType::Ref).stloc(A);
+    counted_loop(b, i, n, [&] {
+      b.ldloc(A).ldloc(i).ldloc(n).newarr(ValType::F64).stelem(ValType::Ref);
+      b.ldloc(st).ldloc(A).ldloc(i).ldelem(ValType::Ref).call(rnd.fill_fn);
+    });
+    b.ldloc(n).newarr(ValType::I32).stloc(pivot);
+
+    counted_loop(b, j, n, [&] {
+      b.ldloc(j).stloc(jp);
+      b.ldloc(A).ldloc(j).ldelem(ValType::Ref).ldloc(j).ldelem(ValType::F64)
+          .call_intr(vm::I_ABS_R8).stloc(t);
+      // pivot search: for (i = j+1; i < n; i++)
+      auto ptop = b.new_label();
+      auto pend = b.new_label();
+      b.ldloc(j).ldc_i4(1).add().stloc(i);
+      b.bind(ptop);
+      b.ldloc(i).ldloc(n).bge(pend);
+      b.ldloc(A).ldloc(i).ldelem(ValType::Ref).ldloc(j).ldelem(ValType::F64)
+          .call_intr(vm::I_ABS_R8).stloc(ab);
+      auto no_better = b.new_label();
+      b.ldloc(ab).ldloc(t).ble(no_better);
+      b.ldloc(i).stloc(jp);
+      b.ldloc(ab).stloc(t);
+      b.bind(no_better);
+      b.ldloc(i).ldc_i4(1).add().stloc(i);
+      b.br(ptop);
+      b.bind(pend);
+      b.ldloc(pivot).ldloc(j).ldloc(jp).stelem(ValType::I32);
+      // Row swap by reference, like the Java source.
+      auto no_swap = b.new_label();
+      b.ldloc(jp).ldloc(j).beq(no_swap);
+      b.ldloc(A).ldloc(j).ldelem(ValType::Ref).stloc(tmprow);
+      b.ldloc(A).ldloc(j)
+          .ldloc(A).ldloc(jp).ldelem(ValType::Ref).stelem(ValType::Ref);
+      b.ldloc(A).ldloc(jp).ldloc(tmprow).stelem(ValType::Ref);
+      b.bind(no_swap);
+      // Scale the column below the pivot.
+      auto no_scale = b.new_label();
+      b.ldloc(j).ldloc(n).ldc_i4(1).sub().bge(no_scale);
+      b.ldc_r8(1.0)
+          .ldloc(A).ldloc(j).ldelem(ValType::Ref).ldloc(j).ldelem(ValType::F64)
+          .div().stloc(recp);
+      auto stop = b.new_label();
+      auto send = b.new_label();
+      b.ldloc(j).ldc_i4(1).add().stloc(k);
+      b.bind(stop);
+      b.ldloc(k).ldloc(n).bge(send);
+      b.ldloc(A).ldloc(k).ldelem(ValType::Ref).stloc(aii);
+      b.ldloc(aii).ldloc(j)
+          .ldloc(aii).ldloc(j).ldelem(ValType::F64).ldloc(recp).mul()
+          .stelem(ValType::F64);
+      b.ldloc(k).ldc_i4(1).add().stloc(k);
+      b.br(stop);
+      b.bind(send);
+      // Rank-1 update of the trailing submatrix.
+      auto utop = b.new_label();
+      auto uend = b.new_label();
+      b.ldloc(j).ldc_i4(1).add().stloc(ii);
+      b.bind(utop);
+      b.ldloc(ii).ldloc(n).bge(uend);
+      b.ldloc(A).ldloc(ii).ldelem(ValType::Ref).stloc(aii);
+      b.ldloc(A).ldloc(j).ldelem(ValType::Ref).stloc(aj);
+      b.ldloc(aii).ldloc(j).ldelem(ValType::F64).stloc(aii_j);
+      auto vtop = b.new_label();
+      auto vend = b.new_label();
+      b.ldloc(j).ldc_i4(1).add().stloc(jj);
+      b.bind(vtop);
+      b.ldloc(jj).ldloc(n).bge(vend);
+      b.ldloc(aii).ldloc(jj)
+          .ldloc(aii).ldloc(jj).ldelem(ValType::F64)
+          .ldloc(aii_j).ldloc(aj).ldloc(jj).ldelem(ValType::F64).mul().sub()
+          .stelem(ValType::F64);
+      b.ldloc(jj).ldc_i4(1).add().stloc(jj);
+      b.br(vtop);
+      b.bind(vend);
+      b.ldloc(ii).ldc_i4(1).add().stloc(ii);
+      b.br(utop);
+      b.bind(uend);
+      b.bind(no_scale);
+    });
+    b.ldloc(A).ldc_i4(0).ldelem(ValType::Ref).ldc_i4(0).ldelem(ValType::F64)
+        .ret();
+    return b.finish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-check-elimination experiment (§5): identical daxpy loops, one
+// bounded by ldlen (BCE-eligible on profiles with the pass) and one by a
+// separate local variable.
+
+namespace {
+
+std::int32_t build_bce_daxpy(vm::VirtualMachine& v, const std::string& name,
+                             bool ldlen_bound) {
+  const SmRandom rnd = build_sm_random(v);
+  return cached(v, name, [&] {
+    ILBuilder b(v.module(), name,
+                {{ValType::I32, ValType::I32}, ValType::F64});
+    const auto n = b.add_local(ValType::I32);
+    const auto reps = b.add_local(ValType::I32);
+    const auto st = b.add_local(ValType::Ref);
+    const auto x = b.add_local(ValType::Ref);
+    const auto y = b.add_local(ValType::Ref);
+    const auto rep = b.add_local(ValType::I32);
+    const auto i = b.add_local(ValType::I32);
+    const auto total = b.add_local(ValType::F64);
+
+    b.ldarg(0).stloc(n);
+    b.ldarg(1).stloc(reps);
+    b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
+    b.ldloc(n).newarr(ValType::F64).stloc(x);
+    b.ldloc(st).ldloc(x).call(rnd.fill_fn);
+    b.ldloc(n).newarr(ValType::F64).stloc(y);
+    counted_loop(b, rep, reps, [&] {
+      auto body = [&] {
+        b.ldloc(y).ldloc(i)
+            .ldloc(y).ldloc(i).ldelem(ValType::F64)
+            .ldc_r8(1.0000001).ldloc(x).ldloc(i).ldelem(ValType::F64).mul()
+            .add().stelem(ValType::F64);
+      };
+      if (ldlen_bound) {
+        ldlen_loop(b, i, y, body);
+      } else {
+        counted_loop(b, i, n, body);
+      }
+    });
+    b.ldloc(y).ldc_i4(1).ldelem(ValType::F64).stloc(total);
+    b.ldloc(total).ret();
+    return b.finish();
+  });
+}
+
+}  // namespace
+
+std::int32_t build_bce_daxpy_ldlen(vm::VirtualMachine& v) {
+  return build_bce_daxpy(v, "bce.daxpy.ldlen", true);
+}
+std::int32_t build_bce_daxpy_var(vm::VirtualMachine& v) {
+  return build_bce_daxpy(v, "bce.daxpy.var", false);
+}
+
+}  // namespace hpcnet::cil

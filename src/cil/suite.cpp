@@ -1,0 +1,215 @@
+#include "cil/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cil/sm.hpp"
+#include "kernels/scimark.hpp"
+#include "support/timer.hpp"
+
+namespace hpcnet::cil {
+
+using vm::Slot;
+
+ScimarkSizes ScimarkSizes::small_model() { return {}; }
+
+ScimarkSizes ScimarkSizes::large_model() {
+  // The paper's large model is FFT 2^20 / SOR 1000^2 / sparse 100k x 1M /
+  // LU 1000^2 on native hardware; we scale by ~16x-64x so the interpreter
+  // tier completes, preserving the cache-resident -> memory-resident jump.
+  ScimarkSizes s;
+  s.fft_n = 16384;
+  s.fft_cycles = 1;
+  s.sor_n = 500;
+  s.sor_iters = 4;
+  s.mc_samples = 400000;
+  s.sparse_n = 20000;
+  s.sparse_nz = 200000;
+  s.sparse_iters = 4;
+  s.lu_n = 250;
+  return s;
+}
+
+ScimarkSizes ScimarkSizes::test_model() {
+  ScimarkSizes s;
+  s.fft_n = 64;
+  s.fft_cycles = 1;
+  s.sor_n = 16;
+  s.sor_iters = 3;
+  s.mc_samples = 2000;
+  s.sparse_n = 50;
+  s.sparse_nz = 250;
+  s.sparse_iters = 2;
+  s.lu_n = 24;
+  return s;
+}
+
+namespace {
+
+double flops_fft(const ScimarkSizes& s) {
+  // One forward + one inverse per cycle.
+  return 2.0 * kernels::fft::num_flops(s.fft_n) * s.fft_cycles;
+}
+double flops_sor(const ScimarkSizes& s) {
+  return kernels::sor::num_flops(s.sor_n, s.sor_n, s.sor_iters);
+}
+double flops_mc(const ScimarkSizes& s) {
+  return kernels::montecarlo::num_flops(s.mc_samples);
+}
+double flops_sparse(const ScimarkSizes& s) {
+  return kernels::sparse::num_flops(s.sparse_n, s.sparse_nz, s.sparse_iters);
+}
+double flops_lu(const ScimarkSizes& s) {
+  return kernels::lu::num_flops(s.lu_n);
+}
+
+void check(const std::string& kernel, double got, double want) {
+  const double denom = std::max(std::fabs(want), 1e-30);
+  if (std::fabs(got - want) / denom > 1e-9) {
+    throw std::runtime_error("validation failed for " + kernel + ": got " +
+                             std::to_string(got) + ", want " +
+                             std::to_string(want));
+  }
+}
+
+}  // namespace
+
+ScimarkResult run_scimark_cil(vm::VirtualMachine& v, vm::Engine& engine,
+                              const ScimarkSizes& s, bool validate) {
+  const std::int32_t fft = build_sm_fft(v);
+  const std::int32_t sor = build_sm_sor(v);
+  const std::int32_t mc = build_sm_montecarlo(v);
+  const std::int32_t sparse = build_sm_sparse(v);
+  const std::int32_t lu = build_sm_lu(v);
+  vm::VMContext& ctx = v.main_context();
+
+  ScimarkResult out;
+  auto run1 = [&](const std::string& name, std::int32_t method,
+                  std::vector<Slot> args, double flops, double want) {
+    KernelScore k;
+    k.name = name;
+    const auto t0 = support::now_ns();
+    const Slot r = engine.invoke(ctx, method, args);
+    k.seconds = support::elapsed_seconds(t0, support::now_ns());
+    k.checksum = r.f64;
+    if (validate) {
+      check(name, k.checksum, want);
+      k.validated = true;
+    }
+    k.mflops = k.seconds > 0 ? flops / k.seconds * 1e-6 : 0;
+    out.kernels.push_back(k);
+  };
+
+  run1("FFT", fft, {Slot::from_i32(s.fft_n), Slot::from_i32(s.fft_cycles)},
+       flops_fft(s),
+       kernels::fft::roundtrip_checksum(s.fft_n, s.fft_cycles));
+  run1("SOR", sor, {Slot::from_i32(s.sor_n), Slot::from_i32(s.sor_iters)},
+       flops_sor(s), kernels::sor::checksum(s.sor_n, s.sor_iters));
+  run1("MonteCarlo", mc, {Slot::from_i32(s.mc_samples)}, flops_mc(s),
+       kernels::montecarlo::integrate(s.mc_samples));
+  run1("Sparse", sparse,
+       {Slot::from_i32(s.sparse_n), Slot::from_i32(s.sparse_nz),
+        Slot::from_i32(s.sparse_iters)},
+       flops_sparse(s),
+       kernels::sparse::checksum(s.sparse_n, s.sparse_nz, s.sparse_iters));
+  run1("LU", lu, {Slot::from_i32(s.lu_n)}, flops_lu(s),
+       kernels::lu::checksum(s.lu_n));
+
+  double sum = 0;
+  for (const auto& k : out.kernels) sum += k.mflops;
+  out.composite = sum / static_cast<double>(out.kernels.size());
+  return out;
+}
+
+ScimarkResult run_scimark_native(const ScimarkSizes& s) {
+  ScimarkResult out;
+  auto add = [&](const std::string& name, double secs, double flops,
+                 double checksum) {
+    KernelScore k;
+    k.name = name;
+    k.seconds = secs;
+    k.checksum = checksum;
+    k.validated = true;
+    k.mflops = secs > 0 ? flops / secs * 1e-6 : 0;
+    out.kernels.push_back(k);
+  };
+
+  {
+    const auto t0 = support::now_ns();
+    const double c = kernels::fft::roundtrip_checksum(s.fft_n, s.fft_cycles);
+    add("FFT", support::elapsed_seconds(t0, support::now_ns()), flops_fft(s), c);
+  }
+  {
+    const auto t0 = support::now_ns();
+    const double c = kernels::sor::checksum(s.sor_n, s.sor_iters);
+    add("SOR", support::elapsed_seconds(t0, support::now_ns()), flops_sor(s), c);
+  }
+  {
+    const auto t0 = support::now_ns();
+    const double c = kernels::montecarlo::integrate(s.mc_samples);
+    add("MonteCarlo", support::elapsed_seconds(t0, support::now_ns()),
+        flops_mc(s), c);
+  }
+  {
+    const auto t0 = support::now_ns();
+    const double c =
+        kernels::sparse::checksum(s.sparse_n, s.sparse_nz, s.sparse_iters);
+    add("Sparse", support::elapsed_seconds(t0, support::now_ns()),
+        flops_sparse(s), c);
+  }
+  {
+    const auto t0 = support::now_ns();
+    const double c = kernels::lu::checksum(s.lu_n);
+    add("LU", support::elapsed_seconds(t0, support::now_ns()), flops_lu(s), c);
+  }
+
+  double sum = 0;
+  for (const auto& k : out.kernels) sum += k.mflops;
+  out.composite = sum / static_cast<double>(out.kernels.size());
+  return out;
+}
+
+BenchContext::BenchContext() {
+  for (const auto& p : vm::profiles::all()) {
+    engines_.push_back(vm::make_engine(vm_, p));
+  }
+}
+
+vm::Engine& BenchContext::engine(const std::string& profile_name) {
+  for (auto& e : engines_) {
+    if (e->name() == profile_name) return *e;
+  }
+  throw std::invalid_argument("unknown engine: " + profile_name);
+}
+
+Slot BenchContext::invoke(vm::Engine& e, std::int32_t method,
+                          std::vector<Slot> args) {
+  return e.invoke(vm_.main_context(), method, args);
+}
+
+double BenchContext::ops_per_sec(vm::Engine& e, std::int32_t method,
+                                 double ops_per_iteration,
+                                 double min_seconds) {
+  vm::VMContext& ctx = vm_.main_context();
+  std::int32_t size = 512;
+  for (int guard = 0; guard < 32; ++guard) {
+    Slot arg = Slot::from_i32(size);
+    const auto t0 = support::now_ns();
+    e.invoke(ctx, method, std::span<const Slot>(&arg, 1));
+    const double secs = support::elapsed_seconds(t0, support::now_ns());
+    if (secs >= min_seconds || size >= (1 << 28)) {
+      return ops_per_iteration * size / secs;
+    }
+    // Aim straight for the target with one doubling of margin.
+    if (secs <= 0) {
+      size *= 8;
+    } else {
+      const double scale = min_seconds / secs * 1.5;
+      size = static_cast<std::int32_t>(
+          std::min<double>(size * std::max(2.0, scale), 1 << 28));
+    }
+  }
+  return 0;
+}
+
+}  // namespace hpcnet::cil

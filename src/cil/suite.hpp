@@ -1,0 +1,84 @@
+// The benchmark suite runner: builds all CIL programs into one VM, creates
+// an engine per paper profile, times kernels and validates every CIL result
+// against its native twin. The bench binaries and the example CLIs produce
+// the paper's tables/graphs through this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::cil {
+
+/// SciMark problem sizes. The paper's "small" (cache-resident) and "large"
+/// (memory-resident) models, scaled so the slowest engine (rotor10) finishes
+/// in seconds rather than hours; the small/large *ratio* of working-set size
+/// is preserved (see EXPERIMENTS.md).
+struct ScimarkSizes {
+  int fft_n = 1024;
+  int fft_cycles = 2;
+  int sor_n = 100;
+  int sor_iters = 10;
+  int mc_samples = 100000;
+  int sparse_n = 1000;
+  int sparse_nz = 5000;
+  int sparse_iters = 10;
+  int lu_n = 100;
+
+  static ScimarkSizes small_model();
+  static ScimarkSizes large_model();
+  /// Tiny sizes for unit tests.
+  static ScimarkSizes test_model();
+};
+
+struct KernelScore {
+  std::string name;
+  double mflops = 0;
+  double seconds = 0;
+  double checksum = 0;
+  bool validated = false;
+};
+
+struct ScimarkResult {
+  std::vector<KernelScore> kernels;  // FFT, SOR, MonteCarlo, Sparse, LU
+  double composite = 0;              // arithmetic mean, like SciMark
+};
+
+/// Runs the five CIL kernels on `engine` (building them into vm's module on
+/// first use). When `validate`, each checksum is compared with the native
+/// kernel (throws std::runtime_error on mismatch beyond 1e-9 relative).
+ScimarkResult run_scimark_cil(vm::VirtualMachine& vm, vm::Engine& engine,
+                              const ScimarkSizes& sizes, bool validate = true);
+
+/// Native C++ baseline with identical sizes and flop accounting.
+ScimarkResult run_scimark_native(const ScimarkSizes& sizes);
+
+/// A VM pre-loaded with every benchmark program plus one engine per paper
+/// profile — the shared fixture for bench binaries and examples.
+class BenchContext {
+ public:
+  BenchContext();
+
+  vm::VirtualMachine& vm() { return vm_; }
+  /// Engines in the paper's order (ibm131, clr11, bea81, jsharp11, sun14,
+  /// mono023, rotor10).
+  const std::vector<std::unique_ptr<vm::Engine>>& engines() { return engines_; }
+  vm::Engine& engine(const std::string& profile_name);
+
+  /// Invokes `method` with int args on the engine; returns the raw result.
+  vm::Slot invoke(vm::Engine& e, std::int32_t method,
+                  std::vector<vm::Slot> args);
+
+  /// Times `method(size)` and returns ops/sec where ops = size *
+  /// ops_per_iteration. Self-calibrates size until >= min_seconds.
+  double ops_per_sec(vm::Engine& e, std::int32_t method,
+                     double ops_per_iteration, double min_seconds = 0.1);
+
+ private:
+  vm::VirtualMachine vm_;
+  std::vector<std::unique_ptr<vm::Engine>> engines_;
+};
+
+}  // namespace hpcnet::cil

@@ -1,0 +1,89 @@
+#include "jgf/instrumentor.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcnet::jgf {
+
+void Instrumentor::add_timer(const std::string& name, std::string unit) {
+  Timer t;
+  t.unit = std::move(unit);
+  timers_[name] = std::move(t);
+}
+
+const Instrumentor::Timer& Instrumentor::at(const std::string& name) const {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    throw std::invalid_argument("unknown timer: " + name);
+  }
+  return it->second;
+}
+
+Instrumentor::Timer& Instrumentor::at(const std::string& name) {
+  return const_cast<Timer&>(
+      static_cast<const Instrumentor*>(this)->at(name));
+}
+
+void Instrumentor::start(const std::string& name) { at(name).watch.start(); }
+void Instrumentor::stop(const std::string& name) { at(name).watch.stop(); }
+void Instrumentor::add_ops(const std::string& name, double ops) {
+  at(name).ops += ops;
+}
+
+double Instrumentor::read_seconds(const std::string& name) const {
+  return at(name).watch.seconds();
+}
+double Instrumentor::ops(const std::string& name) const { return at(name).ops; }
+
+double Instrumentor::throughput(const std::string& name) const {
+  const Timer& t = at(name);
+  const double secs = t.watch.seconds();
+  return secs > 0 ? t.ops / secs : 0.0;
+}
+
+const std::string& Instrumentor::unit(const std::string& name) const {
+  return at(name).unit;
+}
+
+void Instrumentor::reset(const std::string& name) {
+  Timer& t = at(name);
+  t.watch.reset();
+  t.ops = 0;
+}
+
+std::vector<std::string> Instrumentor::names() const {
+  std::vector<std::string> out;
+  out.reserve(timers_.size());
+  for (const auto& [k, v] : timers_) out.push_back(k);
+  return out;
+}
+
+std::string Instrumentor::report(const std::string& name) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-28s %12.4f s  %14.4g %s", name.c_str(),
+                read_seconds(name), throughput(name), unit(name).c_str());
+  return buf;
+}
+
+RepeatResult repeat(const std::function<double()>& fn, std::size_t runs) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) samples.push_back(fn());
+  RepeatResult r;
+  r.summary = support::summarize(samples);
+  r.outliers = support::find_outliers(samples).size();
+  r.score = support::representative(samples);
+  return r;
+}
+
+std::int64_t calibrate(const std::function<double(std::int64_t)>& seconds_for,
+                       double min_seconds, std::int64_t initial) {
+  std::int64_t size = initial;
+  for (int guard = 0; guard < 40; ++guard) {
+    if (seconds_for(size) >= min_seconds) return size;
+    size *= 2;
+  }
+  return size;
+}
+
+}  // namespace hpcnet::jgf

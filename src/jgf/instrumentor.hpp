@@ -1,0 +1,70 @@
+// Java-Grande-style instrumentation: named accumulating timers with an
+// operation count, reporting ops/sec or MFlops — the exact measurement
+// protocol of the JGF benchmark framework the paper ports (JGFInstrumentor).
+// The paper runs each micro-benchmark 100 times, screens for outliers and
+// reports a representative run; Repeater encapsulates that procedure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace hpcnet::jgf {
+
+class Instrumentor {
+ public:
+  /// Registers a timer whose throughput is reported in `unit` (e.g.
+  /// "ops/sec", "MFlops"). Re-adding resets it.
+  void add_timer(const std::string& name, std::string unit = "ops/sec");
+
+  void start(const std::string& name);
+  void stop(const std::string& name);
+  /// Adds to the operation count used for throughput.
+  void add_ops(const std::string& name, double ops);
+
+  double read_seconds(const std::string& name) const;
+  double ops(const std::string& name) const;
+  /// ops / seconds; 0 when no time elapsed.
+  double throughput(const std::string& name) const;
+  const std::string& unit(const std::string& name) const;
+
+  void reset(const std::string& name);
+  std::vector<std::string> names() const;
+
+  /// JGF-style one-line report for a timer.
+  std::string report(const std::string& name) const;
+
+ private:
+  struct Timer {
+    support::Stopwatch watch;
+    double ops = 0;
+    std::string unit;
+  };
+  const Timer& at(const std::string& name) const;
+  Timer& at(const std::string& name);
+
+  std::map<std::string, Timer> timers_;
+};
+
+/// The paper's measurement protocol: run `fn` (which returns a score) for
+/// `runs` iterations, screen for outliers, return the representative score.
+struct RepeatResult {
+  double score = 0;         // representative (median) score
+  std::size_t outliers = 0; // samples outside the MAD screen
+  support::Summary summary;
+};
+RepeatResult repeat(const std::function<double()>& fn, std::size_t runs = 5);
+
+/// Self-calibrating loop sizing: grows `size` until one run of `fn(size)`
+/// takes at least `min_seconds`; returns the calibrated size. Mirrors the
+/// JGF micro-benchmark loop calibration.
+std::int64_t calibrate(const std::function<double(std::int64_t)>& seconds_for,
+                       double min_seconds = 0.05,
+                       std::int64_t initial = 1024);
+
+}  // namespace hpcnet::jgf

@@ -1,0 +1,140 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::kernels::fft {
+
+namespace {
+
+int int_log2(int n) {
+  int k = 1, log = 0;
+  for (; k < n; k *= 2, ++log) {
+  }
+  if (n != (1 << log)) {
+    throw std::invalid_argument("FFT: data length is not a power of 2");
+  }
+  return log;
+}
+
+void bitreverse(double* data, int n) {
+  const int nm1 = n - 1;
+  int j = 0;
+  for (int i = 0; i < nm1; ++i) {
+    const int ii = i << 1;
+    const int jj = j << 1;
+    int k = n >> 1;
+    if (i < j) {
+      const double tmp_real = data[ii];
+      const double tmp_imag = data[ii + 1];
+      data[ii] = data[jj];
+      data[ii + 1] = data[jj + 1];
+      data[jj] = tmp_real;
+      data[jj + 1] = tmp_imag;
+    }
+    while (k <= j) {
+      j -= k;
+      k >>= 1;
+    }
+    j += k;
+  }
+}
+
+void transform_internal(double* data, int size, int direction) {
+  if (size == 0) return;
+  const int n = size / 2;
+  if (n == 1) return;
+  const int logn = int_log2(n);
+  bitreverse(data, n);
+
+  // Danielson-Lanczos with the stable trig recurrence SciMark uses.
+  int dual = 1;
+  for (int bit = 0; bit < logn; ++bit, dual *= 2) {
+    double w_real = 1.0;
+    double w_imag = 0.0;
+    const double theta = 2.0 * direction * M_PI / (2.0 * dual);
+    const double s = std::sin(theta);
+    const double t = std::sin(theta / 2.0);
+    const double s2 = 2.0 * t * t;
+
+    for (int b = 0; b < n; b += 2 * dual) {
+      const int i = 2 * b;
+      const int j = 2 * (b + dual);
+      const double wd_real = data[j];
+      const double wd_imag = data[j + 1];
+      data[j] = data[i] - wd_real;
+      data[j + 1] = data[i + 1] - wd_imag;
+      data[i] += wd_real;
+      data[i + 1] += wd_imag;
+    }
+    for (int a = 1; a < dual; ++a) {
+      {
+        const double tmp_real = w_real - s * w_imag - s2 * w_real;
+        const double tmp_imag = w_imag + s * w_real - s2 * w_imag;
+        w_real = tmp_real;
+        w_imag = tmp_imag;
+      }
+      for (int b = 0; b < n; b += 2 * dual) {
+        const int i = 2 * (b + a);
+        const int j = 2 * (b + a + dual);
+        const double z1_real = data[j];
+        const double z1_imag = data[j + 1];
+        const double wd_real = w_real * z1_real - w_imag * z1_imag;
+        const double wd_imag = w_real * z1_imag + w_imag * z1_real;
+        data[j] = data[i] - wd_real;
+        data[j + 1] = data[i + 1] - wd_imag;
+        data[i] += wd_real;
+        data[i + 1] += wd_imag;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double num_flops(int n) {
+  const double nd = n;
+  double logn = 0;
+  for (int k = 1; k < n; k *= 2) ++logn;
+  return (5.0 * nd - 2) * logn + 2 * (nd + 1);
+}
+
+void transform(std::vector<double>& data) {
+  transform_internal(data.data(), static_cast<int>(data.size()), -1);
+}
+
+void inverse(std::vector<double>& data) {
+  transform_internal(data.data(), static_cast<int>(data.size()), +1);
+  const int nd = static_cast<int>(data.size());
+  const double norm = 1.0 / (nd / 2);
+  for (int i = 0; i < nd; ++i) data[static_cast<std::size_t>(i)] *= norm;
+}
+
+double roundtrip_checksum(int n, int cycles) {
+  support::SciMarkRandom rng(7);
+  std::vector<double> data(static_cast<std::size_t>(2 * n));
+  rng.next_doubles(data.data(), 2 * n);
+  for (int c = 0; c < cycles; ++c) {
+    transform(data);
+    inverse(data);
+  }
+  return data[0];
+}
+
+double test(int n) {
+  support::SciMarkRandom rng(7);
+  std::vector<double> data(static_cast<std::size_t>(2 * n));
+  rng.next_doubles(data.data(), 2 * n);
+  std::vector<double> copy = data;
+  transform(data);
+  inverse(data);
+  double diff = 0.0;
+  for (int i = 0; i < 2 * n; ++i) {
+    const double d = data[static_cast<std::size_t>(i)] -
+                     copy[static_cast<std::size_t>(i)];
+    diff += d * d;
+  }
+  return std::sqrt(diff / (2 * n));
+}
+
+}  // namespace hpcnet::kernels::fft

@@ -1,0 +1,21 @@
+#include "kernels/jgf.hpp"
+
+namespace hpcnet::kernels::fib {
+
+std::int64_t compute(int n) {
+  if (n < 2) return n;
+  return compute(n - 1) + compute(n - 2);
+}
+
+double num_calls(int n) {
+  // calls(n) = 2*fib(n+1) - 1 for the naive recursion.
+  double a = 0, b = 1;  // fib(0), fib(1)
+  for (int i = 0; i < n; ++i) {
+    const double t = a + b;
+    a = b;
+    b = t;
+  }
+  return 2 * b - 1;
+}
+
+}  // namespace hpcnet::kernels::fib

@@ -1,0 +1,17 @@
+#include "kernels/jgf.hpp"
+
+namespace hpcnet::kernels::hanoi {
+
+namespace {
+std::int64_t move(int n, int from, int to, int via) {
+  if (n == 1) return 1;
+  return move(n - 1, from, via, to) + 1 + move(n - 1, via, to, from);
+}
+}  // namespace
+
+std::int64_t solve(int n) {
+  if (n <= 0) return 0;
+  return move(n, 0, 2, 1);
+}
+
+}  // namespace hpcnet::kernels::hanoi

@@ -1,0 +1,52 @@
+#include <stdexcept>
+
+#include "kernels/jgf.hpp"
+#include "support/java_random.hpp"
+
+namespace hpcnet::kernels::heapsort {
+
+void sort(std::vector<std::int32_t>& data) {
+  // Classic sift-down heap sort (the JGF NumericSortTest algorithm).
+  const auto n = static_cast<std::int64_t>(data.size());
+  if (n < 2) return;
+  auto sift = [&](std::int64_t start, std::int64_t end) {
+    std::int64_t root = start;
+    while (root * 2 + 1 <= end) {
+      std::int64_t child = root * 2 + 1;
+      if (child + 1 <= end && data[static_cast<std::size_t>(child)] <
+                                  data[static_cast<std::size_t>(child + 1)]) {
+        ++child;
+      }
+      if (data[static_cast<std::size_t>(root)] <
+          data[static_cast<std::size_t>(child)]) {
+        std::swap(data[static_cast<std::size_t>(root)],
+                  data[static_cast<std::size_t>(child)]);
+        root = child;
+      } else {
+        return;
+      }
+    }
+  };
+  for (std::int64_t start = (n - 2) / 2; start >= 0; --start) sift(start, n - 1);
+  for (std::int64_t end = n - 1; end > 0; --end) {
+    std::swap(data[0], data[static_cast<std::size_t>(end)]);
+    sift(0, end - 1);
+  }
+}
+
+std::int64_t run(int n) {
+  support::JavaRandom rng(1966);  // JGF RANDOM_SEED
+  std::vector<std::int32_t> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = rng.next_int();
+  sort(data);
+  std::int64_t checksum = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (data[i - 1] > data[i]) throw std::logic_error("heapsort: not sorted");
+  }
+  for (std::int32_t v : data) {
+    checksum = (checksum << 1) ^ (checksum >> 7) ^ v;
+  }
+  return checksum;
+}
+
+}  // namespace hpcnet::kernels::heapsort

@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::kernels::lu {
+
+double num_flops(int n) {
+  const double nd = n;
+  return (2.0 * nd * nd * nd) / 3.0;
+}
+
+int factor(std::vector<double>& a, int n, std::vector<std::int32_t>& pivot) {
+  double* A = a.data();
+  auto row = [&](int i) { return A + static_cast<std::ptrdiff_t>(i) * n; };
+  for (int j = 0; j < n; ++j) {
+    // Find the pivot in column j, rows j..n-1.
+    int jp = j;
+    double t = std::fabs(row(j)[j]);
+    for (int i = j + 1; i < n; ++i) {
+      const double ab = std::fabs(row(i)[j]);
+      if (ab > t) {
+        jp = i;
+        t = ab;
+      }
+    }
+    pivot[static_cast<std::size_t>(j)] = jp;
+    if (row(jp)[j] == 0) return 1;
+    if (jp != j) {
+      for (int k = 0; k < n; ++k) std::swap(row(j)[k], row(jp)[k]);
+    }
+    if (j < n - 1) {
+      const double recp = 1.0 / row(j)[j];
+      for (int k = j + 1; k < n; ++k) row(k)[j] *= recp;
+    }
+    if (j < n - 1) {
+      for (int ii = j + 1; ii < n; ++ii) {
+        double* aii = row(ii);
+        const double* aj = row(j);
+        const double aii_j = aii[j];
+        for (int jj = j + 1; jj < n; ++jj) aii[jj] -= aii_j * aj[jj];
+      }
+    }
+  }
+  return 0;
+}
+
+namespace {
+std::vector<double> random_matrix(int n, support::SciMarkRandom& rng) {
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  rng.next_doubles(a.data(), n * n);
+  return a;
+}
+}  // namespace
+
+double residual(int n) {
+  support::SciMarkRandom rng(101010);
+  std::vector<double> a = random_matrix(n, rng);
+  std::vector<double> lu = a;
+  std::vector<std::int32_t> pivot(static_cast<std::size_t>(n));
+  if (factor(lu, n, pivot) != 0) return 1e9;
+
+  // Apply the recorded row swaps to A, then compare PA with L*U.
+  for (int j = 0; j < n; ++j) {
+    const int jp = pivot[static_cast<std::size_t>(j)];
+    if (jp != j) {
+      for (int k = 0; k < n; ++k) {
+        std::swap(a[static_cast<std::size_t>(j) * n + k],
+                  a[static_cast<std::size_t>(jp) * n + k]);
+      }
+    }
+  }
+  double max_err = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) {
+        const double l = k == i ? 1.0 : lu[static_cast<std::size_t>(i) * n + k];
+        const double u = lu[static_cast<std::size_t>(k) * n + j];
+        if (k < i) {
+          sum += lu[static_cast<std::size_t>(i) * n + k] *
+                 lu[static_cast<std::size_t>(k) * n + j];
+        } else {
+          sum += l * u;
+        }
+      }
+      max_err = std::max(max_err,
+                         std::fabs(sum - a[static_cast<std::size_t>(i) * n + j]));
+    }
+  }
+  return max_err;
+}
+
+double checksum(int n) {
+  support::SciMarkRandom rng(101010);
+  std::vector<double> lu = random_matrix(n, rng);
+  std::vector<std::int32_t> pivot(static_cast<std::size_t>(n));
+  factor(lu, n, pivot);
+  return lu[0];
+}
+
+}  // namespace hpcnet::kernels::lu

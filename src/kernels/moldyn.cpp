@@ -1,0 +1,191 @@
+// Lennard-Jones argon N-body (JGF MolDyn): fcc lattice of 4*mm^3 particles
+// in a periodic cube, all-pairs force evaluation with minimum-image
+// convention and cutoff, velocity updates and kinetic-energy scaling as in
+// the JGF reference. Velocity initialization uses java.util.Random gaussians
+// so the CIL port computes the identical trajectory.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/jgf.hpp"
+#include "support/java_random.hpp"
+
+namespace hpcnet::kernels::moldyn {
+
+Result simulate(int mm, int moves) {
+  const int mdsize = 4 * mm * mm * mm;
+  const double den = 0.83134;
+  const double tref = 0.722;
+  const double h = 0.064;
+
+  const double side = std::cbrt(mdsize / den);
+  const double a = side / mm;
+  const double sideh = side * 0.5;
+  const double hsq = h * h;
+  const double hsq2 = hsq * 0.5;
+  // JGF uses mm/4 for its (large) reference sizes; clamp so small problem
+  // sizes still see first- and second-shell neighbours.
+  const double rcoff = std::max(mm / 4.0, 1.9);
+  const double rcoffs = rcoff * rcoff;
+  const double tscale = 16.0 / (1.0 * mdsize - 1.0);
+  const double vaver = 1.13 * std::sqrt(tref / 24.0);
+
+  std::vector<double> x(static_cast<std::size_t>(mdsize)),
+      y(static_cast<std::size_t>(mdsize)), z(static_cast<std::size_t>(mdsize));
+  std::vector<double> vx(static_cast<std::size_t>(mdsize)),
+      vy(static_cast<std::size_t>(mdsize)), vz(static_cast<std::size_t>(mdsize));
+  std::vector<double> fx(static_cast<std::size_t>(mdsize)),
+      fy(static_cast<std::size_t>(mdsize)), fz(static_cast<std::size_t>(mdsize));
+
+  // fcc lattice.
+  int ijk = 0;
+  for (int lg = 0; lg <= 1; ++lg) {
+    for (int i = 0; i < mm; ++i) {
+      for (int j = 0; j < mm; ++j) {
+        for (int k = 0; k < mm; ++k) {
+          x[static_cast<std::size_t>(ijk)] = i * a + lg * a * 0.5;
+          y[static_cast<std::size_t>(ijk)] = j * a + lg * a * 0.5;
+          z[static_cast<std::size_t>(ijk)] = k * a;
+          ++ijk;
+        }
+      }
+    }
+  }
+  for (int lg = 1; lg <= 2; ++lg) {
+    for (int i = 0; i < mm; ++i) {
+      for (int j = 0; j < mm; ++j) {
+        for (int k = 0; k < mm; ++k) {
+          x[static_cast<std::size_t>(ijk)] = i * a + (2 - lg) * a * 0.5;
+          y[static_cast<std::size_t>(ijk)] = j * a + (lg - 1) * a * 0.5;
+          z[static_cast<std::size_t>(ijk)] = k * a + a * 0.5;
+          ++ijk;
+        }
+      }
+    }
+  }
+
+  // Maxwell-ish velocities from gaussian deviates (deterministic seed).
+  support::JavaRandom rng(8657271LL);
+  for (int i = 0; i < mdsize; ++i) {
+    vx[static_cast<std::size_t>(i)] = rng.next_gaussian();
+    vy[static_cast<std::size_t>(i)] = rng.next_gaussian();
+    vz[static_cast<std::size_t>(i)] = rng.next_gaussian();
+  }
+  // Remove net momentum and scale to the reference temperature.
+  double spx = 0, spy = 0, spz = 0;
+  for (int i = 0; i < mdsize; ++i) {
+    spx += vx[static_cast<std::size_t>(i)];
+    spy += vy[static_cast<std::size_t>(i)];
+    spz += vz[static_cast<std::size_t>(i)];
+  }
+  spx /= mdsize;
+  spy /= mdsize;
+  spz /= mdsize;
+  double ekin = 0;
+  for (int i = 0; i < mdsize; ++i) {
+    vx[static_cast<std::size_t>(i)] -= spx;
+    vy[static_cast<std::size_t>(i)] -= spy;
+    vz[static_cast<std::size_t>(i)] -= spz;
+    ekin += vx[static_cast<std::size_t>(i)] * vx[static_cast<std::size_t>(i)] +
+            vy[static_cast<std::size_t>(i)] * vy[static_cast<std::size_t>(i)] +
+            vz[static_cast<std::size_t>(i)] * vz[static_cast<std::size_t>(i)];
+  }
+  const double sc = h * std::sqrt(tref / (tscale * ekin));
+  for (int i = 0; i < mdsize; ++i) {
+    vx[static_cast<std::size_t>(i)] *= sc;
+    vy[static_cast<std::size_t>(i)] *= sc;
+    vz[static_cast<std::size_t>(i)] *= sc;
+  }
+
+  Result res;
+  res.particles = mdsize;
+  double epot = 0, vir = 0;
+  double count = 0;
+  (void)vaver;
+
+  for (int move = 0; move < moves; ++move) {
+    // Position update + periodic wrap.
+    for (int i = 0; i < mdsize; ++i) {
+      x[static_cast<std::size_t>(i)] +=
+          vx[static_cast<std::size_t>(i)] + fx[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] +=
+          vy[static_cast<std::size_t>(i)] + fy[static_cast<std::size_t>(i)];
+      z[static_cast<std::size_t>(i)] +=
+          vz[static_cast<std::size_t>(i)] + fz[static_cast<std::size_t>(i)];
+      if (x[static_cast<std::size_t>(i)] < 0) x[static_cast<std::size_t>(i)] += side;
+      if (x[static_cast<std::size_t>(i)] > side) x[static_cast<std::size_t>(i)] -= side;
+      if (y[static_cast<std::size_t>(i)] < 0) y[static_cast<std::size_t>(i)] += side;
+      if (y[static_cast<std::size_t>(i)] > side) y[static_cast<std::size_t>(i)] -= side;
+      if (z[static_cast<std::size_t>(i)] < 0) z[static_cast<std::size_t>(i)] += side;
+      if (z[static_cast<std::size_t>(i)] > side) z[static_cast<std::size_t>(i)] -= side;
+    }
+    // Partial velocity update.
+    for (int i = 0; i < mdsize; ++i) {
+      vx[static_cast<std::size_t>(i)] += fx[static_cast<std::size_t>(i)];
+      vy[static_cast<std::size_t>(i)] += fy[static_cast<std::size_t>(i)];
+      vz[static_cast<std::size_t>(i)] += fz[static_cast<std::size_t>(i)];
+      fx[static_cast<std::size_t>(i)] = 0;
+      fy[static_cast<std::size_t>(i)] = 0;
+      fz[static_cast<std::size_t>(i)] = 0;
+    }
+    // All-pairs force calculation (the benchmark's hot loop).
+    epot = 0;
+    vir = 0;
+    for (int i = 0; i < mdsize; ++i) {
+      for (int j = i + 1; j < mdsize; ++j) {
+        double xx = x[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(j)];
+        double yy = y[static_cast<std::size_t>(i)] - y[static_cast<std::size_t>(j)];
+        double zz = z[static_cast<std::size_t>(i)] - z[static_cast<std::size_t>(j)];
+        if (xx < -sideh) xx += side;
+        if (xx > sideh) xx -= side;
+        if (yy < -sideh) yy += side;
+        if (yy > sideh) yy -= side;
+        if (zz < -sideh) zz += side;
+        if (zz > sideh) zz -= side;
+        const double rd = xx * xx + yy * yy + zz * zz;
+        if (rd <= rcoffs) {
+          const double rrd = 1.0 / rd;
+          const double rrd2 = rrd * rrd;
+          const double rrd3 = rrd2 * rrd;
+          const double rrd4 = rrd2 * rrd2;
+          const double rrd6 = rrd2 * rrd4;
+          const double rrd7 = rrd6 * rrd;
+          epot += rrd6 - rrd3;
+          const double r148 = rrd7 - 0.5 * rrd4;
+          vir -= rd * r148;
+          const double fxx = xx * r148;
+          const double fyy = yy * r148;
+          const double fzz = zz * r148;
+          fx[static_cast<std::size_t>(i)] += fxx;
+          fy[static_cast<std::size_t>(i)] += fyy;
+          fz[static_cast<std::size_t>(i)] += fzz;
+          fx[static_cast<std::size_t>(j)] -= fxx;
+          fy[static_cast<std::size_t>(j)] -= fyy;
+          fz[static_cast<std::size_t>(j)] -= fzz;
+          count += 1;
+        }
+      }
+    }
+    for (int i = 0; i < mdsize; ++i) {
+      fx[static_cast<std::size_t>(i)] *= hsq2;
+      fy[static_cast<std::size_t>(i)] *= hsq2;
+      fz[static_cast<std::size_t>(i)] *= hsq2;
+    }
+    // Complete the velocity update and accumulate kinetic energy.
+    ekin = 0;
+    for (int i = 0; i < mdsize; ++i) {
+      vx[static_cast<std::size_t>(i)] += fx[static_cast<std::size_t>(i)];
+      vy[static_cast<std::size_t>(i)] += fy[static_cast<std::size_t>(i)];
+      vz[static_cast<std::size_t>(i)] += fz[static_cast<std::size_t>(i)];
+      ekin += vx[static_cast<std::size_t>(i)] * vx[static_cast<std::size_t>(i)] +
+              vy[static_cast<std::size_t>(i)] * vy[static_cast<std::size_t>(i)] +
+              vz[static_cast<std::size_t>(i)] * vz[static_cast<std::size_t>(i)];
+    }
+    res.ek = ekin / hsq;
+  }
+  res.epot = epot;
+  res.vir = vir;
+  res.interactions = count;
+  return res;
+}
+
+}  // namespace hpcnet::kernels::moldyn

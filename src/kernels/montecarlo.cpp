@@ -1,0 +1,25 @@
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::kernels::montecarlo {
+
+namespace {
+constexpr int kSeed = 113;  // SciMark's MonteCarlo seed
+}
+
+double num_flops(int num_samples) {
+  // SciMark counts 4 flops per sample (2 multiplies, 1 add, 1 compare).
+  return static_cast<double>(num_samples) * 4.0;
+}
+
+double integrate(int num_samples) {
+  support::SciMarkRandom rng(kSeed);
+  int under_curve = 0;
+  for (int count = 0; count < num_samples; ++count) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    if (x * x + y * y <= 1.0) ++under_curve;
+  }
+  return (static_cast<double>(under_curve) / num_samples) * 4.0;
+}
+
+}  // namespace hpcnet::kernels::montecarlo

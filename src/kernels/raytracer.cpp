@@ -1,0 +1,145 @@
+// JGF 3D ray tracer: a scene of 64 spheres lit by one light, rendered at
+// n x n with shadows and specular reflection (depth-limited), checksummed
+// over the produced pixel words exactly as the JGF validation does.
+#include <cmath>
+#include <vector>
+
+#include "kernels/jgf.hpp"
+
+namespace hpcnet::kernels::raytracer {
+
+namespace {
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+
+  Vec operator+(const Vec& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec operator-(const Vec& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  Vec normalized() const {
+    const double n = std::sqrt(norm2());
+    return n > 0 ? *this * (1.0 / n) : *this;
+  }
+};
+
+struct Sphere {
+  Vec center;
+  double radius = 0;
+  Vec color;
+  double kd = 0.8;    // diffuse
+  double ks = 0.3;    // specular reflection weight
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  Vec light;
+  Vec eye;
+};
+
+Scene make_scene() {
+  // 64 spheres on a 4x4x4 lattice (the JGF scene shape).
+  Scene s;
+  s.light = {100, 100, -50};
+  s.eye = {0, 0, -30};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 0; k < 4; ++k) {
+        Sphere sp;
+        sp.center = {i * 4.0 - 6.0, j * 4.0 - 6.0, k * 4.0 + 10.0};
+        sp.radius = 1.4;
+        sp.color = {0.3 + 0.23 * i, 0.3 + 0.23 * j, 0.3 + 0.23 * k};
+        s.spheres.push_back(sp);
+      }
+    }
+  }
+  return s;
+}
+
+struct Hit {
+  const Sphere* sphere = nullptr;
+  double t = 1e30;
+};
+
+Hit intersect(const Scene& s, const Vec& origin, const Vec& dir) {
+  Hit h;
+  for (const Sphere& sp : s.spheres) {
+    const Vec oc = origin - sp.center;
+    const double b = oc.dot(dir);
+    const double c = oc.norm2() - sp.radius * sp.radius;
+    const double disc = b * b - c;
+    if (disc <= 0) continue;
+    const double sq = std::sqrt(disc);
+    double t = -b - sq;
+    if (t < 1e-6) t = -b + sq;
+    if (t > 1e-6 && t < h.t) {
+      h.t = t;
+      h.sphere = &sp;
+    }
+  }
+  return h;
+}
+
+Vec shade(const Scene& s, const Vec& origin, const Vec& dir, int depth) {
+  const Hit h = intersect(s, origin, dir);
+  if (h.sphere == nullptr) return {0.05, 0.05, 0.08};  // background
+
+  const Vec p = origin + dir * h.t;
+  const Vec n = (p - h.sphere->center).normalized();
+  const Vec to_light = (s.light - p).normalized();
+
+  // Shadow ray.
+  double light_vis = 1.0;
+  const Hit sh = intersect(s, p + n * 1e-4, to_light);
+  if (sh.sphere != nullptr &&
+      sh.t * sh.t < (s.light - p).norm2()) {
+    light_vis = 0.0;
+  }
+
+  const double diff = std::max(0.0, n.dot(to_light)) * light_vis;
+  Vec color = h.sphere->color * (0.1 + h.sphere->kd * diff);
+
+  if (depth > 0 && h.sphere->ks > 0) {
+    const Vec refl = dir - n * (2.0 * dir.dot(n));
+    const Vec rc = shade(s, p + n * 1e-4, refl.normalized(), depth - 1);
+    color = color + rc * h.sphere->ks;
+  }
+  return color;
+}
+
+std::int32_t to_pixel(const Vec& c) {
+  auto ch = [](double v) {
+    const int x = static_cast<int>(v * 255.0);
+    return x < 0 ? 0 : x > 255 ? 255 : x;
+  };
+  return (ch(c.x) << 16) | (ch(c.y) << 8) | ch(c.z);
+}
+
+}  // namespace
+
+std::int64_t render_image(int n, std::vector<std::int32_t>& pixels) {
+  const Scene s = make_scene();
+  pixels.assign(static_cast<std::size_t>(n) * n, 0);
+  std::int64_t checksum = 0;
+  const double view = 12.0;
+  for (int py = 0; py < n; ++py) {
+    for (int px = 0; px < n; ++px) {
+      const double sx = (px + 0.5) / n * 2 - 1;
+      const double sy = (py + 0.5) / n * 2 - 1;
+      const Vec dir = Vec{sx * view, sy * view, 30.0}.normalized();
+      const Vec c = shade(s, s.eye, dir, 2);
+      const std::int32_t pix = to_pixel(c);
+      pixels[static_cast<std::size_t>(py) * n + px] = pix;
+      checksum += pix;
+    }
+  }
+  return checksum;
+}
+
+std::int64_t render(int n) {
+  std::vector<std::int32_t> pixels;
+  return render_image(n, pixels);
+}
+
+}  // namespace hpcnet::kernels::raytracer

@@ -1,0 +1,100 @@
+// Native C++ ports of the SciMark 2.0 kernels (FFT, SOR, Monte Carlo,
+// sparse matmul, LU) — the "C baseline" of the paper's Graphs 9-11 and the
+// reference results the CIL versions validate against. Ported bit-for-bit
+// from the reference Java/C sources, including the SciMark lagged-Fibonacci
+// RNG, so the numeric outputs are comparable across every engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/java_random.hpp"
+
+namespace hpcnet::kernels {
+
+// ---------------------------------------------------------------------------
+// FFT: one-dimensional complex transform over interleaved (re,im) data.
+namespace fft {
+
+/// Flop count of one forward+inverse pair per SciMark's accounting.
+double num_flops(int n);
+/// In-place forward transform of n complex values (data.size() == 2n).
+void transform(std::vector<double>& data);
+/// In-place inverse transform (including 1/n normalization).
+void inverse(std::vector<double>& data);
+/// Round-trip RMS error on a random vector of n complex values; must be
+/// ~1e-15 for a correct implementation (SciMark's validation test).
+double test(int n);
+/// data[0] after `cycles` forward+inverse round trips over the seed-7 random
+/// vector — the cross-engine validation value (sm.fft.run computes the same).
+double roundtrip_checksum(int n, int cycles);
+
+}  // namespace fft
+
+// ---------------------------------------------------------------------------
+// SOR: Jacobi successive over-relaxation on an M x N grid.
+namespace sor {
+
+double num_flops(int m, int n, int iterations);
+/// G is row-major M x N.
+void execute(double omega, std::vector<double>& g, int m, int n,
+             int num_iterations);
+/// Runs on a random grid; returns G[1][1] after `iterations` (a stable
+/// checksum used for cross-engine validation).
+double checksum(int n, int iterations);
+
+/// Red-black ordered SOR: the parallelizable variant (the paper's stated
+/// future work is porting the shared-memory JGF benchmarks; red-black makes
+/// the parallel result deterministic and thread-count independent).
+void execute_redblack(double omega, std::vector<double>& g, int m, int n,
+                      int num_iterations);
+double checksum_redblack(int n, int iterations);
+
+}  // namespace sor
+
+// ---------------------------------------------------------------------------
+// Monte Carlo integration of the quarter circle (approximates pi).
+namespace montecarlo {
+
+double num_flops(int num_samples);
+double integrate(int num_samples);
+
+}  // namespace montecarlo
+
+// ---------------------------------------------------------------------------
+// Sparse matrix-vector multiply, compressed row storage.
+namespace sparse {
+
+struct Matrix {
+  std::vector<double> val;
+  std::vector<std::int32_t> row;  // size N+1
+  std::vector<std::int32_t> col;
+  int n = 0;
+};
+
+double num_flops(int n, int nz, int num_iterations);
+/// Builds the SciMark synthetic sparsity structure (nz nonzeros, N rows).
+Matrix make_matrix(int n, int nz, support::SciMarkRandom& rng);
+void matmult(std::vector<double>& y, const Matrix& a,
+             const std::vector<double>& x, int num_iterations);
+/// Sum of y after `iterations` multiplies of a random system (validation).
+double checksum(int n, int nz, int iterations);
+
+}  // namespace sparse
+
+// ---------------------------------------------------------------------------
+// LU factorization with partial pivoting.
+namespace lu {
+
+double num_flops(int n);
+/// Factors the row-major n x n matrix in place; pivot gets n entries.
+/// Returns 0 on success, 1 on singularity.
+int factor(std::vector<double>& a, int n, std::vector<std::int32_t>& pivot);
+/// ||PA - LU|| infinity norm on a random matrix (validation; ~1e-12).
+double residual(int n);
+/// a[0] of the factored random matrix (cross-engine checksum).
+double checksum(int n);
+
+}  // namespace lu
+
+}  // namespace hpcnet::kernels

@@ -1,0 +1,116 @@
+// Connect-4 alpha-beta search (JGF Search, derived from Fhourstones):
+// bitboard move generation, a transposition table, and depth-limited
+// negamax with alpha-beta pruning from the opening position. Memory- and
+// integer-intensive, as the paper describes.
+#include <cstdint>
+#include <vector>
+
+#include "kernels/jgf.hpp"
+
+namespace hpcnet::kernels::search {
+
+namespace {
+
+// Board: 7 columns x 6 rows; bitboard with 7 bits per column (top bit is a
+// sentinel), position = own stones, mask = all stones.
+constexpr int kWidth = 7;
+constexpr int kHeight = 6;
+
+bool has_won(std::uint64_t pos) {
+  // Horizontal, vertical and both diagonals.
+  for (int shift : {1, kHeight + 1, kHeight, kHeight + 2}) {
+    const std::uint64_t m = pos & (pos >> shift);
+    if ((m & (m >> (2 * shift))) != 0) return true;
+  }
+  return false;
+}
+
+constexpr std::uint64_t bottom_mask(int col) {
+  return 1ULL << (col * (kHeight + 1));
+}
+constexpr std::uint64_t column_mask(int col) {
+  return ((1ULL << kHeight) - 1) << (col * (kHeight + 1));
+}
+
+struct Table {
+  // Simple fixed-size replace-always transposition table, as the JGF
+  // benchmark keeps one (it is what makes the kernel memory-intensive).
+  struct Entry {
+    std::uint64_t key = 0;
+    std::int8_t value = 0;
+    std::int8_t depth = -1;
+  };
+  std::vector<Entry> entries;
+  explicit Table(std::size_t size) : entries(size) {}
+  Entry* find(std::uint64_t key) {
+    return &entries[key % entries.size()];
+  }
+};
+
+class Searcher {
+ public:
+  Searcher() : table_(1 << 20) {}
+
+  int negamax(std::uint64_t pos, std::uint64_t mask, int depth, int alpha,
+              int beta) {
+    ++nodes_;
+    if (depth == 0) return 0;
+
+    // Immediate win available?
+    for (int c = 0; c < kWidth; ++c) {
+      if ((mask & column_mask(c)) == column_mask(c)) continue;
+      const std::uint64_t mv = (mask + bottom_mask(c)) & column_mask(c);
+      if (has_won(pos | mv)) return (kWidth * kHeight + 2 - popcount(mask)) / 2;
+    }
+
+    const std::uint64_t key = pos * 2 + mask;
+    Table::Entry* e = table_.find(key);
+    if (e->key == key && e->depth >= depth) return e->value;
+
+    int best = -kWidth * kHeight;
+    static constexpr int order[kWidth] = {3, 2, 4, 1, 5, 0, 6};
+    for (int oc = 0; oc < kWidth; ++oc) {
+      const int c = order[oc];
+      if ((mask & column_mask(c)) == column_mask(c)) continue;  // full
+      const std::uint64_t mv = (mask + bottom_mask(c)) & column_mask(c);
+      const std::uint64_t nmask = mask | mv;
+      const int v = -negamax(mask ^ pos, nmask, depth - 1, -beta, -alpha);
+      if (v > best) best = v;
+      if (v > alpha) alpha = v;
+      if (alpha >= beta) break;
+    }
+    if (best == -kWidth * kHeight) best = 0;  // board full: draw
+
+    e->key = key;
+    e->value = static_cast<std::int8_t>(best);
+    e->depth = static_cast<std::int8_t>(depth);
+    return best;
+  }
+
+  std::int64_t nodes() const { return nodes_; }
+
+ private:
+  static int popcount(std::uint64_t v) {
+    int c = 0;
+    while (v != 0) {
+      v &= v - 1;
+      ++c;
+    }
+    return c;
+  }
+
+  Table table_;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::int64_t solve(int depth, int* score_out) {
+  Searcher s;
+  const int score =
+      s.negamax(0, 0, depth, -kWidth * kHeight, kWidth * kHeight);
+  if (score_out != nullptr) *score_out = score;
+  return s.nodes();
+}
+
+}  // namespace hpcnet::kernels::search

@@ -1,0 +1,21 @@
+#include <vector>
+
+#include "kernels/jgf.hpp"
+
+namespace hpcnet::kernels::sieve {
+
+int count_primes(int n) {
+  if (n < 2) return 0;
+  std::vector<std::uint8_t> composite(static_cast<std::size_t>(n) + 1, 0);
+  int count = 0;
+  for (int i = 2; i <= n; ++i) {
+    if (composite[static_cast<std::size_t>(i)]) continue;
+    ++count;
+    for (std::int64_t j = static_cast<std::int64_t>(i) * i; j <= n; j += i) {
+      composite[static_cast<std::size_t>(j)] = 1;
+    }
+  }
+  return count;
+}
+
+}  // namespace hpcnet::kernels::sieve

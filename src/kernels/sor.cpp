@@ -1,0 +1,70 @@
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::kernels::sor {
+
+double num_flops(int m, int n, int iterations) {
+  return (static_cast<double>(m) - 1) * (static_cast<double>(n) - 1) *
+         static_cast<double>(iterations) * 6.0;
+}
+
+void execute(double omega, std::vector<double>& g, int m, int n,
+             int num_iterations) {
+  const double omega_over_four = omega * 0.25;
+  const double one_minus_omega = 1.0 - omega;
+  const int mm1 = m - 1;
+  const int nm1 = n - 1;
+  double* G = g.data();
+  for (int p = 0; p < num_iterations; ++p) {
+    for (int i = 1; i < mm1; ++i) {
+      double* gi = G + static_cast<std::ptrdiff_t>(i) * n;
+      const double* gim1 = gi - n;
+      const double* gip1 = gi + n;
+      for (int j = 1; j < nm1; ++j) {
+        gi[j] = omega_over_four * (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1]) +
+                one_minus_omega * gi[j];
+      }
+    }
+  }
+}
+
+void execute_redblack(double omega, std::vector<double>& g, int m, int n,
+                      int num_iterations) {
+  const double omega_over_four = omega * 0.25;
+  const double one_minus_omega = 1.0 - omega;
+  const int mm1 = m - 1;
+  const int nm1 = n - 1;
+  double* G = g.data();
+  for (int p = 0; p < num_iterations; ++p) {
+    for (int phase = 0; phase < 2; ++phase) {
+      for (int i = 1; i < mm1; ++i) {
+        double* gi = G + static_cast<std::ptrdiff_t>(i) * n;
+        const double* gim1 = gi - n;
+        const double* gip1 = gi + n;
+        for (int j = 1; j < nm1; ++j) {
+          if (((i + j) & 1) != phase) continue;
+          gi[j] = omega_over_four *
+                      (gim1[j] + gip1[j] + gi[j - 1] + gi[j + 1]) +
+                  one_minus_omega * gi[j];
+        }
+      }
+    }
+  }
+}
+
+double checksum_redblack(int n, int iterations) {
+  support::SciMarkRandom rng(101010);
+  std::vector<double> g(static_cast<std::size_t>(n) * n);
+  rng.next_doubles(g.data(), n * n);
+  execute_redblack(1.25, g, n, n, iterations);
+  return g[static_cast<std::size_t>(n) + 1];
+}
+
+double checksum(int n, int iterations) {
+  support::SciMarkRandom rng(101010);
+  std::vector<double> g(static_cast<std::size_t>(n) * n);
+  rng.next_doubles(g.data(), n * n);
+  execute(1.25, g, n, n, iterations);
+  return g[static_cast<std::size_t>(n) + 1];  // G[1][1]
+}
+
+}  // namespace hpcnet::kernels::sor

@@ -1,0 +1,63 @@
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::kernels::sparse {
+
+double num_flops(int n, int nz, int num_iterations) {
+  // SciMark rounds nz down to a multiple of n (nr nonzeros per row).
+  const int actual_nz = (nz / n) * n;
+  return static_cast<double>(actual_nz) * 2.0 *
+         static_cast<double>(num_iterations);
+}
+
+Matrix make_matrix(int n, int nz, support::SciMarkRandom& rng) {
+  Matrix a;
+  a.n = n;
+  const int nr = nz / n;   // nonzeros per row
+  const int anz = nr * n;  // actual nonzeros
+  a.val.resize(static_cast<std::size_t>(anz));
+  rng.next_doubles(a.val.data(), anz);
+  a.col.resize(static_cast<std::size_t>(anz));
+  a.row.resize(static_cast<std::size_t>(n) + 1);
+  a.row[0] = 0;
+  for (int r = 0; r < n; ++r) {
+    const std::int32_t rowr = a.row[static_cast<std::size_t>(r)];
+    a.row[static_cast<std::size_t>(r) + 1] = rowr + nr;
+    int step = r / nr;
+    if (step < 1) step = 1;  // take at least unit steps
+    for (int i = 0; i < nr; ++i) {
+      a.col[static_cast<std::size_t>(rowr + i)] = i * step;
+    }
+  }
+  return a;
+}
+
+void matmult(std::vector<double>& y, const Matrix& a,
+             const std::vector<double>& x, int num_iterations) {
+  const int m = static_cast<int>(a.row.size()) - 1;
+  for (int reps = 0; reps < num_iterations; ++reps) {
+    for (int r = 0; r < m; ++r) {
+      double sum = 0.0;
+      const std::int32_t row_r = a.row[static_cast<std::size_t>(r)];
+      const std::int32_t row_rp1 = a.row[static_cast<std::size_t>(r) + 1];
+      for (std::int32_t i = row_r; i < row_rp1; ++i) {
+        sum += x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(i)])] *
+               a.val[static_cast<std::size_t>(i)];
+      }
+      y[static_cast<std::size_t>(r)] = sum;
+    }
+  }
+}
+
+double checksum(int n, int nz, int iterations) {
+  support::SciMarkRandom rng(101010);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  rng.next_doubles(x.data(), n);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  const Matrix a = make_matrix(n, nz, rng);
+  matmult(y, a, x, iterations);
+  double sum = 0;
+  for (double v : y) sum += v;
+  return sum;
+}
+
+}  // namespace hpcnet::kernels::sparse

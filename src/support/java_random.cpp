@@ -1,0 +1,114 @@
+#include "support/java_random.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hpcnet::support {
+
+void JavaRandom::set_seed(std::int64_t seed) {
+  seed_ = (seed ^ kMultiplier) & kMask;
+  have_next_gaussian_ = false;
+}
+
+std::int32_t JavaRandom::next(int bits) {
+  // Java relies on wrapping 64-bit multiplication; cast through unsigned to
+  // keep the arithmetic well-defined in C++.
+  auto s = static_cast<std::uint64_t>(seed_);
+  s = (s * static_cast<std::uint64_t>(kMultiplier) +
+       static_cast<std::uint64_t>(kAddend)) &
+      static_cast<std::uint64_t>(kMask);
+  seed_ = static_cast<std::int64_t>(s);
+  return static_cast<std::int32_t>(s >> (48 - bits));
+}
+
+std::int32_t JavaRandom::next_int() { return next(32); }
+
+std::int32_t JavaRandom::next_int(std::int32_t bound) {
+  // Matches java.util.Random.nextInt(int): power-of-two fast path plus
+  // rejection sampling for the general case.
+  if ((bound & -bound) == bound) {  // power of 2
+    return static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(bound) * next(31)) >> 31);
+  }
+  std::int32_t bits, val;
+  do {
+    bits = next(31);
+    val = bits % bound;
+  } while (bits - val + (bound - 1) < 0);
+  return val;
+}
+
+std::int64_t JavaRandom::next_long() {
+  // Unsigned math mirrors Java's wrapping ((long)next(32) << 32) + next(32).
+  auto hi = static_cast<std::uint64_t>(static_cast<std::int64_t>(next(32)))
+            << 32;
+  auto lo = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(next(32)));
+  // Java adds the sign-extended low word.
+  auto lo_signed = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(static_cast<std::int32_t>(lo)));
+  return static_cast<std::int64_t>(hi + lo_signed);
+}
+
+bool JavaRandom::next_boolean() { return next(1) != 0; }
+
+float JavaRandom::next_float() {
+  return static_cast<float>(next(24)) / static_cast<float>(1 << 24);
+}
+
+double JavaRandom::next_double() {
+  return static_cast<double>((static_cast<std::int64_t>(next(26)) << 27) +
+                             next(27)) *
+         0x1.0p-53;
+}
+
+double JavaRandom::next_gaussian() {
+  if (have_next_gaussian_) {
+    have_next_gaussian_ = false;
+    return next_gaussian_;
+  }
+  double v1, v2, s;
+  do {
+    v1 = 2 * next_double() - 1;
+    v2 = 2 * next_double() - 1;
+    s = v1 * v1 + v2 * v2;
+  } while (s >= 1 || s == 0);
+  const double multiplier = std::sqrt(-2 * std::log(s) / s);
+  next_gaussian_ = v2 * multiplier;
+  have_next_gaussian_ = true;
+  return v1 * multiplier;
+}
+
+void SciMarkRandom::initialize(int seed) {
+  seed_ = seed;
+  int jseed = std::abs(seed);
+  if (jseed > kM1) jseed = kM1;
+  if (jseed % 2 == 0) --jseed;
+  const int k0 = 9069 % kM2;
+  const int k1 = 9069 / kM2;
+  int j0 = jseed % kM2;
+  int j1 = jseed / kM2;
+  for (int iloop = 0; iloop < 17; ++iloop) {
+    jseed = j0 * k0;
+    j1 = (jseed / kM2 + j0 * k1 + j1 * k0) % (kM2 / 2);
+    j0 = jseed % kM2;
+    m_[iloop] = j0 + kM2 * j1;
+  }
+  i_ = 4;
+  j_ = 16;
+}
+
+double SciMarkRandom::next_double() {
+  int k = m_[i_] - m_[j_];
+  if (k < 0) k += kM1;
+  m_[j_] = k;
+  i_ = (i_ == 0) ? 16 : i_ - 1;
+  j_ = (j_ == 0) ? 16 : j_ - 1;
+  return (1.0 / kM1) * static_cast<double>(k);
+}
+
+void SciMarkRandom::next_doubles(double* out, int n) {
+  for (int idx = 0; idx < n; ++idx) out[idx] = next_double();
+}
+
+}  // namespace hpcnet::support

@@ -1,0 +1,73 @@
+// Bit-exact port of java.util.Random (the 48-bit LCG defined by the Java
+// Platform spec). The paper deliberately kept the random number generator
+// identical between the Java and C# benchmark sources so that all runtimes
+// compute the same numeric results; we keep the same discipline across the
+// native kernels and the CIL kernels so results can be cross-validated.
+//
+// Also provides the Gaussian (Box-Muller polar) method that the paper notes
+// had to be hand-ported because the CLI base library lacks it.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcnet::support {
+
+class JavaRandom {
+ public:
+  /// Seeds exactly as java.util.Random(long seed) does.
+  explicit JavaRandom(std::int64_t seed = 0) { set_seed(seed); }
+
+  void set_seed(std::int64_t seed);
+
+  /// next(bits): core LCG step, returns the high `bits` bits.
+  std::int32_t next(int bits);
+
+  std::int32_t next_int();
+  /// Uniform in [0, bound), bound > 0; matches Java's rejection algorithm.
+  std::int32_t next_int(std::int32_t bound);
+  std::int64_t next_long();
+  bool next_boolean();
+  float next_float();
+  double next_double();
+  /// Standard normal deviate via the polar method (java.util.Random layout).
+  double next_gaussian();
+
+  /// Raw 48-bit internal state (for tests).
+  std::int64_t state() const { return seed_; }
+
+ private:
+  std::int64_t seed_ = 0;
+  double next_gaussian_ = 0.0;
+  bool have_next_gaussian_ = false;
+
+  static constexpr std::int64_t kMultiplier = 0x5DEECE66DLL;
+  static constexpr std::int64_t kAddend = 0xBLL;
+  static constexpr std::int64_t kMask = (1LL << 48) - 1;
+};
+
+/// The SciMark 2.0 `Random` class is *not* java.util.Random: it is a lagged
+/// Fibonacci generator (Knuth) that the benchmark uses for MonteCarlo, LU and
+/// SparseCompRow input generation. Ported bit-exactly from the reference
+/// SciMark 2.0 Java source so kernel inputs match across engines.
+class SciMarkRandom {
+ public:
+  explicit SciMarkRandom(int seed = 101010) { initialize(seed); }
+
+  double next_double();
+  void next_doubles(double* out, int n);
+
+ private:
+  void initialize(int seed);
+
+  int seed_ = 0;
+  int m_[17] = {};
+  int i_ = 4;
+  int j_ = 16;
+
+  static constexpr int kMdig = 32;
+  // m1 = 2^(mdig-2) + (2^(mdig-2) - 1) = 2^31 - 1
+  static constexpr int kM1 = (1 << (kMdig - 2)) + ((1 << (kMdig - 2)) - 1);
+  static constexpr int kM2 = 1 << (kMdig / 2);
+};
+
+}  // namespace hpcnet::support

@@ -1,0 +1,120 @@
+#include "support/reporter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+
+namespace hpcnet::support {
+
+namespace {
+constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::size_t ResultTable::column(const std::string& name) {
+  for (std::size_t i = 0; i < col_names_.size(); ++i) {
+    if (col_names_[i] == name) return i;
+  }
+  col_names_.push_back(name);
+  for (auto& r : cells_) r.push_back(kUnset);
+  return col_names_.size() - 1;
+}
+
+std::size_t ResultTable::row(const std::string& name) {
+  for (std::size_t i = 0; i < row_names_.size(); ++i) {
+    if (row_names_[i] == name) return i;
+  }
+  row_names_.push_back(name);
+  cells_.emplace_back(col_names_.size(), kUnset);
+  return row_names_.size() - 1;
+}
+
+void ResultTable::set(const std::string& row_name, const std::string& col_name,
+                      double value) {
+  const std::size_t r = row(row_name);
+  const std::size_t c = column(col_name);
+  cells_[r][c] = value;
+}
+
+double ResultTable::get(const std::string& row_name,
+                        const std::string& col_name) const {
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    if (row_names_[r] != row_name) continue;
+    for (std::size_t c = 0; c < col_names_.size(); ++c) {
+      if (col_names_[c] == col_name) return cells_[r][c];
+    }
+  }
+  return kUnset;
+}
+
+bool ResultTable::has(const std::string& row_name,
+                      const std::string& col_name) const {
+  return !std::isnan(get(row_name, col_name));
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2E", v);
+  return buf;
+}
+
+void ResultTable::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  std::size_t name_w = 4;
+  for (const auto& r : row_names_) name_w = std::max(name_w, r.size());
+  os << std::left << std::setw(static_cast<int>(name_w) + 2) << "";
+  for (const auto& c : col_names_) {
+    os << std::right << std::setw(std::max<int>(12, static_cast<int>(c.size()) + 2))
+       << c;
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    os << std::left << std::setw(static_cast<int>(name_w) + 2) << row_names_[r];
+    for (std::size_t c = 0; c < col_names_.size(); ++c) {
+      const int w =
+          std::max<int>(12, static_cast<int>(col_names_[c].size()) + 2);
+      if (std::isnan(cells_[r][c])) {
+        os << std::right << std::setw(w) << "-";
+      } else {
+        os << std::right << std::setw(w) << sci(cells_[r][c]);
+      }
+    }
+    os << "\n";
+  }
+}
+
+void ResultTable::print_csv(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  os << "benchmark";
+  for (const auto& c : col_names_) os << "," << c;
+  os << "\n";
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    os << row_names_[r];
+    for (std::size_t c = 0; c < col_names_.size(); ++c) {
+      os << ",";
+      if (!std::isnan(cells_[r][c])) os << cells_[r][c];
+    }
+    os << "\n";
+  }
+}
+
+ResultTable ResultTable::normalized_to(const std::string& col_name,
+                                       const std::string& new_title) const {
+  ResultTable out(new_title);
+  std::size_t ref = col_names_.size();
+  for (std::size_t c = 0; c < col_names_.size(); ++c) {
+    if (col_names_[c] == col_name) ref = c;
+  }
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    const double denom = ref < col_names_.size() ? cells_[r][ref] : kUnset;
+    for (std::size_t c = 0; c < col_names_.size(); ++c) {
+      if (!std::isnan(cells_[r][c]) && !std::isnan(denom) && denom != 0) {
+        out.set(row_names_[r], col_names_[c], cells_[r][c] / denom);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcnet::support

@@ -1,0 +1,55 @@
+// Table/CSV reporting in the layout of the paper's graphs: one row per
+// operation, one column per virtual machine. Both the bench binaries and the
+// example programs print through this so the output lines up with the graphs
+// in the paper (ops/sec for micro-benchmarks, MFlops for SciMark).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpcnet::support {
+
+/// A rectangular results table: columns are engines/VMs, rows are benchmark
+/// operations, cells are scores. Missing cells render as "-".
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+  /// Returns the column index (creating it if needed).
+  std::size_t column(const std::string& name);
+  /// Returns the row index (creating it if needed).
+  std::size_t row(const std::string& name);
+
+  void set(const std::string& row_name, const std::string& col_name,
+           double value);
+  /// NaN if unset.
+  double get(const std::string& row_name, const std::string& col_name) const;
+  bool has(const std::string& row_name, const std::string& col_name) const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& rows() const { return row_names_; }
+  const std::vector<std::string>& columns() const { return col_names_; }
+
+  /// Pretty-print with aligned columns, in scientific notation like the
+  /// paper's axis labels (e.g. 2.50E+08).
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV (title as a comment line).
+  void print_csv(std::ostream& os) const;
+
+  /// Normalize every cell by the named column (e.g. relative-to-native),
+  /// returning a new table. Cells in the reference column become 1.0.
+  ResultTable normalized_to(const std::string& col_name,
+                            const std::string& new_title) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> row_names_;
+  std::vector<std::string> col_names_;
+  std::vector<std::vector<double>> cells_;  // [row][col], NaN = unset
+};
+
+/// Formats a double as the paper's axes do: "3.50E+08".
+std::string sci(double v);
+
+}  // namespace hpcnet::support

@@ -1,0 +1,16 @@
+#include "support/timer.hpp"
+
+namespace hpcnet::support {
+
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+double elapsed_seconds(std::int64_t start_ns, std::int64_t end_ns) {
+  return static_cast<double>(end_ns - start_ns) * 1e-9;
+}
+
+}  // namespace hpcnet::support

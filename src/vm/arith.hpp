@@ -1,0 +1,111 @@
+// Shared CIL arithmetic semantics. Every engine must produce bit-identical
+// results (the paper validates each kernel's output across runtimes), so the
+// exact wrap/truncate/NaN rules live here, once.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace hpcnet::vm::arith {
+
+// Two's-complement wrapping ops (well-defined via unsigned arithmetic).
+inline std::int32_t add_i32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int32_t sub_i32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int32_t mul_i32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int64_t add_i64(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t sub_i64(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t mul_i64(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+/// Integer division outcome: CIL `div`/`rem` throw DivideByZeroException on a
+/// zero divisor and ArithmeticException on MinValue / -1 overflow.
+enum class DivStatus { Ok, DivideByZero, Overflow };
+
+inline DivStatus div_i32(std::int32_t a, std::int32_t b, std::int32_t* out) {
+  if (b == 0) return DivStatus::DivideByZero;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+    return DivStatus::Overflow;
+  }
+  *out = a / b;
+  return DivStatus::Ok;
+}
+inline DivStatus rem_i32(std::int32_t a, std::int32_t b, std::int32_t* out) {
+  if (b == 0) return DivStatus::DivideByZero;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+    *out = 0;  // CLI rem does not overflow; result is 0
+    return DivStatus::Ok;
+  }
+  *out = a % b;
+  return DivStatus::Ok;
+}
+inline DivStatus div_i64(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  if (b == 0) return DivStatus::DivideByZero;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+    return DivStatus::Overflow;
+  }
+  *out = a / b;
+  return DivStatus::Ok;
+}
+inline DivStatus rem_i64(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  if (b == 0) return DivStatus::DivideByZero;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+    *out = 0;
+    return DivStatus::Ok;
+  }
+  *out = a % b;
+  return DivStatus::Ok;
+}
+
+// Shift counts are masked like the hardware (and the CLR) does.
+inline std::int32_t shl_i32(std::int32_t a, std::int32_t n) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a)
+                                   << (n & 31));
+}
+inline std::int32_t shr_i32(std::int32_t a, std::int32_t n) { return a >> (n & 31); }
+inline std::int32_t shru_i32(std::int32_t a, std::int32_t n) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >> (n & 31));
+}
+inline std::int64_t shl_i64(std::int64_t a, std::int32_t n) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                   << (n & 63));
+}
+inline std::int64_t shr_i64(std::int64_t a, std::int32_t n) { return a >> (n & 63); }
+inline std::int64_t shru_i64(std::int64_t a, std::int32_t n) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> (n & 63));
+}
+
+/// Float-to-int truncation toward zero; out-of-range and NaN saturate to
+/// MinValue (the x86 cvttsd2si "integer indefinite" value the CLR produces).
+inline std::int32_t f_to_i32(double v) {
+  if (std::isnan(v) || v >= 2147483648.0 || v < -2147483648.0) {
+    return std::numeric_limits<std::int32_t>::min();
+  }
+  return static_cast<std::int32_t>(v);
+}
+inline std::int64_t f_to_i64(double v) {
+  if (std::isnan(v) || v >= 9223372036854775808.0 ||
+      v < -9223372036854775808.0) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace hpcnet::vm::arith

@@ -1,0 +1,34 @@
+// CIL disassembly and per-engine "machine code" dumps — the toolchain behind
+// the paper's §5 JIT-quality study (Tables 5-8): the same benchmark loop is
+// shown as CIL, as the Baseline tier executes it (literal stack traffic), and
+// as each Optimizing profile compiles it (register IR after passes).
+#pragma once
+
+#include <string>
+
+#include "vm/execution.hpp"
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+/// Disassembles a method's stack IL (one instruction per line, with labels).
+std::string disassemble_cil(const Module& module, std::int32_t method_id);
+
+/// Compiles the method under `profile` (must be an Optimizing profile) and
+/// returns the register IR listing — what that "JIT" would execute.
+std::string disassemble_compiled(VirtualMachine& vm, std::int32_t method_id,
+                                 const EngineProfile& profile);
+
+/// Instruction-count summary across tiers for the same method: how many
+/// dispatched operations each engine executes per IL instruction (the
+/// paper's "level of optimization of the emitted code" comparison).
+struct CodeQuality {
+  std::size_t cil_instructions = 0;
+  std::size_t interp_dispatches = 0;    // == CIL, with dynamic tag checks
+  std::size_t baseline_dispatches = 0;  // == CIL, type-specialized
+  std::size_t optimized_instructions = 0;
+};
+CodeQuality code_quality(VirtualMachine& vm, std::int32_t method_id,
+                         const EngineProfile& profile);
+
+}  // namespace hpcnet::vm

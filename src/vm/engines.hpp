@@ -1,0 +1,18 @@
+// Internal: per-tier engine factories (implemented in interpreter.cpp,
+// baseline.cpp and optimizing.cpp). Public code uses make_engine().
+#pragma once
+
+#include <memory>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::vm {
+
+std::unique_ptr<Engine> make_interpreter(VirtualMachine& vm,
+                                         EngineProfile profile);
+std::unique_ptr<Engine> make_baseline(VirtualMachine& vm,
+                                      EngineProfile profile);
+std::unique_ptr<Engine> make_optimizing(VirtualMachine& vm,
+                                        EngineProfile profile);
+
+}  // namespace hpcnet::vm

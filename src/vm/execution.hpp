@@ -1,0 +1,298 @@
+// The Virtual Execution System: the VirtualMachine facade (heap, monitors,
+// managed threads, safepoints, GC), per-thread VMContext, and the Engine
+// interface implemented by the three tiers the paper compares:
+//
+//   Tier::Interp     — per-instruction dynamic dispatch (SSCLI/Rotor role)
+//   Tier::Baseline   — type-specialized threaded code   (Mono 0.23 role)
+//   Tier::Optimizing — stack-to-register JIT + passes   (CLR 1.1 / JVM role)
+//
+// A named EngineProfile selects a tier plus the optimization-pass mix that
+// reproduces each paper VM's observed behaviour (see DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/java_random.hpp"
+#include "vm/heap.hpp"
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+class VirtualMachine;
+class Engine;
+class MonitorTable;
+struct VMContext;
+
+// ---------------------------------------------------------------------------
+// Engine profiles.
+
+enum class Tier : std::uint8_t { Interp, Baseline, Optimizing };
+
+/// Optimization-pass flags for the Optimizing tier. Each maps to a behaviour
+/// the paper observed in a specific JIT (DESIGN.md §5).
+struct EngineFlags {
+  bool copy_propagation = true;   // enregistration of stack traffic
+  bool fuse_cmp_branch = true;    // compare+branch superinstructions
+  bool imm_operands = true;       // constant operands folded into instructions
+  bool bounds_check_elim = true;  // hoist array bounds checks in counted loops
+  bool redundant_const_store = false;  // CLR 1.1 quirk: spills the divisor
+                                       // constant to a temp (paper Table 6)
+  bool div_imm_fusion = false;    // IBM JVM: keeps the divisor as an immediate
+  bool mul_imm_fusion = false;    // CLR: immediate multiply forms
+  int enregister_limit = 1 << 30;  // locals beyond this stay in memory
+                                   // (CLR 1.0/1.1 used 64; paper §5)
+  bool fast_multidim = true;   // direct rank-2 indexing vs generic helper
+  bool fast_math = true;       // inlined math intrinsics vs generic call path
+  bool cheap_exceptions = false;  // JVM-style lightweight throw path
+};
+
+struct EngineProfile {
+  std::string name;
+  Tier tier = Tier::Optimizing;
+  EngineFlags flags;
+};
+
+/// The seven VM configurations benchmarked by the paper, plus "native" which
+/// is handled outside the VM (src/kernels).
+namespace profiles {
+EngineProfile clr11();
+EngineProfile ibm131();
+EngineProfile sun14();
+EngineProfile bea81();
+EngineProfile jsharp11();
+EngineProfile mono023();
+EngineProfile rotor10();
+/// All of the above, in the paper's presentation order.
+std::vector<EngineProfile> all();
+/// Lookup by name; throws std::invalid_argument for unknown names.
+EngineProfile by_name(const std::string& name);
+}  // namespace profiles
+
+// ---------------------------------------------------------------------------
+// GC stack walking.
+
+/// A node in a thread's shadow stack. Engines push one per managed frame and
+/// implement enumerate() to report the frame's live object references.
+struct GcFrame {
+  GcFrame* parent = nullptr;
+  void (*enumerate)(const GcFrame* self, void (*visit)(ObjRef, void*),
+                    void* arg) = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Frame arena: bump allocation for activation records.
+
+class FrameArena {
+ public:
+  explicit FrameArena(std::size_t bytes = 16u << 20)
+      : buf_(new char[bytes]), size_(bytes) {}
+
+  struct Mark {
+    std::size_t pos;
+  };
+  Mark mark() const { return {pos_}; }
+  void release(Mark m) { pos_ = m.pos; }
+
+  /// Returns zeroed, Slot-aligned storage; throws on overflow (the managed
+  /// "stack overflow" condition).
+  void* alloc(std::size_t bytes);
+
+ private:
+  std::unique_ptr<char[]> buf_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Managed exception escaping to native code.
+
+class ManagedException : public std::runtime_error {
+ public:
+  ManagedException(std::string class_name, std::string message)
+      : std::runtime_error(class_name + ": " + message),
+        class_name_(std::move(class_name)),
+        message_(std::move(message)) {}
+  const std::string& class_name() const { return class_name_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string class_name_;
+  std::string message_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-thread execution context.
+
+struct VMContext {
+  VirtualMachine* vm = nullptr;
+  Engine* engine = nullptr;  // engine executing this thread's managed code
+  std::uint32_t thread_id = 0;  // 1-based managed thread id
+  std::thread::id os_id{};      // the attached OS thread
+  GcFrame* top_frame = nullptr;
+  ObjRef pending_exception = nullptr;
+  FrameArena arena;
+  support::JavaRandom math_random{20030315};  // Math.random() state
+
+  bool has_pending() const { return pending_exception != nullptr; }
+};
+
+// ---------------------------------------------------------------------------
+// Engine interface.
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Runs `method_id` with `args` on the calling thread. If a managed
+  /// exception escapes the outermost frame it is rethrown as
+  /// ManagedException. `ctx` must be attached to the VM.
+  Slot invoke(VMContext& ctx, std::int32_t method_id,
+              std::span<const Slot> args);
+
+  virtual const EngineProfile& profile() const = 0;
+  const std::string& name() const { return profile().name; }
+
+ protected:
+  /// Engine-specific execution; on managed exception, sets
+  /// ctx.pending_exception and returns (return value undefined).
+  virtual Slot do_invoke(VMContext& ctx, const MethodDef& method,
+                         Slot* args) = 0;
+  friend class VirtualMachine;
+};
+
+/// Creates the engine for a profile, bound to `vm`.
+std::unique_ptr<Engine> make_engine(VirtualMachine& vm,
+                                    const EngineProfile& profile);
+
+// ---------------------------------------------------------------------------
+// The VM.
+
+class VirtualMachine {
+ public:
+  VirtualMachine();
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  Module& module() { return module_; }
+  Heap& heap() { return heap_; }
+  MonitorTable& monitors() { return *monitors_; }
+
+  /// Attaches the calling thread as a managed thread. The returned context
+  /// must be detached before the thread exits. The "main" thread of examples
+  /// and tests typically uses main_context() instead.
+  std::unique_ptr<VMContext> attach_thread(Engine* engine);
+  void detach_thread(VMContext& ctx);
+
+  /// Lazily-attached context for the calling (host) thread.
+  VMContext& main_context();
+
+  // -- Safepoint protocol --------------------------------------------------
+  /// Fast-path poll, called by engines at back-edges and calls.
+  void safepoint_poll(VMContext& ctx) {
+    if (stw_requested_.load(std::memory_order_acquire)) safepoint_park(ctx);
+  }
+  /// Marks the thread GC-safe across a blocking operation (monitor wait,
+  /// join, sleep). While safe, the thread must not touch the managed heap.
+  void enter_safe_region(VMContext& ctx);
+  void leave_safe_region(VMContext& ctx);
+
+  /// Stops the world, marks from all roots, sweeps. Called automatically at
+  /// the allocation threshold; callable directly (GC.Collect).
+  void collect();
+
+  // -- Exception helpers ----------------------------------------------------
+  /// Allocates an exception instance of `class_id` with `message`.
+  ObjRef make_exception(VMContext& ctx, std::int32_t class_id,
+                        const std::string& message);
+  /// Sets ctx.pending_exception to a new instance of `class_id`.
+  void throw_exception(VMContext& ctx, std::int32_t class_id,
+                       const std::string& message);
+  /// Class name + message of an exception object (for ManagedException).
+  std::pair<std::string, std::string> describe_exception(ObjRef exc);
+
+  // -- Pinned handles (native code holding refs across allocations) --------
+  void pin(ObjRef obj);
+  void unpin(ObjRef obj);
+
+  // -- Managed threads -------------------------------------------------------
+  /// Starts a managed thread running `method_id(arg)` on `engine`; returns a
+  /// handle object. Used by the Thread.Start intrinsic and the MT benchmarks.
+  ObjRef start_thread(VMContext& ctx, std::int32_t method_id, ObjRef arg);
+  /// Joins the thread behind `handle` (safe-region blocking).
+  void join_thread(VMContext& ctx, ObjRef handle);
+  std::int32_t thread_class() const { return thread_class_; }
+
+  /// Number of GCs performed (tests).
+  std::size_t gc_count() const { return gc_count_.load(); }
+
+ private:
+  friend class Engine;
+  void safepoint_park(VMContext& ctx);
+  void mark_roots();
+  bool calling_thread_attached_locked() const;
+  void attach_locked(VMContext& ctx, std::unique_lock<std::mutex>& lock);
+
+  Module module_;
+  Heap heap_;
+  std::unique_ptr<MonitorTable> monitors_;
+  std::int32_t thread_class_ = -1;
+
+  // Thread registry + safepoint state.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;    // signalled when a thread parks
+  std::condition_variable resume_cv_;  // signalled when the world resumes
+  std::atomic<bool> stw_requested_{false};
+  int num_running_ = 0;
+  std::vector<VMContext*> contexts_;  // all attached threads
+  std::uint32_t next_thread_id_ = 1;
+  std::mutex world_mu_;  // serializes collections
+  std::atomic<std::size_t> gc_count_{0};
+
+  // Managed thread table.
+  struct ManagedThread {
+    std::thread thread;
+    ObjRef arg = nullptr;        // root until the thread picks it up
+    ObjRef handle = nullptr;     // root for the handle object
+    std::atomic<bool> done{false};
+    bool joined = false;
+  };
+  std::mutex threads_mu_;
+  std::vector<std::unique_ptr<ManagedThread>> threads_;
+
+  std::mutex pins_mu_;
+  std::vector<ObjRef> pinned_;
+
+  std::mutex main_ctx_mu_;
+  std::unique_ptr<VMContext> main_ctx_;
+};
+
+/// RAII pin.
+class Pinned {
+ public:
+  Pinned(VirtualMachine& vm, ObjRef obj) : vm_(&vm), obj_(obj) {
+    if (obj_ != nullptr) vm_->pin(obj_);
+  }
+  ~Pinned() {
+    if (obj_ != nullptr) vm_->unpin(obj_);
+  }
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+  ObjRef get() const { return obj_; }
+
+ private:
+  VirtualMachine* vm_;
+  ObjRef obj_;
+};
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,184 @@
+#include "vm/heap.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace hpcnet::vm {
+
+std::size_t elem_size(ValType t) {
+  switch (t) {
+    case ValType::I32: return 4;
+    case ValType::I64: return 8;
+    case ValType::F32: return 4;
+    case ValType::F64: return 8;
+    case ValType::Ref: return sizeof(ObjRef);
+    case ValType::None: break;
+  }
+  return 8;
+}
+
+Heap::Heap(Module* module, std::size_t gc_threshold_bytes)
+    : module_(module), threshold_(gc_threshold_bytes) {}
+
+Heap::~Heap() {
+  for (ObjRef o : objects_) ::operator delete(o, std::align_val_t{alignof(Slot)});
+}
+
+ObjRef Heap::alloc_raw(std::size_t payload_bytes) {
+  // Trigger a collection outside the allocation lock so the GC can take it.
+  if (bytes_since_gc_ > threshold_ && gc_requester_) {
+    gc_requester_();
+  }
+  const std::size_t total = sizeof(ObjHeader) + payload_bytes;
+  void* mem = ::operator new(total, std::align_val_t{alignof(Slot)});
+  std::memset(mem, 0, total);
+  auto* obj = new (mem) ObjHeader();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_.push_back(obj);
+    sizes_.push_back(total);
+    bytes_since_gc_ += total;
+    live_bytes_ += total;
+    ++stats_.total_allocations;
+  }
+  return obj;
+}
+
+ObjRef Heap::alloc_instance(std::int32_t class_id) {
+  const auto& cls = module_->klass(class_id);
+  ObjRef obj = alloc_raw(cls.fields.size() * sizeof(Slot));
+  obj->kind = ObjKind::Instance;
+  obj->klass = class_id;
+  obj->length = static_cast<std::int32_t>(cls.fields.size());
+  return obj;
+}
+
+ObjRef Heap::alloc_array(ValType elem, std::int32_t length) {
+  if (length < 0) throw std::invalid_argument("negative array length");
+  ObjRef obj = alloc_raw(static_cast<std::size_t>(length) * elem_size(elem));
+  obj->kind = ObjKind::Array;
+  obj->elem = elem;
+  obj->length = length;
+  return obj;
+}
+
+ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows,
+                           std::int32_t cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative matrix dim");
+  ObjRef obj = alloc_raw(static_cast<std::size_t>(rows) *
+                         static_cast<std::size_t>(cols) * elem_size(elem));
+  obj->kind = ObjKind::Matrix2;
+  obj->elem = elem;
+  obj->length = rows;
+  obj->cols = cols;
+  return obj;
+}
+
+ObjRef Heap::alloc_box(ValType type, Slot value) {
+  ObjRef obj = alloc_raw(sizeof(Slot));
+  obj->kind = ObjKind::Boxed;
+  obj->elem = type;
+  obj->length = 1;
+  obj->fields()[0] = value;
+  return obj;
+}
+
+ObjRef Heap::alloc_string(const std::string& s) {
+  ObjRef obj = alloc_raw(s.size());
+  obj->kind = ObjKind::String;
+  obj->length = static_cast<std::int32_t>(s.size());
+  std::memcpy(obj->chars(), s.data(), s.size());
+  return obj;
+}
+
+void Heap::mark(ObjRef root) {
+  if (root == nullptr || root->marked) return;
+  std::vector<ObjRef> worklist;
+  root->marked = true;
+  worklist.push_back(root);
+  while (!worklist.empty()) {
+    ObjRef obj = worklist.back();
+    worklist.pop_back();
+    trace(obj, worklist);
+  }
+}
+
+void Heap::trace(ObjRef obj, std::vector<ObjRef>& worklist) {
+  auto push = [&](ObjRef child) {
+    if (child != nullptr && !child->marked) {
+      child->marked = true;
+      worklist.push_back(child);
+    }
+  };
+  switch (obj->kind) {
+    case ObjKind::Instance: {
+      const auto& cls = module_->klass(obj->klass);
+      Slot* f = obj->fields();
+      for (std::size_t i = 0; i < cls.fields.size(); ++i) {
+        if (cls.fields[i].type == ValType::Ref) push(f[i].ref);
+      }
+      break;
+    }
+    case ObjKind::Array:
+      if (obj->elem == ValType::Ref) {
+        ObjRef* data = obj->ref_data();
+        for (std::int32_t i = 0; i < obj->length; ++i) push(data[i]);
+      }
+      break;
+    case ObjKind::Matrix2:
+      if (obj->elem == ValType::Ref) {
+        ObjRef* data = obj->ref_data();
+        const std::int64_t n =
+            static_cast<std::int64_t>(obj->length) * obj->cols;
+        for (std::int64_t i = 0; i < n; ++i) push(data[i]);
+      }
+      break;
+    case ObjKind::Boxed:
+      if (obj->elem == ValType::Ref) push(obj->fields()[0].ref);
+      break;
+    case ObjKind::String:
+      break;
+  }
+}
+
+void Heap::sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    ObjRef obj = objects_[i];
+    if (obj->marked) {
+      obj->marked = false;
+      objects_[out] = obj;
+      sizes_[out] = sizes_[i];
+      ++out;
+    } else {
+      live_bytes_ -= sizes_[i];
+      ++stats_.swept_objects;
+      ::operator delete(obj, std::align_val_t{alignof(Slot)});
+    }
+  }
+  objects_.resize(out);
+  sizes_.resize(out);
+  bytes_since_gc_ = 0;
+  ++stats_.collections;
+}
+
+HeapStats Heap::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HeapStats s = stats_;
+  s.live_objects = objects_.size();
+  s.live_bytes = live_bytes_;
+  return s;
+}
+
+void Heap::request_gc() {
+  if (gc_requester_) gc_requester_();
+}
+
+std::string string_value(ObjRef s) {
+  if (s == nullptr || s->kind != ObjKind::String) return {};
+  return std::string(s->chars(), static_cast<std::size_t>(s->length));
+}
+
+}  // namespace hpcnet::vm

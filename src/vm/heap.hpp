@@ -1,0 +1,110 @@
+// Managed heap: objects, 1-D arrays, true rank-2 arrays, boxes and strings,
+// with a stop-the-world mark-sweep collector. The CLI requires automatic heap
+// management; the benchmarks (Create, Serial, Boxing, the SciMark kernels'
+// array traffic) all allocate through here.
+//
+// Collection protocol: allocation is the only GC trigger. When the allocation
+// budget is exceeded, the allocating thread asks the VirtualMachine (via the
+// gc_requester callback) to bring all managed threads to safepoints and then
+// runs mark (from the roots the VM enumerates) and sweep.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "vm/module.hpp"
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+enum class ObjKind : std::uint8_t { Instance, Array, Matrix2, Boxed, String };
+
+struct ObjHeader {
+  std::int32_t klass = -1;   // class id for Instance; -1 otherwise
+  ObjKind kind = ObjKind::Instance;
+  ValType elem = ValType::None;  // element type for Array/Matrix2/Boxed
+  bool marked = false;
+  std::uint32_t lock_id = 0;  // 1-based monitor-table index, 0 = never locked
+  std::int32_t length = 0;    // Array: elements; Matrix2: rows; String: bytes;
+                              // Instance: field count; Boxed: 1
+  std::int32_t cols = 0;      // Matrix2 only
+
+  // Payload follows the header, 8-byte aligned.
+  Slot* fields() { return reinterpret_cast<Slot*>(this + 1); }
+  const Slot* fields() const { return reinterpret_cast<const Slot*>(this + 1); }
+  void* data() { return this + 1; }
+  const void* data() const { return this + 1; }
+
+  std::int32_t* i32_data() { return static_cast<std::int32_t*>(data()); }
+  std::int64_t* i64_data() { return static_cast<std::int64_t*>(data()); }
+  float* f32_data() { return static_cast<float*>(data()); }
+  double* f64_data() { return static_cast<double*>(data()); }
+  ObjRef* ref_data() { return static_cast<ObjRef*>(data()); }
+  char* chars() { return static_cast<char*>(data()); }
+  const char* chars() const { return static_cast<const char*>(data()); }
+};
+
+/// Bytes per element for array storage.
+std::size_t elem_size(ValType t);
+
+struct HeapStats {
+  std::size_t live_objects = 0;
+  std::size_t live_bytes = 0;
+  std::size_t total_allocations = 0;
+  std::size_t collections = 0;
+  std::size_t swept_objects = 0;
+};
+
+class Heap {
+ public:
+  /// `module` supplies field layouts for marking instances.
+  explicit Heap(Module* module, std::size_t gc_threshold_bytes = 64u << 20);
+  ~Heap();
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  /// Called (with the allocation lock *not* held) when the budget is
+  /// exceeded; responsible for stopping the world and calling collect().
+  void set_gc_requester(std::function<void()> fn) { gc_requester_ = std::move(fn); }
+
+  ObjRef alloc_instance(std::int32_t class_id);
+  ObjRef alloc_array(ValType elem, std::int32_t length);
+  ObjRef alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols);
+  ObjRef alloc_box(ValType type, Slot value);
+  ObjRef alloc_string(const std::string& s);
+
+  /// Mark phase: call mark() for every root, then trace().
+  void mark(ObjRef root);
+  /// Sweep unmarked objects and reset marks. World must be stopped.
+  void sweep();
+
+  HeapStats stats() const;
+  std::size_t bytes_since_gc() const { return bytes_since_gc_; }
+  void set_threshold(std::size_t bytes) { threshold_ = bytes; }
+
+  /// Forces a full collection via the registered requester (tests/examples).
+  void request_gc();
+
+ private:
+  ObjRef alloc_raw(std::size_t payload_bytes);
+  void trace(ObjRef obj, std::vector<ObjRef>& worklist);
+
+  Module* module_;
+  std::function<void()> gc_requester_;
+  mutable std::mutex mu_;
+  std::vector<ObjRef> objects_;
+  std::vector<std::size_t> sizes_;  // parallel to objects_ (payload+header)
+  std::size_t bytes_since_gc_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t threshold_;
+  HeapStats stats_{};
+};
+
+/// String helpers.
+std::string string_value(ObjRef s);
+
+}  // namespace hpcnet::vm

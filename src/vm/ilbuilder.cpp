@@ -1,0 +1,242 @@
+#include "vm/ilbuilder.hpp"
+
+#include <stdexcept>
+
+namespace hpcnet::vm {
+
+ILBuilder::ILBuilder(Module& module, std::string name, MethodSig sig)
+    : module_(module), name_(std::move(name)), sig_(std::move(sig)) {}
+
+std::int32_t ILBuilder::add_local(ValType t) {
+  locals_.push_back(t);
+  return static_cast<std::int32_t>(locals_.size()) - 1;
+}
+
+ILBuilder::Label ILBuilder::new_label() {
+  label_targets_.push_back(-1);
+  return Label{static_cast<std::int32_t>(label_targets_.size()) - 1};
+}
+
+void ILBuilder::bind(Label l) {
+  if (l.id < 0 || static_cast<std::size_t>(l.id) >= label_targets_.size()) {
+    throw std::logic_error("bind: bad label");
+  }
+  if (label_targets_[static_cast<std::size_t>(l.id)] != -1) {
+    throw std::logic_error("bind: label already bound");
+  }
+  label_targets_[static_cast<std::size_t>(l.id)] = here();
+}
+
+ILBuilder& ILBuilder::emit_branch(Op op, Label l) {
+  fixups_.emplace_back(here(), l.id);
+  return emit(Instr::make(op));
+}
+
+ILBuilder& ILBuilder::ldc_i4(std::int32_t v) {
+  Instr in = Instr::make(Op::LDC_I4);
+  in.imm.i64 = v;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldc_i8(std::int64_t v) {
+  Instr in = Instr::make(Op::LDC_I8);
+  in.imm.i64 = v;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldc_r4(float v) {
+  Instr in = Instr::make(Op::LDC_R4);
+  in.imm.f64 = static_cast<double>(v);
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldc_r8(double v) {
+  Instr in = Instr::make(Op::LDC_R8);
+  in.imm.f64 = v;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldnull() { return emit(Instr::make(Op::LDNULL)); }
+ILBuilder& ILBuilder::ldstr(const std::string& s) {
+  return emit(Instr::make(Op::LDSTR, module_.intern_string(s)));
+}
+
+ILBuilder& ILBuilder::ldloc(std::int32_t i) {
+  return emit(Instr::make(Op::LDLOC, i));
+}
+ILBuilder& ILBuilder::stloc(std::int32_t i) {
+  return emit(Instr::make(Op::STLOC, i));
+}
+ILBuilder& ILBuilder::ldarg(std::int32_t i) {
+  return emit(Instr::make(Op::LDARG, i));
+}
+ILBuilder& ILBuilder::starg(std::int32_t i) {
+  return emit(Instr::make(Op::STARG, i));
+}
+ILBuilder& ILBuilder::dup() { return emit(Instr::make(Op::DUP)); }
+ILBuilder& ILBuilder::pop() { return emit(Instr::make(Op::POP)); }
+
+ILBuilder& ILBuilder::add() { return emit(Instr::make(Op::ADD)); }
+ILBuilder& ILBuilder::sub() { return emit(Instr::make(Op::SUB)); }
+ILBuilder& ILBuilder::mul() { return emit(Instr::make(Op::MUL)); }
+ILBuilder& ILBuilder::div() { return emit(Instr::make(Op::DIV)); }
+ILBuilder& ILBuilder::rem() { return emit(Instr::make(Op::REM)); }
+ILBuilder& ILBuilder::neg() { return emit(Instr::make(Op::NEG)); }
+ILBuilder& ILBuilder::and_() { return emit(Instr::make(Op::AND)); }
+ILBuilder& ILBuilder::or_() { return emit(Instr::make(Op::OR)); }
+ILBuilder& ILBuilder::xor_() { return emit(Instr::make(Op::XOR)); }
+ILBuilder& ILBuilder::not_() { return emit(Instr::make(Op::NOT)); }
+ILBuilder& ILBuilder::shl() { return emit(Instr::make(Op::SHL)); }
+ILBuilder& ILBuilder::shr() { return emit(Instr::make(Op::SHR)); }
+ILBuilder& ILBuilder::shr_un() { return emit(Instr::make(Op::SHR_UN)); }
+
+ILBuilder& ILBuilder::ceq() { return emit(Instr::make(Op::CEQ)); }
+ILBuilder& ILBuilder::cgt() { return emit(Instr::make(Op::CGT)); }
+ILBuilder& ILBuilder::clt() { return emit(Instr::make(Op::CLT)); }
+
+ILBuilder& ILBuilder::br(Label l) { return emit_branch(Op::BR, l); }
+ILBuilder& ILBuilder::brtrue(Label l) { return emit_branch(Op::BRTRUE, l); }
+ILBuilder& ILBuilder::brfalse(Label l) { return emit_branch(Op::BRFALSE, l); }
+ILBuilder& ILBuilder::beq(Label l) { return emit_branch(Op::BEQ, l); }
+ILBuilder& ILBuilder::bne(Label l) { return emit_branch(Op::BNE, l); }
+ILBuilder& ILBuilder::blt(Label l) { return emit_branch(Op::BLT, l); }
+ILBuilder& ILBuilder::ble(Label l) { return emit_branch(Op::BLE, l); }
+ILBuilder& ILBuilder::bgt(Label l) { return emit_branch(Op::BGT, l); }
+ILBuilder& ILBuilder::bge(Label l) { return emit_branch(Op::BGE, l); }
+
+ILBuilder& ILBuilder::conv_i4() { return emit(Instr::make(Op::CONV_I4)); }
+ILBuilder& ILBuilder::conv_i8() { return emit(Instr::make(Op::CONV_I8)); }
+ILBuilder& ILBuilder::conv_r4() { return emit(Instr::make(Op::CONV_R4)); }
+ILBuilder& ILBuilder::conv_r8() { return emit(Instr::make(Op::CONV_R8)); }
+ILBuilder& ILBuilder::conv_i1() { return emit(Instr::make(Op::CONV_I1)); }
+ILBuilder& ILBuilder::conv_u1() { return emit(Instr::make(Op::CONV_U1)); }
+ILBuilder& ILBuilder::conv_i2() { return emit(Instr::make(Op::CONV_I2)); }
+ILBuilder& ILBuilder::conv_u2() { return emit(Instr::make(Op::CONV_U2)); }
+
+ILBuilder& ILBuilder::call(std::int32_t method_id) {
+  return emit(Instr::make(Op::CALL, method_id));
+}
+ILBuilder& ILBuilder::call_intr(std::int32_t intrinsic_id) {
+  return emit(Instr::make(Op::CALLINTR, intrinsic_id));
+}
+ILBuilder& ILBuilder::ret() { return emit(Instr::make(Op::RET)); }
+
+ILBuilder& ILBuilder::newobj(std::int32_t class_id) {
+  return emit(Instr::make(Op::NEWOBJ, class_id));
+}
+ILBuilder& ILBuilder::ldfld(std::int32_t class_id, std::int32_t field_index) {
+  return emit(Instr::make(Op::LDFLD, field_index, class_id));
+}
+ILBuilder& ILBuilder::stfld(std::int32_t class_id, std::int32_t field_index) {
+  return emit(Instr::make(Op::STFLD, field_index, class_id));
+}
+ILBuilder& ILBuilder::ldfld(std::int32_t class_id, const std::string& field) {
+  const std::int32_t idx = module_.klass(class_id).field_index(field);
+  if (idx < 0) throw std::logic_error("ldfld: unknown field " + field);
+  return ldfld(class_id, idx);
+}
+ILBuilder& ILBuilder::stfld(std::int32_t class_id, const std::string& field) {
+  const std::int32_t idx = module_.klass(class_id).field_index(field);
+  if (idx < 0) throw std::logic_error("stfld: unknown field " + field);
+  return stfld(class_id, idx);
+}
+ILBuilder& ILBuilder::ldsfld(std::int32_t class_id, const std::string& field) {
+  const std::int32_t idx = module_.klass(class_id).static_field_index(field);
+  if (idx < 0) throw std::logic_error("ldsfld: unknown field " + field);
+  return emit(Instr::make(Op::LDSFLD, idx, class_id));
+}
+ILBuilder& ILBuilder::stsfld(std::int32_t class_id, const std::string& field) {
+  const std::int32_t idx = module_.klass(class_id).static_field_index(field);
+  if (idx < 0) throw std::logic_error("stsfld: unknown field " + field);
+  return emit(Instr::make(Op::STSFLD, idx, class_id));
+}
+
+ILBuilder& ILBuilder::newarr(ValType elem) {
+  Instr in = Instr::make(Op::NEWARR);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldlen() { return emit(Instr::make(Op::LDLEN)); }
+ILBuilder& ILBuilder::ldelem(ValType elem) {
+  Instr in = Instr::make(Op::LDELEM);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::stelem(ValType elem) {
+  Instr in = Instr::make(Op::STELEM);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::newmat(ValType elem) {
+  Instr in = Instr::make(Op::NEWMAT);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldelem2(ValType elem) {
+  Instr in = Instr::make(Op::LDELEM2);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::stelem2(ValType elem) {
+  Instr in = Instr::make(Op::STELEM2);
+  in.type = elem;
+  return emit(in);
+}
+ILBuilder& ILBuilder::ldmat_rows() { return emit(Instr::make(Op::LDMATROWS)); }
+ILBuilder& ILBuilder::ldmat_cols() { return emit(Instr::make(Op::LDMATCOLS)); }
+
+ILBuilder& ILBuilder::box(ValType t) {
+  Instr in = Instr::make(Op::BOX);
+  in.type = t;
+  return emit(in);
+}
+ILBuilder& ILBuilder::unbox(ValType t) {
+  Instr in = Instr::make(Op::UNBOX);
+  in.type = t;
+  return emit(in);
+}
+
+ILBuilder& ILBuilder::throw_() { return emit(Instr::make(Op::THROW)); }
+ILBuilder& ILBuilder::leave(Label l) { return emit_branch(Op::LEAVE, l); }
+ILBuilder& ILBuilder::endfinally() {
+  return emit(Instr::make(Op::ENDFINALLY));
+}
+
+void ILBuilder::add_catch(Label try_begin, Label try_end, Label handler,
+                          std::int32_t catch_class) {
+  pending_handlers_.push_back(
+      {HandlerKind::Catch, try_begin, try_end, handler, catch_class});
+}
+void ILBuilder::add_finally(Label try_begin, Label try_end, Label handler) {
+  pending_handlers_.push_back(
+      {HandlerKind::Finally, try_begin, try_end, handler, -1});
+}
+
+std::int32_t ILBuilder::resolve(Label l) const {
+  if (l.id < 0 || static_cast<std::size_t>(l.id) >= label_targets_.size() ||
+      label_targets_[static_cast<std::size_t>(l.id)] < 0) {
+    throw std::logic_error(name_ + ": unbound label");
+  }
+  return label_targets_[static_cast<std::size_t>(l.id)];
+}
+
+std::int32_t ILBuilder::finish() {
+  if (finished_) throw std::logic_error("finish called twice");
+  finished_ = true;
+  for (auto [pc, label] : fixups_) {
+    code_[static_cast<std::size_t>(pc)].a = resolve(Label{label});
+  }
+  MethodDef def;
+  def.name = name_;
+  def.sig = sig_;
+  def.locals = locals_;
+  def.code = std::move(code_);
+  for (const auto& h : pending_handlers_) {
+    ExHandler eh;
+    eh.kind = h.kind;
+    eh.try_begin = resolve(h.try_begin);
+    eh.try_end = resolve(h.try_end);
+    eh.handler = resolve(h.handler);
+    eh.catch_class = h.catch_class;
+    def.handlers.push_back(eh);
+  }
+  return module_.add_method(std::move(def));
+}
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,164 @@
+// ILBuilder: the assembler the benchmark sources are written against. It
+// plays the role of the paper's single C# compiler — every benchmark kernel
+// is authored once through this API and the resulting CIL is then executed
+// unmodified by each engine, reproducing the paper's "one compiler, many
+// runtimes" methodology.
+//
+// Branch targets are labels resolved at finish(); exception-handler regions
+// are declared with label triples and patched the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+class ILBuilder {
+ public:
+  struct Label {
+    std::int32_t id = -1;
+  };
+
+  ILBuilder(Module& module, std::string name, MethodSig sig);
+
+  /// Declares a local; returns its *local* index (CIL local index space).
+  std::int32_t add_local(ValType t);
+
+  Label new_label();
+  /// Binds `l` to the next emitted instruction.
+  void bind(Label l);
+  /// Index of the next instruction to be emitted.
+  std::int32_t here() const { return static_cast<std::int32_t>(code_.size()); }
+
+  // -- constants --
+  ILBuilder& ldc_i4(std::int32_t v);
+  ILBuilder& ldc_i8(std::int64_t v);
+  ILBuilder& ldc_r4(float v);
+  ILBuilder& ldc_r8(double v);
+  ILBuilder& ldnull();
+  ILBuilder& ldstr(const std::string& s);
+
+  // -- locals/args/stack --
+  ILBuilder& ldloc(std::int32_t i);
+  ILBuilder& stloc(std::int32_t i);
+  ILBuilder& ldarg(std::int32_t i);
+  ILBuilder& starg(std::int32_t i);
+  ILBuilder& dup();
+  ILBuilder& pop();
+
+  // -- arithmetic / bitwise --
+  ILBuilder& add();
+  ILBuilder& sub();
+  ILBuilder& mul();
+  ILBuilder& div();
+  ILBuilder& rem();
+  ILBuilder& neg();
+  ILBuilder& and_();
+  ILBuilder& or_();
+  ILBuilder& xor_();
+  ILBuilder& not_();
+  ILBuilder& shl();
+  ILBuilder& shr();
+  ILBuilder& shr_un();
+
+  // -- comparisons --
+  ILBuilder& ceq();
+  ILBuilder& cgt();
+  ILBuilder& clt();
+
+  // -- branches --
+  ILBuilder& br(Label l);
+  ILBuilder& brtrue(Label l);
+  ILBuilder& brfalse(Label l);
+  ILBuilder& beq(Label l);
+  ILBuilder& bne(Label l);
+  ILBuilder& blt(Label l);
+  ILBuilder& ble(Label l);
+  ILBuilder& bgt(Label l);
+  ILBuilder& bge(Label l);
+
+  // -- conversions --
+  ILBuilder& conv_i4();
+  ILBuilder& conv_i8();
+  ILBuilder& conv_r4();
+  ILBuilder& conv_r8();
+  ILBuilder& conv_i1();
+  ILBuilder& conv_u1();
+  ILBuilder& conv_i2();
+  ILBuilder& conv_u2();
+
+  // -- calls --
+  ILBuilder& call(std::int32_t method_id);
+  ILBuilder& call_intr(std::int32_t intrinsic_id);
+  ILBuilder& ret();
+
+  // -- objects / fields --
+  ILBuilder& newobj(std::int32_t class_id);
+  ILBuilder& ldfld(std::int32_t class_id, std::int32_t field_index);
+  ILBuilder& stfld(std::int32_t class_id, std::int32_t field_index);
+  ILBuilder& ldfld(std::int32_t class_id, const std::string& field);
+  ILBuilder& stfld(std::int32_t class_id, const std::string& field);
+  ILBuilder& ldsfld(std::int32_t class_id, const std::string& field);
+  ILBuilder& stsfld(std::int32_t class_id, const std::string& field);
+
+  // -- arrays --
+  ILBuilder& newarr(ValType elem);
+  ILBuilder& ldlen();
+  ILBuilder& ldelem(ValType elem);
+  ILBuilder& stelem(ValType elem);
+  ILBuilder& newmat(ValType elem);
+  ILBuilder& ldelem2(ValType elem);
+  ILBuilder& stelem2(ValType elem);
+  ILBuilder& ldmat_rows();
+  ILBuilder& ldmat_cols();
+
+  // -- boxing --
+  ILBuilder& box(ValType t);
+  ILBuilder& unbox(ValType t);
+
+  // -- exceptions --
+  ILBuilder& throw_();
+  ILBuilder& leave(Label l);
+  ILBuilder& endfinally();
+  /// Declares a catch handler: try region [begin, end), handler at `handler`,
+  /// matching `catch_class` (a class id). Handlers are matched in the order
+  /// added, so add inner regions first.
+  void add_catch(Label try_begin, Label try_end, Label handler,
+                 std::int32_t catch_class);
+  void add_finally(Label try_begin, Label try_end, Label handler);
+
+  /// Patches labels, registers the method with the module, returns its id.
+  /// The method is *not* verified yet (Verifier::verify does that).
+  std::int32_t finish();
+
+  Module& module() { return module_; }
+
+ private:
+  struct PendingHandler {
+    HandlerKind kind;
+    Label try_begin, try_end, handler;
+    std::int32_t catch_class;
+  };
+
+  ILBuilder& emit(Instr in) {
+    code_.push_back(in);
+    return *this;
+  }
+  ILBuilder& emit_branch(Op op, Label l);
+  std::int32_t resolve(Label l) const;
+
+  Module& module_;
+  std::string name_;
+  MethodSig sig_;
+  std::vector<ValType> locals_;
+  std::vector<Instr> code_;
+  std::vector<std::int32_t> label_targets_;  // -1 = unbound
+  std::vector<std::pair<std::int32_t, std::int32_t>> fixups_;  // (pc, label)
+  std::vector<PendingHandler> pending_handlers_;
+  bool finished_ = false;
+};
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,245 @@
+#include "vm/intrinsics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "support/timer.hpp"
+#include "vm/execution.hpp"
+#include "vm/monitor.hpp"
+#include "vm/serialize.hpp"
+
+namespace hpcnet::vm {
+
+namespace {
+
+// -- System.Math ------------------------------------------------------------
+
+void abs_i4(VMContext&, const Slot* a, Slot* r) {
+  const std::int32_t v = a[0].i32;
+  *r = Slot::from_i32(v < 0 ? -v : v);
+}
+void abs_i8(VMContext&, const Slot* a, Slot* r) {
+  const std::int64_t v = a[0].i64;
+  *r = Slot::from_i64(v < 0 ? -v : v);
+}
+void abs_r4(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f32(std::fabs(a[0].f32));
+}
+void abs_r8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f64(std::fabs(a[0].f64));
+}
+void max_i4(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_i32(std::max(a[0].i32, a[1].i32));
+}
+void max_i8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_i64(std::max(a[0].i64, a[1].i64));
+}
+void max_r4(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f32(std::fmax(a[0].f32, a[1].f32));
+}
+void max_r8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f64(std::fmax(a[0].f64, a[1].f64));
+}
+void min_i4(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_i32(std::min(a[0].i32, a[1].i32));
+}
+void min_i8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_i64(std::min(a[0].i64, a[1].i64));
+}
+void min_r4(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f32(std::fmin(a[0].f32, a[1].f32));
+}
+void min_r8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f64(std::fmin(a[0].f64, a[1].f64));
+}
+void m_sin(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::sin(a[0].f64)); }
+void m_cos(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::cos(a[0].f64)); }
+void m_tan(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::tan(a[0].f64)); }
+void m_asin(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::asin(a[0].f64)); }
+void m_acos(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::acos(a[0].f64)); }
+void m_atan(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::atan(a[0].f64)); }
+void m_atan2(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f64(std::atan2(a[0].f64, a[1].f64));
+}
+void m_floor(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::floor(a[0].f64)); }
+void m_ceil(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::ceil(a[0].f64)); }
+void m_sqrt(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::sqrt(a[0].f64)); }
+void m_exp(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::exp(a[0].f64)); }
+void m_log(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::log(a[0].f64)); }
+void m_pow(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_f64(std::pow(a[0].f64, a[1].f64));
+}
+void m_rint(VMContext&, const Slot* a, Slot* r) { *r = Slot::from_f64(std::rint(a[0].f64)); }
+void m_round_r4(VMContext&, const Slot* a, Slot* r) {
+  // Java Math.round(float): floor(x + 0.5f) as int — both benchmark sources
+  // kept this semantic, so we do too.
+  *r = Slot::from_i32(static_cast<std::int32_t>(
+      std::floor(static_cast<double>(a[0].f32) + 0.5)));
+}
+void m_round_r8(VMContext&, const Slot* a, Slot* r) {
+  *r = Slot::from_i64(static_cast<std::int64_t>(std::floor(a[0].f64 + 0.5)));
+}
+void m_random(VMContext& ctx, const Slot*, Slot* r) {
+  *r = Slot::from_f64(ctx.math_random.next_double());
+}
+
+// -- System.Threading --------------------------------------------------------
+
+void t_start(VMContext& ctx, const Slot* a, Slot* r) {
+  *r = Slot::from_ref(ctx.vm->start_thread(ctx, a[0].i32, a[1].ref));
+}
+void t_join(VMContext& ctx, const Slot* a, Slot*) {
+  ctx.vm->join_thread(ctx, a[0].ref);
+}
+void t_id(VMContext& ctx, const Slot*, Slot* r) {
+  *r = Slot::from_i32(static_cast<std::int32_t>(ctx.thread_id));
+}
+void t_yield(VMContext&, const Slot*, Slot*) { std::this_thread::yield(); }
+void t_sleep(VMContext& ctx, const Slot* a, Slot*) {
+  ctx.vm->enter_safe_region(ctx);
+  std::this_thread::sleep_for(std::chrono::milliseconds(a[0].i32));
+  ctx.vm->leave_safe_region(ctx);
+}
+
+void null_monitor_error(VMContext& ctx) {
+  ctx.vm->throw_exception(ctx, ctx.vm->module().null_reference_class(),
+                          "Monitor on null object");
+}
+void lock_error(VMContext& ctx) {
+  ctx.vm->throw_exception(ctx, ctx.vm->module().exception_class(),
+                          "monitor not owned by caller");
+}
+void mon_enter(VMContext& ctx, const Slot* a, Slot*) {
+  if (a[0].ref == nullptr) return null_monitor_error(ctx);
+  ctx.vm->monitors().enter(ctx, a[0].ref);
+}
+void mon_exit(VMContext& ctx, const Slot* a, Slot*) {
+  if (a[0].ref == nullptr) return null_monitor_error(ctx);
+  if (!ctx.vm->monitors().exit(ctx, a[0].ref)) lock_error(ctx);
+}
+void mon_wait(VMContext& ctx, const Slot* a, Slot*) {
+  if (a[0].ref == nullptr) return null_monitor_error(ctx);
+  if (!ctx.vm->monitors().wait(ctx, a[0].ref)) lock_error(ctx);
+}
+void mon_pulse(VMContext& ctx, const Slot* a, Slot*) {
+  if (a[0].ref == nullptr) return null_monitor_error(ctx);
+  if (!ctx.vm->monitors().pulse(ctx, a[0].ref)) lock_error(ctx);
+}
+void mon_pulseall(VMContext& ctx, const Slot* a, Slot*) {
+  if (a[0].ref == nullptr) return null_monitor_error(ctx);
+  if (!ctx.vm->monitors().pulse_all(ctx, a[0].ref)) lock_error(ctx);
+}
+
+// -- Serialization ------------------------------------------------------------
+
+void ser(VMContext& ctx, const Slot* a, Slot* r) {
+  try {
+    *r = Slot::from_ref(serialize_to_string(*ctx.vm, a[0].ref));
+  } catch (const SerializeError& e) {
+    ctx.vm->throw_exception(ctx, ctx.vm->module().exception_class(), e.what());
+  }
+}
+void deser(VMContext& ctx, const Slot* a, Slot* r) {
+  try {
+    *r = Slot::from_ref(deserialize_from_string(*ctx.vm, ctx, a[0].ref));
+  } catch (const SerializeError& e) {
+    ctx.vm->throw_exception(ctx, ctx.vm->module().exception_class(), e.what());
+  }
+}
+
+// -- Utilities ----------------------------------------------------------------
+
+void now_ns(VMContext&, const Slot*, Slot* r) {
+  *r = Slot::from_i64(support::now_ns());
+}
+void strlen_(VMContext& ctx, const Slot* a, Slot* r) {
+  if (a[0].ref == nullptr) {
+    ctx.vm->throw_exception(ctx, ctx.vm->module().null_reference_class(),
+                            "strlen on null");
+    return;
+  }
+  *r = Slot::from_i32(a[0].ref->length);
+}
+void gc_collect(VMContext& ctx, const Slot*, Slot*) { ctx.vm->collect(); }
+void print_i4(VMContext&, const Slot* a, Slot*) {
+  std::printf("%d\n", a[0].i32);
+}
+void print_r8(VMContext&, const Slot* a, Slot*) {
+  std::printf("%.17g\n", a[0].f64);
+}
+void print_str(VMContext&, const Slot* a, Slot*) {
+  if (a[0].ref != nullptr) {
+    std::fwrite(a[0].ref->chars(), 1,
+                static_cast<std::size_t>(a[0].ref->length), stdout);
+    std::fputc('\n', stdout);
+  }
+}
+
+using VT = ValType;
+
+const IntrinsicDef kTable[] = {
+    {"Math.AbsI4", {{VT::I32}, VT::I32}, abs_i4, true},
+    {"Math.AbsI8", {{VT::I64}, VT::I64}, abs_i8, true},
+    {"Math.AbsR4", {{VT::F32}, VT::F32}, abs_r4, true},
+    {"Math.AbsR8", {{VT::F64}, VT::F64}, abs_r8, true},
+    {"Math.MaxI4", {{VT::I32, VT::I32}, VT::I32}, max_i4, true},
+    {"Math.MaxI8", {{VT::I64, VT::I64}, VT::I64}, max_i8, true},
+    {"Math.MaxR4", {{VT::F32, VT::F32}, VT::F32}, max_r4, true},
+    {"Math.MaxR8", {{VT::F64, VT::F64}, VT::F64}, max_r8, true},
+    {"Math.MinI4", {{VT::I32, VT::I32}, VT::I32}, min_i4, true},
+    {"Math.MinI8", {{VT::I64, VT::I64}, VT::I64}, min_i8, true},
+    {"Math.MinR4", {{VT::F32, VT::F32}, VT::F32}, min_r4, true},
+    {"Math.MinR8", {{VT::F64, VT::F64}, VT::F64}, min_r8, true},
+    {"Math.Sin", {{VT::F64}, VT::F64}, m_sin, true},
+    {"Math.Cos", {{VT::F64}, VT::F64}, m_cos, true},
+    {"Math.Tan", {{VT::F64}, VT::F64}, m_tan, true},
+    {"Math.Asin", {{VT::F64}, VT::F64}, m_asin, true},
+    {"Math.Acos", {{VT::F64}, VT::F64}, m_acos, true},
+    {"Math.Atan", {{VT::F64}, VT::F64}, m_atan, true},
+    {"Math.Atan2", {{VT::F64, VT::F64}, VT::F64}, m_atan2, true},
+    {"Math.Floor", {{VT::F64}, VT::F64}, m_floor, true},
+    {"Math.Ceil", {{VT::F64}, VT::F64}, m_ceil, true},
+    {"Math.Sqrt", {{VT::F64}, VT::F64}, m_sqrt, true},
+    {"Math.Exp", {{VT::F64}, VT::F64}, m_exp, true},
+    {"Math.Log", {{VT::F64}, VT::F64}, m_log, true},
+    {"Math.Pow", {{VT::F64, VT::F64}, VT::F64}, m_pow, true},
+    {"Math.Rint", {{VT::F64}, VT::F64}, m_rint, true},
+    {"Math.RoundR4", {{VT::F32}, VT::I32}, m_round_r4, true},
+    {"Math.RoundR8", {{VT::F64}, VT::I64}, m_round_r8, true},
+    {"Math.Random", {{}, VT::F64}, m_random, false},
+
+    {"Thread.Start", {{VT::I32, VT::Ref}, VT::Ref}, t_start, false},
+    {"Thread.Join", {{VT::Ref}, VT::None}, t_join, false},
+    {"Thread.CurrentId", {{}, VT::I32}, t_id, false},
+    {"Thread.Yield", {{}, VT::None}, t_yield, false},
+    {"Thread.Sleep", {{VT::I32}, VT::None}, t_sleep, false},
+    {"Monitor.Enter", {{VT::Ref}, VT::None}, mon_enter, false},
+    {"Monitor.Exit", {{VT::Ref}, VT::None}, mon_exit, false},
+    {"Monitor.Wait", {{VT::Ref}, VT::None}, mon_wait, false},
+    {"Monitor.Pulse", {{VT::Ref}, VT::None}, mon_pulse, false},
+    {"Monitor.PulseAll", {{VT::Ref}, VT::None}, mon_pulseall, false},
+
+    {"Serializer.Serialize", {{VT::Ref}, VT::Ref}, ser, false},
+    {"Serializer.Deserialize", {{VT::Ref}, VT::Ref}, deser, false},
+
+    {"Env.NowNs", {{}, VT::I64}, now_ns, false},
+    {"String.Length", {{VT::Ref}, VT::I32}, strlen_, false},
+    {"GC.Collect", {{}, VT::None}, gc_collect, false},
+    {"Console.WriteI4", {{VT::I32}, VT::None}, print_i4, false},
+    {"Console.WriteR8", {{VT::F64}, VT::None}, print_r8, false},
+    {"Console.WriteStr", {{VT::Ref}, VT::None}, print_str, false},
+};
+
+static_assert(sizeof(kTable) / sizeof(kTable[0]) == I_COUNT_,
+              "intrinsic table out of sync with Intr enum");
+
+}  // namespace
+
+const IntrinsicDef& intrinsic(std::int32_t id) {
+  return kTable[static_cast<std::size_t>(id)];
+}
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,99 @@
+// The base-class-library surface the benchmarks need, exposed to CIL as
+// intrinsic calls: the full System.Math routine set measured by Graphs 6-8,
+// System.Threading (Thread/Monitor) for the Table-2/3 benchmarks, the binary
+// serializer for the Serial micro-benchmark, console/timing utilities, and
+// GC.Collect.
+//
+// The registry is a fixed compile-time table (like a frozen mscorlib): the
+// verifier reads signatures from it, and every engine dispatches through the
+// same handlers — so the library cost is identical across engines except
+// where a profile's `fast_math` flag lets the Optimizing tier inline the
+// pure-math entries into its register IR (the CLR-vs-JVM Math difference the
+// paper reports).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/module.hpp"
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+struct VMContext;
+
+/// Intrinsic identifiers. Order is ABI: ids are stored in CIL instructions.
+enum Intr : std::int32_t {
+  // System.Math — graphs 6, 7, 8 (one entry per routine the paper plots).
+  I_ABS_I4 = 0,
+  I_ABS_I8,
+  I_ABS_R4,
+  I_ABS_R8,
+  I_MAX_I4,
+  I_MAX_I8,
+  I_MAX_R4,
+  I_MAX_R8,
+  I_MIN_I4,
+  I_MIN_I8,
+  I_MIN_R4,
+  I_MIN_R8,
+  I_SIN,
+  I_COS,
+  I_TAN,
+  I_ASIN,
+  I_ACOS,
+  I_ATAN,
+  I_ATAN2,
+  I_FLOOR,
+  I_CEIL,
+  I_SQRT,
+  I_EXP,
+  I_LOG,
+  I_POW,
+  I_RINT,
+  I_ROUND_R4,  // -> i32, round-half-even like Math.Round
+  I_ROUND_R8,  // -> i64
+  I_RANDOM,    // Math.random() -> f64 in [0,1)
+
+  // System.Threading.
+  I_THREAD_START,  // (i32 method_id, ref arg) -> ref handle
+  I_THREAD_JOIN,   // (ref handle) -> void
+  I_THREAD_ID,     // () -> i32 current managed thread id
+  I_THREAD_YIELD,  // () -> void
+  I_THREAD_SLEEP,  // (i32 millis) -> void
+  I_MON_ENTER,     // (ref) -> void
+  I_MON_EXIT,
+  I_MON_WAIT,
+  I_MON_PULSE,
+  I_MON_PULSEALL,
+
+  // Serialization (Serial micro-benchmark).
+  I_SERIALIZE,    // (ref root) -> ref byte array
+  I_DESERIALIZE,  // (ref byte array) -> ref root
+
+  // Utilities.
+  I_NOW_NS,      // () -> i64 monotonic nanoseconds
+  I_STRLEN,      // (ref string) -> i32
+  I_GC_COLLECT,  // () -> void
+  I_PRINT_I4,    // (i32) -> void (stdout; debugging aid)
+  I_PRINT_R8,
+  I_PRINT_STR,
+
+  I_COUNT_,
+};
+
+/// Handler ABI: args[0..n) are the declared parameters; the return value (if
+/// any) is written to *ret. Handlers may set ctx.pending_exception.
+using IntrinsicFn = void (*)(VMContext& ctx, const Slot* args, Slot* ret);
+
+struct IntrinsicDef {
+  const char* name;
+  MethodSig sig;
+  IntrinsicFn fn;
+  /// Pure-math entries the Optimizing tier may inline when fast_math is set.
+  bool pure_math;
+};
+
+/// Lookup; id must be in [0, I_COUNT_).
+const IntrinsicDef& intrinsic(std::int32_t id);
+
+}  // namespace hpcnet::vm

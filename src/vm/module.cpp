@@ -1,0 +1,102 @@
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+std::int32_t ClassDef::field_index(const std::string& n) const {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == n) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+std::int32_t ClassDef::static_field_index(const std::string& n) const {
+  for (std::size_t i = 0; i < static_fields.size(); ++i) {
+    if (static_fields[i].name == n) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+Module::Module() {
+  // System exception hierarchy. Every exception carries a message field
+  // (a string ref) so benchmark code and tests can inspect what was thrown.
+  exc_exception_ = define_class(
+      "System.Exception", {{"message", ValType::Ref}});
+  exc_arith_ = define_class("System.ArithmeticException", {}, exc_exception_);
+  exc_nullref_ =
+      define_class("System.NullReferenceException", {}, exc_exception_);
+  exc_indexrange_ =
+      define_class("System.IndexOutOfRangeException", {}, exc_exception_);
+  exc_divzero_ =
+      define_class("System.DivideByZeroException", {}, exc_arith_);
+  exc_invalidcast_ =
+      define_class("System.InvalidCastException", {}, exc_exception_);
+}
+
+std::int32_t Module::define_class(const std::string& name,
+                                  std::vector<FieldDef> fields,
+                                  std::int32_t base,
+                                  std::vector<FieldDef> static_fields) {
+  ClassDef c;
+  c.name = name;
+  c.id = static_cast<std::int32_t>(classes_.size());
+  c.base = base;
+  // Derived classes inherit base instance fields by prefixing them, so field
+  // indices of the base remain valid on derived instances.
+  if (base >= 0) {
+    const auto& b = classes_[static_cast<std::size_t>(base)];
+    c.fields = b.fields;
+  }
+  for (auto& f : fields) c.fields.push_back(std::move(f));
+  c.static_fields = std::move(static_fields);
+  class_ids_[name] = c.id;
+  classes_.push_back(std::move(c));
+  return classes_.back().id;
+}
+
+std::int32_t Module::find_class(const std::string& name) const {
+  auto it = class_ids_.find(name);
+  return it == class_ids_.end() ? -1 : it->second;
+}
+
+bool Module::is_subclass(std::int32_t cls, std::int32_t base) const {
+  while (cls >= 0) {
+    if (cls == base) return true;
+    cls = classes_[static_cast<std::size_t>(cls)].base;
+  }
+  return false;
+}
+
+std::int32_t Module::add_method(MethodDef def) {
+  def.id = static_cast<std::int32_t>(methods_.size());
+  method_ids_[def.name] = def.id;
+  methods_.push_back(std::make_unique<MethodDef>(std::move(def)));
+  return methods_.back()->id;
+}
+
+std::int32_t Module::find_method(const std::string& name) const {
+  auto it = method_ids_.find(name);
+  return it == method_ids_.end() ? -1 : it->second;
+}
+
+std::int32_t Module::intern_string(const std::string& s) {
+  auto it = string_ids_.find(s);
+  if (it != string_ids_.end()) return it->second;
+  const auto id = static_cast<std::int32_t>(strings_.size());
+  strings_.push_back(s);
+  string_ids_[s] = id;
+  return id;
+}
+
+Slot* Module::statics(std::int32_t class_id) {
+  auto it = statics_.find(class_id);
+  if (it == statics_.end()) {
+    const auto& c = classes_[static_cast<std::size_t>(class_id)];
+    it = statics_
+             .emplace(class_id,
+                      std::vector<Slot>(c.static_fields.size()))
+             .first;
+  }
+  return it->second.data();
+}
+
+}  // namespace hpcnet::vm

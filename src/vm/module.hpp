@@ -1,0 +1,154 @@
+// Metadata model: a Module is the self-describing unit of the CLI — it owns
+// type definitions, method bodies, the string pool and static field storage.
+// This plays the role of the single CIL assembly that the paper compiles once
+// (with the CLR 1.1 C# compiler) and then runs unmodified on every VM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/opcode.hpp"
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+struct FieldDef {
+  std::string name;
+  ValType type = ValType::I32;
+};
+
+/// A class definition. Classes participate in single inheritance (used for
+/// exception type matching); instances are a header plus one Slot per field.
+struct ClassDef {
+  std::string name;
+  std::int32_t id = -1;
+  std::int32_t base = -1;  // class id of base, or -1
+  std::vector<FieldDef> fields;
+  std::vector<FieldDef> static_fields;
+
+  /// Index of an instance field by name, -1 if absent (does not search base).
+  std::int32_t field_index(const std::string& n) const;
+  std::int32_t static_field_index(const std::string& n) const;
+};
+
+enum class HandlerKind : std::uint8_t { Catch, Finally };
+
+/// Exception handler region. Ranges are [try_begin, try_end) in instruction
+/// indices; handlers appear innermost-first, as a compiler would emit them.
+struct ExHandler {
+  HandlerKind kind = HandlerKind::Catch;
+  std::int32_t try_begin = 0;
+  std::int32_t try_end = 0;
+  std::int32_t handler = 0;     // first instruction of the handler
+  std::int32_t catch_class = -1;  // class id to match (Catch only)
+};
+
+struct MethodSig {
+  std::vector<ValType> params;
+  ValType ret = ValType::None;
+};
+
+struct MethodDef {
+  std::string name;
+  std::int32_t id = -1;
+  MethodSig sig;
+  std::vector<ValType> locals;
+  std::vector<Instr> code;
+  std::vector<ExHandler> handlers;
+
+  // Filled by the verifier.
+  bool verified = false;
+  std::int32_t max_stack = 0;
+  /// Per-pc operand stack types (entry state). Used for dynamic GC root maps
+  /// and by the Optimizing engine's stack-to-register translation.
+  std::vector<std::vector<ValType>> stack_in;
+  /// Per-pc reachability (unreachable padding is legal but not translated).
+  std::vector<bool> reachable;
+
+  std::size_t num_args() const { return sig.params.size(); }
+  /// Frame slot count: arguments then locals share one array.
+  std::size_t frame_slots() const { return sig.params.size() + locals.size(); }
+  /// Static type of frame slot i (argument or local).
+  ValType slot_type(std::size_t i) const {
+    return i < sig.params.size() ? sig.params[i]
+                                 : locals[i - sig.params.size()];
+  }
+};
+
+class Module {
+ public:
+  Module();
+
+  // --- Types -------------------------------------------------------------
+  /// Defines a class; returns its id. `base` is a class id or -1.
+  std::int32_t define_class(const std::string& name,
+                            std::vector<FieldDef> fields = {},
+                            std::int32_t base = -1,
+                            std::vector<FieldDef> static_fields = {});
+  const ClassDef& klass(std::int32_t id) const { return classes_[static_cast<std::size_t>(id)]; }
+  ClassDef& klass(std::int32_t id) { return classes_[static_cast<std::size_t>(id)]; }
+  std::int32_t find_class(const std::string& name) const;
+  std::size_t class_count() const { return classes_.size(); }
+  /// True if `cls` equals or derives from `base`.
+  bool is_subclass(std::int32_t cls, std::int32_t base) const;
+
+  // Built-in exception hierarchy (defined in the constructor, mirroring the
+  // System.* exceptions the benchmarks touch).
+  std::int32_t exception_class() const { return exc_exception_; }
+  std::int32_t null_reference_class() const { return exc_nullref_; }
+  std::int32_t index_range_class() const { return exc_indexrange_; }
+  std::int32_t divide_by_zero_class() const { return exc_divzero_; }
+  std::int32_t arithmetic_class() const { return exc_arith_; }
+  std::int32_t invalid_cast_class() const { return exc_invalidcast_; }
+
+  // --- Methods -----------------------------------------------------------
+  /// Registers an (unverified) method body; returns its id.
+  std::int32_t add_method(MethodDef def);
+  const MethodDef& method(std::int32_t id) const { return *methods_[static_cast<std::size_t>(id)]; }
+  MethodDef& method(std::int32_t id) { return *methods_[static_cast<std::size_t>(id)]; }
+  std::int32_t find_method(const std::string& name) const;
+  std::size_t method_count() const { return methods_.size(); }
+
+  // --- Strings -----------------------------------------------------------
+  std::int32_t intern_string(const std::string& s);
+  const std::string& string_at(std::int32_t id) const {
+    return strings_[static_cast<std::size_t>(id)];
+  }
+
+  // --- Statics -----------------------------------------------------------
+  /// Static field storage for a class (allocated lazily, zero-initialized).
+  Slot* statics(std::int32_t class_id);
+  /// Enumerate ref-typed static slots (GC roots).
+  template <typename Fn>
+  void for_each_static_ref(Fn&& fn) {
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      auto it = statics_.find(static_cast<std::int32_t>(c));
+      if (it == statics_.end()) continue;
+      const auto& sf = classes_[c].static_fields;
+      for (std::size_t i = 0; i < sf.size(); ++i) {
+        if (sf[i].type == ValType::Ref) fn(it->second[i].ref);
+      }
+    }
+  }
+
+ private:
+  std::vector<ClassDef> classes_;
+  std::vector<std::unique_ptr<MethodDef>> methods_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::int32_t> string_ids_;
+  std::unordered_map<std::string, std::int32_t> method_ids_;
+  std::unordered_map<std::string, std::int32_t> class_ids_;
+  std::unordered_map<std::int32_t, std::vector<Slot>> statics_;
+
+  std::int32_t exc_exception_ = -1;
+  std::int32_t exc_nullref_ = -1;
+  std::int32_t exc_indexrange_ = -1;
+  std::int32_t exc_divzero_ = -1;
+  std::int32_t exc_arith_ = -1;
+  std::int32_t exc_invalidcast_ = -1;
+};
+
+}  // namespace hpcnet::vm

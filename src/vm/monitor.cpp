@@ -1,0 +1,110 @@
+#include "vm/monitor.hpp"
+
+#include "vm/execution.hpp"
+#include "vm/heap.hpp"
+
+namespace hpcnet::vm {
+
+MonitorTable::Entry& MonitorTable::entry_for(ObjRef obj) {
+  // lock_id is written once under table_mu_ and never changes afterwards, so
+  // a nonzero read outside the lock is safe.
+  std::uint32_t id = obj->lock_id;
+  if (id == 0) {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    if (obj->lock_id == 0) {
+      entries_.emplace_back();
+      obj->lock_id = static_cast<std::uint32_t>(entries_.size());
+    }
+    id = obj->lock_id;
+  }
+  return entries_[id - 1];
+}
+
+void MonitorTable::enter(VMContext& ctx, ObjRef obj) {
+  Entry& e = entry_for(obj);
+  // Uncontended fast path: try to take ownership without becoming GC-safe.
+  {
+    std::unique_lock<std::mutex> l(e.m, std::try_to_lock);
+    if (l.owns_lock()) {
+      if (e.owner == 0) {
+        e.owner = ctx.thread_id;
+        e.count = 1;
+        return;
+      }
+      if (e.owner == ctx.thread_id) {
+        ++e.count;
+        return;
+      }
+    }
+  }
+  // Contended: park GC-safe while waiting.
+  vm_.enter_safe_region(ctx);
+  {
+    std::unique_lock<std::mutex> l(e.m);
+    if (e.owner == ctx.thread_id) {
+      ++e.count;
+    } else {
+      e.acquire_cv.wait(l, [&] { return e.owner == 0; });
+      e.owner = ctx.thread_id;
+      e.count = 1;
+    }
+  }
+  vm_.leave_safe_region(ctx);
+}
+
+bool MonitorTable::exit(VMContext& ctx, ObjRef obj) {
+  Entry& e = entry_for(obj);
+  std::lock_guard<std::mutex> l(e.m);
+  if (e.owner != ctx.thread_id) return false;
+  if (--e.count == 0) {
+    e.owner = 0;
+    e.acquire_cv.notify_one();
+  }
+  return true;
+}
+
+bool MonitorTable::wait(VMContext& ctx, ObjRef obj) {
+  Entry& e = entry_for(obj);
+  vm_.enter_safe_region(ctx);
+  bool ok = true;
+  {
+    std::unique_lock<std::mutex> l(e.m);
+    if (e.owner != ctx.thread_id) {
+      ok = false;
+    } else {
+      const int saved = e.count;
+      e.owner = 0;
+      e.count = 0;
+      e.acquire_cv.notify_one();
+      e.wait_cv.wait(l);
+      while (e.owner != 0) e.acquire_cv.wait(l);
+      e.owner = ctx.thread_id;
+      e.count = saved;
+    }
+  }
+  vm_.leave_safe_region(ctx);
+  return ok;
+}
+
+bool MonitorTable::pulse(VMContext& ctx, ObjRef obj) {
+  Entry& e = entry_for(obj);
+  std::lock_guard<std::mutex> l(e.m);
+  if (e.owner != ctx.thread_id) return false;
+  e.wait_cv.notify_one();
+  return true;
+}
+
+bool MonitorTable::pulse_all(VMContext& ctx, ObjRef obj) {
+  Entry& e = entry_for(obj);
+  std::lock_guard<std::mutex> l(e.m);
+  if (e.owner != ctx.thread_id) return false;
+  e.wait_cv.notify_all();
+  return true;
+}
+
+std::size_t MonitorTable::inflated() const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  return entries_.size();
+}
+
+}  // namespace hpcnet::vm

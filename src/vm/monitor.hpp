@@ -1,0 +1,57 @@
+// Object monitors: the System.Threading.Monitor semantics behind the CLI
+// `lock` statement, synchronized-method emulation, and the Table-2/3
+// synchronization benchmarks. Every object can be locked; the lock state
+// lives in a side table indexed by the header's lock_id (allocated on first
+// lock, like lock-word inflation).
+//
+// All blocking waits run inside a GC-safe region so a parked thread never
+// stalls a collection.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+class VirtualMachine;
+struct VMContext;
+
+class MonitorTable {
+ public:
+  explicit MonitorTable(VirtualMachine& vm) : vm_(vm) {}
+
+  /// Blocks until the monitor is owned by the calling thread (recursive).
+  void enter(VMContext& ctx, ObjRef obj);
+  /// Throws (managed SynchronizationLockException analogue -> returns false)
+  /// if the caller does not own the monitor.
+  bool exit(VMContext& ctx, ObjRef obj);
+  /// Releases the monitor and waits for a pulse; reacquires before returning.
+  /// Returns false if the caller does not own the monitor.
+  bool wait(VMContext& ctx, ObjRef obj);
+  bool pulse(VMContext& ctx, ObjRef obj);
+  bool pulse_all(VMContext& ctx, ObjRef obj);
+
+  /// Number of inflated monitors (tests).
+  std::size_t inflated() const;
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable acquire_cv;  // waiting to own
+    std::condition_variable wait_cv;     // Monitor.Wait queue
+    std::uint32_t owner = 0;             // managed thread id, 0 = free
+    int count = 0;
+  };
+
+  Entry& entry_for(ObjRef obj);
+
+  VirtualMachine& vm_;
+  mutable std::mutex table_mu_;
+  std::deque<Entry> entries_;  // deque: stable addresses
+};
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,143 @@
+#include "vm/opcode.hpp"
+
+#include <cstdio>
+
+namespace hpcnet::vm {
+
+const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::None: return "none";
+    case ValType::I32: return "i32";
+    case ValType::I64: return "i64";
+    case ValType::F32: return "f32";
+    case ValType::F64: return "f64";
+    case ValType::Ref: return "ref";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::NOP: return "nop";
+    case Op::LDC_I4: return "ldc.i4";
+    case Op::LDC_I8: return "ldc.i8";
+    case Op::LDC_R4: return "ldc.r4";
+    case Op::LDC_R8: return "ldc.r8";
+    case Op::LDNULL: return "ldnull";
+    case Op::LDSTR: return "ldstr";
+    case Op::LDLOC: return "ldloc";
+    case Op::STLOC: return "stloc";
+    case Op::LDARG: return "ldarg";
+    case Op::STARG: return "starg";
+    case Op::DUP: return "dup";
+    case Op::POP: return "pop";
+    case Op::ADD: return "add";
+    case Op::SUB: return "sub";
+    case Op::MUL: return "mul";
+    case Op::DIV: return "div";
+    case Op::REM: return "rem";
+    case Op::NEG: return "neg";
+    case Op::AND: return "and";
+    case Op::OR: return "or";
+    case Op::XOR: return "xor";
+    case Op::NOT: return "not";
+    case Op::SHL: return "shl";
+    case Op::SHR: return "shr";
+    case Op::SHR_UN: return "shr.un";
+    case Op::CEQ: return "ceq";
+    case Op::CGT: return "cgt";
+    case Op::CLT: return "clt";
+    case Op::BR: return "br";
+    case Op::BRTRUE: return "brtrue";
+    case Op::BRFALSE: return "brfalse";
+    case Op::BEQ: return "beq";
+    case Op::BNE: return "bne.un";
+    case Op::BLT: return "blt";
+    case Op::BLE: return "ble";
+    case Op::BGT: return "bgt";
+    case Op::BGE: return "bge";
+    case Op::CONV_I4: return "conv.i4";
+    case Op::CONV_I8: return "conv.i8";
+    case Op::CONV_R4: return "conv.r4";
+    case Op::CONV_R8: return "conv.r8";
+    case Op::CONV_I1: return "conv.i1";
+    case Op::CONV_U1: return "conv.u1";
+    case Op::CONV_I2: return "conv.i2";
+    case Op::CONV_U2: return "conv.u2";
+    case Op::CALL: return "call";
+    case Op::CALLINTR: return "call.intr";
+    case Op::RET: return "ret";
+    case Op::NEWOBJ: return "newobj";
+    case Op::LDFLD: return "ldfld";
+    case Op::STFLD: return "stfld";
+    case Op::LDSFLD: return "ldsfld";
+    case Op::STSFLD: return "stsfld";
+    case Op::NEWARR: return "newarr";
+    case Op::LDLEN: return "ldlen";
+    case Op::LDELEM: return "ldelem";
+    case Op::STELEM: return "stelem";
+    case Op::NEWMAT: return "newmat";
+    case Op::LDELEM2: return "ldelem2";
+    case Op::STELEM2: return "stelem2";
+    case Op::LDMATROWS: return "ldmat.rows";
+    case Op::LDMATCOLS: return "ldmat.cols";
+    case Op::BOX: return "box";
+    case Op::UNBOX: return "unbox";
+    case Op::THROW: return "throw";
+    case Op::LEAVE: return "leave";
+    case Op::ENDFINALLY: return "endfinally";
+    case Op::COUNT_: break;
+  }
+  return "?";
+}
+
+std::string to_string(const Instr& in) {
+  char buf[128];
+  switch (in.op) {
+    case Op::LDC_I4:
+    case Op::LDC_I8:
+      std::snprintf(buf, sizeof buf, "%s %lld", to_string(in.op),
+                    static_cast<long long>(in.imm.i64));
+      return buf;
+    case Op::LDC_R4:
+    case Op::LDC_R8:
+      std::snprintf(buf, sizeof buf, "%s %g", to_string(in.op), in.imm.f64);
+      return buf;
+    case Op::LDLOC:
+    case Op::STLOC:
+    case Op::LDARG:
+    case Op::STARG:
+    case Op::BR:
+    case Op::BRTRUE:
+    case Op::BRFALSE:
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BLE:
+    case Op::BGT:
+    case Op::BGE:
+    case Op::CALL:
+    case Op::CALLINTR:
+    case Op::NEWOBJ:
+    case Op::LDSTR:
+    case Op::LEAVE:
+      std::snprintf(buf, sizeof buf, "%s %d", to_string(in.op), in.a);
+      return buf;
+    case Op::LDFLD:
+    case Op::STFLD:
+    case Op::LDSFLD:
+    case Op::STSFLD:
+      std::snprintf(buf, sizeof buf, "%s %d::%d", to_string(in.op), in.b,
+                    in.a);
+      return buf;
+    default:
+      if (in.type != ValType::None) {
+        std::snprintf(buf, sizeof buf, "%s [%s]", to_string(in.op),
+                      to_string(in.type));
+        return buf;
+      }
+      return to_string(in.op);
+  }
+}
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,144 @@
+// The CIL-subset instruction set. ILBuilder emits these; the verifier
+// type-checks them, resolves branch labels to instruction indices, and fills
+// in Instr::type for polymorphic opcodes (ADD works on any numeric type, just
+// as CIL `add` does — the verifier records which one each occurrence uses, so
+// the compiled tiers can dispatch statically).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+enum class Op : std::uint8_t {
+  NOP = 0,
+
+  // Constants.
+  LDC_I4,   // imm.i64 (value fits in int32)
+  LDC_I8,   // imm.i64
+  LDC_R4,   // imm.f64 (exact float widened to double)
+  LDC_R8,   // imm.f64
+  LDNULL,
+  LDSTR,    // a = string pool index
+
+  // Locals and arguments. Arguments and locals live in one frame-local array
+  // (args first), but the builder exposes them separately like CIL does.
+  LDLOC,  // a = local index
+  STLOC,
+  LDARG,  // a = argument index
+  STARG,
+
+  // Stack manipulation.
+  DUP,
+  POP,
+
+  // Arithmetic (polymorphic over I32/I64/F32/F64; verifier fills type).
+  ADD,
+  SUB,
+  MUL,
+  DIV,   // integer division truncates toward zero; throws on /0 and overflow
+  REM,
+  NEG,
+
+  // Bitwise / shifts (I32/I64 only).
+  AND,
+  OR,
+  XOR,
+  NOT,
+  SHL,
+  SHR,     // arithmetic
+  SHR_UN,  // logical
+
+  // Comparisons (push int32 0/1).
+  CEQ,
+  CGT,
+  CLT,
+
+  // Branches; a = target label (instruction index after verification).
+  BR,
+  BRTRUE,
+  BRFALSE,
+  BEQ,
+  BNE,
+  BLT,
+  BLE,
+  BGT,
+  BGE,
+
+  // Conversions; type field records the *source* type.
+  CONV_I4,
+  CONV_I8,
+  CONV_R4,
+  CONV_R8,
+  CONV_I1,  // sign-extend low 8 bits (result is I32 on the stack)
+  CONV_U1,
+  CONV_I2,
+  CONV_U2,
+
+  // Calls.
+  CALL,       // a = method id
+  CALLINTR,   // a = intrinsic id
+  RET,
+
+  // Objects.
+  NEWOBJ,  // a = class id (no constructors; fields zero-initialized)
+  LDFLD,   // a = field index within class; b = class id
+  STFLD,
+  LDSFLD,  // a = static field index; b = class id
+  STSFLD,
+
+  // One-dimensional (jagged-style) arrays; type = element type.
+  NEWARR,  // pops length
+  LDLEN,
+  LDELEM,  // pops [arr, idx]
+  STELEM,  // pops [arr, idx, value]
+
+  // True rank-2 rectangular arrays (the CLI multidimensional array the paper
+  // benchmarks against jagged arrays in Graph 12); type = element type.
+  NEWMAT,    // pops [rows, cols]
+  LDELEM2,   // pops [mat, r, c]
+  STELEM2,   // pops [mat, r, c, value]
+  LDMATROWS,
+  LDMATCOLS,
+
+  // Boxing of value types (Table 3's Boxing micro-benchmark).
+  BOX,    // type = boxed value type
+  UNBOX,
+
+  // Exceptions.
+  THROW,       // pops exception ref
+  LEAVE,       // a = target; runs intervening finally handlers
+  ENDFINALLY,
+
+  COUNT_,
+};
+
+const char* to_string(Op op);
+
+/// Decoded instruction. 24 bytes; `type` is None until the verifier runs.
+struct Instr {
+  Op op = Op::NOP;
+  ValType type = ValType::None;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  union Imm {
+    std::int64_t i64;
+    double f64;
+  } imm{};
+
+  static Instr make(Op op, std::int32_t a = 0, std::int32_t b = 0) {
+    Instr in;
+    in.op = op;
+    in.a = a;
+    in.b = b;
+    in.imm.i64 = 0;
+    return in;
+  }
+};
+
+/// Human-readable one-line rendering (used by the disassembler and tests).
+std::string to_string(const Instr& in);
+
+}  // namespace hpcnet::vm

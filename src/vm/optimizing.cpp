@@ -1,0 +1,762 @@
+// Tier::Optimizing — the CLR 1.1 / IBM JVM class engine. Methods are
+// compiled once (per engine) to the three-address register IR in regir.hpp
+// and executed by a dense dispatch loop over a flat register file: no operand
+// stack, no tag checks, safepoint polls only on taken backward branches.
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "vm/arith.hpp"
+#include "vm/engines.hpp"
+#include "vm/execution.hpp"
+#include "vm/heap.hpp"
+#include "vm/intrinsics.hpp"
+#include "vm/regcompile.hpp"
+#include "vm/verifier.hpp"
+#include "vm/regir.hpp"
+#include "vm/unwind.hpp"
+
+namespace hpcnet::vm {
+
+namespace {
+
+using regir::RCode;
+using regir::RInstr;
+using regir::ROp;
+
+constexpr std::int64_t kRegFieldBits = 20;
+constexpr std::int64_t kRegFieldMask = (1 << kRegFieldBits) - 1;
+
+struct OptFrame {
+  GcFrame gc;  // must be first
+  const RCode* rc = nullptr;
+  Slot* regs = nullptr;
+
+  static void enumerate(const GcFrame* g, void (*visit)(ObjRef, void*),
+                        void* arg) {
+    const auto* f = reinterpret_cast<const OptFrame*>(g);
+    for (std::int32_t r : f->rc->ref_regs) {
+      if (f->regs[r].ref != nullptr) visit(f->regs[r].ref, arg);
+    }
+  }
+};
+
+/// Deliberately out-of-line rank-2 helpers: the "generic" multidimensional
+/// array path of the JVM-like profiles goes through a call, mirroring how
+/// Java's reflective multiarray access compares with the CLR's direct
+/// row-major indexing (paper Graph 12).
+[[gnu::noinline]] bool generic_mat_index(ObjRef mat, std::int32_t r,
+                                         std::int32_t c, std::int64_t* out) {
+  if (mat == nullptr || mat->kind != ObjKind::Matrix2) return false;
+  if (r < 0 || r >= mat->length || c < 0 || c >= mat->cols) return false;
+  *out = static_cast<std::int64_t>(r) * mat->cols + c;
+  return true;
+}
+
+class OptimizingEngine final : public Engine {
+ public:
+  OptimizingEngine(VirtualMachine& vm, EngineProfile profile)
+      : vm_(vm), profile_(std::move(profile)) {}
+
+  const EngineProfile& profile() const override { return profile_; }
+
+  /// Compiled code for a method (compiling on first use). Thread-safe.
+  const RCode& code_for(std::int32_t method_id) {
+    if (static_cast<std::size_t>(method_id) < size_.load(std::memory_order_acquire)) {
+      RCode* rc = slots_[static_cast<std::size_t>(method_id)].load(
+          std::memory_order_acquire);
+      if (rc != nullptr) return *rc;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    while (slots_.size() <= static_cast<std::size_t>(method_id)) {
+      slots_.emplace_back(nullptr);
+    }
+    size_.store(slots_.size(), std::memory_order_release);
+    RCode* rc = slots_[static_cast<std::size_t>(method_id)].load();
+    if (rc == nullptr) {
+      verify(vm_.module(), method_id);
+      auto compiled = std::make_unique<RCode>(regir::compile(
+          vm_.module(), vm_.module().method(method_id), profile_.flags));
+      rc = compiled.get();
+      owned_.push_back(std::move(compiled));
+      slots_[static_cast<std::size_t>(method_id)].store(
+          rc, std::memory_order_release);
+    }
+    return *rc;
+  }
+
+ protected:
+  Slot do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) override {
+    return run(ctx, code_for(m.id), args);
+  }
+
+ private:
+  Slot run(VMContext& ctx, const RCode& rc, const Slot* args);
+
+  VirtualMachine& vm_;
+  EngineProfile profile_;
+  std::mutex mu_;
+  std::deque<std::atomic<RCode*>> slots_;
+  std::atomic<std::size_t> size_{0};
+  std::vector<std::unique_ptr<RCode>> owned_;
+};
+
+#define OPT_THROW(cls, msg)                 \
+  do {                                      \
+    vm_.throw_exception(ctx, (cls), (msg)); \
+    goto dispatch_exception;                \
+  } while (0)
+
+Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
+  Module& mod = vm_.module();
+  const MethodDef& m = *rc.method;
+  const auto arena_mark = ctx.arena.mark();
+
+  OptFrame frame;
+  frame.rc = &rc;
+  frame.regs = static_cast<Slot*>(
+      ctx.arena.alloc(static_cast<std::size_t>(rc.num_regs) * sizeof(Slot)));
+  for (std::size_t i = 0; i < m.num_args(); ++i) frame.regs[i] = args[i];
+  frame.gc.parent = ctx.top_frame;
+  frame.gc.enumerate = &OptFrame::enumerate;
+  ctx.top_frame = &frame.gc;
+
+  Slot* R = frame.regs;
+  UnwindMachine uw;
+  std::int32_t pc = 0;
+  Slot result;
+
+  auto leave_frame = [&] {
+    ctx.top_frame = frame.gc.parent;
+    ctx.arena.release(arena_mark);
+  };
+  auto take_branch = [&](std::int32_t target) {
+    if (target <= pc) vm_.safepoint_poll(ctx);  // back-edge poll
+    pc = target;
+  };
+
+  for (;;) {
+    const RInstr& in = rc.code[static_cast<std::size_t>(pc)];
+    switch (in.op) {
+      case ROp::NOP_R:
+      case ROp::SAFEPOINT:
+        break;
+      case ROp::MOV:
+      case ROp::MEMLD:
+      case ROp::MEMST:
+        R[in.d] = R[in.a];
+        break;
+      case ROp::LDI:
+        R[in.d].raw = static_cast<std::uint64_t>(in.imm.i64);
+        break;
+      case ROp::LDSTR_R:
+        R[in.d] = Slot::from_ref(vm_.heap().alloc_string(mod.string_at(in.a)));
+        break;
+
+      case ROp::ADD_I4: R[in.d].i32 = arith::add_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::SUB_I4: R[in.d].i32 = arith::sub_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::MUL_I4: R[in.d].i32 = arith::mul_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::NEG_I4: R[in.d].i32 = arith::sub_i32(0, R[in.a].i32); break;
+      case ROp::ADD_I8: R[in.d].i64 = arith::add_i64(R[in.a].i64, R[in.b].i64); break;
+      case ROp::SUB_I8: R[in.d].i64 = arith::sub_i64(R[in.a].i64, R[in.b].i64); break;
+      case ROp::MUL_I8: R[in.d].i64 = arith::mul_i64(R[in.a].i64, R[in.b].i64); break;
+      case ROp::NEG_I8: R[in.d].i64 = arith::sub_i64(0, R[in.a].i64); break;
+      case ROp::ADD_R4: R[in.d].f32 = R[in.a].f32 + R[in.b].f32; break;
+      case ROp::SUB_R4: R[in.d].f32 = R[in.a].f32 - R[in.b].f32; break;
+      case ROp::MUL_R4: R[in.d].f32 = R[in.a].f32 * R[in.b].f32; break;
+      case ROp::DIV_R4: R[in.d].f32 = R[in.a].f32 / R[in.b].f32; break;
+      case ROp::REM_R4: R[in.d].f32 = std::fmod(R[in.a].f32, R[in.b].f32); break;
+      case ROp::NEG_R4: R[in.d].f32 = -R[in.a].f32; break;
+      case ROp::ADD_R8: R[in.d].f64 = R[in.a].f64 + R[in.b].f64; break;
+      case ROp::SUB_R8: R[in.d].f64 = R[in.a].f64 - R[in.b].f64; break;
+      case ROp::MUL_R8: R[in.d].f64 = R[in.a].f64 * R[in.b].f64; break;
+      case ROp::DIV_R8: R[in.d].f64 = R[in.a].f64 / R[in.b].f64; break;
+      case ROp::REM_R8: R[in.d].f64 = std::fmod(R[in.a].f64, R[in.b].f64); break;
+      case ROp::NEG_R8: R[in.d].f64 = -R[in.a].f64; break;
+
+      case ROp::DIV_I4: {
+        std::int32_t out;
+        const auto s = arith::div_i32(R[in.a].i32, R[in.b].i32, &out);
+        if (s == arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        if (s == arith::DivStatus::Overflow) {
+          OPT_THROW(mod.arithmetic_class(), "integer overflow in division");
+        }
+        R[in.d].i32 = out;
+        break;
+      }
+      case ROp::REM_I4: {
+        std::int32_t out;
+        if (arith::rem_i32(R[in.a].i32, R[in.b].i32, &out) ==
+            arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        R[in.d].i32 = out;
+        break;
+      }
+      case ROp::DIV_I8: {
+        std::int64_t out;
+        const auto s = arith::div_i64(R[in.a].i64, R[in.b].i64, &out);
+        if (s == arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        if (s == arith::DivStatus::Overflow) {
+          OPT_THROW(mod.arithmetic_class(), "integer overflow in division");
+        }
+        R[in.d].i64 = out;
+        break;
+      }
+      case ROp::REM_I8: {
+        std::int64_t out;
+        if (arith::rem_i64(R[in.a].i64, R[in.b].i64, &out) ==
+            arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        R[in.d].i64 = out;
+        break;
+      }
+
+      case ROp::ADDI_I4:
+        R[in.d].i32 = arith::add_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::SUBI_I4:
+        R[in.d].i32 = arith::sub_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::MULI_I4:
+        R[in.d].i32 = arith::mul_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::DIVI_I4: {
+        std::int32_t out;
+        const auto s = arith::div_i32(R[in.a].i32,
+                                      static_cast<std::int32_t>(in.imm.i64), &out);
+        if (s == arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        if (s == arith::DivStatus::Overflow) {
+          OPT_THROW(mod.arithmetic_class(), "integer overflow in division");
+        }
+        R[in.d].i32 = out;
+        break;
+      }
+      case ROp::REMI_I4: {
+        std::int32_t out;
+        if (arith::rem_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64),
+                           &out) == arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        R[in.d].i32 = out;
+        break;
+      }
+      case ROp::ADDI_I8:
+        R[in.d].i64 = arith::add_i64(R[in.a].i64, in.imm.i64);
+        break;
+      case ROp::SUBI_I8:
+        R[in.d].i64 = arith::sub_i64(R[in.a].i64, in.imm.i64);
+        break;
+      case ROp::MULI_I8:
+        R[in.d].i64 = arith::mul_i64(R[in.a].i64, in.imm.i64);
+        break;
+      case ROp::DIVI_I8: {
+        std::int64_t out;
+        const auto s = arith::div_i64(R[in.a].i64, in.imm.i64, &out);
+        if (s == arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        if (s == arith::DivStatus::Overflow) {
+          OPT_THROW(mod.arithmetic_class(), "integer overflow in division");
+        }
+        R[in.d].i64 = out;
+        break;
+      }
+      case ROp::REMI_I8: {
+        std::int64_t out;
+        if (arith::rem_i64(R[in.a].i64, in.imm.i64, &out) ==
+            arith::DivStatus::DivideByZero) {
+          OPT_THROW(mod.divide_by_zero_class(), "division by zero");
+        }
+        R[in.d].i64 = out;
+        break;
+      }
+      case ROp::ADDI_R8: {
+        Slot c;
+        c.raw = static_cast<std::uint64_t>(in.imm.i64);
+        R[in.d].f64 = R[in.a].f64 + c.f64;
+        break;
+      }
+      case ROp::MULI_R8: {
+        Slot c;
+        c.raw = static_cast<std::uint64_t>(in.imm.i64);
+        R[in.d].f64 = R[in.a].f64 * c.f64;
+        break;
+      }
+
+      case ROp::AND_I4: R[in.d].i32 = R[in.a].i32 & R[in.b].i32; break;
+      case ROp::OR_I4: R[in.d].i32 = R[in.a].i32 | R[in.b].i32; break;
+      case ROp::XOR_I4: R[in.d].i32 = R[in.a].i32 ^ R[in.b].i32; break;
+      case ROp::NOT_I4: R[in.d].i32 = ~R[in.a].i32; break;
+      case ROp::SHL_I4: R[in.d].i32 = arith::shl_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::SHR_I4: R[in.d].i32 = arith::shr_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::SHRU_I4: R[in.d].i32 = arith::shru_i32(R[in.a].i32, R[in.b].i32); break;
+      case ROp::AND_I8: R[in.d].i64 = R[in.a].i64 & R[in.b].i64; break;
+      case ROp::OR_I8: R[in.d].i64 = R[in.a].i64 | R[in.b].i64; break;
+      case ROp::XOR_I8: R[in.d].i64 = R[in.a].i64 ^ R[in.b].i64; break;
+      case ROp::NOT_I8: R[in.d].i64 = ~R[in.a].i64; break;
+      case ROp::SHL_I8: R[in.d].i64 = arith::shl_i64(R[in.a].i64, R[in.b].i32); break;
+      case ROp::SHR_I8: R[in.d].i64 = arith::shr_i64(R[in.a].i64, R[in.b].i32); break;
+      case ROp::SHRU_I8: R[in.d].i64 = arith::shru_i64(R[in.a].i64, R[in.b].i32); break;
+      case ROp::SHLI_I4:
+        R[in.d].i32 = arith::shl_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::SHRI_I4:
+        R[in.d].i32 = arith::shr_i32(R[in.a].i32, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::SHLI_I8:
+        R[in.d].i64 = arith::shl_i64(R[in.a].i64, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::SHRI_I8:
+        R[in.d].i64 = arith::shr_i64(R[in.a].i64, static_cast<std::int32_t>(in.imm.i64));
+        break;
+      case ROp::ANDI_I4:
+        R[in.d].i32 = R[in.a].i32 & static_cast<std::int32_t>(in.imm.i64);
+        break;
+
+      case ROp::CEQ_I4: R[in.d] = Slot::from_i32(R[in.a].i32 == R[in.b].i32); break;
+      case ROp::CGT_I4: R[in.d] = Slot::from_i32(R[in.a].i32 > R[in.b].i32); break;
+      case ROp::CLT_I4: R[in.d] = Slot::from_i32(R[in.a].i32 < R[in.b].i32); break;
+      case ROp::CEQ_I8: R[in.d] = Slot::from_i32(R[in.a].i64 == R[in.b].i64); break;
+      case ROp::CGT_I8: R[in.d] = Slot::from_i32(R[in.a].i64 > R[in.b].i64); break;
+      case ROp::CLT_I8: R[in.d] = Slot::from_i32(R[in.a].i64 < R[in.b].i64); break;
+      case ROp::CEQ_R4: R[in.d] = Slot::from_i32(R[in.a].f32 == R[in.b].f32); break;
+      case ROp::CGT_R4: R[in.d] = Slot::from_i32(R[in.a].f32 > R[in.b].f32); break;
+      case ROp::CLT_R4: R[in.d] = Slot::from_i32(R[in.a].f32 < R[in.b].f32); break;
+      case ROp::CEQ_R8: R[in.d] = Slot::from_i32(R[in.a].f64 == R[in.b].f64); break;
+      case ROp::CGT_R8: R[in.d] = Slot::from_i32(R[in.a].f64 > R[in.b].f64); break;
+      case ROp::CLT_R8: R[in.d] = Slot::from_i32(R[in.a].f64 < R[in.b].f64); break;
+      case ROp::CEQ_REF: R[in.d] = Slot::from_i32(R[in.a].ref == R[in.b].ref); break;
+
+      case ROp::CV_I4_I8: R[in.d].i64 = R[in.a].i32; break;
+      case ROp::CV_I4_R4: R[in.d] = Slot::from_f32(static_cast<float>(R[in.a].i32)); break;
+      case ROp::CV_I4_R8: R[in.d].f64 = R[in.a].i32; break;
+      case ROp::CV_I8_I4: R[in.d] = Slot::from_i32(static_cast<std::int32_t>(R[in.a].i64)); break;
+      case ROp::CV_I8_R4: R[in.d] = Slot::from_f32(static_cast<float>(R[in.a].i64)); break;
+      case ROp::CV_I8_R8: R[in.d].f64 = static_cast<double>(R[in.a].i64); break;
+      case ROp::CV_R4_I4: R[in.d] = Slot::from_i32(arith::f_to_i32(R[in.a].f32)); break;
+      case ROp::CV_R4_I8: R[in.d].i64 = arith::f_to_i64(R[in.a].f32); break;
+      case ROp::CV_R4_R8: R[in.d].f64 = R[in.a].f32; break;
+      case ROp::CV_R8_I4: R[in.d] = Slot::from_i32(arith::f_to_i32(R[in.a].f64)); break;
+      case ROp::CV_R8_I8: R[in.d].i64 = arith::f_to_i64(R[in.a].f64); break;
+      case ROp::CV_R8_R4: R[in.d] = Slot::from_f32(static_cast<float>(R[in.a].f64)); break;
+      case ROp::SEXT8: R[in.d] = Slot::from_i32(static_cast<std::int8_t>(R[in.a].i32)); break;
+      case ROp::ZEXT8: R[in.d] = Slot::from_i32(static_cast<std::uint8_t>(R[in.a].i32)); break;
+      case ROp::SEXT16: R[in.d] = Slot::from_i32(static_cast<std::int16_t>(R[in.a].i32)); break;
+      case ROp::ZEXT16: R[in.d] = Slot::from_i32(static_cast<std::uint16_t>(R[in.a].i32)); break;
+
+      case ROp::JMP:
+      case ROp::JMPB:
+        take_branch(in.d);
+        continue;
+      case ROp::JZ_I4: if (R[in.a].i32 == 0) { take_branch(in.d); continue; } break;
+      case ROp::JNZ_I4: if (R[in.a].i32 != 0) { take_branch(in.d); continue; } break;
+      case ROp::JZ_I8: if (R[in.a].i64 == 0) { take_branch(in.d); continue; } break;
+      case ROp::JNZ_I8: if (R[in.a].i64 != 0) { take_branch(in.d); continue; } break;
+      case ROp::JZ_REF: if (R[in.a].ref == nullptr) { take_branch(in.d); continue; } break;
+      case ROp::JNZ_REF: if (R[in.a].ref != nullptr) { take_branch(in.d); continue; } break;
+
+      case ROp::JEQ_I4: if (R[in.a].i32 == R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JNE_I4: if (R[in.a].i32 != R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JLT_I4: if (R[in.a].i32 < R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JLE_I4: if (R[in.a].i32 <= R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JGT_I4: if (R[in.a].i32 > R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JGE_I4: if (R[in.a].i32 >= R[in.b].i32) { take_branch(in.d); continue; } break;
+      case ROp::JEQ_I8: if (R[in.a].i64 == R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JNE_I8: if (R[in.a].i64 != R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JLT_I8: if (R[in.a].i64 < R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JLE_I8: if (R[in.a].i64 <= R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JGT_I8: if (R[in.a].i64 > R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JGE_I8: if (R[in.a].i64 >= R[in.b].i64) { take_branch(in.d); continue; } break;
+      case ROp::JEQ_R4: if (R[in.a].f32 == R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JNE_R4: if (R[in.a].f32 != R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JLT_R4: if (R[in.a].f32 < R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JLE_R4: if (R[in.a].f32 <= R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JGT_R4: if (R[in.a].f32 > R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JGE_R4: if (R[in.a].f32 >= R[in.b].f32) { take_branch(in.d); continue; } break;
+      case ROp::JEQ_R8: if (R[in.a].f64 == R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JNE_R8: if (R[in.a].f64 != R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JLT_R8: if (R[in.a].f64 < R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JLE_R8: if (R[in.a].f64 <= R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JGT_R8: if (R[in.a].f64 > R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JGE_R8: if (R[in.a].f64 >= R[in.b].f64) { take_branch(in.d); continue; } break;
+      case ROp::JEQ_REF: if (R[in.a].ref == R[in.b].ref) { take_branch(in.d); continue; } break;
+      case ROp::JNE_REF: if (R[in.a].ref != R[in.b].ref) { take_branch(in.d); continue; } break;
+
+      case ROp::JEQI_I4: if (R[in.a].i32 == static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JNEI_I4: if (R[in.a].i32 != static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JLTI_I4: if (R[in.a].i32 < static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JLEI_I4: if (R[in.a].i32 <= static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JGTI_I4: if (R[in.a].i32 > static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JGEI_I4: if (R[in.a].i32 >= static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+
+      case ROp::CALL_R: {
+        vm_.safepoint_poll(ctx);
+        const auto argc = static_cast<std::int32_t>(in.imm.i64);
+        Slot argbuf[16];
+        for (std::int32_t k = 0; k < argc; ++k) {
+          argbuf[k] = R[rc.args_pool[static_cast<std::size_t>(in.b + k)]];
+        }
+        const RCode& callee = code_for(in.a);
+        const Slot r = run(ctx, callee, argbuf);
+        if (ctx.has_pending()) goto dispatch_exception;
+        if (in.d >= 0) R[in.d] = r;
+        break;
+      }
+      case ROp::CALLINTR_R: {
+        const auto argc = static_cast<std::int32_t>(in.imm.i64);
+        Slot argbuf[8];
+        for (std::int32_t k = 0; k < argc; ++k) {
+          argbuf[k] = R[rc.args_pool[static_cast<std::size_t>(in.b + k)]];
+        }
+        Slot r;
+        intrinsic(in.a).fn(ctx, argbuf, &r);
+        if (ctx.has_pending()) goto dispatch_exception;
+        if (in.d >= 0) R[in.d] = r;
+        break;
+      }
+      case ROp::MATH1_R8: {
+        auto fn = reinterpret_cast<double (*)(double)>(
+            static_cast<std::uintptr_t>(in.imm.i64));
+        R[in.d].f64 = fn(R[in.a].f64);
+        break;
+      }
+      case ROp::MATH2_R8: {
+        auto fn = reinterpret_cast<double (*)(double, double)>(
+            static_cast<std::uintptr_t>(in.imm.i64));
+        R[in.d].f64 = fn(R[in.a].f64, R[in.b].f64);
+        break;
+      }
+      case ROp::ABS_I4_R: R[in.d] = Slot::from_i32(R[in.a].i32 < 0 ? -R[in.a].i32 : R[in.a].i32); break;
+      case ROp::ABS_I8_R: R[in.d].i64 = R[in.a].i64 < 0 ? -R[in.a].i64 : R[in.a].i64; break;
+      case ROp::ABS_R4_R: R[in.d] = Slot::from_f32(std::fabs(R[in.a].f32)); break;
+      case ROp::ABS_R8_R: R[in.d].f64 = std::fabs(R[in.a].f64); break;
+      case ROp::MAX_I4_R: R[in.d] = Slot::from_i32(std::max(R[in.a].i32, R[in.b].i32)); break;
+      case ROp::MAX_I8_R: R[in.d].i64 = std::max(R[in.a].i64, R[in.b].i64); break;
+      case ROp::MAX_R4_R: R[in.d] = Slot::from_f32(std::fmax(R[in.a].f32, R[in.b].f32)); break;
+      case ROp::MAX_R8_R: R[in.d].f64 = std::fmax(R[in.a].f64, R[in.b].f64); break;
+      case ROp::MIN_I4_R: R[in.d] = Slot::from_i32(std::min(R[in.a].i32, R[in.b].i32)); break;
+      case ROp::MIN_I8_R: R[in.d].i64 = std::min(R[in.a].i64, R[in.b].i64); break;
+      case ROp::MIN_R4_R: R[in.d] = Slot::from_f32(std::fmin(R[in.a].f32, R[in.b].f32)); break;
+      case ROp::MIN_R8_R: R[in.d].f64 = std::fmin(R[in.a].f64, R[in.b].f64); break;
+
+      case ROp::RET_R:
+        if (in.a >= 0) result = R[in.a];
+        leave_frame();
+        return result;
+
+      case ROp::NEWOBJ_R:
+        R[in.d] = Slot::from_ref(vm_.heap().alloc_instance(in.a));
+        break;
+      case ROp::LDFLD_R: {
+        ObjRef obj = R[in.a].ref;
+        if (obj == nullptr) OPT_THROW(mod.null_reference_class(), "ldfld");
+        R[in.d] = obj->fields()[in.b];
+        break;
+      }
+      case ROp::STFLD_R: {
+        ObjRef obj = R[in.a].ref;
+        if (obj == nullptr) OPT_THROW(mod.null_reference_class(), "stfld");
+        obj->fields()[in.b] = R[in.d];
+        break;
+      }
+      case ROp::LDSFLD_R:
+        R[in.d] = mod.statics(in.a)[in.b];
+        break;
+      case ROp::STSFLD_R:
+        mod.statics(in.a)[in.b] = R[in.d];
+        break;
+
+      case ROp::NEWARR_R: {
+        const std::int32_t len = R[in.a].i32;
+        if (len < 0) OPT_THROW(mod.index_range_class(), "negative array size");
+        R[in.d] = Slot::from_ref(
+            vm_.heap().alloc_array(static_cast<ValType>(in.b), len));
+        break;
+      }
+      case ROp::LDLEN_R: {
+        ObjRef arr = R[in.a].ref;
+        if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "ldlen");
+        R[in.d] = Slot::from_i32(arr->length);
+        break;
+      }
+      case ROp::CHK_BOUNDS: {
+        ObjRef arr = R[in.a].ref;
+        if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "ldelem");
+        const std::int32_t idx = R[in.b].i32;
+        if (idx < 0 || idx >= arr->length) {
+          OPT_THROW(mod.index_range_class(), "index out of range");
+        }
+        break;
+      }
+      case ROp::JLT_LEN: {
+        ObjRef arr = R[in.b].ref;
+        if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "ldlen");
+        if (R[in.a].i32 < arr->length) {
+          take_branch(in.d);
+          continue;
+        }
+        break;
+      }
+
+#define OPT_LDELEM(OPC, FIELD, FROM)                                      \
+  case ROp::OPC: {                                                        \
+    ObjRef arr = R[in.a].ref;                                             \
+    if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "ldelem");  \
+    const std::int32_t idx = R[in.b].i32;                                 \
+    if (idx < 0 || idx >= arr->length) {                                  \
+      OPT_THROW(mod.index_range_class(), "index out of range");           \
+    }                                                                     \
+    R[in.d] = Slot::FROM(arr->FIELD()[idx]);                              \
+    break;                                                                \
+  }
+      OPT_LDELEM(LDELEM_I4, i32_data, from_i32)
+      OPT_LDELEM(LDELEM_I8, i64_data, from_i64)
+      OPT_LDELEM(LDELEM_R4, f32_data, from_f32)
+      OPT_LDELEM(LDELEM_R8, f64_data, from_f64)
+      OPT_LDELEM(LDELEM_REF, ref_data, from_ref)
+#undef OPT_LDELEM
+
+#define OPT_LDELEMU(OPC, FIELD, FROM)               \
+  case ROp::OPC:                                    \
+    R[in.d] = Slot::FROM(R[in.a].ref->FIELD()[R[in.b].i32]); \
+    break;
+      OPT_LDELEMU(LDELEMU_I4, i32_data, from_i32)
+      OPT_LDELEMU(LDELEMU_I8, i64_data, from_i64)
+      OPT_LDELEMU(LDELEMU_R4, f32_data, from_f32)
+      OPT_LDELEMU(LDELEMU_R8, f64_data, from_f64)
+      OPT_LDELEMU(LDELEMU_REF, ref_data, from_ref)
+#undef OPT_LDELEMU
+
+#define OPT_STELEM(OPC, FIELD, MEMBER)                                    \
+  case ROp::OPC: {                                                        \
+    ObjRef arr = R[in.a].ref;                                             \
+    if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "stelem");  \
+    const std::int32_t idx = R[in.b].i32;                                 \
+    if (idx < 0 || idx >= arr->length) {                                  \
+      OPT_THROW(mod.index_range_class(), "index out of range");           \
+    }                                                                     \
+    arr->FIELD()[idx] = R[in.d].MEMBER;                                   \
+    break;                                                                \
+  }
+      OPT_STELEM(STELEM_I4, i32_data, i32)
+      OPT_STELEM(STELEM_I8, i64_data, i64)
+      OPT_STELEM(STELEM_R4, f32_data, f32)
+      OPT_STELEM(STELEM_R8, f64_data, f64)
+      OPT_STELEM(STELEM_REF, ref_data, ref)
+#undef OPT_STELEM
+
+#define OPT_STELEMU(OPC, FIELD, MEMBER)                 \
+  case ROp::OPC:                                        \
+    R[in.a].ref->FIELD()[R[in.b].i32] = R[in.d].MEMBER; \
+    break;
+      OPT_STELEMU(STELEMU_I4, i32_data, i32)
+      OPT_STELEMU(STELEMU_I8, i64_data, i64)
+      OPT_STELEMU(STELEMU_R4, f32_data, f32)
+      OPT_STELEMU(STELEMU_R8, f64_data, f64)
+      OPT_STELEMU(STELEMU_REF, ref_data, ref)
+#undef OPT_STELEMU
+
+      case ROp::NEWMAT_R: {
+        const std::int32_t rows = R[in.a].i32;
+        const std::int32_t cols = R[in.b].i32;
+        if (rows < 0 || cols < 0) {
+          OPT_THROW(mod.index_range_class(), "negative matrix size");
+        }
+        R[in.d] = Slot::from_ref(vm_.heap().alloc_matrix2(
+            static_cast<ValType>(in.imm.i64), rows, cols));
+        break;
+      }
+
+#define OPT_LDEL2(OPC, FIELD, FROM)                                       \
+  case ROp::OPC: {                                                        \
+    ObjRef mat = R[in.a].ref;                                             \
+    if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "ldelem2"); \
+    const std::int32_t r2 = R[in.b].i32;                                  \
+    const std::int32_t c2 =                                               \
+        R[static_cast<std::int32_t>(in.imm.i64 & kRegFieldMask)].i32;     \
+    if (r2 < 0 || r2 >= mat->length || c2 < 0 || c2 >= mat->cols) {       \
+      OPT_THROW(mod.index_range_class(), "matrix index out of range");    \
+    }                                                                     \
+    R[in.d] = Slot::FROM(                                                 \
+        mat->FIELD()[static_cast<std::int64_t>(r2) * mat->cols + c2]);    \
+    break;                                                                \
+  }
+      OPT_LDEL2(LDEL2_I4, i32_data, from_i32)
+      OPT_LDEL2(LDEL2_I8, i64_data, from_i64)
+      OPT_LDEL2(LDEL2_R4, f32_data, from_f32)
+      OPT_LDEL2(LDEL2_R8, f64_data, from_f64)
+      OPT_LDEL2(LDEL2_REF, ref_data, from_ref)
+#undef OPT_LDEL2
+
+#define OPT_STEL2(OPC, FIELD, MEMBER)                                     \
+  case ROp::OPC: {                                                        \
+    ObjRef mat = R[in.a].ref;                                             \
+    if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "stelem2"); \
+    const std::int32_t r2 = R[in.b].i32;                                  \
+    const std::int32_t c2 =                                               \
+        R[static_cast<std::int32_t>(in.imm.i64 & kRegFieldMask)].i32;     \
+    const std::int32_t v2 = static_cast<std::int32_t>(                    \
+        (in.imm.i64 >> kRegFieldBits) & kRegFieldMask);                   \
+    if (r2 < 0 || r2 >= mat->length || c2 < 0 || c2 >= mat->cols) {       \
+      OPT_THROW(mod.index_range_class(), "matrix index out of range");    \
+    }                                                                     \
+    mat->FIELD()[static_cast<std::int64_t>(r2) * mat->cols + c2] =        \
+        R[v2].MEMBER;                                                     \
+    break;                                                                \
+  }
+      OPT_STEL2(STEL2_I4, i32_data, i32)
+      OPT_STEL2(STEL2_I8, i64_data, i64)
+      OPT_STEL2(STEL2_R4, f32_data, f32)
+      OPT_STEL2(STEL2_R8, f64_data, f64)
+      OPT_STEL2(STEL2_REF, ref_data, ref)
+#undef OPT_STEL2
+
+      case ROp::LDEL2_SLOW: {
+        ObjRef mat = R[in.a].ref;
+        const std::int32_t r2 = R[in.b].i32;
+        const std::int32_t c2 =
+            R[static_cast<std::int32_t>(in.imm.i64 & kRegFieldMask)].i32;
+        std::int64_t i;
+        if (!generic_mat_index(mat, r2, c2, &i)) {
+          if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "ldelem2");
+          OPT_THROW(mod.index_range_class(), "matrix index out of range");
+        }
+        switch (static_cast<ValType>((in.imm.i64 >> 40) & 0xF)) {
+          case ValType::I32: R[in.d] = Slot::from_i32(mat->i32_data()[i]); break;
+          case ValType::I64: R[in.d] = Slot::from_i64(mat->i64_data()[i]); break;
+          case ValType::F32: R[in.d] = Slot::from_f32(mat->f32_data()[i]); break;
+          case ValType::F64: R[in.d] = Slot::from_f64(mat->f64_data()[i]); break;
+          default: R[in.d] = Slot::from_ref(mat->ref_data()[i]); break;
+        }
+        break;
+      }
+      case ROp::STEL2_SLOW: {
+        ObjRef mat = R[in.a].ref;
+        const std::int32_t r2 = R[in.b].i32;
+        const std::int32_t c2 =
+            R[static_cast<std::int32_t>(in.imm.i64 & kRegFieldMask)].i32;
+        const std::int32_t v2 = static_cast<std::int32_t>(
+            (in.imm.i64 >> kRegFieldBits) & kRegFieldMask);
+        std::int64_t i;
+        if (!generic_mat_index(mat, r2, c2, &i)) {
+          if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "stelem2");
+          OPT_THROW(mod.index_range_class(), "matrix index out of range");
+        }
+        switch (static_cast<ValType>((in.imm.i64 >> 40) & 0xF)) {
+          case ValType::I32: mat->i32_data()[i] = R[v2].i32; break;
+          case ValType::I64: mat->i64_data()[i] = R[v2].i64; break;
+          case ValType::F32: mat->f32_data()[i] = R[v2].f32; break;
+          case ValType::F64: mat->f64_data()[i] = R[v2].f64; break;
+          default: mat->ref_data()[i] = R[v2].ref; break;
+        }
+        break;
+      }
+      case ROp::LDMROWS_R: {
+        ObjRef mat = R[in.a].ref;
+        if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "ldmat");
+        R[in.d] = Slot::from_i32(mat->length);
+        break;
+      }
+      case ROp::LDMCOLS_R: {
+        ObjRef mat = R[in.a].ref;
+        if (mat == nullptr) OPT_THROW(mod.null_reference_class(), "ldmat");
+        R[in.d] = Slot::from_i32(mat->cols);
+        break;
+      }
+
+      case ROp::BOX_R:
+        R[in.d] = Slot::from_ref(
+            vm_.heap().alloc_box(static_cast<ValType>(in.b), R[in.a]));
+        break;
+      case ROp::UNBOX_R: {
+        ObjRef box = R[in.a].ref;
+        if (box == nullptr) OPT_THROW(mod.null_reference_class(), "unbox");
+        if (box->kind != ObjKind::Boxed ||
+            box->elem != static_cast<ValType>(in.b)) {
+          OPT_THROW(mod.invalid_cast_class(), "unbox type mismatch");
+        }
+        R[in.d] = box->fields()[0];
+        break;
+      }
+
+      case ROp::THROW_R: {
+        ObjRef exc = R[in.a].ref;
+        if (exc == nullptr) OPT_THROW(mod.null_reference_class(), "throw null");
+        ctx.pending_exception = exc;
+        goto dispatch_exception;
+      }
+      case ROp::LEAVE_R: {
+        const UnwindAction a =
+            uw.on_leave(m, in.il_pc, in.a);  // a = IL target
+        pc = rc.il2rpc[static_cast<std::size_t>(a.pc)];
+        continue;
+      }
+      case ROp::ENDFINALLY_R: {
+        const UnwindAction a = uw.on_endfinally(mod, m);
+        switch (a.kind) {
+          case UnwindAction::Kind::Resume:
+          case UnwindAction::Kind::EnterFinally:
+            pc = rc.il2rpc[static_cast<std::size_t>(a.pc)];
+            continue;
+          case UnwindAction::Kind::EnterCatch:
+            R[rc.handler_exc_reg[static_cast<std::size_t>(a.handler_index)]] =
+                Slot::from_ref(uw.exception());
+            pc = rc.il2rpc[static_cast<std::size_t>(a.pc)];
+            continue;
+          case UnwindAction::Kind::Propagate:
+            ctx.pending_exception = uw.exception();
+            leave_frame();
+            return result;
+        }
+        break;
+      }
+
+      case ROp::COUNT_:
+        break;
+    }
+    ++pc;
+    continue;
+
+  dispatch_exception: {
+    ObjRef exc = ctx.pending_exception;
+    ctx.pending_exception = nullptr;
+    const std::int32_t il =
+        rc.code[static_cast<std::size_t>(pc)].il_pc;
+    const UnwindAction a = uw.on_throw(mod, m, il, exc);
+    switch (a.kind) {
+      case UnwindAction::Kind::EnterCatch:
+        R[rc.handler_exc_reg[static_cast<std::size_t>(a.handler_index)]] =
+            Slot::from_ref(uw.exception());
+        pc = rc.il2rpc[static_cast<std::size_t>(a.pc)];
+        continue;
+      case UnwindAction::Kind::EnterFinally:
+        pc = rc.il2rpc[static_cast<std::size_t>(a.pc)];
+        continue;
+      default:
+        ctx.pending_exception = exc;
+        leave_frame();
+        return result;
+    }
+  }
+  }
+}
+
+#undef OPT_THROW
+
+}  // namespace
+
+std::unique_ptr<Engine> make_optimizing(VirtualMachine& vm,
+                                        EngineProfile profile) {
+  return std::make_unique<OptimizingEngine>(vm, std::move(profile));
+}
+
+}  // namespace hpcnet::vm

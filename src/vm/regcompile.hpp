@@ -1,0 +1,12 @@
+// Stack IL -> register IR compilation for Tier::Optimizing.
+#pragma once
+
+#include "vm/execution.hpp"
+#include "vm/regir.hpp"
+
+namespace hpcnet::vm::regir {
+
+/// Compiles a verified method under the profile's optimization flags.
+RCode compile(Module& module, const MethodDef& m, const EngineFlags& flags);
+
+}  // namespace hpcnet::vm::regir

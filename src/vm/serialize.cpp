@@ -1,0 +1,317 @@
+#include "vm/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "vm/execution.hpp"
+#include "vm/heap.hpp"
+
+namespace hpcnet::vm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48504331;  // "HPC1"
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void raw(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  std::vector<char> take() { return std::move(buf_); }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  std::uint8_t u8() { return static_cast<std::uint8_t>(data_[need(1)]); }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, data_ + need(4), 4);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    std::memcpy(&v, data_ + need(4), 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    std::memcpy(&v, data_ + need(8), 8);
+    return v;
+  }
+  const char* bytes(std::size_t n) { return data_ + need(n); }
+
+ private:
+  std::size_t need(std::size_t n) {
+    if (pos_ + n > size_) throw SerializeError("truncated stream");
+    const std::size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<char> serialize_graph(VirtualMachine& vm, ObjRef root) {
+  // Assign record ids in discovery (BFS) order, then emit each record with
+  // child references encoded as ids. Cycles terminate because ids are
+  // assigned before children are visited.
+  std::unordered_map<ObjRef, std::int32_t> ids;
+  std::vector<ObjRef> order;
+  auto id_of = [&](ObjRef o) -> std::int32_t {
+    if (o == nullptr) return -1;
+    auto it = ids.find(o);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::int32_t>(order.size());
+    ids.emplace(o, id);
+    order.push_back(o);
+    return id;
+  };
+
+  id_of(root);
+  Writer w;
+  w.u32(kMagic);
+  // Object count back-patched at the end (discovery grows the list).
+  std::size_t visited = 0;
+  Writer body;
+  while (visited < order.size()) {
+    ObjRef obj = order[visited++];
+    body.u8(static_cast<std::uint8_t>(obj->kind));
+    switch (obj->kind) {
+      case ObjKind::Instance: {
+        body.i32(obj->klass);
+        const auto& cls = vm.module().klass(obj->klass);
+        body.i32(static_cast<std::int32_t>(cls.fields.size()));
+        for (std::size_t i = 0; i < cls.fields.size(); ++i) {
+          const Slot s = obj->fields()[i];
+          if (cls.fields[i].type == ValType::Ref) {
+            body.i32(id_of(s.ref));
+          } else {
+            body.u64(s.raw);
+          }
+        }
+        break;
+      }
+      case ObjKind::Array: {
+        body.u8(static_cast<std::uint8_t>(obj->elem));
+        body.i32(obj->length);
+        if (obj->elem == ValType::Ref) {
+          for (std::int32_t i = 0; i < obj->length; ++i) {
+            body.i32(id_of(obj->ref_data()[i]));
+          }
+        } else {
+          body.raw(obj->data(),
+                   static_cast<std::size_t>(obj->length) * elem_size(obj->elem));
+        }
+        break;
+      }
+      case ObjKind::Matrix2: {
+        body.u8(static_cast<std::uint8_t>(obj->elem));
+        body.i32(obj->length);
+        body.i32(obj->cols);
+        const std::size_t n =
+            static_cast<std::size_t>(obj->length) * static_cast<std::size_t>(obj->cols);
+        if (obj->elem == ValType::Ref) {
+          for (std::size_t i = 0; i < n; ++i) body.i32(id_of(obj->ref_data()[i]));
+        } else {
+          body.raw(obj->data(), n * elem_size(obj->elem));
+        }
+        break;
+      }
+      case ObjKind::Boxed: {
+        body.u8(static_cast<std::uint8_t>(obj->elem));
+        body.u64(obj->fields()[0].raw);
+        break;
+      }
+      case ObjKind::String: {
+        body.i32(obj->length);
+        body.raw(obj->chars(), static_cast<std::size_t>(obj->length));
+        break;
+      }
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(order.size()));
+  std::vector<char> head = w.take();
+  std::vector<char> tail = body.take();
+  head.insert(head.end(), tail.begin(), tail.end());
+  return head;
+}
+
+ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
+                         std::size_t size) {
+  (void)ctx;
+  Reader r(data, size);
+  if (r.u32() != kMagic) throw SerializeError("bad magic");
+  const std::uint32_t count = r.u32();
+  if (count == 0) return nullptr;
+
+  // Pass 1: allocate shells (pinned so an allocation-triggered GC can't
+  // reclaim them before they are linked). Ref fields are patched in pass 2
+  // via a fixup list because a child may appear later in the stream.
+  struct Fixup {
+    ObjRef obj;
+    std::size_t slot;   // field/element index
+    std::int32_t target;
+  };
+  std::vector<ObjRef> objs;
+  std::vector<Fixup> fixups;
+  objs.reserve(count);
+
+  Heap& heap = vm.heap();
+  struct PinAll {
+    VirtualMachine& vm;
+    std::vector<ObjRef>& objs;
+    ~PinAll() {
+      for (ObjRef o : objs) vm.unpin(o);
+    }
+  } pin_guard{vm, objs};
+
+  for (std::uint32_t id = 0; id < count; ++id) {
+    const auto kind = static_cast<ObjKind>(r.u8());
+    ObjRef obj = nullptr;
+    switch (kind) {
+      case ObjKind::Instance: {
+        const std::int32_t klass = r.i32();
+        if (klass < 0 ||
+            static_cast<std::size_t>(klass) >= vm.module().class_count()) {
+          throw SerializeError("bad class id");
+        }
+        const std::int32_t nfields = r.i32();
+        const auto& cls = vm.module().klass(klass);
+        if (static_cast<std::size_t>(nfields) != cls.fields.size()) {
+          throw SerializeError("field count mismatch");
+        }
+        obj = heap.alloc_instance(klass);
+        vm.pin(obj);
+        objs.push_back(obj);
+        for (std::size_t i = 0; i < cls.fields.size(); ++i) {
+          if (cls.fields[i].type == ValType::Ref) {
+            fixups.push_back({obj, i, r.i32()});
+          } else {
+            obj->fields()[i].raw = r.u64();
+          }
+        }
+        break;
+      }
+      case ObjKind::Array: {
+        const auto elem = static_cast<ValType>(r.u8());
+        const std::int32_t len = r.i32();
+        if (len < 0) throw SerializeError("bad array length");
+        obj = heap.alloc_array(elem, len);
+        vm.pin(obj);
+        objs.push_back(obj);
+        if (elem == ValType::Ref) {
+          for (std::int32_t i = 0; i < len; ++i) {
+            fixups.push_back({obj, static_cast<std::size_t>(i), r.i32()});
+          }
+        } else {
+          const std::size_t bytes =
+              static_cast<std::size_t>(len) * elem_size(elem);
+          std::memcpy(obj->data(), r.bytes(bytes), bytes);
+        }
+        break;
+      }
+      case ObjKind::Matrix2: {
+        const auto elem = static_cast<ValType>(r.u8());
+        const std::int32_t rows = r.i32();
+        const std::int32_t cols = r.i32();
+        if (rows < 0 || cols < 0) throw SerializeError("bad matrix dims");
+        obj = heap.alloc_matrix2(elem, rows, cols);
+        vm.pin(obj);
+        objs.push_back(obj);
+        const std::size_t n =
+            static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+        if (elem == ValType::Ref) {
+          for (std::size_t i = 0; i < n; ++i) fixups.push_back({obj, i, r.i32()});
+        } else {
+          const std::size_t bytes = n * elem_size(elem);
+          std::memcpy(obj->data(), r.bytes(bytes), bytes);
+        }
+        break;
+      }
+      case ObjKind::Boxed: {
+        const auto elem = static_cast<ValType>(r.u8());
+        Slot s;
+        s.raw = r.u64();
+        obj = heap.alloc_box(elem, s);
+        vm.pin(obj);
+        objs.push_back(obj);
+        break;
+      }
+      case ObjKind::String: {
+        const std::int32_t len = r.i32();
+        if (len < 0) throw SerializeError("bad string length");
+        obj = heap.alloc_string(
+            std::string(r.bytes(static_cast<std::size_t>(len)),
+                        static_cast<std::size_t>(len)));
+        vm.pin(obj);
+        objs.push_back(obj);
+        break;
+      }
+      default:
+        throw SerializeError("bad record kind");
+    }
+  }
+
+  // Pass 2: link references.
+  for (const Fixup& f : fixups) {
+    ObjRef target = nullptr;
+    if (f.target >= 0) {
+      if (static_cast<std::uint32_t>(f.target) >= count) {
+        throw SerializeError("bad reference id");
+      }
+      target = objs[static_cast<std::size_t>(f.target)];
+    }
+    if (f.obj->kind == ObjKind::Instance) {
+      f.obj->fields()[f.slot] = Slot::from_ref(target);
+    } else {
+      f.obj->ref_data()[f.slot] = target;
+    }
+  }
+  return objs[0];
+}
+
+ObjRef serialize_to_string(VirtualMachine& vm, ObjRef root) {
+  std::vector<char> bytes = serialize_graph(vm, root);
+  return vm.heap().alloc_string(std::string(bytes.data(), bytes.size()));
+}
+
+ObjRef deserialize_from_string(VirtualMachine& vm, VMContext& ctx,
+                               ObjRef blob) {
+  if (blob == nullptr || blob->kind != ObjKind::String) {
+    throw SerializeError("deserialize: not a byte blob");
+  }
+  return deserialize_graph(vm, ctx, blob->chars(),
+                           static_cast<std::size_t>(blob->length));
+}
+
+void serialize_to_file(VirtualMachine& vm, ObjRef root,
+                       const std::string& path) {
+  std::vector<char> bytes = serialize_graph(vm, root);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SerializeError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+ObjRef deserialize_from_file(VirtualMachine& vm, VMContext& ctx,
+                             const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return deserialize_graph(vm, ctx, bytes.data(), bytes.size());
+}
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,51 @@
+// Metadata-driven binary serialization of managed object graphs — the
+// substrate for the JGF "Serial" micro-benchmark (writing and reading a
+// linked structure of objects). Handles arbitrary graphs including cycles
+// via a back-reference table, like the CLI BinaryFormatter the paper's port
+// exercised.
+//
+// The wire format is a private, versioned byte stream:
+//   [u32 magic][u32 object count][records...]
+// Each record: [u8 kind][type info][payload]; object references inside
+// payloads are encoded as record indices (-1 = null).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+class VirtualMachine;
+struct VMContext;
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes the graph rooted at `root` to a byte buffer.
+std::vector<char> serialize_graph(VirtualMachine& vm, ObjRef root);
+
+/// Reconstructs a graph from serialize_graph output; returns the new root.
+/// Newly created objects are kept GC-reachable throughout. Throws
+/// SerializeError on malformed input.
+ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
+                         std::size_t size);
+
+/// Convenience wrappers over String blobs (what the intrinsics expose).
+ObjRef serialize_to_string(VirtualMachine& vm, ObjRef root);
+ObjRef deserialize_from_string(VirtualMachine& vm, VMContext& ctx,
+                               ObjRef blob);
+
+/// File round-trip used by the Serial benchmark variant that includes I/O,
+/// as the JGF original writes to and reads from a file.
+void serialize_to_file(VirtualMachine& vm, ObjRef root,
+                       const std::string& path);
+ObjRef deserialize_from_file(VirtualMachine& vm, VMContext& ctx,
+                             const std::string& path);
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,88 @@
+#include "vm/unwind.hpp"
+
+#include "vm/heap.hpp"
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+UnwindAction UnwindMachine::on_throw(const Module& mod, const MethodDef& m,
+                                     std::int32_t throw_pc, ObjRef exc) {
+  // A throw while already unwinding (from inside a finally) replaces the
+  // in-flight exception; the search continues outward from the finally's
+  // position, i.e. from the current cursor.
+  if (mode_ != Mode::Throw) {
+    next_handler_ = 0;
+    throw_pc_ = throw_pc;
+  }
+  mode_ = Mode::Throw;
+  exc_ = exc;
+  pending_finallys_.clear();
+  return search(mod, m);
+}
+
+UnwindAction UnwindMachine::search(const Module& mod, const MethodDef& m) {
+  while (next_handler_ < m.handlers.size()) {
+    const std::int32_t idx = static_cast<std::int32_t>(next_handler_);
+    const ExHandler& h = m.handlers[next_handler_++];
+    if (!covers(h, throw_pc_)) continue;
+    if (h.kind == HandlerKind::Finally) {
+      return {UnwindAction::Kind::EnterFinally, h.handler, idx};
+    }
+    if (exc_ != nullptr && exc_->kind == ObjKind::Instance &&
+        mod.is_subclass(exc_->klass, h.catch_class)) {
+      mode_ = Mode::None;
+      return {UnwindAction::Kind::EnterCatch, h.handler, idx};
+    }
+  }
+  // Nothing (left) in this frame.
+  return {UnwindAction::Kind::Propagate, -1};
+}
+
+UnwindAction UnwindMachine::on_leave(const MethodDef& m, std::int32_t leave_pc,
+                                     std::int32_t target) {
+  pending_finallys_.clear();
+  pending_finally_idx_.clear();
+  next_finally_ = 0;
+  for (std::size_t hi = 0; hi < m.handlers.size(); ++hi) {
+    const ExHandler& h = m.handlers[hi];
+    if (h.kind != HandlerKind::Finally) continue;
+    if (covers(h, leave_pc) && !covers(h, target)) {
+      pending_finallys_.push_back(h.handler);
+      pending_finally_idx_.push_back(static_cast<std::int32_t>(hi));
+    }
+  }
+  leave_target_ = target;
+  if (pending_finallys_.empty()) {
+    mode_ = Mode::None;
+    return {UnwindAction::Kind::Resume, target};
+  }
+  mode_ = Mode::Leave;
+  const std::size_t i = next_finally_++;
+  return {UnwindAction::Kind::EnterFinally, pending_finallys_[i],
+          pending_finally_idx_[i]};
+}
+
+UnwindAction UnwindMachine::on_endfinally(const Module& mod,
+                                          const MethodDef& m) {
+  switch (mode_) {
+    case Mode::Throw:
+      return search(mod, m);
+    case Mode::Leave:
+      if (next_finally_ < pending_finallys_.size()) {
+        const std::size_t i = next_finally_++;
+        return {UnwindAction::Kind::EnterFinally, pending_finallys_[i],
+                pending_finally_idx_[i]};
+      }
+      mode_ = Mode::None;
+      return {UnwindAction::Kind::Resume, leave_target_};
+    case Mode::None:
+      // endfinally outside any unwind: verifier allows it only inside a
+      // finally region; treat as a no-op fallthrough hazard -> propagate a
+      // frame error by resuming past the end is impossible, so resume at -1
+      // is a logic error. The verifier prevents this path for valid IL.
+      return {UnwindAction::Kind::Propagate, -1};
+  }
+  return {UnwindAction::Kind::Propagate, -1};
+}
+
+}  // namespace hpcnet::vm

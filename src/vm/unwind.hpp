@@ -1,0 +1,78 @@
+// Shared structured-exception-handling state machine. Each engine keeps one
+// UnwindMachine per frame and consults it on throw / leave / endfinally; the
+// machine walks the method's handler table (innermost-first), interleaving
+// finally blocks with the catch search exactly as the CLI two-pass model
+// requires. Engines only differ in how they map the returned IL pc into
+// their own code representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/module.hpp"
+#include "vm/value.hpp"
+
+namespace hpcnet::vm {
+
+class Module;
+
+/// Result of an unwind step.
+struct UnwindAction {
+  enum class Kind {
+    Propagate,     // no handler here: pop the frame, rethrow in the caller
+    EnterCatch,    // jump to pc; clear the stack and push the exception
+    EnterFinally,  // jump to pc with an empty stack
+    Resume,        // normal completion of a leave: jump to pc
+  } kind = Kind::Propagate;
+  std::int32_t pc = -1;
+  /// Index into MethodDef::handlers for EnterCatch/EnterFinally (the
+  /// Optimizing tier uses it to find the handler's exception register).
+  std::int32_t handler_index = -1;
+};
+
+class UnwindMachine {
+ public:
+  /// Starts exception dispatch at `throw_pc`. Finds the first applicable
+  /// handler, running intervening finally blocks first.
+  UnwindAction on_throw(const Module& mod, const MethodDef& m,
+                        std::int32_t throw_pc, ObjRef exc);
+
+  /// Handles `leave target` at `leave_pc`: queues the finally blocks whose
+  /// try range covers the leave but not the target.
+  UnwindAction on_leave(const MethodDef& m, std::int32_t leave_pc,
+                        std::int32_t target);
+
+  /// Handles `endfinally`: continues the interrupted unwind or leave.
+  UnwindAction on_endfinally(const Module& mod, const MethodDef& m);
+
+  /// The in-flight exception (valid while unwinding).
+  ObjRef exception() const { return exc_; }
+  bool unwinding() const { return mode_ == Mode::Throw; }
+  void reset() {
+    mode_ = Mode::None;
+    exc_ = nullptr;
+    pending_finallys_.clear();
+    pending_finally_idx_.clear();
+  }
+
+ private:
+  enum class Mode { None, Throw, Leave };
+
+  UnwindAction search(const Module& mod, const MethodDef& m);
+
+  Mode mode_ = Mode::None;
+  ObjRef exc_ = nullptr;
+  std::int32_t throw_pc_ = -1;
+  std::size_t next_handler_ = 0;
+  std::vector<std::int32_t> pending_finallys_;  // for Mode::Leave, in order
+  std::vector<std::int32_t> pending_finally_idx_;
+  std::size_t next_finally_ = 0;
+  std::int32_t leave_target_ = -1;
+};
+
+/// True if `pc` lies in the handler's try range.
+inline bool covers(const ExHandler& h, std::int32_t pc) {
+  return pc >= h.try_begin && pc < h.try_end;
+}
+
+}  // namespace hpcnet::vm

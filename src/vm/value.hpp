@@ -1,0 +1,55 @@
+// Runtime value representation for the CIL-subset virtual machine.
+//
+// The CLI evaluation stack holds int32, int64, float32, float64 and object
+// references. We represent every stack slot, local variable, field and
+// register as an 8-byte untyped union; the verifier proves the static type of
+// every slot, so the Baseline and Optimizing engines never need runtime tags
+// (mirroring a real JIT). The Interpreter carries a ValType tag next to each
+// slot and dispatches on it dynamically — that is precisely the
+// portability-over-performance design of SSCLI/Rotor that the paper measures.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcnet::vm {
+
+struct ObjHeader;  // heap.hpp
+using ObjRef = ObjHeader*;
+
+/// Static type of a stack slot / local / register.
+enum class ValType : std::uint8_t {
+  None = 0,  // "no value" (void return, unset)
+  I32,
+  I64,
+  F32,
+  F64,
+  Ref,
+};
+
+const char* to_string(ValType t);
+
+/// One untyped 8-byte slot.
+union Slot {
+  std::int32_t i32;
+  std::int64_t i64;
+  float f32;
+  double f64;
+  ObjRef ref;
+  std::uint64_t raw;
+
+  Slot() : raw(0) {}
+  static Slot from_i32(std::int32_t v) { Slot s; s.raw = 0; s.i32 = v; return s; }
+  static Slot from_i64(std::int64_t v) { Slot s; s.i64 = v; return s; }
+  static Slot from_f32(float v) { Slot s; s.raw = 0; s.f32 = v; return s; }
+  static Slot from_f64(double v) { Slot s; s.f64 = v; return s; }
+  static Slot from_ref(ObjRef v) { Slot s; s.raw = 0; s.ref = v; return s; }
+};
+static_assert(sizeof(Slot) == 8, "slots must be 8 bytes");
+
+/// A slot with a dynamic tag — the Interpreter's representation.
+struct TaggedSlot {
+  Slot v;
+  ValType tag = ValType::None;
+};
+
+}  // namespace hpcnet::vm

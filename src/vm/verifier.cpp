@@ -1,0 +1,482 @@
+#include "vm/verifier.hpp"
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::vm {
+
+namespace {
+
+bool is_numeric(ValType t) {
+  return t == ValType::I32 || t == ValType::I64 || t == ValType::F32 ||
+         t == ValType::F64;
+}
+bool is_integer(ValType t) { return t == ValType::I32 || t == ValType::I64; }
+
+class MethodVerifier {
+ public:
+  MethodVerifier(Module& module, MethodDef& m) : mod_(module), m_(m) {}
+
+  void run() {
+    const auto n = m_.code.size();
+    if (n == 0) fail(0, "empty body");
+    m_.stack_in.assign(n, {});
+    seen_.assign(n, false);
+    check_handlers();
+
+    schedule(0, {});
+    for (const auto& h : m_.handlers) {
+      if (h.kind == HandlerKind::Catch) {
+        schedule(h.handler, {ValType::Ref});
+      } else {
+        schedule(h.handler, {});
+      }
+    }
+    while (!work_.empty()) {
+      const auto [pc, state] = work_.front();
+      work_.pop_front();
+      simulate(pc, state);
+    }
+    check_termination();
+    m_.reachable = seen_;
+    m_.verified = true;
+  }
+
+ private:
+  using Stack = std::vector<ValType>;
+
+  [[noreturn]] void fail(std::int32_t pc, const std::string& what) const {
+    throw VerifyError(m_.name, pc, what);
+  }
+
+  void check_handlers() const {
+    const auto n = static_cast<std::int32_t>(m_.code.size());
+    for (const auto& h : m_.handlers) {
+      if (h.try_begin < 0 || h.try_end > n || h.try_begin >= h.try_end) {
+        fail(h.try_begin, "bad handler try range");
+      }
+      if (h.handler < 0 || h.handler >= n) fail(h.handler, "bad handler pc");
+      if (h.kind == HandlerKind::Catch &&
+          (h.catch_class < 0 ||
+           static_cast<std::size_t>(h.catch_class) >= mod_.class_count())) {
+        fail(h.handler, "bad catch class");
+      }
+    }
+  }
+
+  void schedule(std::int32_t pc, Stack state) {
+    if (pc < 0 || static_cast<std::size_t>(pc) >= m_.code.size()) {
+      fail(pc, "branch target out of range");
+    }
+    auto upc = static_cast<std::size_t>(pc);
+    if (seen_[upc]) {
+      if (m_.stack_in[upc] != state) fail(pc, "inconsistent stack at merge");
+      return;
+    }
+    seen_[upc] = true;
+    m_.stack_in[upc] = state;
+    work_.emplace_back(pc, std::move(state));
+  }
+
+  ValType pop(Stack& st, std::int32_t pc) {
+    if (st.empty()) fail(pc, "stack underflow");
+    ValType t = st.back();
+    st.pop_back();
+    return t;
+  }
+  void expect(ValType got, ValType want, std::int32_t pc, const char* what) {
+    if (got != want) {
+      fail(pc, std::string(what) + ": expected " + to_string(want) + ", got " +
+                   to_string(got));
+    }
+  }
+  void track_depth(const Stack& st) {
+    if (static_cast<std::int32_t>(st.size()) > m_.max_stack) {
+      m_.max_stack = static_cast<std::int32_t>(st.size());
+    }
+  }
+
+  void simulate(std::int32_t pc0, Stack st) {
+    std::int32_t pc = pc0;
+    for (;;) {
+      auto upc = static_cast<std::size_t>(pc);
+      // Re-record entry state for straight-line flow (schedule() records it
+      // for branch targets; sequential successors arrive here directly).
+      if (!seen_[upc]) {
+        seen_[upc] = true;
+        m_.stack_in[upc] = st;
+      } else if (pc != pc0 && m_.stack_in[upc] != st) {
+        fail(pc, "inconsistent stack at fallthrough merge");
+      } else if (pc != pc0) {
+        return;  // already explored from here with identical state
+      }
+
+      Instr& in = m_.code[upc];
+      bool terminal = false;
+      switch (in.op) {
+        case Op::NOP:
+          break;
+        case Op::LDC_I4:
+          st.push_back(ValType::I32);
+          break;
+        case Op::LDC_I8:
+          st.push_back(ValType::I64);
+          break;
+        case Op::LDC_R4:
+          st.push_back(ValType::F32);
+          break;
+        case Op::LDC_R8:
+          st.push_back(ValType::F64);
+          break;
+        case Op::LDNULL:
+        case Op::LDSTR:
+          st.push_back(ValType::Ref);
+          break;
+
+        case Op::LDLOC: {
+          const auto i = static_cast<std::size_t>(in.a) + m_.num_args();
+          if (in.a < 0 || i >= m_.frame_slots()) fail(pc, "ldloc range");
+          in.type = m_.slot_type(i);
+          st.push_back(in.type);
+          break;
+        }
+        case Op::STLOC: {
+          const auto i = static_cast<std::size_t>(in.a) + m_.num_args();
+          if (in.a < 0 || i >= m_.frame_slots()) fail(pc, "stloc range");
+          in.type = m_.slot_type(i);
+          expect(pop(st, pc), in.type, pc, "stloc");
+          break;
+        }
+        case Op::LDARG: {
+          if (in.a < 0 || static_cast<std::size_t>(in.a) >= m_.num_args()) {
+            fail(pc, "ldarg range");
+          }
+          in.type = m_.sig.params[static_cast<std::size_t>(in.a)];
+          st.push_back(in.type);
+          break;
+        }
+        case Op::STARG: {
+          if (in.a < 0 || static_cast<std::size_t>(in.a) >= m_.num_args()) {
+            fail(pc, "starg range");
+          }
+          in.type = m_.sig.params[static_cast<std::size_t>(in.a)];
+          expect(pop(st, pc), in.type, pc, "starg");
+          break;
+        }
+
+        case Op::DUP: {
+          if (st.empty()) fail(pc, "dup on empty stack");
+          in.type = st.back();
+          st.push_back(in.type);
+          break;
+        }
+        case Op::POP:
+          in.type = pop(st, pc);
+          break;
+
+        case Op::ADD:
+        case Op::SUB:
+        case Op::MUL:
+        case Op::DIV:
+        case Op::REM: {
+          ValType b = pop(st, pc), a = pop(st, pc);
+          if (a != b || !is_numeric(a)) fail(pc, "arith operand types");
+          in.type = a;
+          st.push_back(a);
+          break;
+        }
+        case Op::NEG: {
+          ValType a = pop(st, pc);
+          if (!is_numeric(a)) fail(pc, "neg operand");
+          in.type = a;
+          st.push_back(a);
+          break;
+        }
+        case Op::AND:
+        case Op::OR:
+        case Op::XOR: {
+          ValType b = pop(st, pc), a = pop(st, pc);
+          if (a != b || !is_integer(a)) fail(pc, "bitwise operand types");
+          in.type = a;
+          st.push_back(a);
+          break;
+        }
+        case Op::NOT: {
+          ValType a = pop(st, pc);
+          if (!is_integer(a)) fail(pc, "not operand");
+          in.type = a;
+          st.push_back(a);
+          break;
+        }
+        case Op::SHL:
+        case Op::SHR:
+        case Op::SHR_UN: {
+          ValType amt = pop(st, pc), a = pop(st, pc);
+          expect(amt, ValType::I32, pc, "shift amount");
+          if (!is_integer(a)) fail(pc, "shift operand");
+          in.type = a;
+          st.push_back(a);
+          break;
+        }
+
+        case Op::CEQ:
+        case Op::CGT:
+        case Op::CLT: {
+          ValType b = pop(st, pc), a = pop(st, pc);
+          if (a != b) fail(pc, "compare operand types");
+          if (in.op != Op::CEQ && !is_numeric(a)) fail(pc, "ordered compare");
+          in.type = a;
+          st.push_back(ValType::I32);
+          break;
+        }
+
+        case Op::BR:
+          schedule(in.a, st);
+          terminal = true;
+          break;
+        case Op::BRTRUE:
+        case Op::BRFALSE: {
+          ValType a = pop(st, pc);
+          if (a != ValType::I32 && a != ValType::Ref && a != ValType::I64) {
+            fail(pc, "brtrue/brfalse operand");
+          }
+          in.type = a;
+          schedule(in.a, st);
+          break;
+        }
+        case Op::BEQ:
+        case Op::BNE:
+        case Op::BLT:
+        case Op::BLE:
+        case Op::BGT:
+        case Op::BGE: {
+          ValType b = pop(st, pc), a = pop(st, pc);
+          if (a != b) fail(pc, "branch compare operand types");
+          const bool ordered = in.op != Op::BEQ && in.op != Op::BNE;
+          if (ordered && !is_numeric(a)) fail(pc, "ordered branch compare");
+          if (!ordered && !(is_numeric(a) || a == ValType::Ref)) {
+            fail(pc, "branch compare operand");
+          }
+          in.type = a;
+          schedule(in.a, st);
+          break;
+        }
+
+        case Op::CONV_I4:
+        case Op::CONV_I8:
+        case Op::CONV_R4:
+        case Op::CONV_R8:
+        case Op::CONV_I1:
+        case Op::CONV_U1:
+        case Op::CONV_I2:
+        case Op::CONV_U2: {
+          ValType a = pop(st, pc);
+          if (!is_numeric(a)) fail(pc, "conv operand");
+          in.type = a;  // source type; destination implied by opcode
+          switch (in.op) {
+            case Op::CONV_I8: st.push_back(ValType::I64); break;
+            case Op::CONV_R4: st.push_back(ValType::F32); break;
+            case Op::CONV_R8: st.push_back(ValType::F64); break;
+            default: st.push_back(ValType::I32); break;
+          }
+          break;
+        }
+
+        case Op::CALL: {
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= mod_.method_count()) {
+            fail(pc, "call target out of range");
+          }
+          const MethodDef& callee = mod_.method(in.a);
+          for (std::size_t i = callee.sig.params.size(); i-- > 0;) {
+            expect(pop(st, pc), callee.sig.params[i], pc, "call argument");
+          }
+          if (callee.sig.ret != ValType::None) st.push_back(callee.sig.ret);
+          break;
+        }
+        case Op::CALLINTR: {
+          if (in.a < 0 || in.a >= I_COUNT_) fail(pc, "intrinsic id");
+          const IntrinsicDef& d = intrinsic(in.a);
+          for (std::size_t i = d.sig.params.size(); i-- > 0;) {
+            expect(pop(st, pc), d.sig.params[i], pc, "intrinsic argument");
+          }
+          if (d.sig.ret != ValType::None) st.push_back(d.sig.ret);
+          break;
+        }
+        case Op::RET: {
+          if (m_.sig.ret != ValType::None) {
+            expect(pop(st, pc), m_.sig.ret, pc, "return value");
+          }
+          if (!st.empty()) fail(pc, "stack not empty at ret");
+          terminal = true;
+          break;
+        }
+
+        case Op::NEWOBJ: {
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= mod_.class_count()) {
+            fail(pc, "newobj class");
+          }
+          st.push_back(ValType::Ref);
+          break;
+        }
+        case Op::LDFLD:
+        case Op::STFLD: {
+          if (in.b < 0 ||
+              static_cast<std::size_t>(in.b) >= mod_.class_count()) {
+            fail(pc, "field class");
+          }
+          const ClassDef& cls = mod_.klass(in.b);
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= cls.fields.size()) {
+            fail(pc, "field index");
+          }
+          in.type = cls.fields[static_cast<std::size_t>(in.a)].type;
+          if (in.op == Op::STFLD) {
+            expect(pop(st, pc), in.type, pc, "stfld value");
+            expect(pop(st, pc), ValType::Ref, pc, "stfld object");
+          } else {
+            expect(pop(st, pc), ValType::Ref, pc, "ldfld object");
+            st.push_back(in.type);
+          }
+          break;
+        }
+        case Op::LDSFLD:
+        case Op::STSFLD: {
+          if (in.b < 0 ||
+              static_cast<std::size_t>(in.b) >= mod_.class_count()) {
+            fail(pc, "static field class");
+          }
+          const ClassDef& cls = mod_.klass(in.b);
+          if (in.a < 0 ||
+              static_cast<std::size_t>(in.a) >= cls.static_fields.size()) {
+            fail(pc, "static field index");
+          }
+          in.type = cls.static_fields[static_cast<std::size_t>(in.a)].type;
+          if (in.op == Op::STSFLD) {
+            expect(pop(st, pc), in.type, pc, "stsfld value");
+          } else {
+            st.push_back(in.type);
+          }
+          break;
+        }
+
+        case Op::NEWARR:
+          expect(pop(st, pc), ValType::I32, pc, "newarr length");
+          if (in.type == ValType::None) fail(pc, "newarr element type");
+          st.push_back(ValType::Ref);
+          break;
+        case Op::LDLEN:
+          expect(pop(st, pc), ValType::Ref, pc, "ldlen array");
+          st.push_back(ValType::I32);
+          break;
+        case Op::LDELEM:
+          expect(pop(st, pc), ValType::I32, pc, "ldelem index");
+          expect(pop(st, pc), ValType::Ref, pc, "ldelem array");
+          if (in.type == ValType::None) fail(pc, "ldelem element type");
+          st.push_back(in.type);
+          break;
+        case Op::STELEM:
+          expect(pop(st, pc), in.type, pc, "stelem value");
+          expect(pop(st, pc), ValType::I32, pc, "stelem index");
+          expect(pop(st, pc), ValType::Ref, pc, "stelem array");
+          break;
+        case Op::NEWMAT:
+          expect(pop(st, pc), ValType::I32, pc, "newmat cols");
+          expect(pop(st, pc), ValType::I32, pc, "newmat rows");
+          if (in.type == ValType::None) fail(pc, "newmat element type");
+          st.push_back(ValType::Ref);
+          break;
+        case Op::LDELEM2:
+          expect(pop(st, pc), ValType::I32, pc, "ldelem2 col");
+          expect(pop(st, pc), ValType::I32, pc, "ldelem2 row");
+          expect(pop(st, pc), ValType::Ref, pc, "ldelem2 matrix");
+          st.push_back(in.type);
+          break;
+        case Op::STELEM2:
+          expect(pop(st, pc), in.type, pc, "stelem2 value");
+          expect(pop(st, pc), ValType::I32, pc, "stelem2 col");
+          expect(pop(st, pc), ValType::I32, pc, "stelem2 row");
+          expect(pop(st, pc), ValType::Ref, pc, "stelem2 matrix");
+          break;
+        case Op::LDMATROWS:
+        case Op::LDMATCOLS:
+          expect(pop(st, pc), ValType::Ref, pc, "ldmat dims");
+          st.push_back(ValType::I32);
+          break;
+
+        case Op::BOX: {
+          if (!is_numeric(in.type)) fail(pc, "box type");
+          expect(pop(st, pc), in.type, pc, "box value");
+          st.push_back(ValType::Ref);
+          break;
+        }
+        case Op::UNBOX: {
+          if (!is_numeric(in.type)) fail(pc, "unbox type");
+          expect(pop(st, pc), ValType::Ref, pc, "unbox object");
+          st.push_back(in.type);
+          break;
+        }
+
+        case Op::THROW:
+          expect(pop(st, pc), ValType::Ref, pc, "throw operand");
+          terminal = true;
+          break;
+        case Op::LEAVE:
+          // leave empties the evaluation stack (ECMA-335 III.3.43).
+          schedule(in.a, {});
+          terminal = true;
+          break;
+        case Op::ENDFINALLY:
+          if (!st.empty()) fail(pc, "stack not empty at endfinally");
+          terminal = true;
+          break;
+
+        case Op::COUNT_:
+          fail(pc, "bad opcode");
+      }
+
+      track_depth(st);
+      if (terminal) return;
+      ++pc;
+      if (static_cast<std::size_t>(pc) >= m_.code.size()) {
+        fail(pc - 1, "control falls off the end of the method");
+      }
+    }
+  }
+
+  void check_termination() const {
+    // Every reachable instruction has a recorded entry state; unreachable
+    // trailing code is permitted (a compiler may pad), but reachable code
+    // falling off the end was rejected during simulation.
+  }
+
+  Module& mod_;
+  MethodDef& m_;
+  std::vector<bool> seen_;
+  std::deque<std::pair<std::int32_t, Stack>> work_;
+};
+
+}  // namespace
+
+void verify(Module& module, std::int32_t method_id) {
+  // Serialized: verification mutates the method body (type annotations), and
+  // lazy verification may be triggered from multiple engine threads.
+  static std::mutex mu;
+  MethodDef& m = module.method(method_id);
+  if (m.verified) return;
+  std::lock_guard<std::mutex> lock(mu);
+  if (m.verified) return;
+  MethodVerifier(module, m).run();
+}
+
+void verify_all(Module& module) {
+  for (std::size_t i = 0; i < module.method_count(); ++i) {
+    verify(module, static_cast<std::int32_t>(i));
+  }
+}
+
+}  // namespace hpcnet::vm

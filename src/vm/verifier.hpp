@@ -1,0 +1,38 @@
+// CIL verification: abstract interpretation of the operand stack over all
+// reachable paths. The CLI requires code to be verifiably type-safe before a
+// conforming engine runs it; beyond safety, this pass is what lets the
+// Baseline and Optimizing tiers drop all runtime type dispatch:
+//
+//  * fills Instr::type on every polymorphic opcode (add, conv, ldloc, ...),
+//  * resolves and checks branch targets and handler regions,
+//  * computes max_stack and the per-pc stack type maps that serve as precise
+//    GC root maps and drive the stack-to-register translation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "vm/module.hpp"
+
+namespace hpcnet::vm {
+
+class VerifyError : public std::runtime_error {
+ public:
+  VerifyError(const std::string& method, std::int32_t pc,
+              const std::string& what)
+      : std::runtime_error(method + " @" + std::to_string(pc) + ": " + what),
+        pc_(pc) {}
+  std::int32_t pc() const { return pc_; }
+
+ private:
+  std::int32_t pc_;
+};
+
+/// Verifies one method in place; throws VerifyError on invalid IL.
+/// Idempotent: re-verifying a verified method is a no-op.
+void verify(Module& module, std::int32_t method_id);
+
+/// Verifies every method in the module.
+void verify_all(Module& module);
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,289 @@
+// End-to-end validation of the CIL benchmark programs: every program runs
+// on every engine profile and must produce the same result, and where a
+// native twin exists the result must match it bit-for-bit (checksums) or to
+// 1e-9 relative (floating point) — the paper's cross-runtime validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cil/jg.hpp"
+#include "cil/micro.hpp"
+#include "cil/mt.hpp"
+#include "cil/sm.hpp"
+#include "cil/suite.hpp"
+#include "kernels/jgf.hpp"
+#include "kernels/scimark.hpp"
+#include "vm/intrinsics.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+using namespace hpcnet;
+using namespace hpcnet::cil;
+using vm::Slot;
+
+class CilSuite : public ::testing::Test {
+ protected:
+  BenchContext bc;
+
+  /// Runs `method(args)` on every engine, requiring identical raw results.
+  Slot run_all(std::int32_t method, std::vector<Slot> args) {
+    Slot first;
+    bool have = false;
+    for (auto& e : bc.engines()) {
+      const Slot r = bc.invoke(*e, method, args);
+      if (!have) {
+        first = r;
+        have = true;
+      } else {
+        EXPECT_EQ(first.raw, r.raw)
+            << e->name() << " disagrees on "
+            << bc.vm().module().method(method).name;
+      }
+    }
+    return first;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SciMark kernels (Graphs 9-11 inputs).
+
+TEST_F(CilSuite, ScimarkValidatesOnEveryEngine) {
+  const auto sizes = ScimarkSizes::test_model();
+  for (auto& e : bc.engines()) {
+    // run_scimark_cil throws on checksum mismatch with the native kernels.
+    const ScimarkResult r = run_scimark_cil(bc.vm(), *e, sizes, true);
+    ASSERT_EQ(r.kernels.size(), 5u) << e->name();
+    for (const auto& k : r.kernels) {
+      EXPECT_TRUE(k.validated) << e->name() << "/" << k.name;
+      EXPECT_GT(k.mflops, 0) << e->name() << "/" << k.name;
+    }
+  }
+}
+
+TEST_F(CilSuite, MonteCarloMatchesNativePi) {
+  const auto mc = build_sm_montecarlo(bc.vm());
+  const Slot r = run_all(mc, {Slot::from_i32(50000)});
+  EXPECT_DOUBLE_EQ(r.f64, kernels::montecarlo::integrate(50000));
+}
+
+TEST_F(CilSuite, FftMatchesNativeChecksumAtSeveralSizes) {
+  const auto fft = build_sm_fft(bc.vm());
+  for (int n : {16, 128, 512}) {
+    const Slot r = run_all(fft, {Slot::from_i32(n), Slot::from_i32(1)});
+    EXPECT_NEAR(r.f64, kernels::fft::roundtrip_checksum(n, 1), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST_F(CilSuite, SorMatchesNative) {
+  const auto sor = build_sm_sor(bc.vm());
+  const Slot r = run_all(sor, {Slot::from_i32(24), Slot::from_i32(5)});
+  EXPECT_DOUBLE_EQ(r.f64, kernels::sor::checksum(24, 5));
+}
+
+TEST_F(CilSuite, SparseMatchesNative) {
+  const auto sp = build_sm_sparse(bc.vm());
+  const Slot r = run_all(
+      sp, {Slot::from_i32(40), Slot::from_i32(200), Slot::from_i32(3)});
+  EXPECT_NEAR(r.f64, kernels::sparse::checksum(40, 200, 3), 1e-10);
+}
+
+TEST_F(CilSuite, LuMatchesNative) {
+  const auto lu = build_sm_lu(bc.vm());
+  const Slot r = run_all(lu, {Slot::from_i32(20)});
+  EXPECT_DOUBLE_EQ(r.f64, kernels::lu::checksum(20));
+}
+
+// ---------------------------------------------------------------------------
+// JGF section 2/3 kernels.
+
+TEST_F(CilSuite, FibMatchesNative) {
+  const auto fib = build_jg_fib(bc.vm());
+  EXPECT_EQ(run_all(fib, {Slot::from_i32(18)}).i64,
+            kernels::fib::compute(18));
+}
+
+TEST_F(CilSuite, SieveMatchesNative) {
+  const auto sieve = build_jg_sieve(bc.vm());
+  EXPECT_EQ(run_all(sieve, {Slot::from_i32(10000)}).i32,
+            kernels::sieve::count_primes(10000));
+  EXPECT_EQ(run_all(sieve, {Slot::from_i32(1)}).i32, 0);
+  EXPECT_EQ(run_all(sieve, {Slot::from_i32(2)}).i32, 1);
+}
+
+TEST_F(CilSuite, HanoiMatchesNative) {
+  const auto hanoi = build_jg_hanoi(bc.vm());
+  EXPECT_EQ(run_all(hanoi, {Slot::from_i32(12)}).i64,
+            kernels::hanoi::solve(12));
+}
+
+TEST_F(CilSuite, HeapSortMatchesNativeChecksum) {
+  const auto hs = build_jg_heapsort(bc.vm());
+  EXPECT_EQ(run_all(hs, {Slot::from_i32(2000)}).i64,
+            kernels::heapsort::run(2000));
+}
+
+TEST_F(CilSuite, CryptMatchesNativeChecksum) {
+  const auto cr = build_jg_crypt(bc.vm());
+  for (int n : {64, 1024, 4096}) {
+    const std::int64_t got = run_all(cr, {Slot::from_i32(n)}).i64;
+    EXPECT_NE(got, -1) << "round trip failed, n=" << n;
+    EXPECT_EQ(got, kernels::crypt::run(n)) << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks: engines must agree on results (the computation part).
+
+TEST_F(CilSuite, ArithProgramsAgreeAcrossEngines) {
+  for (auto build : {build_arith_add_i32, build_arith_mul_i32,
+                     build_arith_div_i32, build_arith_add_i64,
+                     build_arith_mul_i64, build_arith_div_i64,
+                     build_arith_add_f32, build_arith_mul_f32,
+                     build_arith_div_f32, build_arith_add_f64,
+                     build_arith_mul_f64, build_arith_div_f64}) {
+    const auto m = build(bc.vm());
+    run_all(m, {Slot::from_i32(1000)});
+  }
+}
+
+TEST_F(CilSuite, LoopProgramsCountCorrectly) {
+  EXPECT_EQ(run_all(build_loop_for(bc.vm()), {Slot::from_i32(12345)}).i32,
+            12345);
+  EXPECT_EQ(
+      run_all(build_loop_reverse_for(bc.vm()), {Slot::from_i32(777)}).i32, 0);
+  EXPECT_EQ(run_all(build_loop_while(bc.vm()), {Slot::from_i32(999)}).i32,
+            999);
+}
+
+TEST_F(CilSuite, ExceptionProgramsCatchEveryIteration) {
+  EXPECT_EQ(
+      run_all(build_exception_throw(bc.vm()), {Slot::from_i32(500)}).i32, 500);
+  EXPECT_EQ(run_all(build_exception_new(bc.vm()), {Slot::from_i32(300)}).i32,
+            300);
+  EXPECT_EQ(
+      run_all(build_exception_method(bc.vm()), {Slot::from_i32(200)}).i32,
+      200);
+}
+
+TEST_F(CilSuite, MathProgramsAgreeAcrossEngines) {
+  // Every Math routine the paper plots in Graphs 6-8.
+  for (std::int32_t id = vm::I_ABS_I4; id <= vm::I_ROUND_R8; ++id) {
+    const auto m = build_math_call(bc.vm(), id);
+    run_all(m, {Slot::from_i32(512)});
+  }
+}
+
+TEST_F(CilSuite, AssignProgramsAgree) {
+  for (auto build : {build_assign_local, build_assign_instance,
+                     build_assign_static, build_assign_array}) {
+    run_all(build(bc.vm()), {Slot::from_i32(640)});
+  }
+}
+
+TEST_F(CilSuite, CastProgramsAgree) {
+  for (auto build : {build_cast_i32_i64, build_cast_i32_f32,
+                     build_cast_i32_f64, build_cast_f32_f64,
+                     build_cast_i64_f64}) {
+    run_all(build(bc.vm()), {Slot::from_i32(512)});
+  }
+}
+
+TEST_F(CilSuite, CreateProgramsAgree) {
+  run_all(build_create_object(bc.vm()), {Slot::from_i32(4000)});
+  for (int len : {1, 8, 128}) {
+    run_all(build_create_array(bc.vm(), len), {Slot::from_i32(1000)});
+  }
+}
+
+TEST_F(CilSuite, MethodProgramsAgree) {
+  for (auto build : {build_method_static, build_method_static_args,
+                     build_method_instance, build_method_synchronized,
+                     build_method_intrinsic}) {
+    run_all(build(bc.vm()), {Slot::from_i32(2000)});
+  }
+}
+
+TEST_F(CilSuite, SerialRoundTripPreservesLength) {
+  const auto m = build_serial_roundtrip(bc.vm());
+  EXPECT_EQ(run_all(m, {Slot::from_i32(50)}).i32, 50);
+  EXPECT_EQ(run_all(m, {Slot::from_i32(1)}).i32, 1);
+  EXPECT_EQ(run_all(m, {Slot::from_i32(0)}).i32, 0);
+}
+
+TEST_F(CilSuite, MatrixProgramsAgree) {
+  const std::vector<Slot> args = {Slot::from_i32(3), Slot::from_i32(12)};
+  EXPECT_EQ(run_all(build_matrix_multidim_f64(bc.vm()), args).i32, 2);
+  EXPECT_EQ(run_all(build_matrix_jagged_f64(bc.vm()), args).i32, 2);
+  EXPECT_EQ(run_all(build_matrix_multidim_ref(bc.vm()), args).i32, 1);
+  EXPECT_EQ(run_all(build_matrix_jagged_ref(bc.vm()), args).i32, 1);
+}
+
+TEST_F(CilSuite, BoxingProgramsAgree) {
+  run_all(build_boxing_i32(bc.vm()), {Slot::from_i32(3000)});
+  run_all(build_boxing_f64(bc.vm()), {Slot::from_i32(3000)});
+}
+
+TEST_F(CilSuite, LockProgramAgrees) {
+  EXPECT_EQ(
+      run_all(build_lock_uncontended(bc.vm()), {Slot::from_i32(5000)}).i32,
+      5000);
+}
+
+// ---------------------------------------------------------------------------
+// Multithreaded programs (Table 2). Run per-engine (threads are real).
+
+TEST_F(CilSuite, ForkJoinRunsAllThreads) {
+  const auto m = build_mt_forkjoin(bc.vm());
+  for (auto& e : bc.engines()) {
+    EXPECT_EQ(bc.invoke(*e, m, {Slot::from_i32(4)}).i32, 4) << e->name();
+  }
+}
+
+TEST_F(CilSuite, SyncCounterIsExact) {
+  const auto m = build_mt_sync(bc.vm());
+  for (auto& e : bc.engines()) {
+    EXPECT_EQ(
+        bc.invoke(*e, m, {Slot::from_i32(4), Slot::from_i32(250)}).i32,
+        1000)
+        << e->name();
+  }
+}
+
+TEST_F(CilSuite, SimpleBarrierCompletesAllRounds) {
+  const auto m = build_mt_barrier_simple(bc.vm());
+  for (auto& e : bc.engines()) {
+    EXPECT_EQ(bc.invoke(*e, m, {Slot::from_i32(4), Slot::from_i32(50)}).i32,
+              50)
+        << e->name();
+  }
+}
+
+TEST_F(CilSuite, TournamentBarrierCompletesAllRounds) {
+  const auto m = build_mt_barrier_tournament(bc.vm());
+  for (auto& e : bc.engines()) {
+    EXPECT_EQ(bc.invoke(*e, m, {Slot::from_i32(4), Slot::from_i32(50)}).i32,
+              50)
+        << e->name();
+    // Non-power-of-two thread counts exercise the bye paths.
+    EXPECT_EQ(bc.invoke(*e, m, {Slot::from_i32(3), Slot::from_i32(20)}).i32,
+              20)
+        << e->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BCE experiment kernels.
+
+TEST_F(CilSuite, BceVariantsComputeIdenticalResults) {
+  const auto ld = build_bce_daxpy_ldlen(bc.vm());
+  const auto var = build_bce_daxpy_var(bc.vm());
+  const std::vector<Slot> args = {Slot::from_i32(64), Slot::from_i32(5)};
+  const Slot a = run_all(ld, args);
+  const Slot b = run_all(var, args);
+  EXPECT_EQ(a.raw, b.raw);
+}
+
+}  // namespace
+}  // namespace hpcnet::test

@@ -1,0 +1,156 @@
+// Native kernel validation: SciMark self-tests plus invariants and known
+// values for the JGF section 2/3 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/jgf.hpp"
+#include "kernels/scimark.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+using namespace hpcnet::kernels;
+
+TEST(Scimark, FftRoundTripIsExact) {
+  EXPECT_LT(fft::test(1024), 1e-12);
+  EXPECT_LT(fft::test(4096), 1e-12);  // the paper's 4K-point FFT
+}
+
+TEST(Scimark, FftRejectsNonPowerOfTwo) {
+  EXPECT_THROW(fft::test(1000), std::invalid_argument);
+}
+
+TEST(Scimark, FftFlopCountMatchesFormula) {
+  EXPECT_DOUBLE_EQ(fft::num_flops(1024), (5.0 * 1024 - 2) * 10 + 2 * 1025);
+}
+
+TEST(Scimark, SorConvergesTowardsSmoothField) {
+  // SOR is an averaging operator: after many sweeps the interior must lie
+  // within the initial data range and the checksum must be stable.
+  const double c1 = sor::checksum(50, 100);
+  const double c2 = sor::checksum(50, 100);
+  EXPECT_EQ(c1, c2);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_LT(c1, 1.0);
+}
+
+TEST(Scimark, SorFlops) {
+  EXPECT_DOUBLE_EQ(sor::num_flops(100, 100, 10), 99.0 * 99.0 * 10 * 6);
+}
+
+TEST(Scimark, MonteCarloApproximatesPi) {
+  const double pi_est = montecarlo::integrate(1000000);
+  EXPECT_NEAR(pi_est, M_PI, 0.01);
+}
+
+TEST(Scimark, MonteCarloIsDeterministic) {
+  EXPECT_EQ(montecarlo::integrate(10000), montecarlo::integrate(10000));
+}
+
+TEST(Scimark, SparseMatVecMatchesDense) {
+  // Multiply with the synthetic structure and check against an explicit
+  // dense evaluation of the same matrix.
+  support::SciMarkRandom rng(101010);
+  const int n = 64, nz = 512;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  rng.next_doubles(x.data(), n);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  const sparse::Matrix a = sparse::make_matrix(n, nz, rng);
+  sparse::matmult(y, a, x, 1);
+  for (int r = 0; r < n; ++r) {
+    double want = 0;
+    for (std::int32_t i = a.row[static_cast<std::size_t>(r)];
+         i < a.row[static_cast<std::size_t>(r) + 1]; ++i) {
+      want += x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(i)])] *
+              a.val[static_cast<std::size_t>(i)];
+    }
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(r)], want);
+  }
+}
+
+TEST(Scimark, LuResidualSmall) {
+  EXPECT_LT(lu::residual(64), 1e-10);
+  EXPECT_LT(lu::residual(100), 1e-10);
+}
+
+TEST(Scimark, LuFlops) { EXPECT_DOUBLE_EQ(lu::num_flops(100), 2e6 / 3.0); }
+
+TEST(JgfKernels, Fibonacci) {
+  EXPECT_EQ(fib::compute(0), 0);
+  EXPECT_EQ(fib::compute(1), 1);
+  EXPECT_EQ(fib::compute(10), 55);
+  EXPECT_EQ(fib::compute(20), 6765);
+  EXPECT_DOUBLE_EQ(fib::num_calls(1), 1.0);
+  EXPECT_DOUBLE_EQ(fib::num_calls(2), 3.0);   // fib(2): 3 calls
+  EXPECT_DOUBLE_EQ(fib::num_calls(3), 5.0);
+}
+
+TEST(JgfKernels, Sieve) {
+  EXPECT_EQ(sieve::count_primes(1), 0);
+  EXPECT_EQ(sieve::count_primes(2), 1);
+  EXPECT_EQ(sieve::count_primes(10), 4);
+  EXPECT_EQ(sieve::count_primes(100), 25);
+  EXPECT_EQ(sieve::count_primes(10000), 1229);
+  EXPECT_EQ(sieve::count_primes(1000000), 78498);
+}
+
+TEST(JgfKernels, Hanoi) {
+  EXPECT_EQ(hanoi::solve(1), 1);
+  EXPECT_EQ(hanoi::solve(3), 7);
+  EXPECT_EQ(hanoi::solve(10), 1023);
+  EXPECT_EQ(hanoi::solve(20), (1 << 20) - 1);
+}
+
+TEST(JgfKernels, HeapSortSortsAndIsDeterministic) {
+  std::vector<std::int32_t> v = {5, 3, 8, 1, 9, 2, 7, 7, 0, -4};
+  heapsort::sort(v);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LE(v[i - 1], v[i]);
+  EXPECT_EQ(heapsort::run(10000), heapsort::run(10000));
+}
+
+TEST(JgfKernels, CryptRoundTrips) {
+  // run() throws if decrypt(encrypt(x)) != x.
+  EXPECT_NO_THROW(crypt::run(4096));
+  EXPECT_EQ(crypt::run(1024), crypt::run(1024));
+}
+
+TEST(JgfKernels, CryptDifferentKeysDiffer) {
+  const auto k1 = crypt::make_keys(1);
+  const auto k2 = crypt::make_keys(2);
+  EXPECT_NE(k1.encrypt, k2.encrypt);
+}
+
+TEST(JgfKernels, MolDynConservesParticlesAndIsDeterministic) {
+  const auto r1 = moldyn::simulate(3, 5);
+  const auto r2 = moldyn::simulate(3, 5);
+  EXPECT_EQ(r1.particles, 4 * 27);
+  EXPECT_EQ(r1.ek, r2.ek);
+  EXPECT_EQ(r1.epot, r2.epot);
+  EXPECT_GT(r1.interactions, 0);
+}
+
+TEST(JgfKernels, EulerStaysFiniteAndDeterministic) {
+  const double d1 = euler::solve(16, 20);
+  const double d2 = euler::solve(16, 20);
+  EXPECT_EQ(d1, d2);
+  EXPECT_TRUE(std::isfinite(d1));
+  EXPECT_NEAR(d1, 1.0, 0.3);  // near free-stream density
+}
+
+TEST(JgfKernels, SearchCountsNodesDeterministically) {
+  int score = 0;
+  const auto n1 = search::solve(8, &score);
+  const auto n2 = search::solve(8, nullptr);
+  EXPECT_EQ(n1, n2);
+  EXPECT_GT(n1, 100);
+}
+
+TEST(JgfKernels, RayTracerChecksumStable) {
+  const auto c1 = raytracer::render(32);
+  EXPECT_EQ(c1, raytracer::render(32));
+  EXPECT_GT(c1, 0);
+}
+
+}  // namespace
+}  // namespace hpcnet::test

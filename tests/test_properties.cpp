@@ -1,0 +1,199 @@
+// Property-based sweeps (parameterized gtest): algebraic invariants checked
+// on all three engine tiers against natively computed expectations, over
+// randomized operand streams — the cross-runtime numeric agreement the
+// paper's validation methodology relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/java_random.hpp"
+#include "vm/arith.hpp"
+#include "vm_test_util.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+/// One fixture per engine tier index (0 = clr11, 1 = mono023, 2 = rotor10).
+class EngineProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  VMFixture f;
+
+  Slot run(std::int32_t method, std::vector<Slot> args) {
+    return f.run_on(GetParam(), method, std::move(args));
+  }
+};
+
+TEST_P(EngineProperty, DivRemReconstruction) {
+  // forall a, b != 0 (no overflow case): a == (a/b)*b + a%b.
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_divrem", {{ValType::I32, ValType::I32}, ValType::I32});
+  b.ldarg(0).ldarg(1).div().ldarg(1).mul();
+  b.ldarg(0).ldarg(1).rem().add().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const std::int32_t a = rng.next_int();
+    std::int32_t d = rng.next_int(1 << 16) + 1;
+    if (rng.next_boolean()) d = -d;
+    if (a == std::numeric_limits<std::int32_t>::min() && d == -1) continue;
+    EXPECT_EQ(run(m, {Slot::from_i32(a), Slot::from_i32(d)}).i32, a)
+        << a << "/" << d;
+  }
+}
+
+TEST_P(EngineProperty, ShiftComposition) {
+  // (x << k) >> k (arithmetic) matches native semantics incl. masking.
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_shift", {{ValType::I32, ValType::I32}, ValType::I32});
+  b.ldarg(0).ldarg(1).shl().ldarg(1).shr().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(12);
+  for (int i = 0; i < 300; ++i) {
+    const std::int32_t x = rng.next_int();
+    const std::int32_t k = rng.next_int(40);  // deliberately beyond 31
+    const std::int32_t want =
+        vm::arith::shr_i32(vm::arith::shl_i32(x, k), k);
+    EXPECT_EQ(run(m, {Slot::from_i32(x), Slot::from_i32(k)}).i32, want);
+  }
+}
+
+TEST_P(EngineProperty, WrappingAddSubInverse) {
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_addsub", {{ValType::I32, ValType::I32}, ValType::I32});
+  b.ldarg(0).ldarg(1).add().ldarg(1).sub().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const std::int32_t a = rng.next_int();
+    const std::int32_t d = rng.next_int();
+    EXPECT_EQ(run(m, {Slot::from_i32(a), Slot::from_i32(d)}).i32, a);
+  }
+}
+
+TEST_P(EngineProperty, DoubleArithmeticIsIeee) {
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_f64", {{ValType::F64, ValType::F64}, ValType::F64});
+  b.ldarg(0).ldarg(1).mul().ldarg(0).ldarg(1).div().add().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(14);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double() * 2000 - 1000;
+    const double y = rng.next_double() + 0.5;
+    const double want = x * y + x / y;
+    const Slot r = run(m, {Slot::from_f64(x), Slot::from_f64(y)});
+    EXPECT_EQ(Slot::from_f64(want).raw, r.raw) << x << " " << y;
+  }
+}
+
+TEST_P(EngineProperty, ConversionTruncationMatchesNative) {
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_conv", {{ValType::F64}, ValType::I32});
+  b.ldarg(0).conv_i4().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(15);
+  for (int i = 0; i < 300; ++i) {
+    const double x = (rng.next_double() - 0.5) * 1e12;  // overflows i32 often
+    EXPECT_EQ(run(m, {Slot::from_f64(x)}).i32, vm::arith::f_to_i32(x)) << x;
+  }
+}
+
+TEST_P(EngineProperty, NarrowingConversionsWrap) {
+  Module& mod = f.vm.module();
+  ILBuilder b8(mod, "p_conv_i1", {{ValType::I32}, ValType::I32});
+  b8.ldarg(0).conv_i1().ret();
+  const auto m8 = b8.finish();
+  ILBuilder b16(mod, "p_conv_u2", {{ValType::I32}, ValType::I32});
+  b16.ldarg(0).conv_u2().ret();
+  const auto m16 = b16.finish();
+  support::JavaRandom rng(16);
+  for (int i = 0; i < 300; ++i) {
+    const std::int32_t x = rng.next_int();
+    EXPECT_EQ(run(m8, {Slot::from_i32(x)}).i32,
+              static_cast<std::int8_t>(x));
+    EXPECT_EQ(run(m16, {Slot::from_i32(x)}).i32,
+              static_cast<std::uint16_t>(x));
+  }
+}
+
+TEST_P(EngineProperty, BoxUnboxIsIdentity) {
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_box", {{ValType::I64}, ValType::I64});
+  b.ldarg(0).box(ValType::I64).unbox(ValType::I64).ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = rng.next_long();
+    EXPECT_EQ(run(m, {Slot::from_i64(x)}).i64, x);
+  }
+}
+
+TEST_P(EngineProperty, ArrayStoreLoadRoundTrip) {
+  Module& mod = f.vm.module();
+  // write v at index k of a fresh array, read it back.
+  ILBuilder b(mod, "p_array",
+              {{ValType::I32, ValType::I32, ValType::F64}, ValType::F64});
+  const auto arr = b.add_local(ValType::Ref);
+  b.ldarg(0).newarr(ValType::F64).stloc(arr);
+  b.ldloc(arr).ldarg(1).ldarg(2).stelem(ValType::F64);
+  b.ldloc(arr).ldarg(1).ldelem(ValType::F64).ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(18);
+  for (int i = 0; i < 200; ++i) {
+    const std::int32_t n = rng.next_int(100) + 1;
+    const std::int32_t k = rng.next_int(n);
+    const double v = rng.next_double() * 100;
+    const Slot r = run(m, {Slot::from_i32(n), Slot::from_i32(k),
+                           Slot::from_f64(v)});
+    EXPECT_EQ(r.raw, Slot::from_f64(v).raw);
+  }
+}
+
+TEST_P(EngineProperty, Matrix2StoreLoadRoundTrip) {
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "p_mat2",
+              {{ValType::I32, ValType::I32, ValType::I32, ValType::I32,
+                ValType::I64},
+               ValType::I64});
+  const auto mat = b.add_local(ValType::Ref);
+  b.ldarg(0).ldarg(1).newmat(ValType::I64).stloc(mat);
+  b.ldloc(mat).ldarg(2).ldarg(3).ldarg(4).stelem2(ValType::I64);
+  b.ldloc(mat).ldarg(2).ldarg(3).ldelem2(ValType::I64).ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(19);
+  for (int i = 0; i < 200; ++i) {
+    const std::int32_t rows = rng.next_int(20) + 1;
+    const std::int32_t cols = rng.next_int(20) + 1;
+    const std::int32_t rr = rng.next_int(rows);
+    const std::int32_t cc = rng.next_int(cols);
+    const std::int64_t v = rng.next_long();
+    const Slot r = run(m, {Slot::from_i32(rows), Slot::from_i32(cols),
+                           Slot::from_i32(rr), Slot::from_i32(cc),
+                           Slot::from_i64(v)});
+    EXPECT_EQ(r.i64, v);
+  }
+}
+
+TEST_P(EngineProperty, ComparisonTrichotomy) {
+  Module& mod = f.vm.module();
+  // exactly one of <, ==, > holds for non-NaN doubles.
+  ILBuilder b(mod, "p_tri", {{ValType::F64, ValType::F64}, ValType::I32});
+  b.ldarg(0).ldarg(1).clt();
+  b.ldarg(0).ldarg(1).ceq().add();
+  b.ldarg(0).ldarg(1).cgt().add().ret();
+  const auto m = b.finish();
+  support::JavaRandom rng(20);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double() * 10 - 5;
+    const double y = rng.next_boolean() ? x : rng.next_double() * 10 - 5;
+    EXPECT_EQ(run(m, {Slot::from_f64(x), Slot::from_f64(y)}).i32, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, EngineProperty,
+                         ::testing::Values(0u, 1u, 2u),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return tier_profiles()[i.param].name;
+                         });
+
+}  // namespace
+}  // namespace hpcnet::test

@@ -1,0 +1,175 @@
+// Serialization substrate: object-graph round trips (lists, cycles, shared
+// references, every object kind), error handling on malformed streams, and
+// the file-based variant the JGF Serial benchmark exercises.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "vm/serialize.hpp"
+#include "vm_test_util.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  VirtualMachine vm;
+  std::int32_t node = -1;
+
+  void SetUp() override {
+    node = vm.module().define_class(
+        "s.Node", {{"v", ValType::I32}, {"next", ValType::Ref}});
+    vm.main_context();  // attach the host thread
+  }
+
+  ObjRef make_node(std::int32_t v, ObjRef next) {
+    ObjRef o = vm.heap().alloc_instance(node);
+    o->fields()[0] = Slot::from_i32(v);
+    o->fields()[1] = Slot::from_ref(next);
+    return o;
+  }
+};
+
+TEST_F(SerializeTest, NullRoot) {
+  const auto bytes = serialize_graph(vm, nullptr);
+  EXPECT_EQ(deserialize_graph(vm, vm.main_context(), bytes.data(),
+                              bytes.size()),
+            nullptr);
+}
+
+TEST_F(SerializeTest, LinkedListRoundTrip) {
+  ObjRef head = nullptr;
+  for (int i = 0; i < 20; ++i) head = make_node(i, head);
+  Pinned pin(vm, head);
+
+  const auto bytes = serialize_graph(vm, head);
+  ObjRef copy = deserialize_graph(vm, vm.main_context(), bytes.data(),
+                                  bytes.size());
+  Pinned pin2(vm, copy);
+  int n = 0;
+  for (ObjRef p = copy; p != nullptr; p = p->fields()[1].ref) {
+    EXPECT_EQ(p->fields()[0].i32, 19 - n);
+    ++n;
+  }
+  EXPECT_EQ(n, 20);
+  EXPECT_NE(copy, head);  // a genuine deep copy
+}
+
+TEST_F(SerializeTest, CycleRoundTrip) {
+  ObjRef a = make_node(1, nullptr);
+  Pinned pin(vm, a);
+  ObjRef b = make_node(2, a);
+  a->fields()[1] = Slot::from_ref(b);  // a -> b -> a
+
+  const auto bytes = serialize_graph(vm, a);
+  ObjRef ca = deserialize_graph(vm, vm.main_context(), bytes.data(),
+                                bytes.size());
+  ObjRef cb = ca->fields()[1].ref;
+  ASSERT_NE(cb, nullptr);
+  EXPECT_EQ(cb->fields()[1].ref, ca);  // cycle preserved
+  EXPECT_EQ(ca->fields()[0].i32, 1);
+  EXPECT_EQ(cb->fields()[0].i32, 2);
+}
+
+TEST_F(SerializeTest, SharedReferencePreserved) {
+  ObjRef shared = make_node(99, nullptr);
+  Pinned pin(vm, shared);
+  ObjRef x = make_node(1, shared);
+  Pinned pinx(vm, x);
+  ObjRef y = make_node(2, shared);
+  // Carrier array holding both heads.
+  ObjRef arr = vm.heap().alloc_array(ValType::Ref, 2);
+  arr->ref_data()[0] = x;
+  arr->ref_data()[1] = y;
+  Pinned pina(vm, arr);
+
+  const auto bytes = serialize_graph(vm, arr);
+  ObjRef carr = deserialize_graph(vm, vm.main_context(), bytes.data(),
+                                  bytes.size());
+  ObjRef cx = carr->ref_data()[0];
+  ObjRef cy = carr->ref_data()[1];
+  EXPECT_EQ(cx->fields()[1].ref, cy->fields()[1].ref);  // still shared
+  EXPECT_EQ(cx->fields()[1].ref->fields()[0].i32, 99);
+}
+
+TEST_F(SerializeTest, EveryObjectKindRoundTrips) {
+  ObjRef carrier = vm.heap().alloc_array(ValType::Ref, 5);
+  Pinned pin(vm, carrier);
+  {
+    ObjRef ints = vm.heap().alloc_array(ValType::I32, 3);
+    ints->i32_data()[0] = -7;
+    ints->i32_data()[2] = 123;
+    carrier->ref_data()[0] = ints;
+    ObjRef mat = vm.heap().alloc_matrix2(ValType::F64, 2, 3);
+    mat->f64_data()[5] = 2.5;
+    carrier->ref_data()[1] = mat;
+    carrier->ref_data()[2] = vm.heap().alloc_box(ValType::F64,
+                                                 Slot::from_f64(6.25));
+    carrier->ref_data()[3] = vm.heap().alloc_string("hello");
+    carrier->ref_data()[4] = make_node(5, nullptr);
+  }
+  const auto bytes = serialize_graph(vm, carrier);
+  ObjRef c = deserialize_graph(vm, vm.main_context(), bytes.data(),
+                               bytes.size());
+  EXPECT_EQ(c->ref_data()[0]->i32_data()[0], -7);
+  EXPECT_EQ(c->ref_data()[0]->i32_data()[2], 123);
+  EXPECT_EQ(c->ref_data()[1]->length, 2);
+  EXPECT_EQ(c->ref_data()[1]->cols, 3);
+  EXPECT_DOUBLE_EQ(c->ref_data()[1]->f64_data()[5], 2.5);
+  EXPECT_DOUBLE_EQ(c->ref_data()[2]->fields()[0].f64, 6.25);
+  EXPECT_EQ(string_value(c->ref_data()[3]), "hello");
+  EXPECT_EQ(c->ref_data()[4]->fields()[0].i32, 5);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedStream) {
+  ObjRef head = make_node(1, nullptr);
+  Pinned pin(vm, head);
+  auto bytes = serialize_graph(vm, head);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() / 2}) {
+    EXPECT_THROW(
+        deserialize_graph(vm, vm.main_context(), bytes.data(), cut),
+        SerializeError)
+        << cut;
+  }
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  std::vector<char> junk = {'X', 'Y', 'Z', 'W', 0, 0, 0, 0};
+  EXPECT_THROW(
+      deserialize_graph(vm, vm.main_context(), junk.data(), junk.size()),
+      SerializeError);
+}
+
+TEST_F(SerializeTest, FileRoundTrip) {
+  ObjRef head = nullptr;
+  for (int i = 0; i < 5; ++i) head = make_node(i * 10, head);
+  Pinned pin(vm, head);
+  const std::string path = "/tmp/hpcnet_serial_test.bin";
+  serialize_to_file(vm, head, path);
+  ObjRef copy = deserialize_from_file(vm, vm.main_context(), path);
+  int n = 0;
+  for (ObjRef p = copy; p != nullptr; p = p->fields()[1].ref) ++n;
+  EXPECT_EQ(n, 5);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, SurvivesGcPressureDuringDeserialize) {
+  // Build the list under the default threshold (native locals are not GC
+  // roots — the head must be pinned before any allocation can collect), then
+  // tighten the threshold so the deserializer itself runs under constant
+  // collection pressure.
+  ObjRef head = nullptr;
+  for (int i = 0; i < 200; ++i) head = make_node(i, head);
+  Pinned pin(vm, head);
+  vm.heap().set_threshold(1 << 12);  // collect constantly from here on
+  const auto bytes = serialize_graph(vm, head);
+  ObjRef copy = deserialize_graph(vm, vm.main_context(), bytes.data(),
+                                  bytes.size());
+  Pinned pin2(vm, copy);
+  int n = 0;
+  for (ObjRef p = copy; p != nullptr; p = p->fields()[1].ref) ++n;
+  EXPECT_EQ(n, 200);
+}
+
+}  // namespace
+}  // namespace hpcnet::test

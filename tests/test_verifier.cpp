@@ -1,0 +1,206 @@
+// Verifier: rejection of every class of invalid IL the CLI requires a
+// conforming implementation to detect, plus the metadata it synthesizes
+// (max_stack, typed opcodes, per-pc stack maps, reachability).
+#include <gtest/gtest.h>
+
+#include "vm_test_util.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+/// Builds a method from `emit` and expects VerifyError.
+void expect_reject(const std::string& name,
+                   const std::function<void(Module&, ILBuilder&)>& emit) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), name, {{ValType::I32}, ValType::I32});
+  emit(vm.module(), b);
+  const auto m = b.finish();
+  EXPECT_THROW(verify(vm.module(), m), VerifyError) << name;
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  expect_reject("underflow", [](Module&, ILBuilder& b) { b.add().ret(); });
+}
+
+TEST(Verifier, RejectsOperandTypeMismatch) {
+  expect_reject("mismatch", [](Module&, ILBuilder& b) {
+    b.ldc_i4(1).ldc_r8(2.0).add().conv_i4().ret();
+  });
+}
+
+TEST(Verifier, RejectsWrongReturnType) {
+  expect_reject("wrongret",
+                [](Module&, ILBuilder& b) { b.ldc_r8(1.0).ret(); });
+}
+
+TEST(Verifier, RejectsNonEmptyStackAtRet) {
+  expect_reject("dirtystack", [](Module&, ILBuilder& b) {
+    b.ldc_i4(1).ldc_i4(2).ret();
+  });
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  expect_reject("falloff", [](Module&, ILBuilder& b) { b.ldc_i4(1).pop(); });
+}
+
+TEST(Verifier, RejectsBadLocalIndex) {
+  expect_reject("badlocal",
+                [](Module&, ILBuilder& b) { b.ldloc(3).ret(); });
+}
+
+TEST(Verifier, RejectsBadArgIndex) {
+  expect_reject("badarg", [](Module&, ILBuilder& b) { b.ldarg(5).ret(); });
+}
+
+TEST(Verifier, RejectsStlocTypeMismatch) {
+  expect_reject("stlocmismatch", [](Module&, ILBuilder& b) {
+    const auto l = b.add_local(ValType::F64);
+    b.ldc_i4(1).stloc(l);
+    b.ldc_i4(0).ret();
+  });
+}
+
+TEST(Verifier, RejectsInconsistentMergeDepth) {
+  expect_reject("mergedepth", [](Module&, ILBuilder& b) {
+    auto join = b.new_label();
+    auto other = b.new_label();
+    b.ldarg(0).brtrue(other);
+    b.ldc_i4(1).br(join);     // one value on one path...
+    b.bind(other);
+    b.ldc_i4(1).ldc_i4(2).br(join);  // ...two on the other
+    b.bind(join);
+    b.ret();
+  });
+}
+
+TEST(Verifier, RejectsInconsistentMergeTypes) {
+  expect_reject("mergetypes", [](Module&, ILBuilder& b) {
+    auto join = b.new_label();
+    auto other = b.new_label();
+    b.ldarg(0).brtrue(other);
+    b.ldc_i4(1).br(join);
+    b.bind(other);
+    b.ldc_r8(1.0).br(join);
+    b.bind(join);
+    b.conv_i4().ret();
+  });
+}
+
+TEST(Verifier, RejectsBitwiseOnFloats) {
+  expect_reject("floatand", [](Module&, ILBuilder& b) {
+    b.ldc_r8(1.0).ldc_r8(2.0).and_().conv_i4().ret();
+  });
+}
+
+TEST(Verifier, RejectsShiftWithNonIntAmount) {
+  expect_reject("badshift", [](Module&, ILBuilder& b) {
+    b.ldc_i4(1).ldc_i8(2).shl().ret();
+  });
+}
+
+TEST(Verifier, RejectsCallArgumentMismatch) {
+  expect_reject("badcallargs", [](Module& mod, ILBuilder& b) {
+    ILBuilder callee(mod, "callee_f64", {{ValType::F64}, ValType::I32});
+    callee.ldc_i4(0).ret();
+    const auto cm = callee.finish();
+    b.ldc_i4(1).call(cm).ret();
+  });
+}
+
+TEST(Verifier, RejectsThrowOfNonRef) {
+  expect_reject("thrownum", [](Module&, ILBuilder& b) {
+    b.ldc_i4(1).throw_();
+  });
+}
+
+TEST(Verifier, RejectsBoxOfRef) {
+  expect_reject("boxref", [](Module&, ILBuilder& b) {
+    b.ldnull().box(ValType::Ref);
+    b.pop().ldc_i4(0).ret();
+  });
+}
+
+TEST(Verifier, RejectsBadCatchClass) {
+  expect_reject("badcatch", [](Module&, ILBuilder& b) {
+    auto t0 = b.new_label();
+    auto t1 = b.new_label();
+    auto h = b.new_label();
+    b.bind(t0);
+    b.ldc_i4(0).ret();
+    b.bind(t1);
+    b.add_catch(t0, t1, h, 9999);
+    b.bind(h);
+    b.pop();
+    b.ldc_i4(0).ret();
+  });
+}
+
+TEST(Verifier, AcceptsUnreachableTrailingCode) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "trailing", {{}, ValType::I32});
+  b.ldc_i4(1).ret();
+  b.ldc_i4(9).pop();  // dead padding after the terminal ret
+  const auto m = b.finish();
+  EXPECT_NO_THROW(verify(vm.module(), m));
+}
+
+TEST(Verifier, ComputesMaxStack) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "maxstack", {{}, ValType::I32});
+  b.ldc_i4(1).ldc_i4(2).ldc_i4(3).ldc_i4(4).add().add().add().ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EXPECT_EQ(vm.module().method(m).max_stack, 4);
+}
+
+TEST(Verifier, AnnotatesPolymorphicOps) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "annot", {{ValType::F64, ValType::F64}, ValType::F64});
+  b.ldarg(0).ldarg(1).add().ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EXPECT_EQ(vm.module().method(m).code[2].type, ValType::F64);
+}
+
+TEST(Verifier, BuildsStackMaps) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "maps", {{}, ValType::I32});
+  b.ldc_i4(1).ldc_i8(2).conv_i4().add().ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  const MethodDef& def = vm.module().method(m);
+  EXPECT_TRUE(def.stack_in[0].empty());
+  ASSERT_EQ(def.stack_in[1].size(), 1u);
+  EXPECT_EQ(def.stack_in[1][0], ValType::I32);
+  ASSERT_EQ(def.stack_in[2].size(), 2u);
+  EXPECT_EQ(def.stack_in[2][1], ValType::I64);
+}
+
+TEST(Verifier, MarksReachability) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "reach", {{}, ValType::I32});
+  auto past = b.new_label();
+  b.br(past);
+  b.ldc_i4(42).ret();  // dead
+  b.bind(past);
+  b.ldc_i4(1).ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  const MethodDef& def = vm.module().method(m);
+  EXPECT_TRUE(def.reachable[0]);
+  EXPECT_FALSE(def.reachable[1]);
+  EXPECT_TRUE(def.reachable[3]);
+}
+
+TEST(Verifier, IsIdempotent) {
+  VirtualMachine vm;
+  ILBuilder b(vm.module(), "idem", {{}, ValType::I32});
+  b.ldc_i4(1).ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  verify(vm.module(), m);  // no-op, no throw
+  EXPECT_TRUE(vm.module().method(m).verified);
+}
+
+}  // namespace
+}  // namespace hpcnet::test

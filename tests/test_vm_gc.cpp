@@ -1,0 +1,268 @@
+// Garbage collector: allocation-triggered collections, liveness through
+// locals / fields / statics / arrays, pinning, collection during deep call
+// stacks, and GC while multiple managed threads are running.
+#include <gtest/gtest.h>
+
+#include "vm/intrinsics.hpp"
+#include "vm_test_util.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+TEST(VmGc, AllocationPressureTriggersCollection) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 16);  // 64 KiB: collect early and often
+  Module& mod = f.vm.module();
+  // Allocate `n` garbage arrays; keep only the last.
+  ILBuilder b(mod, "churn", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto keep = b.add_local(ValType::Ref);
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(i).br(cond);
+  b.bind(top);
+  b.ldc_i4(256).newarr(ValType::F64).stloc(keep);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.bind(cond);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.ldloc(keep).ldlen().ret();
+  const auto m = b.finish();
+
+  const auto before = f.vm.gc_count();
+  EXPECT_EQ(f.run_all(m, {Slot::from_i32(5000)}).i32, 256);
+  EXPECT_GT(f.vm.gc_count(), before);
+  // The garbage must actually have been reclaimed.
+  const auto stats = f.vm.heap().stats();
+  EXPECT_GT(stats.swept_objects, 1000u);
+}
+
+TEST(VmGc, LiveObjectsSurviveThroughLocals) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 14);
+  Module& mod = f.vm.module();
+  // Build an array, fill it, churn garbage, then read the array back.
+  ILBuilder b(mod, "survive", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto arr = b.add_local(ValType::Ref);
+  b.ldc_i4(64).newarr(ValType::I32).stloc(arr);
+  {
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldc_i4(0).stloc(i).br(cond);
+    b.bind(top);
+    b.ldloc(arr).ldloc(i).ldloc(i).ldc_i4(3).mul().stelem(ValType::I32);
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldc_i4(64).blt(top);
+  }
+  {
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldc_i4(0).stloc(i).br(cond);
+    b.bind(top);
+    b.ldc_i4(128).newarr(ValType::F64).pop();  // pure garbage
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldarg(0).blt(top);
+  }
+  b.ldloc(arr).ldc_i4(21).ldelem(ValType::I32).ret();
+  const auto m = b.finish();
+  EXPECT_EQ(f.run_all(m, {Slot::from_i32(3000)}).i32, 63);
+}
+
+TEST(VmGc, ReachabilityThroughObjectGraphAndStatics) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 14);
+  Module& mod = f.vm.module();
+  const std::int32_t node = mod.define_class(
+      "gc.Node", {{"v", ValType::I32}, {"next", ValType::Ref}}, -1,
+      {{"root", ValType::Ref}});
+  // Build a 50-node list anchored in a static, churn, then walk it.
+  ILBuilder b(mod, "gc_static_graph", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto cur = b.add_local(ValType::Ref);
+  const auto sum = b.add_local(ValType::I32);
+  {
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldnull().stsfld(node, "root");
+    b.ldc_i4(0).stloc(i).br(cond);
+    b.bind(top);
+    b.newobj(node).stloc(cur);
+    b.ldloc(cur).ldloc(i).stfld(node, "v");
+    b.ldloc(cur).ldsfld(node, "root").stfld(node, "next");
+    b.ldloc(cur).stsfld(node, "root");
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldc_i4(50).blt(top);
+  }
+  {
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldc_i4(0).stloc(i).br(cond);
+    b.bind(top);
+    b.ldc_i4(64).newarr(ValType::Ref).pop();
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldarg(0).blt(top);
+  }
+  {
+    auto walk = b.new_label();
+    auto done = b.new_label();
+    b.ldc_i4(0).stloc(sum);
+    b.ldsfld(node, "root").stloc(cur);
+    b.bind(walk);
+    b.ldloc(cur).brfalse(done);
+    b.ldloc(sum).ldloc(cur).ldfld(node, "v").add().stloc(sum);
+    b.ldloc(cur).ldfld(node, "next").stloc(cur);
+    b.br(walk);
+    b.bind(done);
+  }
+  b.ldloc(sum).ret();
+  const auto m = b.finish();
+  EXPECT_EQ(f.run_all(m, {Slot::from_i32(4000)}).i32, 49 * 50 / 2);
+}
+
+TEST(VmGc, SurvivesCollectionInDeepRecursion) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 14);
+  Module& mod = f.vm.module();
+  // rec(n): if n == 0 return 0; a = new i32[8]; a[0] = n;
+  //          r = rec(n-1); garbage; return a[0] + r;
+  const auto self_id = static_cast<std::int32_t>(mod.method_count());
+  ILBuilder b(mod, "gc_rec", {{ValType::I32}, ValType::I32});
+  const auto arr = b.add_local(ValType::Ref);
+  const auto r = b.add_local(ValType::I32);
+  auto nonzero = b.new_label();
+  b.ldarg(0).ldc_i4(0).bgt(nonzero);
+  b.ldc_i4(0).ret();
+  b.bind(nonzero);
+  b.ldc_i4(8).newarr(ValType::I32).stloc(arr);
+  b.ldloc(arr).ldc_i4(0).ldarg(0).stelem(ValType::I32);
+  b.ldarg(0).ldc_i4(1).sub().call(self_id).stloc(r);
+  b.ldc_i4(512).newarr(ValType::F64).pop();  // garbage at every level
+  b.ldloc(arr).ldc_i4(0).ldelem(ValType::I32).ldloc(r).add().ret();
+  const auto m = b.finish();
+  ASSERT_EQ(m, self_id);
+  EXPECT_EQ(f.run_all(m, {Slot::from_i32(300)}).i32, 300 * 301 / 2);
+  EXPECT_GT(f.vm.gc_count(), 0u);
+}
+
+TEST(VmGc, PinKeepsNativeHeldObjectAlive) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 14);
+  ObjRef s = f.vm.heap().alloc_string("pinned payload");
+  f.vm.pin(s);
+  // Churn from managed code until several GCs have happened.
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "pin_churn", {{}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(i).br(cond);
+  b.bind(top);
+  b.ldc_i4(64).newarr(ValType::I64).pop();
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.bind(cond);
+  b.ldloc(i).ldc_i4(4000).blt(top);
+  b.ldc_i4(0).ret();
+  const auto m = b.finish();
+  f.run_all(m);
+  EXPECT_GT(f.vm.gc_count(), 0u);
+  EXPECT_EQ(string_value(s), "pinned payload");
+  f.vm.unpin(s);
+}
+
+TEST(VmGc, ExplicitCollectViaIntrinsic) {
+  VMFixture f;
+  Module& mod = f.vm.module();
+  ILBuilder b(mod, "gc_explicit", {{}, ValType::I32});
+  b.ldc_i4(16).newarr(ValType::I32).pop();
+  b.call_intr(vm::I_GC_COLLECT);
+  b.ldc_i4(1).ret();
+  const auto m = b.finish();
+  const auto before = f.vm.gc_count();
+  EXPECT_EQ(f.run_all(m).i32, 1);
+  EXPECT_GE(f.vm.gc_count(), before + 3);  // one per engine
+}
+
+TEST(VmGc, CollectionDuringMultithreadedAllocation) {
+  VMFixture f;
+  f.vm.heap().set_threshold(1 << 15);
+  Module& mod = f.vm.module();
+  const std::int32_t box_cls = mod.define_class(
+      "gc.MtBox", {{"hits", ValType::I32}});
+  // Worker: allocate in a loop, bump arg.hits under the monitor at the end.
+  ILBuilder w(mod, "gc_mt_worker", {{ValType::Ref}, ValType::I32});
+  {
+    const auto i = w.add_local(ValType::I32);
+    auto cond = w.new_label();
+    auto top = w.new_label();
+    w.ldc_i4(0).stloc(i).br(cond);
+    w.bind(top);
+    w.ldc_i4(128).newarr(ValType::F64).pop();
+    w.ldloc(i).ldc_i4(1).add().stloc(i);
+    w.bind(cond);
+    w.ldloc(i).ldc_i4(2000).blt(top);
+    w.ldarg(0).call_intr(vm::I_MON_ENTER);
+    w.ldarg(0).ldarg(0).ldfld(box_cls, "hits").ldc_i4(1).add()
+        .stfld(box_cls, "hits");
+    w.ldarg(0).call_intr(vm::I_MON_EXIT);
+    w.ldc_i4(0).ret();
+  }
+  const auto worker = w.finish();
+
+  ILBuilder b(mod, "gc_mt_main", {{ValType::I32}, ValType::I32});
+  {
+    const auto t = b.add_local(ValType::I32);
+    const auto box = b.add_local(ValType::Ref);
+    const auto handles = b.add_local(ValType::Ref);
+    b.newobj(box_cls).stloc(box);
+    b.ldarg(0).newarr(ValType::Ref).stloc(handles);
+    auto c1 = b.new_label();
+    auto t1 = b.new_label();
+    b.ldc_i4(0).stloc(t).br(c1);
+    b.bind(t1);
+    b.ldloc(handles).ldloc(t);
+    b.ldc_i4(worker).ldloc(box).call_intr(vm::I_THREAD_START);
+    b.stelem(ValType::Ref);
+    b.ldloc(t).ldc_i4(1).add().stloc(t);
+    b.bind(c1);
+    b.ldloc(t).ldarg(0).blt(t1);
+    auto c2 = b.new_label();
+    auto t2 = b.new_label();
+    b.ldc_i4(0).stloc(t).br(c2);
+    b.bind(t2);
+    b.ldloc(handles).ldloc(t).ldelem(ValType::Ref).call_intr(vm::I_THREAD_JOIN);
+    b.ldloc(t).ldc_i4(1).add().stloc(t);
+    b.bind(c2);
+    b.ldloc(t).ldarg(0).blt(t2);
+    b.ldloc(box).ldfld(box_cls, "hits").ret();
+  }
+  const auto m = b.finish();
+  verify(mod, m);
+  VMContext& ctx = f.vm.main_context();
+  for (auto& e : f.engines) {
+    ctx.engine = e.get();
+    Slot arg = Slot::from_i32(4);
+    EXPECT_EQ(e->invoke(ctx, m, std::span<const Slot>(&arg, 1)).i32, 4)
+        << e->name();
+  }
+  EXPECT_GT(f.vm.gc_count(), 0u);
+}
+
+TEST(VmGc, HeapStatsTrackLiveBytes) {
+  VMFixture f;
+  const auto before = f.vm.heap().stats();
+  ObjRef a = f.vm.heap().alloc_array(ValType::F64, 1000);
+  f.vm.pin(a);
+  f.vm.collect();
+  const auto after = f.vm.heap().stats();
+  EXPECT_GE(after.live_bytes, before.live_bytes + 8000);
+  f.vm.unpin(a);
+  f.vm.collect();
+  EXPECT_LT(f.vm.heap().stats().live_bytes, after.live_bytes);
+}
+
+}  // namespace
+}  // namespace hpcnet::test

@@ -1,0 +1,207 @@
+// Managed threading substrate: monitor semantics (recursive enter, unowned
+// exit, wait/pulse), thread start/join lifecycle, and safepoint interaction
+// (GC while threads are parked in monitors).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "vm/intrinsics.hpp"
+#include "vm/monitor.hpp"
+#include "vm_test_util.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+TEST(VmThreads, MonitorRecursiveEnter) {
+  VirtualMachine vm;
+  VMContext& ctx = vm.main_context();
+  ObjRef obj = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pin(vm, obj);
+  vm.monitors().enter(ctx, obj);
+  vm.monitors().enter(ctx, obj);  // recursive
+  EXPECT_TRUE(vm.monitors().exit(ctx, obj));
+  EXPECT_TRUE(vm.monitors().exit(ctx, obj));
+  EXPECT_FALSE(vm.monitors().exit(ctx, obj));  // over-release rejected
+}
+
+TEST(VmThreads, MonitorWaitWithoutOwnershipFails) {
+  VirtualMachine vm;
+  VMContext& ctx = vm.main_context();
+  ObjRef obj = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pin(vm, obj);
+  EXPECT_FALSE(vm.monitors().wait(ctx, obj));
+  EXPECT_FALSE(vm.monitors().pulse(ctx, obj));
+}
+
+TEST(VmThreads, MonitorExcludesAcrossNativeThreads) {
+  VirtualMachine vm;
+  ObjRef obj = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pin(vm, obj);
+  VMContext& main = vm.main_context();
+  vm.monitors().enter(main, obj);
+
+  std::atomic<int> stage{0};
+  std::thread t([&] {
+    auto ctx = vm.attach_thread(nullptr);
+    stage.store(1);
+    vm.monitors().enter(*ctx, obj);  // must block until main exits
+    stage.store(2);
+    vm.monitors().exit(*ctx, obj);
+    vm.detach_thread(*ctx);
+  });
+  while (stage.load() == 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(stage.load(), 1);  // still blocked
+  vm.monitors().exit(main, obj);
+  t.join();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(VmThreads, WaitPulseHandshake) {
+  VirtualMachine vm;
+  ObjRef obj = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pin(vm, obj);
+  std::atomic<bool> woke{false};
+
+  std::thread waiter([&] {
+    auto ctx = vm.attach_thread(nullptr);
+    vm.monitors().enter(*ctx, obj);
+    EXPECT_TRUE(vm.monitors().wait(*ctx, obj));
+    woke.store(true);
+    vm.monitors().exit(*ctx, obj);
+    vm.detach_thread(*ctx);
+  });
+
+  VMContext& main = vm.main_context();
+  // Keep pulsing until the waiter wakes (it may not be waiting yet).
+  while (!woke.load()) {
+    vm.monitors().enter(main, obj);
+    vm.monitors().pulse_all(main, obj);
+    vm.monitors().exit(main, obj);
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(VmThreads, StartAndJoinViaIntrinsics) {
+  VMFixture f;
+  Module& mod = f.vm.module();
+  const std::int32_t cls = mod.define_class("t.Cell", {{"v", ValType::I32}});
+  ILBuilder w(mod, "t_worker", {{ValType::Ref}, ValType::I32});
+  w.ldarg(0).ldc_i4(77).stfld(cls, "v");
+  w.ldc_i4(0).ret();
+  const auto worker = w.finish();
+
+  ILBuilder b(mod, "t_main", {{}, ValType::I32});
+  const auto cell = b.add_local(ValType::Ref);
+  const auto h = b.add_local(ValType::Ref);
+  b.newobj(cls).stloc(cell);
+  b.ldc_i4(worker).ldloc(cell).call_intr(vm::I_THREAD_START).stloc(h);
+  b.ldloc(h).call_intr(vm::I_THREAD_JOIN);
+  b.ldloc(cell).ldfld(cls, "v").ret();
+  const auto m = b.finish();
+  EXPECT_EQ(f.run_all(m).i32, 77);
+}
+
+TEST(VmThreads, JoinIsIdempotent) {
+  VMFixture f;
+  Module& mod = f.vm.module();
+  const std::int32_t cls = mod.find_class("t.Cell") >= 0
+                               ? mod.find_class("t.Cell")
+                               : mod.define_class("t.Cell2", {{"v", ValType::I32}});
+  ILBuilder w(mod, "t_worker2", {{ValType::Ref}, ValType::I32});
+  w.ldc_i4(0).ret();
+  const auto worker = w.finish();
+  ILBuilder b(mod, "t_join2", {{}, ValType::I32});
+  const auto h = b.add_local(ValType::Ref);
+  b.newobj(cls).pop();
+  b.ldc_i4(worker).ldnull().call_intr(vm::I_THREAD_START).stloc(h);
+  b.ldloc(h).call_intr(vm::I_THREAD_JOIN);
+  b.ldloc(h).call_intr(vm::I_THREAD_JOIN);  // second join: no-op
+  b.ldc_i4(1).ret();
+  const auto m = b.finish();
+  EXPECT_EQ(f.run_all(m).i32, 1);
+}
+
+TEST(VmThreads, CurrentIdDistinctAcrossThreads) {
+  VirtualMachine vm;
+  VMContext& main = vm.main_context();
+  auto side = vm.attach_thread(nullptr);
+  EXPECT_NE(main.thread_id, side->thread_id);
+  vm.detach_thread(*side);
+}
+
+TEST(VmThreads, SleepAndYieldIntrinsics) {
+  VMFixture f;
+  ILBuilder b(f.vm.module(), "t_sleep", {{}, ValType::I32});
+  b.call_intr(vm::I_THREAD_YIELD);
+  b.ldc_i4(1).call_intr(vm::I_THREAD_SLEEP);
+  b.call_intr(vm::I_THREAD_ID).ret();
+  const auto m = b.finish();
+  verify(f.vm.module(), m);
+  VMContext& ctx = f.vm.main_context();
+  for (auto& e : f.engines) {
+    ctx.engine = e.get();
+    EXPECT_GT(e->invoke(ctx, m, {}).i32, 0) << e->name();
+  }
+}
+
+TEST(VmThreads, GcWhileThreadBlockedInMonitor) {
+  // A thread parked in Monitor.Wait must not stall a collection.
+  VirtualMachine vm;
+  vm.heap().set_threshold(1 << 14);
+  ObjRef obj = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pin(vm, obj);
+  std::atomic<bool> waiting{false}, done{false};
+
+  std::thread waiter([&] {
+    auto ctx = vm.attach_thread(nullptr);
+    vm.monitors().enter(*ctx, obj);
+    waiting.store(true);
+    vm.monitors().wait(*ctx, obj);
+    vm.monitors().exit(*ctx, obj);
+    done.store(true);
+    vm.detach_thread(*ctx);
+  });
+  while (!waiting.load()) std::this_thread::yield();
+
+  VMContext& main = vm.main_context();
+  const auto before = vm.gc_count();
+  // Allocate enough garbage from the main thread to force collections while
+  // the waiter is parked.
+  for (int i = 0; i < 2000; ++i) {
+    vm.heap().alloc_array(ValType::F64, 64);
+  }
+  (void)main;
+  EXPECT_GT(vm.gc_count(), before);
+
+  // Wake the waiter and shut down.
+  while (!done.load()) {
+    vm.monitors().enter(main, obj);
+    vm.monitors().pulse_all(main, obj);
+    vm.monitors().exit(main, obj);
+    std::this_thread::yield();
+  }
+  waiter.join();
+}
+
+TEST(VmThreads, InflationCountIsBounded) {
+  VirtualMachine vm;
+  VMContext& ctx = vm.main_context();
+  ObjRef a = vm.heap().alloc_instance(vm.thread_class());
+  ObjRef b = vm.heap().alloc_instance(vm.thread_class());
+  Pinned pa(vm, a), pb(vm, b);
+  const auto before = vm.monitors().inflated();
+  for (int i = 0; i < 100; ++i) {
+    vm.monitors().enter(ctx, a);
+    vm.monitors().exit(ctx, a);
+    vm.monitors().enter(ctx, b);
+    vm.monitors().exit(ctx, b);
+  }
+  EXPECT_EQ(vm.monitors().inflated(), before + 2);  // one entry per object
+}
+
+}  // namespace
+}  // namespace hpcnet::test
