@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arith.dir/bench_arith.cpp.o"
+  "CMakeFiles/bench_arith.dir/bench_arith.cpp.o.d"
+  "bench_arith"
+  "bench_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bce.dir/bench_bce.cpp.o"
+  "CMakeFiles/bench_bce.dir/bench_bce.cpp.o.d"
+  "bench_bce"
+  "bench_bce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exception.dir/bench_exception.cpp.o"
+  "CMakeFiles/bench_exception.dir/bench_exception.cpp.o.d"
+  "bench_exception"
+  "bench_exception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

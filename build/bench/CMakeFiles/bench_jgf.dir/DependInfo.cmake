@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_jgf.cpp" "bench/CMakeFiles/bench_jgf.dir/bench_jgf.cpp.o" "gcc" "bench/CMakeFiles/bench_jgf.dir/bench_jgf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hpcnet_paper_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/cil/CMakeFiles/hpcnet_cil.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hpcnet_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hpcnet_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/jgf/CMakeFiles/hpcnet_jgf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcnet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

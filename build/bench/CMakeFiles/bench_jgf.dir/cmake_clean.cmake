@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jgf.dir/bench_jgf.cpp.o"
+  "CMakeFiles/bench_jgf.dir/bench_jgf.cpp.o.d"
+  "bench_jgf"
+  "bench_jgf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jgf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jitquality.dir/bench_jitquality.cpp.o"
+  "CMakeFiles/bench_jitquality.dir/bench_jitquality.cpp.o.d"
+  "bench_jitquality"
+  "bench_jitquality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jitquality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

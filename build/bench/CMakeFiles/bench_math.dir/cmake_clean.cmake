@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_math.dir/bench_math.cpp.o"
+  "CMakeFiles/bench_math.dir/bench_math.cpp.o.d"
+  "bench_math"
+  "bench_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

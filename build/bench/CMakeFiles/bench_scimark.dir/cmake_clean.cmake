@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scimark.dir/bench_scimark.cpp.o"
+  "CMakeFiles/bench_scimark.dir/bench_scimark.cpp.o.d"
+  "bench_scimark"
+  "bench_scimark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scimark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

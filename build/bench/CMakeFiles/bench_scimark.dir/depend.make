@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_scimark.
+# This may be replaced when dependencies are built.

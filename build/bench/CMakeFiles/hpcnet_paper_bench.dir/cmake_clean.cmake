@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcnet_paper_bench.dir/paper_bench.cpp.o"
+  "CMakeFiles/hpcnet_paper_bench.dir/paper_bench.cpp.o.d"
+  "libhpcnet_paper_bench.a"
+  "libhpcnet_paper_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcnet_paper_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

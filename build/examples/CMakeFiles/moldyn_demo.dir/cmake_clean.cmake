@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldyn_demo.dir/moldyn_demo.cpp.o"
+  "CMakeFiles/moldyn_demo.dir/moldyn_demo.cpp.o.d"
+  "moldyn_demo"
+  "moldyn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldyn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for moldyn_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scimark_cli.dir/scimark_cli.cpp.o"
+  "CMakeFiles/scimark_cli.dir/scimark_cli.cpp.o.d"
+  "scimark_cli"
+  "scimark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scimark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cil/jg_crypt.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/jg_crypt.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/jg_crypt.cpp.o.d"
+  "/root/repo/src/cil/jg_kernels.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/jg_kernels.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/jg_kernels.cpp.o.d"
+  "/root/repo/src/cil/micro_arith.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_arith.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_arith.cpp.o.d"
+  "/root/repo/src/cil/micro_assign.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_assign.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_assign.cpp.o.d"
+  "/root/repo/src/cil/micro_cast.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_cast.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_cast.cpp.o.d"
+  "/root/repo/src/cil/micro_create.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_create.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_create.cpp.o.d"
+  "/root/repo/src/cil/micro_exception.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_exception.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_exception.cpp.o.d"
+  "/root/repo/src/cil/micro_loop.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_loop.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_loop.cpp.o.d"
+  "/root/repo/src/cil/micro_math.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_math.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_math.cpp.o.d"
+  "/root/repo/src/cil/micro_matrix.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_matrix.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_matrix.cpp.o.d"
+  "/root/repo/src/cil/micro_method.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_method.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_method.cpp.o.d"
+  "/root/repo/src/cil/micro_serial.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_serial.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/micro_serial.cpp.o.d"
+  "/root/repo/src/cil/mt_kernels.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/mt_kernels.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/mt_kernels.cpp.o.d"
+  "/root/repo/src/cil/parallel_kernels.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/parallel_kernels.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/parallel_kernels.cpp.o.d"
+  "/root/repo/src/cil/sm_kernels.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/sm_kernels.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/sm_kernels.cpp.o.d"
+  "/root/repo/src/cil/suite.cpp" "src/cil/CMakeFiles/hpcnet_cil.dir/suite.cpp.o" "gcc" "src/cil/CMakeFiles/hpcnet_cil.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/hpcnet_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hpcnet_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/jgf/CMakeFiles/hpcnet_jgf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcnet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcnet_jgf.dir/instrumentor.cpp.o"
+  "CMakeFiles/hpcnet_jgf.dir/instrumentor.cpp.o.d"
+  "libhpcnet_jgf.a"
+  "libhpcnet_jgf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcnet_jgf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

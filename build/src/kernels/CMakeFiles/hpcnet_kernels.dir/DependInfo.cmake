@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/crypt.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/crypt.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/crypt.cpp.o.d"
+  "/root/repo/src/kernels/euler.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/euler.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/euler.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/fib.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/fib.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/fib.cpp.o.d"
+  "/root/repo/src/kernels/hanoi.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/hanoi.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/hanoi.cpp.o.d"
+  "/root/repo/src/kernels/heapsort.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/heapsort.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/heapsort.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/moldyn.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/moldyn.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/moldyn.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/montecarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/kernels/raytracer.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/raytracer.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/raytracer.cpp.o.d"
+  "/root/repo/src/kernels/search.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/search.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/search.cpp.o.d"
+  "/root/repo/src/kernels/sieve.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sieve.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sieve.cpp.o.d"
+  "/root/repo/src/kernels/sor.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sor.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sor.cpp.o.d"
+  "/root/repo/src/kernels/sparse.cpp" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sparse.cpp.o" "gcc" "src/kernels/CMakeFiles/hpcnet_kernels.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcnet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

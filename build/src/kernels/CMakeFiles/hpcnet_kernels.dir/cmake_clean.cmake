@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcnet_kernels.dir/crypt.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/crypt.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/euler.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/euler.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/fft.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/fib.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/fib.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/hanoi.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/hanoi.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/heapsort.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/heapsort.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/lu.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/moldyn.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/moldyn.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/montecarlo.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/raytracer.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/raytracer.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/search.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/search.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/sieve.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/sieve.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/sor.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/sor.cpp.o.d"
+  "CMakeFiles/hpcnet_kernels.dir/sparse.cpp.o"
+  "CMakeFiles/hpcnet_kernels.dir/sparse.cpp.o.d"
+  "libhpcnet_kernels.a"
+  "libhpcnet_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcnet_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcnet_support.dir/java_random.cpp.o"
+  "CMakeFiles/hpcnet_support.dir/java_random.cpp.o.d"
+  "CMakeFiles/hpcnet_support.dir/reporter.cpp.o"
+  "CMakeFiles/hpcnet_support.dir/reporter.cpp.o.d"
+  "CMakeFiles/hpcnet_support.dir/stats.cpp.o"
+  "CMakeFiles/hpcnet_support.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcnet_support.dir/timer.cpp.o"
+  "CMakeFiles/hpcnet_support.dir/timer.cpp.o.d"
+  "libhpcnet_support.a"
+  "libhpcnet_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcnet_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

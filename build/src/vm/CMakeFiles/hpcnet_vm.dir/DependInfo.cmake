@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/baseline.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/baseline.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/baseline.cpp.o.d"
+  "/root/repo/src/vm/disasm.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/disasm.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/disasm.cpp.o.d"
+  "/root/repo/src/vm/execution.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/execution.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/execution.cpp.o.d"
+  "/root/repo/src/vm/heap.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/heap.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/heap.cpp.o.d"
+  "/root/repo/src/vm/ilbuilder.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/ilbuilder.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/ilbuilder.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/vm/intrinsics.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/intrinsics.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/intrinsics.cpp.o.d"
+  "/root/repo/src/vm/module.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/module.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/module.cpp.o.d"
+  "/root/repo/src/vm/monitor.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/monitor.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/monitor.cpp.o.d"
+  "/root/repo/src/vm/opcode.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/opcode.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/opcode.cpp.o.d"
+  "/root/repo/src/vm/optimizing.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/optimizing.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/optimizing.cpp.o.d"
+  "/root/repo/src/vm/regcompile.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/regcompile.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/regcompile.cpp.o.d"
+  "/root/repo/src/vm/regir.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/regir.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/regir.cpp.o.d"
+  "/root/repo/src/vm/serialize.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/serialize.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/serialize.cpp.o.d"
+  "/root/repo/src/vm/unwind.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/unwind.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/unwind.cpp.o.d"
+  "/root/repo/src/vm/verifier.cpp" "src/vm/CMakeFiles/hpcnet_vm.dir/verifier.cpp.o" "gcc" "src/vm/CMakeFiles/hpcnet_vm.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcnet_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cil.dir/test_cil.cpp.o"
+  "CMakeFiles/test_cil.dir/test_cil.cpp.o.d"
+  "test_cil"
+  "test_cil.pdb"
+  "test_cil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

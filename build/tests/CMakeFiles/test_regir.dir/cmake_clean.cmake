@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regir.dir/test_regir.cpp.o"
+  "CMakeFiles/test_regir.dir/test_regir.cpp.o.d"
+  "test_regir"
+  "test_regir.pdb"
+  "test_regir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_core.dir/test_vm_core.cpp.o"
+  "CMakeFiles/test_vm_core.dir/test_vm_core.cpp.o.d"
+  "test_vm_core"
+  "test_vm_core.pdb"
+  "test_vm_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

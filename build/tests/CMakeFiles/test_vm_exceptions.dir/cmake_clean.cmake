@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_exceptions.dir/test_vm_exceptions.cpp.o"
+  "CMakeFiles/test_vm_exceptions.dir/test_vm_exceptions.cpp.o.d"
+  "test_vm_exceptions"
+  "test_vm_exceptions.pdb"
+  "test_vm_exceptions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

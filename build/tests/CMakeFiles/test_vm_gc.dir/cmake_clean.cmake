@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_gc.dir/test_vm_gc.cpp.o"
+  "CMakeFiles/test_vm_gc.dir/test_vm_gc.cpp.o.d"
+  "test_vm_gc"
+  "test_vm_gc.pdb"
+  "test_vm_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

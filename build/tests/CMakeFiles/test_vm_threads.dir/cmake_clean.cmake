@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_threads.dir/test_vm_threads.cpp.o"
+  "CMakeFiles/test_vm_threads.dir/test_vm_threads.cpp.o.d"
+  "test_vm_threads"
+  "test_vm_threads.pdb"
+  "test_vm_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
