@@ -6,6 +6,7 @@
 #include "cil/sm.hpp"
 #include "kernels/scimark.hpp"
 #include "support/timer.hpp"
+#include "vm/telemetry/telemetry.hpp"
 
 namespace hpcnet::cil {
 
@@ -75,7 +76,8 @@ void check(const std::string& kernel, double got, double want) {
 }  // namespace
 
 ScimarkResult run_scimark_cil(vm::VirtualMachine& v, vm::Engine& engine,
-                              const ScimarkSizes& s, bool validate) {
+                              const ScimarkSizes& s, bool validate,
+                              const std::string& only) {
   const std::int32_t fft = build_sm_fft(v);
   const std::int32_t sor = build_sm_sor(v);
   const std::int32_t mc = build_sm_montecarlo(v);
@@ -86,11 +88,15 @@ ScimarkResult run_scimark_cil(vm::VirtualMachine& v, vm::Engine& engine,
   ScimarkResult out;
   auto run1 = [&](const std::string& name, std::int32_t method,
                   std::vector<Slot> args, double flops, double want) {
+    if (!only.empty() && name != only) return;
     KernelScore k;
     k.name = name;
     const auto t0 = support::now_ns();
     const Slot r = engine.invoke(ctx, method, args);
-    k.seconds = support::elapsed_seconds(t0, support::now_ns());
+    const auto t1 = support::now_ns();
+    vm::telemetry::record_span("kernel", name + " @ " + engine.name(), t0, t1,
+                               "\"engine\":\"" + engine.name() + "\"");
+    k.seconds = support::elapsed_seconds(t0, t1);
     k.checksum = r.f64;
     if (validate) {
       check(name, k.checksum, want);
@@ -117,7 +123,8 @@ ScimarkResult run_scimark_cil(vm::VirtualMachine& v, vm::Engine& engine,
 
   double sum = 0;
   for (const auto& k : out.kernels) sum += k.mflops;
-  out.composite = sum / static_cast<double>(out.kernels.size());
+  out.composite =
+      out.kernels.empty() ? 0 : sum / static_cast<double>(out.kernels.size());
   return out;
 }
 

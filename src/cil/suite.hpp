@@ -49,8 +49,12 @@ struct ScimarkResult {
 /// Runs the five CIL kernels on `engine` (building them into vm's module on
 /// first use). When `validate`, each checksum is compared with the native
 /// kernel (throws std::runtime_error on mismatch beyond 1e-9 relative).
+/// `only` restricts the run to one kernel ("FFT", "SOR", "MonteCarlo",
+/// "Sparse", "LU"); empty runs all five. Each kernel run is also recorded as
+/// a telemetry "kernel" span so traces attribute JIT vs steady-state time.
 ScimarkResult run_scimark_cil(vm::VirtualMachine& vm, vm::Engine& engine,
-                              const ScimarkSizes& sizes, bool validate = true);
+                              const ScimarkSizes& sizes, bool validate = true,
+                              const std::string& only = {});
 
 /// Native C++ baseline with identical sizes and flop accounting.
 ScimarkResult run_scimark_native(const ScimarkSizes& sizes);

@@ -99,6 +99,61 @@ void ResultTable::print_csv(std::ostream& os) const {
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void ResultTable::print_json(std::ostream& os) const {
+  os << "{\"title\":\"" << json_escape(title_) << "\",\"columns\":[";
+  for (std::size_t c = 0; c < col_names_.size(); ++c) {
+    os << (c ? "," : "") << "\"" << json_escape(col_names_[c]) << "\"";
+  }
+  os << "],\"rows\":[";
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    os << (r ? "," : "") << "\"" << json_escape(row_names_[r]) << "\"";
+  }
+  os << "],\"cells\":[";
+  for (std::size_t r = 0; r < row_names_.size(); ++r) {
+    os << (r ? "," : "") << "[";
+    for (std::size_t c = 0; c < col_names_.size(); ++c) {
+      if (c) os << ",";
+      if (std::isnan(cells_[r][c])) {
+        os << "null";
+      } else {
+        // %.17g round-trips doubles; infinities are not valid JSON numbers.
+        char buf[40];
+        if (std::isinf(cells_[r][c])) {
+          std::snprintf(buf, sizeof buf, "null");
+        } else {
+          std::snprintf(buf, sizeof buf, "%.17g", cells_[r][c]);
+        }
+        os << buf;
+      }
+    }
+    os << "]";
+  }
+  os << "]}\n";
+}
+
 ResultTable ResultTable::normalized_to(const std::string& col_name,
                                        const std::string& new_title) const {
   ResultTable out(new_title);

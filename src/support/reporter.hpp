@@ -36,6 +36,11 @@ class ResultTable {
   void print(std::ostream& os) const;
   /// Machine-readable CSV (title as a comment line).
   void print_csv(std::ostream& os) const;
+  /// Machine-readable JSON object:
+  ///   {"title": ..., "columns": [...], "rows": [...], "cells": [[...]]}
+  /// Cells are row-major; unset cells render as null. Telemetry summaries and
+  /// the bench tables share this one machine-readable path.
+  void print_json(std::ostream& os) const;
 
   /// Normalize every cell by the named column (e.g. relative-to-native),
   /// returning a new table. Cells in the reference column become 1.0.
@@ -51,5 +56,8 @@ class ResultTable {
 
 /// Formats a double as the paper's axes do: "3.50E+08".
 std::string sci(double v);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
 
 }  // namespace hpcnet::support

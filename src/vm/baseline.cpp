@@ -13,6 +13,7 @@
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
 #include "vm/intrinsics.hpp"
+#include "vm/telemetry/telemetry.hpp"
 #include "vm/unwind.hpp"
 #include "vm/verifier.hpp"
 
@@ -82,6 +83,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
                           const Slot* args) {
   Module& mod = vm_.module();
   if (!m.verified) verify(mod, m.id);
+  telemetry::InvocationScope tel(m.id);
   const auto arena_mark = ctx.arena.mark();
 
   BaseFrame frame;
@@ -100,13 +102,18 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
   Slot* loc = frame.slots;
   std::int32_t pc = 0;
   Slot result;
+  // Bytecode counter kept in a register-friendly local; flushed to the
+  // telemetry scope only at frame exit so the dispatch loop pays nothing.
+  std::uint64_t bc = 0;
 
   auto leave_frame = [&] {
+    tel.bytecodes = bc;
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
   };
 
   for (;;) {
+    ++bc;
     const Instr& in = m.code[static_cast<std::size_t>(pc)];
     switch (in.op) {
       case Op::NOP:
@@ -480,8 +487,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
       }
       case Op::RET:
         if (m.sig.ret != ValType::None) result = st[frame.sp - 1];
-        ctx.top_frame = frame.gc.parent;
-        ctx.arena.release(arena_mark);
+        leave_frame();
         return result;
 
       case Op::NEWOBJ: {
@@ -663,8 +669,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
             continue;
           case UnwindAction::Kind::Propagate:
             ctx.pending_exception = uw.exception();
-            ctx.top_frame = frame.gc.parent;
-            ctx.arena.release(arena_mark);
+            leave_frame();
             return result;
         }
         break;

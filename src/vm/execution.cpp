@@ -4,8 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "support/timer.hpp"
 #include "vm/engines.hpp"
 #include "vm/monitor.hpp"
+#include "vm/telemetry/telemetry.hpp"
 #include "vm/verifier.hpp"
 
 namespace hpcnet::vm {
@@ -202,12 +204,16 @@ std::unique_ptr<VMContext> VirtualMachine::attach_thread(Engine* engine) {
   auto ctx = std::make_unique<VMContext>();
   ctx->vm = this;
   ctx->engine = engine;
-  std::unique_lock<std::mutex> lock(park_mu_);
-  attach_locked(*ctx, lock);
+  {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    attach_locked(*ctx, lock);
+  }
+  telemetry::on_thread_attach(ctx->thread_id);
   return ctx;
 }
 
 void VirtualMachine::detach_thread(VMContext& ctx) {
+  telemetry::on_thread_detach(ctx.thread_id);
   std::unique_lock<std::mutex> lock(park_mu_);
   contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), &ctx),
                   contexts_.end());
@@ -226,10 +232,15 @@ VMContext& VirtualMachine::main_context() {
 void VirtualMachine::safepoint_park(VMContext& ctx) {
   std::unique_lock<std::mutex> lock(park_mu_);
   if (!stw_requested_.load()) return;
+  const std::int64_t stall_begin =
+      telemetry::enabled() ? support::now_ns() : 0;
   --num_running_;
   park_cv_.notify_all();
   resume_cv_.wait(lock, [&] { return !stw_requested_.load(); });
   ++num_running_;
+  if (stall_begin != 0) {
+    telemetry::record_safepoint_stall(support::now_ns() - stall_begin);
+  }
   (void)ctx;
 }
 
@@ -249,6 +260,8 @@ void VirtualMachine::leave_safe_region(VMContext& ctx) {
 
 void VirtualMachine::collect() {
   std::lock_guard<std::mutex> world(world_mu_);
+  const std::int64_t pause_begin =
+      telemetry::enabled() ? support::now_ns() : 0;
   bool attached;
   {
     std::unique_lock<std::mutex> lock(park_mu_);
@@ -266,6 +279,9 @@ void VirtualMachine::collect() {
     if (attached) ++num_running_;
   }
   resume_cv_.notify_all();
+  if (pause_begin != 0) {
+    telemetry::record_gc_pause(pause_begin, support::now_ns());
+  }
 }
 
 void VirtualMachine::mark_roots() {

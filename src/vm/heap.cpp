@@ -4,6 +4,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "vm/telemetry/telemetry.hpp"
+
 namespace hpcnet::vm {
 
 std::size_t elem_size(ValType t) {
@@ -42,6 +44,7 @@ ObjRef Heap::alloc_raw(std::size_t payload_bytes) {
     live_bytes_ += total;
     ++stats_.total_allocations;
   }
+  telemetry::record_allocation(total);
   return obj;
 }
 
@@ -144,6 +147,9 @@ void Heap::trace(ObjRef obj, std::vector<ObjRef>& worklist) {
 
 void Heap::sweep() {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t allocated_window = bytes_since_gc_;
+  std::size_t freed_bytes = 0;
+  std::size_t swept = 0;
   std::size_t out = 0;
   for (std::size_t i = 0; i < objects_.size(); ++i) {
     ObjRef obj = objects_[i];
@@ -154,6 +160,8 @@ void Heap::sweep() {
       ++out;
     } else {
       live_bytes_ -= sizes_[i];
+      freed_bytes += sizes_[i];
+      ++swept;
       ++stats_.swept_objects;
       ::operator delete(obj, std::align_val_t{alignof(Slot)});
     }
@@ -162,6 +170,9 @@ void Heap::sweep() {
   sizes_.resize(out);
   bytes_since_gc_ = 0;
   ++stats_.collections;
+  // Runs during the stop-the-world window; the VM's collect() folds these
+  // into the pause event it records when the world resumes.
+  telemetry::record_gc_sweep(allocated_window, freed_bytes, swept);
 }
 
 HeapStats Heap::stats() const {

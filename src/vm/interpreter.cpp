@@ -10,6 +10,7 @@
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
 #include "vm/intrinsics.hpp"
+#include "vm/telemetry/telemetry.hpp"
 #include "vm/unwind.hpp"
 #include "vm/verifier.hpp"
 
@@ -85,6 +86,7 @@ class Interpreter final : public Engine {
 Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
   Module& mod = vm_.module();
   if (!m.verified) verify(mod, m.id);
+  telemetry::InvocationScope tel(m.id);
   const auto arena_mark = ctx.arena.mark();
 
   InterpFrame frame;
@@ -106,8 +108,12 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
   TaggedSlot* st = frame.stack;
   std::int32_t pc = 0;
   Slot result;
+  // Bytecode counter kept in a register-friendly local; flushed to the
+  // telemetry scope only at frame exit so the dispatch loop pays nothing.
+  std::uint64_t bc = 0;
 
   auto leave_frame = [&] {
+    tel.bytecodes = bc;
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
   };
@@ -126,6 +132,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       INTERP_THROW(mod.exception_class(), "interpreter state corrupt");
     }
     {
+    ++bc;
     const Instr& in = m.code[static_cast<std::size_t>(pc)];
     switch (in.op) {
       case Op::NOP:

@@ -1,7 +1,9 @@
 #include "vm/monitor.hpp"
 
+#include "support/timer.hpp"
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
+#include "vm/telemetry/telemetry.hpp"
 
 namespace hpcnet::vm {
 
@@ -22,6 +24,7 @@ MonitorTable::Entry& MonitorTable::entry_for(ObjRef obj) {
 
 void MonitorTable::enter(VMContext& ctx, ObjRef obj) {
   Entry& e = entry_for(obj);
+  telemetry::count(telemetry::Counter::MonitorAcquires);
   // Uncontended fast path: try to take ownership without becoming GC-safe.
   {
     std::unique_lock<std::mutex> l(e.m, std::try_to_lock);
@@ -38,6 +41,9 @@ void MonitorTable::enter(VMContext& ctx, ObjRef obj) {
     }
   }
   // Contended: park GC-safe while waiting.
+  telemetry::record_monitor_contention_begin();
+  const std::int64_t wait_begin =
+      telemetry::enabled() ? support::now_ns() : 0;
   vm_.enter_safe_region(ctx);
   {
     std::unique_lock<std::mutex> l(e.m);
@@ -50,6 +56,9 @@ void MonitorTable::enter(VMContext& ctx, ObjRef obj) {
     }
   }
   vm_.leave_safe_region(ctx);
+  if (wait_begin != 0) {
+    telemetry::record_monitor_contention_end(support::now_ns() - wait_begin);
+  }
 }
 
 bool MonitorTable::exit(VMContext& ctx, ObjRef obj) {
@@ -65,6 +74,7 @@ bool MonitorTable::exit(VMContext& ctx, ObjRef obj) {
 
 bool MonitorTable::wait(VMContext& ctx, ObjRef obj) {
   Entry& e = entry_for(obj);
+  telemetry::count(telemetry::Counter::MonitorWaits);
   vm_.enter_safe_region(ctx);
   bool ok = true;
   {

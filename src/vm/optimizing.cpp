@@ -7,12 +7,14 @@
 #include <deque>
 #include <mutex>
 
+#include "support/timer.hpp"
 #include "vm/arith.hpp"
 #include "vm/engines.hpp"
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
 #include "vm/intrinsics.hpp"
 #include "vm/regcompile.hpp"
+#include "vm/telemetry/telemetry.hpp"
 #include "vm/verifier.hpp"
 #include "vm/regir.hpp"
 #include "vm/unwind.hpp"
@@ -75,6 +77,10 @@ class OptimizingEngine final : public Engine {
     size_.store(slots_.size(), std::memory_order_release);
     RCode* rc = slots_[static_cast<std::size_t>(method_id)].load();
     if (rc == nullptr) {
+      // Attribute pass times recorded inside regir::compile to this engine,
+      // and span the whole compile (verify included) for the trace.
+      const telemetry::CompileContext tel_engine(profile_.name.c_str());
+      const std::int64_t compile_begin = support::now_ns();
       verify(vm_.module(), method_id);
       auto compiled = std::make_unique<RCode>(regir::compile(
           vm_.module(), vm_.module().method(method_id), profile_.flags));
@@ -82,6 +88,9 @@ class OptimizingEngine final : public Engine {
       owned_.push_back(std::move(compiled));
       slots_[static_cast<std::size_t>(method_id)].store(
           rc, std::memory_order_release);
+      telemetry::record_compile(method_id,
+                                vm_.module().method(method_id).name,
+                                compile_begin, support::now_ns());
     }
     return *rc;
   }
@@ -111,6 +120,7 @@ class OptimizingEngine final : public Engine {
 Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
   Module& mod = vm_.module();
   const MethodDef& m = *rc.method;
+  telemetry::record_invocation(m.id);
   const auto arena_mark = ctx.arena.mark();
 
   OptFrame frame;

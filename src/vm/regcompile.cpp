@@ -6,7 +6,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "support/timer.hpp"
 #include "vm/intrinsics.hpp"
+#include "vm/telemetry/telemetry.hpp"
 
 namespace hpcnet::vm::regir {
 
@@ -245,16 +247,31 @@ class Compiler {
       : mod_(mod), m_(m), flags_(flags) {}
 
   RCode run() {
+    // Per-pass timing feeds the paper's JIT-quality analysis (Tables 5-8):
+    // a profile's pass mix is exactly what differentiates the engines.
+    const bool timed = telemetry::enabled();
+    std::int64_t t = timed ? support::now_ns() : 0;
+    auto mark = [&](telemetry::JitPass pass) {
+      if (!timed) return;
+      const std::int64_t now = support::now_ns();
+      telemetry::record_jit_pass(m_.id, pass, now - t);
+      t = now;
+    };
     alloc_slot_regs();
     find_labels();
     translate();
+    mark(telemetry::JitPass::Translate);
     if (flags_.copy_propagation) {
       optimize_blocks();
       optimize_blocks();  // second round cleans copies exposed by DCE
     }
+    mark(telemetry::JitPass::Optimize);
     if (flags_.bounds_check_elim) eliminate_bounds_checks();
+    mark(telemetry::JitPass::BoundsCheckElim);
     compact();
+    mark(telemetry::JitPass::Compact);
     finalize();
+    mark(telemetry::JitPass::Finalize);
     return std::move(rc_);
   }
 

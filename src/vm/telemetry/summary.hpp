@@ -1,0 +1,36 @@
+// Human-readable telemetry summary: renders a Snapshot as the repo's
+// standard reporter tables (per-method profile, JIT pass times) plus compact
+// GC / safepoint / monitor sections.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "support/reporter.hpp"
+#include "vm/telemetry/telemetry.hpp"
+
+namespace hpcnet::vm {
+class Module;
+}
+
+namespace hpcnet::vm::telemetry {
+
+struct SummaryOptions {
+  std::size_t top_methods = 20;  // most-invoked methods to show
+  bool json = false;             // emit the tables via print_json instead
+};
+
+/// The summary's tabular sections, as reporter tables (shared machine-
+/// readable path with the bench tables). `module` supplies method names and
+/// may be null (methods render as "#id").
+std::vector<support::ResultTable> summary_tables(const Snapshot& s,
+                                                 const Module* module,
+                                                 const SummaryOptions& opts);
+
+/// Full summary: tables plus GC pause histogram, safepoint stalls and
+/// monitor contention counters.
+void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
+                   const SummaryOptions& opts = {});
+
+}  // namespace hpcnet::vm::telemetry

@@ -1,0 +1,347 @@
+#include "vm/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/timer.hpp"
+
+namespace hpcnet::vm::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+bool env_default() {
+  const char* e = std::getenv("HPCNET_TELEMETRY");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+// High-frequency counters live here: one sink per OS thread, plain (non-
+// atomic) increments by the owning thread. The sink mutex guards only vector
+// growth and snapshot merges; the increment fast path never takes it.
+struct ThreadSink {
+  std::mutex mu;
+  std::vector<std::uint64_t> invocations;  // indexed by method id
+  std::vector<std::uint64_t> bytecodes;
+  std::uint64_t counters[kNumCounters] = {};
+  std::uint32_t tid = 0;          // managed thread id, if attached
+  std::int64_t attach_ns = 0;
+
+  void ensure_method(std::size_t id) {
+    if (id < invocations.size()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    invocations.resize(id + 1, 0);
+    bytecodes.resize(id + 1, 0);
+  }
+};
+
+struct Hub {
+  std::mutex mu;  // guards everything below
+  std::vector<std::unique_ptr<ThreadSink>> sinks;
+
+  support::Histogram gc_pause_ns;
+  support::Histogram safepoint_stall_ns;
+  support::Histogram monitor_wait_ns;
+  GcTelemetry gc;
+  // Sweep facts for the in-progress collection, consumed by record_gc_pause.
+  std::uint64_t pending_gc_allocated = 0;
+  std::uint64_t pending_gc_freed = 0;
+  std::uint64_t pending_gc_swept = 0;
+
+  std::map<std::string, EngineJitTimes> jit;  // by engine name
+  std::map<std::int32_t, std::int64_t> method_jit_ns;
+
+  std::vector<TraceEvent> events;
+
+  void add_event(TraceEvent ev) {
+    if (events.size() < kMaxTraceEvents) events.push_back(std::move(ev));
+  }
+};
+
+Hub& hub() {
+  static Hub h;
+  return h;
+}
+
+thread_local ThreadSink* tl_sink = nullptr;
+thread_local std::uint32_t tl_tid = 0;
+thread_local const char* tl_engine = nullptr;
+
+ThreadSink& sink() {
+  if (tl_sink == nullptr) {
+    auto owned = std::make_unique<ThreadSink>();
+    tl_sink = owned.get();
+    std::lock_guard<std::mutex> lock(hub().mu);
+    hub().sinks.push_back(std::move(owned));
+  }
+  return *tl_sink;
+}
+
+EngineJitTimes& jit_for_current_engine(Hub& h) {
+  const std::string name = tl_engine != nullptr ? tl_engine : "<unknown>";
+  EngineJitTimes& j = h.jit[name];
+  if (j.engine.empty()) j.engine = name;
+  return j;
+}
+
+}  // namespace
+
+#if HPCNET_TELEMETRY_ENABLED
+namespace detail {
+std::atomic<bool> g_enabled{env_default()};
+}
+#endif
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::Allocations: return "allocations";
+    case Counter::BytesAllocated: return "bytes_allocated";
+    case Counter::MonitorAcquires: return "monitor_acquires";
+    case Counter::MonitorContended: return "monitor_contended";
+    case Counter::MonitorWaits: return "monitor_waits";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* jit_pass_name(JitPass p) {
+  switch (p) {
+    case JitPass::Translate: return "translate";
+    case JitPass::Optimize: return "copyprop+dce";
+    case JitPass::BoundsCheckElim: return "bounds-check-elim";
+    case JitPass::Compact: return "compact";
+    case JitPass::Finalize: return "finalize";
+    case JitPass::kCount: break;
+  }
+  return "?";
+}
+
+void set_enabled(bool on) {
+#if HPCNET_TELEMETRY_ENABLED
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void reset() {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  for (auto& s : h.sinks) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    std::fill(s->invocations.begin(), s->invocations.end(), 0);
+    std::fill(s->bytecodes.begin(), s->bytecodes.end(), 0);
+    std::fill(std::begin(s->counters), std::end(s->counters), 0);
+  }
+  h.gc_pause_ns.reset();
+  h.safepoint_stall_ns.reset();
+  h.monitor_wait_ns.reset();
+  h.gc = GcTelemetry{};
+  h.pending_gc_allocated = h.pending_gc_freed = h.pending_gc_swept = 0;
+  h.jit.clear();
+  h.method_jit_ns.clear();
+  h.events.clear();
+}
+
+Snapshot snapshot() {
+  Snapshot out;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+
+  std::map<std::int32_t, MethodProfile> methods;
+  for (auto& s : h.sinks) {
+    std::lock_guard<std::mutex> slock(s->mu);
+    for (std::size_t id = 0; id < s->invocations.size(); ++id) {
+      if (s->invocations[id] == 0 && s->bytecodes[id] == 0) continue;
+      MethodProfile& m = methods[static_cast<std::int32_t>(id)];
+      m.method_id = static_cast<std::int32_t>(id);
+      m.invocations += s->invocations[id];
+      m.bytecodes += s->bytecodes[id];
+    }
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      out.counters[c] += s->counters[c];
+    }
+  }
+  for (const auto& [id, ns] : h.method_jit_ns) {
+    MethodProfile& m = methods[id];
+    m.method_id = id;
+    m.jit_ns += ns;
+  }
+  out.methods.reserve(methods.size());
+  for (auto& [id, m] : methods) out.methods.push_back(m);
+
+  out.gc_pause_ns = h.gc_pause_ns;
+  out.safepoint_stall_ns = h.safepoint_stall_ns;
+  out.monitor_wait_ns = h.monitor_wait_ns;
+  out.gc = h.gc;
+  for (const auto& [name, j] : h.jit) out.jit.push_back(j);
+  out.events = h.events;
+  return out;
+}
+
+const MethodProfile* Snapshot::method(std::int32_t id) const {
+  for (const MethodProfile& m : methods) {
+    if (m.method_id == id) return &m;
+  }
+  return nullptr;
+}
+
+const EngineJitTimes* Snapshot::engine_jit(const std::string& engine) const {
+  for (const EngineJitTimes& j : jit) {
+    if (j.engine == engine) return &j;
+  }
+  return nullptr;
+}
+
+std::int64_t Snapshot::jit_total_ns() const {
+  std::int64_t t = 0;
+  for (const EngineJitTimes& j : jit) t += j.compile_ns;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path slow halves.
+
+namespace detail {
+
+void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes) {
+  if (method_id < 0) return;
+  ThreadSink& s = sink();
+  s.ensure_method(static_cast<std::size_t>(method_id));
+  s.invocations[static_cast<std::size_t>(method_id)] += 1;
+  s.bytecodes[static_cast<std::size_t>(method_id)] += bytecodes;
+}
+
+void count_slow(Counter c, std::uint64_t delta) {
+  sink().counters[static_cast<std::size_t>(c)] += delta;
+}
+
+void record_allocation_slow(std::uint64_t bytes) {
+  ThreadSink& s = sink();
+  s.counters[static_cast<std::size_t>(Counter::Allocations)] += 1;
+  s.counters[static_cast<std::size_t>(Counter::BytesAllocated)] += bytes;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Low-frequency hooks.
+
+CompileContext::CompileContext(const char* engine_name) : prev_(tl_engine) {
+  tl_engine = engine_name;
+}
+CompileContext::~CompileContext() { tl_engine = prev_; }
+
+void record_jit_pass(std::int32_t method_id, JitPass pass, std::int64_t ns) {
+  if (!enabled()) return;
+  (void)method_id;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  jit_for_current_engine(h).pass_ns[static_cast<std::size_t>(pass)] += ns;
+}
+
+void record_compile(std::int32_t method_id, const std::string& method_name,
+                    std::int64_t begin_ns, std::int64_t end_ns) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  EngineJitTimes& j = jit_for_current_engine(h);
+  j.compile_ns += end_ns - begin_ns;
+  j.methods_compiled += 1;
+  h.method_jit_ns[method_id] += end_ns - begin_ns;
+  TraceEvent ev;
+  ev.name = "jit " + method_name;
+  ev.cat = "jit";
+  ev.begin_ns = begin_ns;
+  ev.end_ns = end_ns;
+  ev.tid = tl_tid;
+  ev.args_json = "\"engine\":\"" + j.engine + "\"";
+  h.add_event(std::move(ev));
+}
+
+void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
+                     std::uint64_t objects_swept) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.pending_gc_allocated = bytes_allocated;
+  h.pending_gc_freed = bytes_freed;
+  h.pending_gc_swept = objects_swept;
+}
+
+void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.gc_pause_ns.record(static_cast<std::uint64_t>(end_ns - begin_ns));
+  h.gc.collections += 1;
+  h.gc.bytes_allocated += h.pending_gc_allocated;
+  h.gc.bytes_freed += h.pending_gc_freed;
+  h.gc.objects_swept += h.pending_gc_swept;
+  TraceEvent ev;
+  ev.name = "GC pause";
+  ev.cat = "gc";
+  ev.begin_ns = begin_ns;
+  ev.end_ns = end_ns;
+  ev.tid = tl_tid;
+  ev.args_json = "\"bytes_freed\":" + std::to_string(h.pending_gc_freed) +
+                 ",\"objects_swept\":" + std::to_string(h.pending_gc_swept);
+  h.pending_gc_allocated = h.pending_gc_freed = h.pending_gc_swept = 0;
+  h.add_event(std::move(ev));
+}
+
+void record_safepoint_stall(std::int64_t ns) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.safepoint_stall_ns.record(static_cast<std::uint64_t>(ns));
+}
+
+void record_monitor_contention_begin() {
+  count(Counter::MonitorContended);
+}
+
+void record_monitor_contention_end(std::int64_t wait_ns) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.monitor_wait_ns.record(static_cast<std::uint64_t>(wait_ns));
+}
+
+void record_span(const char* cat, std::string name, std::int64_t begin_ns,
+                 std::int64_t end_ns, std::string args_json) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.begin_ns = begin_ns;
+  ev.end_ns = end_ns;
+  ev.tid = tl_tid;
+  ev.args_json = std::move(args_json);
+  h.add_event(std::move(ev));
+}
+
+void on_thread_attach(std::uint32_t thread_id) {
+  tl_tid = thread_id;
+  if (!enabled()) return;
+  ThreadSink& s = sink();
+  s.tid = thread_id;
+  s.attach_ns = support::now_ns();
+}
+
+void on_thread_detach(std::uint32_t thread_id) {
+  if (!enabled()) return;
+  if (tl_sink == nullptr || tl_tid != thread_id || tl_sink->attach_ns == 0) {
+    return;
+  }
+  record_span("thread", "thread-" + std::to_string(thread_id) + " run",
+              tl_sink->attach_ns, support::now_ns());
+}
+
+}  // namespace hpcnet::vm::telemetry

@@ -1,0 +1,235 @@
+// VM telemetry: a low-overhead, always-compiled (cheaply-disabled)
+// instrumentation layer threaded through the whole VM.
+//
+// Architecture (DESIGN.md §9):
+//   - A process-global TelemetryHub owns everything. High-frequency data
+//     (per-method invocation/bytecode counters, allocation and monitor
+//     counters) goes to lock-free per-thread sinks: plain increments on the
+//     calling thread, merged under a lock only at snapshot time.
+//   - Low-frequency data (GC pauses, JIT compiles, safepoint stalls,
+//     contended monitor acquires, trace spans) is recorded under a hub mutex;
+//     these events are rare enough that the lock never shows up.
+//   - Two exporters consume a Snapshot: print_summary (summary.hpp) renders
+//     human-readable tables through support/reporter, write_chrome_trace
+//     (trace_writer.hpp) emits a chrome://tracing JSON trace.
+//
+// Cost model: every hook starts with `if (!enabled())` on a relaxed atomic
+// bool. With the CMake option HPCNET_TELEMETRY=OFF, enabled() is constexpr
+// false and the hooks compile to nothing. With telemetry compiled in but not
+// enabled (the default; set HPCNET_TELEMETRY=1 in the environment or call
+// set_enabled(true)), the hot paths pay one predictable branch.
+//
+// Snapshots taken while managed threads are running may miss in-flight
+// increments (counters are plain, not atomic); counts are exact once the
+// threads whose work is being counted have been joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+#ifndef HPCNET_TELEMETRY_ENABLED
+#define HPCNET_TELEMETRY_ENABLED 1
+#endif
+
+namespace hpcnet::vm::telemetry {
+
+// ---------------------------------------------------------------------------
+// Counter and pass identifiers.
+
+enum class Counter : std::uint8_t {
+  Allocations,       // heap objects allocated
+  BytesAllocated,    // payload+header bytes allocated
+  MonitorAcquires,   // Monitor.Enter calls (fast or contended)
+  MonitorContended,  // acquires that had to park
+  MonitorWaits,      // Monitor.Wait calls
+  kCount,
+};
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+const char* counter_name(Counter c);
+
+/// The optimizing pipeline's passes, in execution order (regcompile.cpp).
+enum class JitPass : std::uint8_t {
+  Translate,        // stack IL -> register IR
+  Optimize,         // copy propagation + DCE rounds
+  BoundsCheckElim,  // counted-loop bounds-check hoisting
+  Compact,          // dead-instruction squeeze + branch retarget
+  Finalize,         // ref maps, arg pools, il->pc tables
+  kCount,
+};
+constexpr std::size_t kNumJitPasses = static_cast<std::size_t>(JitPass::kCount);
+const char* jit_pass_name(JitPass p);
+
+// ---------------------------------------------------------------------------
+// Snapshot model.
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  // "gc", "jit", "kernel", "thread"
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t tid = 0;          // managed thread id (0 = unattached)
+  std::string args_json;          // pre-rendered `"k":v` pairs, may be empty
+};
+
+struct MethodProfile {
+  std::int32_t method_id = -1;
+  std::uint64_t invocations = 0;  // managed frames entered (all tiers)
+  std::uint64_t bytecodes = 0;    // IL instructions retired (interp/baseline)
+  std::int64_t jit_ns = 0;        // compile time, summed over engines
+};
+
+struct GcTelemetry {
+  std::uint64_t collections = 0;
+  std::uint64_t bytes_allocated = 0;  // allocated in the windows before GCs
+  std::uint64_t bytes_freed = 0;
+  std::uint64_t objects_swept = 0;
+};
+
+struct EngineJitTimes {
+  std::string engine;
+  std::int64_t pass_ns[kNumJitPasses] = {};
+  std::int64_t compile_ns = 0;  // wall time of whole compiles (verify + IR)
+  std::uint64_t methods_compiled = 0;
+  std::int64_t pass_total_ns() const {
+    std::int64_t t = 0;
+    for (std::int64_t v : pass_ns) t += v;
+    return t;
+  }
+};
+
+struct Snapshot {
+  std::vector<MethodProfile> methods;  // sorted by method_id
+  std::uint64_t counters[kNumCounters] = {};
+  support::Histogram gc_pause_ns;
+  support::Histogram safepoint_stall_ns;
+  support::Histogram monitor_wait_ns;  // contended-acquire wait times
+  GcTelemetry gc;
+  std::vector<EngineJitTimes> jit;     // one entry per engine that compiled
+  std::vector<TraceEvent> events;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const MethodProfile* method(std::int32_t id) const;
+  const EngineJitTimes* engine_jit(const std::string& engine) const;
+  std::int64_t jit_total_ns() const;
+};
+
+// ---------------------------------------------------------------------------
+// Control.
+
+#if HPCNET_TELEMETRY_ENABLED
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+/// Fast-path gate: one relaxed atomic load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+#else
+constexpr bool enabled() { return false; }
+#endif
+
+/// Runtime switch (also settable via the HPCNET_TELEMETRY env var: any value
+/// other than empty/"0" enables collection at process start).
+void set_enabled(bool on);
+
+/// Clears all collected data (sinks stay registered). Call at quiescence.
+void reset();
+
+/// Merged view of everything collected so far.
+Snapshot snapshot();
+
+// ---------------------------------------------------------------------------
+// Hot-path hooks: inline gate, out-of-line recording.
+
+namespace detail {
+void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes);
+void count_slow(Counter c, std::uint64_t delta);
+void record_allocation_slow(std::uint64_t bytes);
+}  // namespace detail
+
+/// One managed frame entered (plus bytecodes retired, for the IL tiers).
+inline void record_invocation(std::int32_t method_id,
+                              std::uint64_t bytecodes = 0) {
+  if (enabled()) detail::record_invocation_slow(method_id, bytecodes);
+}
+
+inline void count(Counter c, std::uint64_t delta = 1) {
+  if (enabled()) detail::count_slow(c, delta);
+}
+
+inline void record_allocation(std::uint64_t bytes) {
+  if (enabled()) detail::record_allocation_slow(bytes);
+}
+
+/// RAII per-frame scope for the engines: counts the invocation (and, for the
+/// IL tiers, retired bytecodes) when the frame exits. The dispatch loops keep
+/// their own register-local counter and assign it to `bytecodes` at frame
+/// exit — writing through this member per instruction costs ~10% on the
+/// baseline tier even when telemetry is idle. A frame torn down by a native
+/// C++ exception reports 0 bytecodes; the invocation itself is still counted.
+class InvocationScope {
+ public:
+  explicit InvocationScope(std::int32_t method_id) : method_id_(method_id) {}
+  ~InvocationScope() { record_invocation(method_id_, bytecodes); }
+  InvocationScope(const InvocationScope&) = delete;
+  InvocationScope& operator=(const InvocationScope&) = delete;
+
+  std::uint64_t bytecodes = 0;
+
+ private:
+  std::int32_t method_id_;
+};
+
+// ---------------------------------------------------------------------------
+// Low-frequency hooks (gate checked inside; call cost irrelevant).
+
+/// Attributes JIT pass/compile times recorded on this thread to `engine`
+/// while in scope (the optimizing engine wraps regir::compile with this).
+class CompileContext {
+ public:
+  explicit CompileContext(const char* engine_name);
+  ~CompileContext();
+  CompileContext(const CompileContext&) = delete;
+  CompileContext& operator=(const CompileContext&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+void record_jit_pass(std::int32_t method_id, JitPass pass, std::int64_t ns);
+/// Whole-compile span; also emits a "jit" trace event named after the method.
+void record_compile(std::int32_t method_id, const std::string& method_name,
+                    std::int64_t begin_ns, std::int64_t end_ns);
+
+/// Sweep-side GC facts, recorded by the heap during the stop-the-world
+/// window; folded into the pause recorded by record_gc_pause.
+void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
+                     std::uint64_t objects_swept);
+/// Full stop-the-world pause (request -> world resumed).
+void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns);
+
+/// Time a mutator spent parked at a safepoint for someone else's collection.
+void record_safepoint_stall(std::int64_t ns);
+
+/// A contended monitor acquire is starting (counted before the park so tests
+/// and live dashboards can observe contention while the waiter is blocked).
+void record_monitor_contention_begin();
+/// ...and has finished, after `wait_ns` parked.
+void record_monitor_contention_end(std::int64_t wait_ns);
+
+/// Generic trace span on the current thread ("kernel" runs, etc.).
+void record_span(const char* cat, std::string name, std::int64_t begin_ns,
+                 std::int64_t end_ns, std::string args_json = {});
+
+/// Thread lifecycle (managed thread id <-> trace tid; emits a "thread" run
+/// span at detach).
+void on_thread_attach(std::uint32_t thread_id);
+void on_thread_detach(std::uint32_t thread_id);
+
+}  // namespace hpcnet::vm::telemetry

@@ -1,0 +1,61 @@
+#include "vm/telemetry/trace_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "support/reporter.hpp"
+
+namespace hpcnet::vm::telemetry {
+
+namespace {
+
+std::string us(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Snapshot& snapshot) {
+  std::int64_t epoch = 0;
+  bool first_event = true;
+  for (const TraceEvent& ev : snapshot.events) {
+    if (first_event || ev.begin_ns < epoch) epoch = ev.begin_ns;
+    first_event = false;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& ev : snapshot.events) tids.insert(ev.tid);
+  for (std::uint32_t tid : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << (tid == 0 ? std::string("native") :
+                      "managed-" + std::to_string(tid))
+       << "\"}}";
+  }
+
+  for (const TraceEvent& ev : snapshot.events) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"name\":\""
+       << support::json_escape(ev.name) << "\",\"cat\":\""
+       << support::json_escape(ev.cat) << "\",\"ts\":"
+       << us(ev.begin_ns - epoch) << ",\"dur\":"
+       << us(std::max<std::int64_t>(ev.end_ns - ev.begin_ns, 0));
+    if (!ev.args_json.empty()) os << ",\"args\":{" << ev.args_json << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hpcnet::vm::telemetry

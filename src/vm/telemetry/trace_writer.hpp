@@ -1,0 +1,17 @@
+// chrome://tracing exporter: renders a telemetry Snapshot's span events
+// (JIT compiles, GC pauses, kernel runs, thread run spans) as a Trace Event
+// Format JSON document that loads in chrome://tracing / Perfetto.
+#pragma once
+
+#include <ostream>
+
+#include "vm/telemetry/telemetry.hpp"
+
+namespace hpcnet::vm::telemetry {
+
+/// Writes `{"displayTimeUnit":"ms","traceEvents":[...]}`. Timestamps are
+/// rebased so the earliest event starts at t=0 and converted to the format's
+/// microseconds. Per-thread metadata events name each managed thread.
+void write_chrome_trace(std::ostream& os, const Snapshot& snapshot);
+
+}  // namespace hpcnet::vm::telemetry

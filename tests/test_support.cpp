@@ -185,6 +185,61 @@ TEST(Stats, GeometricMean) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram (power-of-two buckets; exact count/total/min/max).
+
+TEST(Histogram, ExactStatistics) {
+  Histogram h;
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 1000ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.total(), 1006u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 4.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  EXPECT_EQ(h.bucket(0), 1u);  // value 0
+  EXPECT_EQ(h.bucket(1), 1u);  // [1, 1]
+  EXPECT_EQ(h.bucket(2), 2u);  // [2, 3]
+  EXPECT_EQ(h.bucket(3), 1u);  // [4, 7]
+  EXPECT_EQ(h.bucket_floor(2), 2u);
+  EXPECT_EQ(h.bucket_ceil(2), 3u);
+}
+
+TEST(Histogram, PercentilesBracketedByBuckets) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);
+  h.record(1000);
+  // p50 falls in 10's bucket [8, 15]; p100 is capped at the exact max.
+  EXPECT_GE(h.percentile(50), 8u);
+  EXPECT_LE(h.percentile(50), 15u);
+  EXPECT_EQ(h.percentile(100), 1000u);
+}
+
+TEST(Histogram, MergeAndReset) {
+  Histogram a, b;
+  a.record(5);
+  b.record(7);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total(), 112u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 100u);
+  a.merge(Histogram{});  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 3u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // ResultTable.
 
 TEST(ResultTable, SetGetAndMissing) {
@@ -218,6 +273,35 @@ TEST(ResultTable, CsvShape) {
 TEST(ResultTable, SciFormat) {
   EXPECT_EQ(sci(2.5e8), "2.50E+08");
   EXPECT_EQ(sci(1), "1.00E+00");
+}
+
+TEST(ResultTable, JsonShape) {
+  ResultTable t("t");
+  t.set("row", "a", 2.0);
+  t.set("row", "b", 0.5);
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"t\",\"columns\":[\"a\",\"b\"],\"rows\":[\"row\"],"
+            "\"cells\":[[2,0.5]]}\n");
+}
+
+TEST(ResultTable, JsonEscapesAndNulls) {
+  ResultTable t("quote\" tab\t");
+  t.set("r\\1", "c", std::nan(""));
+  std::ostringstream os;
+  t.print_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"quote\\\" tab\\t\""), std::string::npos);
+  EXPECT_NE(s.find("\"r\\\\1\""), std::string::npos);
+  EXPECT_NE(s.find("[[null]]"), std::string::npos);
+}
+
+TEST(ResultTable, JsonEscapeHelper) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
 }
 
 // ---------------------------------------------------------------------------
