@@ -3,6 +3,13 @@
 // against native) and natively; MolDyn, Euler, Search and RayTracer run
 // natively (the paper itself had only SciMark + micros ported/validated at
 // submission; see EXPERIMENTS.md).
+//
+//   bench_jgf [--quick] [--json FILE]
+//
+// --quick shrinks the kernel sizes (CI smoke runs); --json writes the table
+// via ResultTable::print_json.
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "cil/jg.hpp"
@@ -24,8 +31,20 @@ double time_once(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcnet::cil;
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_jgf [--quick] [--json FILE]\n";
+      return 1;
+    }
+  }
   BenchContext bc;
   auto& v = bc.vm();
   support::ResultTable t("Table 4 kernels [work units/sec]");
@@ -38,11 +57,11 @@ int main() {
     std::int64_t expect;
   };
 
-  const int crypt_n = 1 << 16;
-  const int fib_n = 24;
-  const int sieve_n = 200000;
-  const int hanoi_n = 18;
-  const int sort_n = 100000;
+  const int crypt_n = quick ? 1 << 12 : 1 << 16;
+  const int fib_n = quick ? 18 : 24;
+  const int sieve_n = quick ? 20000 : 200000;
+  const int hanoi_n = quick ? 12 : 18;
+  const int sort_n = quick ? 10000 : 100000;
   const std::vector<Row> rows = {
       {"Fibonacci", build_jg_fib(v), {Slot::from_i32(fib_n)},
        kernels::fib::num_calls(fib_n), kernels::fib::compute(fib_n)},
@@ -91,18 +110,32 @@ int main() {
     double secs = time_once([&] { kernels::crypt::run(crypt_n); });
     t.set("Crypt(IDEA)", "native", crypt_n / secs);
     kernels::moldyn::Result md{};
-    secs = time_once([&] { md = kernels::moldyn::simulate(6, 10); });
+    const int md_n = quick ? 4 : 6, md_steps = quick ? 4 : 10;
+    secs = time_once([&] { md = kernels::moldyn::simulate(md_n, md_steps); });
     t.set("MolDyn", "native", md.interactions / secs);
-    secs = time_once([&] { kernels::euler::solve(48, 60); });
-    t.set("Euler", "native", 48.0 * 24 * 60 / secs);  // cell-steps/sec
+    const int eu_n = quick ? 16 : 48, eu_steps = quick ? 12 : 60;
+    secs = time_once([&] { kernels::euler::solve(eu_n, eu_steps); });
+    t.set("Euler", "native", eu_n * 24.0 * eu_steps / secs);  // cell-steps/sec
     std::int64_t nodes = 0;
-    secs = time_once([&] { nodes = kernels::search::solve(11, nullptr); });
+    const int se_n = quick ? 8 : 11;
+    secs = time_once([&] { nodes = kernels::search::solve(se_n, nullptr); });
     t.set("Search", "native", static_cast<double>(nodes) / secs);
-    secs = time_once([&] { kernels::raytracer::render(96); });
-    t.set("RayTracer", "native", 96.0 * 96 / secs);  // pixels/sec
+    const int rt_n = quick ? 32 : 96;
+    secs = time_once([&] { kernels::raytracer::render(rt_n); });
+    t.set("RayTracer", "native", 1.0 * rt_n * rt_n / secs);  // pixels/sec
   }
 
   t.print(std::cout);
   std::cout << "\nCIL results validated against native kernels.\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    t.print_json(out);
+    out << "\n";
+    std::cout << "JSON written to " << json_path << "\n";
+  }
   return 0;
 }

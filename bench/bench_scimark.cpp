@@ -3,18 +3,40 @@
 // CIL run validates its checksum against the native kernel before scoring.
 // (These are long single-shot kernel runs, timed directly rather than
 // through google-benchmark's sampling loop.)
+//
+//   bench_scimark [--quick] [--json FILE]
+//
+// --quick uses the tiny test-model sizes (CI smoke runs); --json writes the
+// three tables as a JSON array via ResultTable::print_json.
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "cil/suite.hpp"
 #include "support/reporter.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcnet;
   using namespace hpcnet::cil;
 
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_scimark [--quick] [--json FILE]\n";
+      return 1;
+    }
+  }
+
   BenchContext bc;
-  const ScimarkSizes small = ScimarkSizes::small_model();
-  const ScimarkSizes large = ScimarkSizes::large_model();
+  const ScimarkSizes small =
+      quick ? ScimarkSizes::test_model() : ScimarkSizes::small_model();
+  const ScimarkSizes large =
+      quick ? ScimarkSizes::small_model() : ScimarkSizes::large_model();
 
   support::ResultTable g9("Graph 9: SciMark composite MFlops");
   support::ResultTable g10(
@@ -56,5 +78,20 @@ int main() {
       .print(std::cout);
   std::cout << "\nAll kernel checksums validated against the native "
                "baselines.\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "[";
+    g9.print_json(out);
+    out << ",\n";
+    g10.print_json(out);
+    out << ",\n";
+    g11.print_json(out);
+    out << "]\n";
+    std::cout << "JSON written to " << json_path << "\n";
+  }
   return 0;
 }

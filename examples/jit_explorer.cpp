@@ -4,8 +4,13 @@
 // the register IR of every Optimizing profile (Tables 6/8), side by side
 // with measured per-iteration cost.
 //
-//   $ ./jit_explorer [div|add|daxpy]
+//   $ ./jit_explorer [div|add|daxpy|call|cse|licm]
+//   $ ./jit_explorer call --passes [profile]
 //
+// With --passes the tool compiles under one profile (default clr11) and
+// prints the IR after every enabled pass, so the effect of inlining, CSE,
+// LICM and bounds-check elimination can be read off as diffs between
+// consecutive listings.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -15,6 +20,7 @@
 #include "cil/suite.hpp"
 #include "support/timer.hpp"
 #include "vm/disasm.hpp"
+#include "vm/regcompile.hpp"
 
 using namespace hpcnet;
 using namespace hpcnet::cil;
@@ -25,6 +31,66 @@ namespace {
 
 std::int32_t build_loop(vm::VirtualMachine& v, const std::string& which) {
   if (which == "daxpy") return build_bce_daxpy_ldlen(v);
+  if (which == "call") {
+    // A hot one-liner callee: the inlining pass should splice it into the
+    // loop, after which no call.r remains in the clr11/ibm131 listings.
+    const std::int32_t sq = cached(v, "explore.sq", [&] {
+      vm::ILBuilder b(v.module(), "explore.sq",
+                      {{ValType::I32}, ValType::I32});
+      b.ldarg(0).ldarg(0).mul().ldc_i4(1).add().ret();
+      return b.finish();
+    });
+    return cached(v, "explore.call", [&] {
+      vm::ILBuilder b(v.module(), "explore.call",
+                      {{ValType::I32}, ValType::I32});
+      const auto i = b.add_local(ValType::I32);
+      const auto x = b.add_local(ValType::I32);
+      const auto bound = b.add_local(ValType::I32);
+      b.ldarg(0).stloc(bound);
+      b.ldc_i4(3).stloc(x);
+      counted_loop(b, i, bound, [&] { b.ldloc(x).call(sq).stloc(x); });
+      b.ldloc(x).ret();
+      return b.finish();
+    });
+  }
+  if (which == "cse") {
+    return cached(v, "explore.cse", [&] {
+      // x = (x*x + 3) ^ ((x*x + 3) >> 1): the repeated subtree should
+      // collapse to a single mul/addi pair under profiles with CSE.
+      vm::ILBuilder b(v.module(), "explore.cse",
+                      {{ValType::I32}, ValType::I32});
+      const auto i = b.add_local(ValType::I32);
+      const auto x = b.add_local(ValType::I32);
+      const auto bound = b.add_local(ValType::I32);
+      b.ldarg(0).stloc(bound);
+      b.ldc_i4(7).stloc(x);
+      counted_loop(b, i, bound, [&] {
+        b.ldloc(x).ldloc(x).mul().ldc_i4(3).add();
+        b.ldloc(x).ldloc(x).mul().ldc_i4(3).add().ldc_i4(1).shr();
+        b.xor_().stloc(x);
+      });
+      b.ldloc(x).ret();
+      return b.finish();
+    });
+  }
+  if (which == "licm") {
+    return cached(v, "explore.licm", [&] {
+      // acc += a*b with loop-invariant a and b: the mul should move to the
+      // loop preheader under profiles with LICM.
+      vm::ILBuilder b(v.module(), "explore.licm",
+                      {{ValType::I32, ValType::I32}, ValType::I32});
+      const auto i = b.add_local(ValType::I32);
+      const auto acc = b.add_local(ValType::I32);
+      const auto bound = b.add_local(ValType::I32);
+      b.ldarg(0).stloc(bound);
+      b.ldc_i4(0).stloc(acc);
+      counted_loop(b, i, bound, [&] {
+        b.ldloc(acc).ldarg(1).ldarg(1).mul().add().stloc(acc);
+      });
+      b.ldloc(acc).ret();
+      return b.finish();
+    });
+  }
   return cached(v, "explore." + which, [&] {
     vm::ILBuilder b(v.module(), "explore." + which,
                     {{ValType::I32}, ValType::I32});
@@ -47,21 +113,57 @@ std::int32_t build_loop(vm::VirtualMachine& v, const std::string& which) {
   });
 }
 
+int dump_passes(vm::VirtualMachine& v, std::int32_t method,
+                const std::string& profile_name) {
+  const vm::EngineProfile* profile = nullptr;
+  for (const auto& p : vm::profiles::all()) {
+    if (p.name == profile_name) profile = &p;
+  }
+  if (profile == nullptr || profile->tier != vm::Tier::Optimizing) {
+    std::fprintf(stderr, "unknown optimizing profile: %s\n",
+                 profile_name.c_str());
+    return 1;
+  }
+  std::printf("================ CIL ================\n%s\n",
+              vm::disassemble_cil(v.module(), method).c_str());
+  std::printf("======== %s, IR after each pass ========\n",
+              profile->name.c_str());
+  vm::regir::compile_traced(
+      v.module(), v.module().method(method), profile->flags,
+      [](const char* pass, const std::string& listing) {
+        std::printf("---- after %s ----\n%s\n", pass, listing.c_str());
+      });
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "div";
+  bool passes = false;
+  std::string profile_name = "clr11";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--passes") == 0) {
+      passes = true;
+    } else {
+      profile_name = argv[i];
+    }
+  }
   BenchContext bc;
   auto& v = bc.vm();
   std::int32_t method;
   try {
     method = build_loop(v, which);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "usage: jit_explorer [div|add|daxpy] (%s)\n",
+    std::fprintf(stderr,
+                 "usage: jit_explorer [div|add|daxpy|call|cse|licm] "
+                 "[--passes [profile]] (%s)\n",
                  e.what());
     return 1;
   }
   vm::verify(v.module(), method);
+
+  if (passes) return dump_passes(v, method, profile_name);
 
   std::printf("================ CIL (what the 'C# compiler' emitted) "
               "================\n%s\n",
@@ -81,7 +183,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("================ measured ns/iteration ================\n");
-  const bool two_args = which == "daxpy";
+  const bool two_args = which == "daxpy" || which == "licm";
   for (auto& e : bc.engines()) {
     // Warm-up (triggers compilation), then one timed run.
     std::vector<Slot> warm = two_args
@@ -90,10 +192,15 @@ int main(int argc, char** argv) {
                                  : std::vector<Slot>{Slot::from_i32(1024)};
     bc.invoke(*e, method, warm);
     const std::int32_t n = 1 << 20;
-    std::vector<Slot> args =
-        two_args ? std::vector<Slot>{Slot::from_i32(4096), Slot::from_i32(256)}
-                 : std::vector<Slot>{Slot::from_i32(n)};
-    const double iters = two_args ? 4096.0 * 256 : n;
+    std::vector<Slot> args;
+    if (which == "daxpy") {
+      args = {Slot::from_i32(4096), Slot::from_i32(256)};
+    } else if (which == "licm") {
+      args = {Slot::from_i32(n), Slot::from_i32(9)};
+    } else {
+      args = {Slot::from_i32(n)};
+    }
+    const double iters = which == "daxpy" ? 4096.0 * 256 : n;
     const auto t0 = support::now_ns();
     bc.invoke(*e, method, args);
     const double secs = support::elapsed_seconds(t0, support::now_ns());

@@ -28,6 +28,12 @@ EngineProfile clr11() {
   p.flags.fast_multidim = true;
   p.flags.fast_math = true;
   p.flags.cheap_exceptions = false;
+  // The commercial leaders run the full classic pass set (paper §5: the
+  // CLR and IBM JITs eliminate the most operations from the hot paths).
+  p.flags.inline_calls = true;
+  p.flags.inline_max_il = 64;
+  p.flags.cse = true;
+  p.flags.licm = true;
   return p;
 }
 
@@ -40,6 +46,10 @@ EngineProfile ibm131() {
   p.flags.fast_multidim = false;  // JVM lacks true rank-2 arrays
   p.flags.fast_math = false;      // paper: CLR Math library faster
   p.flags.cheap_exceptions = true;
+  p.flags.inline_calls = true;  // the IBM JIT inlined aggressively
+  p.flags.inline_max_il = 64;
+  p.flags.cse = true;
+  p.flags.licm = true;
   return p;
 }
 
@@ -53,6 +63,10 @@ EngineProfile sun14() {
   p.flags.fast_multidim = false;
   p.flags.fast_math = false;
   p.flags.cheap_exceptions = true;
+  // HotSpot client compiler: local value numbering and code motion, but
+  // conservative inlining (modelled here as none).
+  p.flags.cse = true;
+  p.flags.licm = true;
   return p;
 }
 
@@ -65,6 +79,10 @@ EngineProfile bea81() {
   p.flags.fast_multidim = false;
   p.flags.fast_math = false;
   p.flags.cheap_exceptions = true;
+  // JRockit: strong inliner and value numbering, but no loop-oriented
+  // passes in this mix (it also skips BCE above).
+  p.flags.inline_calls = true;
+  p.flags.cse = true;
   return p;
 }
 
@@ -259,7 +277,25 @@ void VirtualMachine::leave_safe_region(VMContext& ctx) {
 }
 
 void VirtualMachine::collect() {
-  std::lock_guard<std::mutex> world(world_mu_);
+  std::unique_lock<std::mutex> world(world_mu_, std::try_to_lock);
+  if (!world.owns_lock()) {
+    // Another thread is already collecting. Blocking on world_mu_ here would
+    // deadlock the rendezvous: this thread still counts as running, so the
+    // winner's wait for num_running_ == 0 could never finish. Park like any
+    // other mutator until the world resumes; the winner's sweep has reset
+    // the allocation budget, so there is nothing left to collect.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (!stw_requested_.load()) return;
+    if (calling_thread_attached_locked()) {
+      --num_running_;
+      park_cv_.notify_all();
+      resume_cv_.wait(lock, [&] { return !stw_requested_.load(); });
+      ++num_running_;
+    } else {
+      resume_cv_.wait(lock, [&] { return !stw_requested_.load(); });
+    }
+    return;
+  }
   const std::int64_t pause_begin =
       telemetry::enabled() ? support::now_ns() : 0;
   bool attached;

@@ -53,6 +53,15 @@ struct EngineFlags {
   bool fast_multidim = true;   // direct rank-2 indexing vs generic helper
   bool fast_math = true;       // inlined math intrinsics vs generic call path
   bool cheap_exceptions = false;  // JVM-style lightweight throw path
+  bool inline_calls = false;   // method inlining at CALL sites
+  int inline_max_il = 24;      // max callee body size (IL instructions)
+  int inline_depth = 2;        // inlining rounds; a directly recursive callee
+                               // unrolls one level per round (the HotSpot
+                               // MaxRecursiveInlineLevel idea)
+  int inline_total_il = 256;   // stop expanding past this caller body size
+  bool cse = false;            // common-subexpression elimination (EBB-scoped
+                               // value numbering incl. ldlen/field/elem loads)
+  bool licm = false;           // loop-invariant code motion from back-edges
 };
 
 struct EngineProfile {

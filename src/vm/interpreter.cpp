@@ -474,7 +474,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       case Op::CALL: {
         const MethodDef& callee = mod.method(in.a);
         const std::size_t argc = callee.sig.params.size();
-        Slot argbuf[16];
+        Slot argbuf[kMaxCallArgs];
         for (std::size_t i = 0; i < argc; ++i) {
           argbuf[i] = st[frame.sp - static_cast<std::int32_t>(argc - i)].v;
         }
@@ -487,7 +487,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       case Op::CALLINTR: {
         const IntrinsicDef& d = intrinsic(in.a);
         const std::size_t argc = d.sig.params.size();
-        Slot argbuf[8];
+        Slot argbuf[kMaxIntrinsicArgs];
         for (std::size_t i = 0; i < argc; ++i) {
           argbuf[i] = st[frame.sp - static_cast<std::int32_t>(argc - i)].v;
         }

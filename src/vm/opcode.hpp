@@ -12,6 +12,13 @@
 
 namespace hpcnet::vm {
 
+/// Call arity ceilings. The execution tiers marshal call arguments through
+/// fixed-size buffers of these sizes, so the verifier rejects any method or
+/// intrinsic signature that exceeds them (a call site could otherwise
+/// overflow the buffer at run time).
+constexpr std::int32_t kMaxCallArgs = 16;
+constexpr std::int32_t kMaxIntrinsicArgs = 8;
+
 enum class Op : std::uint8_t {
   NOP = 0,
 

@@ -411,7 +411,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
       case ROp::CALL_R: {
         vm_.safepoint_poll(ctx);
         const auto argc = static_cast<std::int32_t>(in.imm.i64);
-        Slot argbuf[16];
+        Slot argbuf[kMaxCallArgs];
         for (std::int32_t k = 0; k < argc; ++k) {
           argbuf[k] = R[rc.args_pool[static_cast<std::size_t>(in.b + k)]];
         }
@@ -423,7 +423,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
       }
       case ROp::CALLINTR_R: {
         const auto argc = static_cast<std::int32_t>(in.imm.i64);
-        Slot argbuf[8];
+        Slot argbuf[kMaxIntrinsicArgs];
         for (std::int32_t k = 0; k < argc; ++k) {
           argbuf[k] = R[rc.args_pool[static_cast<std::size_t>(in.b + k)]];
         }

@@ -1,14 +1,20 @@
 #include "vm/regcompile.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
 #include "support/timer.hpp"
 #include "vm/intrinsics.hpp"
 #include "vm/telemetry/telemetry.hpp"
+#include "vm/verifier.hpp"
 
 namespace hpcnet::vm::regir {
 
@@ -243,8 +249,9 @@ struct ConstVal {
 
 class Compiler {
  public:
-  Compiler(Module& mod, const MethodDef& m, const EngineFlags& flags)
-      : mod_(mod), m_(m), flags_(flags) {}
+  Compiler(Module& mod, const MethodDef& m, const EngineFlags& flags,
+           const PassObserver* obs = nullptr)
+      : mod_(mod), m_(m), mp_(&m), flags_(flags), obs_(obs) {}
 
   RCode run() {
     // Per-pass timing feeds the paper's JIT-quality analysis (Tables 5-8):
@@ -257,21 +264,47 @@ class Compiler {
       telemetry::record_jit_pass(m_.id, pass, now - t);
       t = now;
     };
+    auto trace = [&](const char* pass) {
+      if (obs_ != nullptr) (*obs_)(pass, dump_rcode());
+    };
+    if (flags_.inline_calls) {
+      inline_methods();
+      mark(telemetry::JitPass::Inline);
+      if (obs_ != nullptr && inlined_) (*obs_)("inline", dump_il());
+    }
     alloc_slot_regs();
     find_labels();
     translate();
     mark(telemetry::JitPass::Translate);
+    trace("translate");
     if (flags_.copy_propagation) {
       optimize_blocks();
       optimize_blocks();  // second round cleans copies exposed by DCE
     }
     mark(telemetry::JitPass::Optimize);
+    trace("copyprop+dce");
+    if (flags_.cse) {
+      // Two rounds: the copy propagation between them forwards the MOVs the
+      // first round left behind, exposing cascaded duplicates (a repeated
+      // subtree matches only after its repeated leaves were unified).
+      for (int i = 0; i < 2; ++i) {
+        cse_blocks();
+        if (flags_.copy_propagation) optimize_blocks();
+      }
+    }
+    mark(telemetry::JitPass::Cse);
+    if (flags_.cse) trace("cse");
+    if (flags_.licm) hoist_loop_invariants();
+    mark(telemetry::JitPass::Licm);
+    if (flags_.licm) trace("licm");
     if (flags_.bounds_check_elim) eliminate_bounds_checks();
     mark(telemetry::JitPass::BoundsCheckElim);
+    if (flags_.bounds_check_elim) trace("bce");
     compact();
     mark(telemetry::JitPass::Compact);
     finalize();
     mark(telemetry::JitPass::Finalize);
+    trace("final");
     return std::move(rc_);
   }
 
@@ -283,10 +316,10 @@ class Compiler {
   }
 
   void alloc_slot_regs() {
-    for (std::size_t i = 0; i < m_.frame_slots(); ++i) {
-      new_reg(m_.slot_type(i));
+    for (std::size_t i = 0; i < mp_->frame_slots(); ++i) {
+      new_reg(mp_->slot_type(i));
     }
-    rc_.slot_regs = static_cast<std::int32_t>(m_.frame_slots());
+    rc_.slot_regs = static_cast<std::int32_t>(mp_->frame_slots());
   }
 
   std::int32_t sreg(std::int32_t depth, ValType t) {
@@ -318,8 +351,8 @@ class Compiler {
   }
 
   void find_labels() {
-    labels_.assign(m_.code.size() + 1, false);
-    for (const Instr& in : m_.code) {
+    labels_.assign(mp_->code.size() + 1, false);
+    for (const Instr& in : mp_->code) {
       switch (in.op) {
         case Op::BR: case Op::BRTRUE: case Op::BRFALSE:
         case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BLE:
@@ -330,7 +363,7 @@ class Compiler {
           break;
       }
     }
-    for (const ExHandler& h : m_.handlers) {
+    for (const ExHandler& h : mp_->handlers) {
       labels_[static_cast<std::size_t>(h.handler)] = true;
     }
   }
@@ -350,7 +383,14 @@ class Compiler {
   void translate_one(std::int32_t pc, const Instr& in);
 
   // ---- passes ----
+  void inline_methods();
+  bool inlinable(const MethodDef& callee) const;
+  static void splice(MethodDef& work, std::size_t c, const MethodDef& callee);
   void optimize_blocks();
+  void cse_blocks();
+  void hoist_loop_invariants();
+  bool hoist_round();
+  bool try_hoist(std::int32_t body, std::int32_t j);
   void eliminate_bounds_checks();
   void compact();
   void finalize();
@@ -358,9 +398,15 @@ class Compiler {
   std::vector<std::int32_t> block_leaders() const;
   std::vector<std::int32_t> live_out_stack_regs(std::size_t block_end) const;
 
+  std::string dump_rcode() const;
+  std::string dump_il() const;
+
   Module& mod_;
-  const MethodDef& m_;
+  const MethodDef& m_;        // the module's method (identity, telemetry)
+  const MethodDef* mp_;       // body actually compiled (== &m_ or inlined_)
+  std::shared_ptr<MethodDef> inlined_;  // expanded copy when inlining fired
   EngineFlags flags_;
+  const PassObserver* obs_ = nullptr;
   RCode rc_;
 
   std::vector<RInstr> out_;
@@ -375,8 +421,8 @@ class Compiler {
 // --------------------------------------------------------------------------
 
 void Compiler::translate() {
-  il_start_.assign(m_.code.size() + 1, -1);
-  for (std::size_t pc = 0; pc < m_.code.size(); ++pc) {
+  il_start_.assign(mp_->code.size() + 1, -1);
+  for (std::size_t pc = 0; pc < mp_->code.size(); ++pc) {
     il_start_[pc] = static_cast<std::int32_t>(out_.size());
     cur_il_ = static_cast<std::int32_t>(pc);
     if (labels_[pc]) reset_consts();
@@ -384,14 +430,14 @@ void Compiler::translate() {
       skip_next_ = false;
       continue;
     }
-    if (!m_.reachable.empty() && !m_.reachable[pc]) continue;
-    translate_one(static_cast<std::int32_t>(pc), m_.code[pc]);
+    if (!mp_->reachable.empty() && !mp_->reachable[pc]) continue;
+    translate_one(static_cast<std::int32_t>(pc), mp_->code[pc]);
   }
-  il_start_[m_.code.size()] = static_cast<std::int32_t>(out_.size());
+  il_start_[mp_->code.size()] = static_cast<std::int32_t>(out_.size());
 }
 
 void Compiler::translate_one(std::int32_t pc, const Instr& in) {
-  const auto& st = m_.stack_in[static_cast<std::size_t>(pc)];
+  const auto& st = mp_->stack_in[static_cast<std::size_t>(pc)];
   const auto d = static_cast<std::int32_t>(st.size());
   auto stk = [&](std::int32_t i) { return st[static_cast<std::size_t>(i)]; };
 
@@ -441,7 +487,7 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
     case Op::LDLOC:
     case Op::LDARG: {
       const std::int32_t slot =
-          in.op == Op::LDLOC ? in.a + static_cast<std::int32_t>(m_.num_args())
+          in.op == Op::LDLOC ? in.a + static_cast<std::int32_t>(mp_->num_args())
                              : in.a;
       emit(spilled(slot) ? ROp::MEMLD : ROp::MOV, sreg(d, in.type),
            slot_reg(slot))
@@ -452,7 +498,7 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
     case Op::STLOC:
     case Op::STARG: {
       const std::int32_t slot =
-          in.op == Op::STLOC ? in.a + static_cast<std::int32_t>(m_.num_args())
+          in.op == Op::STLOC ? in.a + static_cast<std::int32_t>(mp_->num_args())
                              : in.a;
       emit(spilled(slot) ? ROp::MEMST : ROp::MOV, slot_reg(slot),
            sreg(d - 1, in.type))
@@ -839,7 +885,7 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
     }
     case Op::RET:
       emit(ROp::RET_R, -1,
-           m_.sig.ret == ValType::None ? -1 : sreg(d - 1, m_.sig.ret));
+           mp_->sig.ret == ValType::None ? -1 : sreg(d - 1, mp_->sig.ret));
       reset_consts();
       break;
 
@@ -1033,8 +1079,8 @@ std::vector<std::int32_t> Compiler::live_out_stack_regs(
   // instruction is at block_end-1.
   std::vector<std::int32_t> live;
   auto add_entry_stack = [&](std::int32_t il) {
-    if (il < 0 || static_cast<std::size_t>(il) >= m_.stack_in.size()) return;
-    const auto& st = m_.stack_in[static_cast<std::size_t>(il)];
+    if (il < 0 || static_cast<std::size_t>(il) >= mp_->stack_in.size()) return;
+    const auto& st = mp_->stack_in[static_cast<std::size_t>(il)];
     for (std::size_t depth = 0; depth < st.size(); ++depth) {
       const auto key =
           (static_cast<std::int64_t>(depth) << 4) | static_cast<std::int64_t>(st[depth]);
@@ -1235,6 +1281,677 @@ void Compiler::optimize_blocks() {
 }
 
 // --------------------------------------------------------------------------
+// Method inlining (IL level, before translation).
+//
+// Small, handler-free, non-synchronized callees are spliced into the caller:
+// arguments become fresh caller locals (stored in reverse pop order), callee
+// locals are renumbered after them, branch targets are rebased, and every RET
+// becomes a branch past the splice (the return value composes through the
+// operand stack). A directly recursive callee unrolls one level per round —
+// the HotSpot MaxRecursiveInlineLevel idea — bounded by inline_depth and the
+// total growth budget. The expanded body is re-verified and kept alive via
+// RCode::inlined_body so handler tables, stack maps and il_pc ranges all
+// describe the code that was actually compiled.
+
+bool Compiler::inlinable(const MethodDef& callee) const {
+  if (callee.code.empty() ||
+      static_cast<int>(callee.code.size()) > flags_.inline_max_il) {
+    return false;
+  }
+  if (!callee.handlers.empty()) return false;
+  for (const Instr& in : callee.code) {
+    switch (in.op) {
+      case Op::LEAVE:
+      case Op::ENDFINALLY:
+        return false;  // handler machinery needs its own frame
+      case Op::CALLINTR:
+        // Synchronized bodies keep their frame identity (Monitor semantics).
+        if (in.a == I_MON_ENTER || in.a == I_MON_EXIT || in.a == I_MON_WAIT ||
+            in.a == I_MON_PULSE || in.a == I_MON_PULSEALL) {
+          return false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+void Compiler::splice(MethodDef& work, std::size_t c, const MethodDef& callee) {
+  const auto argc = static_cast<std::int32_t>(callee.sig.params.size());
+  const auto len = static_cast<std::int32_t>(callee.code.size());
+  const std::int32_t shift = argc + len - 1;
+  const auto cpos = static_cast<std::int32_t>(c);
+  const auto arg_base = static_cast<std::int32_t>(work.locals.size());
+
+  // Fresh caller locals: callee arguments first, then callee locals.
+  for (ValType t : callee.sig.params) work.locals.push_back(t);
+  for (ValType t : callee.locals) work.locals.push_back(t);
+
+  // Rebase the surrounding body's branch targets and handler ranges. A
+  // target/boundary equal to the call site keeps pointing at the splice
+  // start; anything past it moves by the size delta (an exclusive try_end of
+  // c+1 therefore stretches over the whole splice).
+  auto rebase = [&](std::int32_t& target) {
+    if (target > cpos) target += shift;
+  };
+  for (Instr& in : work.code) {
+    switch (in.op) {
+      case Op::BR: case Op::BRTRUE: case Op::BRFALSE:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BLE:
+      case Op::BGT: case Op::BGE: case Op::LEAVE:
+        rebase(in.a);
+        break;
+      default:
+        break;
+    }
+  }
+  for (ExHandler& h : work.handlers) {
+    rebase(h.try_begin);
+    rebase(h.try_end);
+    rebase(h.handler);
+  }
+
+  std::vector<Instr> body;
+  body.reserve(static_cast<std::size_t>(argc + len));
+  for (std::int32_t i = argc; i-- > 0;) {
+    body.push_back(Instr::make(Op::STLOC, arg_base + i));
+  }
+  for (std::int32_t k = 0; k < len; ++k) {
+    Instr in = callee.code[k];
+    switch (in.op) {
+      case Op::LDARG: in.op = Op::LDLOC; in.a += arg_base; break;
+      case Op::STARG: in.op = Op::STLOC; in.a += arg_base; break;
+      case Op::LDLOC: in.a += arg_base + argc; break;
+      case Op::STLOC: in.a += arg_base + argc; break;
+      case Op::BR: case Op::BRTRUE: case Op::BRFALSE:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BLE:
+      case Op::BGT: case Op::BGE:
+        in.a = cpos + argc + in.a;
+        break;
+      case Op::RET:
+        // The return value (if any) is already on the stack; fall past the
+        // splice into the caller's continuation.
+        in = Instr::make(Op::BR, cpos + argc + len);
+        break;
+      default:
+        break;
+    }
+    body.push_back(in);
+  }
+  work.code.erase(work.code.begin() + static_cast<std::ptrdiff_t>(c));
+  work.code.insert(work.code.begin() + static_cast<std::ptrdiff_t>(c),
+                   body.begin(), body.end());
+}
+
+void Compiler::inline_methods() {
+  // Quick reject without copying the method.
+  bool candidate = false;
+  for (const Instr& in : m_.code) {
+    if (in.op == Op::CALL && inlinable(mod_.method(in.a))) {
+      candidate = true;
+      break;
+    }
+  }
+  if (!candidate) return;
+
+  auto work = std::make_shared<MethodDef>(m_);
+  const std::size_t growth_cap =
+      m_.code.size() + static_cast<std::size_t>(flags_.inline_total_il);
+  bool changed_any = false;
+  for (int round = 0; round < flags_.inline_depth; ++round) {
+    bool changed = false;
+    for (std::size_t pc = 0; pc < work->code.size(); ++pc) {
+      if (work->code.size() >= growth_cap) break;
+      const Instr in = work->code[pc];
+      if (in.op != Op::CALL) continue;
+      const MethodDef& callee = mod_.method(in.a);
+      if (!inlinable(callee)) continue;
+      // The callee must itself be valid IL before its body is trusted.
+      verify(mod_, in.a);
+      splice(*work, pc, callee);
+      // Skip over the spliced body this round; calls inside it (including a
+      // recursive self-call) are considered in the next round.
+      pc += callee.sig.params.size() + callee.code.size() - 1;
+      changed = true;
+      changed_any = true;
+    }
+    if (!changed) break;
+  }
+  if (!changed_any) return;
+
+  work->verified = false;
+  work->stack_in.clear();
+  work->reachable.clear();
+  work->max_stack = 0;
+  // Re-verify the expanded body: fills types, stack shapes and reachability.
+  // Failure here would be an inliner bug, not a user error — splicing a
+  // verified callee into a verified caller preserves well-formedness.
+  verify_body(mod_, *work);
+  inlined_ = std::move(work);
+  mp_ = inlined_.get();
+}
+
+// --------------------------------------------------------------------------
+// Common-subexpression elimination: block-local value numbering.
+//
+// Pure computations plus memory loads (ldlen, field loads, unchecked and
+// rank-2 element loads) are keyed on (op, a, b, imm); a repeat of an
+// available value becomes a MOV from the first result (cleaned up by the
+// copy-propagation round that follows). Entries die when any register they
+// mention is redefined, and load entries die at the stores/calls that could
+// alias them. Duplicate CHK_BOUNDS nodes on the same (array, index) pair are
+// dropped outright. Scope is a single basic block on purpose: the DCE in
+// optimize_blocks reasons per-block, so a value reused across block
+// boundaries could lose its defining instruction.
+
+namespace {
+
+bool cse_value_op(ROp op) {
+  // MOV is the pass's own rewrite form and copy-propagation's domain; LDI is
+  // value-numbered too (the key is then (LDI, -1, -1, imm)) so repeated
+  // constants — array indexes especially — unify, which is what lets the
+  // CHK_BOUNDS dedup below see identical (array, index) pairs.
+  if (op == ROp::MOV) return false;
+  if (is_pure(op)) return true;
+  switch (op) {
+    case ROp::LDLEN_R:
+    case ROp::LDFLD_R:
+    case ROp::LDELEMU_I4: case ROp::LDELEMU_I8: case ROp::LDELEMU_R4:
+    case ROp::LDELEMU_R8: case ROp::LDELEMU_REF:
+    case ROp::LDEL2_I4: case ROp::LDEL2_I8: case ROp::LDEL2_R4:
+    case ROp::LDEL2_R8: case ROp::LDEL2_REF: case ROp::LDEL2_SLOW:
+    case ROp::MATH1_R8: case ROp::MATH2_R8:
+    case ROp::ABS_I4_R: case ROp::ABS_I8_R: case ROp::ABS_R4_R:
+    case ROp::ABS_R8_R:
+    case ROp::MAX_I4_R: case ROp::MAX_I8_R: case ROp::MAX_R4_R:
+    case ROp::MAX_R8_R:
+    case ROp::MIN_I4_R: case ROp::MIN_I8_R: case ROp::MIN_R4_R:
+    case ROp::MIN_R8_R:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_field_load(ROp op) { return op == ROp::LDFLD_R; }
+
+bool is_elem_load(ROp op) {
+  switch (op) {
+    case ROp::LDELEMU_I4: case ROp::LDELEMU_I8: case ROp::LDELEMU_R4:
+    case ROp::LDELEMU_R8: case ROp::LDELEMU_REF:
+    case ROp::LDEL2_I4: case ROp::LDEL2_I8: case ROp::LDEL2_R4:
+    case ROp::LDEL2_R8: case ROp::LDEL2_REF: case ROp::LDEL2_SLOW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_elem_store(ROp op) {
+  switch (op) {
+    case ROp::STELEM_I4: case ROp::STELEM_I8: case ROp::STELEM_R4:
+    case ROp::STELEM_R8: case ROp::STELEM_REF:
+    case ROp::STELEMU_I4: case ROp::STELEMU_I8: case ROp::STELEMU_R4:
+    case ROp::STELEMU_R8: case ROp::STELEMU_REF:
+    case ROp::STEL2_I4: case ROp::STEL2_I8: case ROp::STEL2_R4:
+    case ROp::STEL2_R8: case ROp::STEL2_REF: case ROp::STEL2_SLOW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Compiler::cse_blocks() {
+  const auto leaders = block_leaders();
+
+  struct Entry {
+    std::int32_t reg;     // register holding the value
+    std::int32_t u[3];    // operand registers (-1 = unused)
+    ROp op;
+  };
+  using Key = std::tuple<int, std::int32_t, std::int32_t, std::int64_t>;
+
+  // Blocks are processed back to front: preserving a value may grow a block
+  // (see shadow registers below), which shifts every later position.
+  for (std::size_t bi = leaders.size() - 1; bi-- > 0;) {
+    const auto lo = static_cast<std::size_t>(leaders[bi]);
+    const auto hi = static_cast<std::size_t>(leaders[bi + 1]);
+
+    std::map<Key, Entry> avail;
+    std::set<std::pair<std::int32_t, std::int32_t>> checked;
+    // Alias map: reg -> another reg currently holding the same value (the
+    // shadow of its defining expression). Keys are built over canonicalized
+    // operands so second-order duplicates match even after the stack
+    // allocator reuses the original registers: in `(x*x+3) ^ ((x*x+3)>>1)`
+    // both ADDIs key on the shadow of the (single) multiply. Shadows have
+    // exactly one definition per block, so an alias stays truthful until its
+    // source register is redefined (erased below).
+    std::map<std::int32_t, std::int32_t> canon;
+    auto canon_of = [&](std::int32_t r) {
+      const auto it = canon.find(r);
+      return it == canon.end() ? r : it->second;
+    };
+    auto erase_aliases_of = [&](std::int32_t r) {
+      canon.erase(r);
+      for (auto it = canon.begin(); it != canon.end();) {
+        it = it->second == r ? canon.erase(it) : std::next(it);
+      }
+    };
+    // Rank-2 accesses keep raw keys: their column register is encoded in
+    // imm, which the alias map cannot rewrite consistently.
+    auto imm_encodes_reg = [](ROp op) {
+      switch (op) {
+        case ROp::LDEL2_I4: case ROp::LDEL2_I8: case ROp::LDEL2_R4:
+        case ROp::LDEL2_R8: case ROp::LDEL2_REF: case ROp::LDEL2_SLOW:
+          return true;
+        default:
+          return false;
+      }
+    };
+    // Values are preserved in fresh "shadow" registers (a MOV inserted right
+    // after the defining instruction) because the stack-register allocator
+    // reuses destination registers aggressively — by the time a duplicate
+    // shows up, the original register usually holds something else. Shadows
+    // that never serve a duplicate are dead moves; the copy-propagation/DCE
+    // round that follows this pass deletes them.
+    std::vector<std::pair<std::size_t, RInstr>> shadows;  // insert-after pos
+
+    auto kill_reg = [&](std::int32_t r) {
+      for (auto it = avail.begin(); it != avail.end();) {
+        const Entry& e = it->second;
+        if (e.reg == r || e.u[0] == r || e.u[1] == r || e.u[2] == r) {
+          it = avail.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = checked.begin(); it != checked.end();) {
+        if (it->first == r || it->second == r) {
+          it = checked.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    auto kill_loads = [&](bool fields, bool elems) {
+      for (auto it = avail.begin(); it != avail.end();) {
+        const ROp op = it->second.op;
+        if ((fields && is_field_load(op)) || (elems && is_elem_load(op))) {
+          it = avail.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      RInstr& in = out_[i];
+      if (in.op == ROp::NOP_R) continue;
+
+      // Canonicalized operand view, taken before this instruction's own
+      // definition invalidates anything. `b` is a register for every
+      // candidate op except ldfld (field index), which stays raw.
+      const bool raw_key = in.pinned() || imm_encodes_reg(in.op);
+      const std::int32_t ca = raw_key ? in.a : canon_of(in.a);
+      const std::int32_t cb = raw_key || in.op == ROp::LDFLD_R
+                                  ? in.b
+                                  : canon_of(in.b);
+      bool rewritten = false;
+      if (!in.pinned() && cse_value_op(in.op)) {
+        const Key key{static_cast<int>(in.op), ca, cb, in.imm.i64};
+        auto it = avail.find(key);
+        if (it != avail.end()) {
+          const std::int32_t prev = it->second.reg;
+          if (prev == in.d) {
+            in.op = ROp::NOP_R;
+            continue;
+          }
+          in.op = ROp::MOV;
+          in.a = prev;
+          in.b = -1;
+          in.imm.i64 = 0;
+          rewritten = true;
+        }
+      } else if (in.op == ROp::CHK_BOUNDS && !in.pinned()) {
+        const auto key = std::make_pair(ca, cb);
+        if (checked.count(key) != 0) {
+          in.op = ROp::NOP_R;
+          continue;
+        }
+        checked.insert(key);
+      }
+
+      // Stores and calls may write memory that load entries describe.
+      if (in.op == ROp::CALL_R || in.op == ROp::CALLINTR_R) {
+        kill_loads(true, true);
+      } else if (in.op == ROp::STFLD_R || in.op == ROp::STSFLD_R) {
+        kill_loads(true, false);
+      } else if (is_elem_store(in.op)) {
+        kill_loads(false, true);
+      }
+
+      const Operands ops = operands_of(in, rc_.args_pool);
+      if (ops.def >= 0) {
+        kill_reg(ops.def);
+        erase_aliases_of(ops.def);
+      }
+
+      if (rewritten) {
+        // The rewrite turned this into `MOV d, shadow`: d now aliases the
+        // shadow, so downstream keys over d unify with keys over it.
+        canon[in.d] = in.a;
+      } else if (in.op == ROp::MOV && !in.pinned() && in.d != in.a) {
+        canon[in.d] = canon_of(in.a);
+      }
+
+      if (!rewritten && !in.pinned() && cse_value_op(in.op) && ops.def >= 0) {
+        // Don't record values whose key mentions the register being defined:
+        // the key (canonicalized before the definition) would describe the
+        // pre-instruction contents.
+        const bool def_is_use =
+            ca == ops.def || cb == ops.def ||
+            (ops.nuses > 2 && ops.uses[2] == ops.def);
+        if (!def_is_use) {
+          Entry e{-1, {-1, -1, -1}, in.op};
+          // Record the canonical operand names: kill_reg then only drops the
+          // entry when a register the key actually depends on is redefined.
+          if (raw_key) {
+            for (int u = 0; u < ops.nuses && u < 3; ++u) e.u[u] = ops.uses[u];
+          } else {
+            e.u[0] = ca;
+            e.u[1] = in.op == ROp::LDFLD_R ? -1 : cb;
+          }
+          const std::int32_t shadow =
+              new_reg(rc_.reg_types[static_cast<std::size_t>(ops.def)]);
+          e.reg = shadow;
+          RInstr mv;
+          mv.op = ROp::MOV;
+          mv.d = shadow;
+          mv.a = ops.def;
+          mv.il_pc = in.il_pc;
+          shadows.emplace_back(i, mv);
+          avail[Key{static_cast<int>(in.op), ca, cb, in.imm.i64}] = e;
+          canon[ops.def] = shadow;
+        }
+      }
+    }
+
+    if (shadows.empty()) continue;
+    // Splice the shadow moves into the block and remap il_start_: positions
+    // inside the block move to their new offsets (a shadow belongs to the IL
+    // group of its defining instruction, so an IL boundary right after it
+    // lands past the shadow), later positions shift by the block's growth.
+    std::vector<RInstr> blockvec;
+    blockvec.reserve(hi - lo + shadows.size());
+    std::vector<std::int32_t> npos(hi - lo);
+    std::size_t next_shadow = 0;
+    for (std::size_t q = lo; q < hi; ++q) {
+      npos[q - lo] = static_cast<std::int32_t>(blockvec.size());
+      blockvec.push_back(out_[q]);
+      while (next_shadow < shadows.size() &&
+             shadows[next_shadow].first == q) {
+        blockvec.push_back(shadows[next_shadow].second);
+        ++next_shadow;
+      }
+    }
+    const auto delta = static_cast<std::int32_t>(blockvec.size() - (hi - lo));
+    out_.erase(out_.begin() + static_cast<std::ptrdiff_t>(lo),
+               out_.begin() + static_cast<std::ptrdiff_t>(hi));
+    out_.insert(out_.begin() + static_cast<std::ptrdiff_t>(lo),
+                blockvec.begin(), blockvec.end());
+    for (auto& v : il_start_) {
+      if (v >= static_cast<std::int32_t>(hi)) {
+        v += delta;
+      } else if (v > static_cast<std::int32_t>(lo)) {
+        v = static_cast<std::int32_t>(lo) +
+            npos[static_cast<std::size_t>(v) - lo];
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Loop-invariant code motion.
+//
+// Loops are recognized from back-edges (a branch whose target precedes it);
+// the region between target and branch is treated as the loop. A region
+// qualifies when control can only enter it one way — by falling into its
+// head, or through a single unconditional jump from outside (the rotated
+// `br cond; top: ...; cond: guard` shape our loop builders emit) — so the
+// chosen insertion point dominates the loop. Hoistable instructions are pure
+// computations whose operands have no definition inside the region, whose
+// destination is defined exactly once and used only inside the region after
+// the definition. ldlen additionally must sit in the guaranteed-executed
+// entry block (it can fault on a null array, so it may only be hoisted where
+// it would have executed anyway) and must not change exception-handler
+// scope. Hoisted instructions are inserted before the region entry;
+// il_start_ is shifted so existing branch targets skip over them.
+
+namespace {
+
+bool licm_candidate_op(ROp op) {
+  if (op == ROp::MOV) return false;
+  if (is_pure(op)) return true;
+  switch (op) {
+    case ROp::MATH1_R8: case ROp::MATH2_R8:
+    case ROp::ABS_I4_R: case ROp::ABS_I8_R: case ROp::ABS_R4_R:
+    case ROp::ABS_R8_R:
+    case ROp::MAX_I4_R: case ROp::MAX_I8_R: case ROp::MAX_R4_R:
+    case ROp::MAX_R8_R:
+    case ROp::MIN_I4_R: case ROp::MIN_I8_R: case ROp::MIN_R4_R:
+    case ROp::MIN_R8_R:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Compiler::hoist_loop_invariants() {
+  // Each successful round rewrites positions; rescan from scratch. The round
+  // cap only bounds pathological inputs.
+  for (int round = 0; round < 64; ++round) {
+    if (!hoist_round()) return;
+  }
+}
+
+bool Compiler::hoist_round() {
+  struct Loop {
+    std::int32_t body, branch;
+  };
+  std::vector<Loop> loops;
+  for (std::size_t j = 0; j < out_.size(); ++j) {
+    if (!is_branch(out_[j].op)) continue;
+    const std::int32_t til = out_[j].d;
+    if (til < 0 || static_cast<std::size_t>(til) >= il_start_.size()) continue;
+    const std::int32_t body = il_start_[static_cast<std::size_t>(til)];
+    if (body < 0 || static_cast<std::size_t>(body) >= j) continue;
+    loops.push_back({body, static_cast<std::int32_t>(j)});
+  }
+  std::sort(loops.begin(), loops.end(), [](const Loop& x, const Loop& y) {
+    return (x.branch - x.body) < (y.branch - y.body);
+  });
+  for (const Loop& l : loops) {
+    if (try_hoist(l.body, l.branch)) return true;
+  }
+  return false;
+}
+
+bool Compiler::try_hoist(std::int32_t body, std::int32_t j) {
+  // No handler may start inside the region (entry via unwind is invisible to
+  // the entry analysis below).
+  for (const ExHandler& h : mp_->handlers) {
+    const std::int32_t hs = il_start_[static_cast<std::size_t>(h.handler)];
+    if (hs >= body && hs <= j) return false;
+  }
+
+  // Entry analysis: find every control transfer into [body, j] from outside.
+  std::int32_t entries = 0;
+  std::int32_t entry_jmp = -1;     // position of the sole outside jump
+  std::int32_t entry_target = -1;  // where it lands inside the region
+  bool entry_uncond = false;
+  for (std::size_t p = 0; p < out_.size(); ++p) {
+    const RInstr& in = out_[p];
+    std::int32_t til;
+    if (is_branch(in.op)) {
+      til = in.d;
+    } else if (in.op == ROp::LEAVE_R) {
+      til = in.a;
+    } else {
+      continue;
+    }
+    if (til < 0 || static_cast<std::size_t>(til) >= il_start_.size()) continue;
+    const std::int32_t t = il_start_[static_cast<std::size_t>(til)];
+    if (t < body || t > j) continue;
+    const auto pos = static_cast<std::int32_t>(p);
+    if (pos >= body && pos <= j) continue;  // internal edge
+    ++entries;
+    entry_jmp = pos;
+    entry_target = t;
+    entry_uncond = in.op == ROp::JMP || in.op == ROp::JMPB;
+  }
+
+  bool fall_in = true;
+  {
+    std::int32_t p = body - 1;
+    while (p >= 0 && out_[static_cast<std::size_t>(p)].op == ROp::NOP_R) --p;
+    if (p >= 0) {
+      const ROp op = out_[static_cast<std::size_t>(p)].op;
+      if (op == ROp::JMP || op == ROp::JMPB || op == ROp::RET_R ||
+          op == ROp::THROW_R || op == ROp::LEAVE_R ||
+          op == ROp::ENDFINALLY_R) {
+        fall_in = false;
+      }
+    }
+  }
+
+  std::int32_t insert_at;
+  std::int32_t entry_pos;  // first region instruction that always executes
+  if (entries == 0 && fall_in) {
+    insert_at = body;
+    entry_pos = body;
+  } else if (entries == 1 && !fall_in && entry_uncond) {
+    // Rotated loop: hoist into the preheader, right before the entry jump.
+    // A branch targeting the jump's own position would skip the hoisted
+    // code after the insertion shift; reject that shape.
+    for (std::size_t il = 0; il < labels_.size(); ++il) {
+      if (labels_[il] && il < il_start_.size() &&
+          il_start_[il] == entry_jmp) {
+        return false;
+      }
+    }
+    insert_at = entry_jmp;
+    entry_pos = entry_target;
+  } else {
+    return false;
+  }
+
+  // Extent of the guaranteed-executed entry block: from entry_pos to the
+  // first block end or labeled position (a label admits paths that bypass
+  // the instructions before it).
+  std::vector<bool> label_pos(out_.size(), false);
+  for (std::size_t il = 0; il < labels_.size(); ++il) {
+    if (labels_[il] && il < il_start_.size() && il_start_[il] >= 0 &&
+        static_cast<std::size_t>(il_start_[il]) < out_.size()) {
+      label_pos[static_cast<std::size_t>(il_start_[il])] = true;
+    }
+  }
+  std::int32_t eb_end = entry_pos;
+  for (std::int32_t p = entry_pos; p <= j; ++p) {
+    if (p > entry_pos && label_pos[static_cast<std::size_t>(p)]) break;
+    eb_end = p;
+    if (is_block_end(out_[static_cast<std::size_t>(p)].op)) break;
+  }
+
+  const std::int32_t nregs = static_cast<std::int32_t>(rc_.reg_types.size());
+  std::vector<std::int32_t> region_defs(static_cast<std::size_t>(nregs), 0);
+  for (std::int32_t p = body; p <= j; ++p) {
+    const Operands ops = operands_of(out_[static_cast<std::size_t>(p)],
+                                     rc_.args_pool);
+    if (ops.def >= 0) ++region_defs[static_cast<std::size_t>(ops.def)];
+  }
+
+  auto uses_reg = [&](const RInstr& in, std::int32_t r) {
+    const Operands ops = operands_of(in, rc_.args_pool);
+    for (int k = 0; k < ops.nuses; ++k) {
+      if (ops.uses[k] == r) return true;
+    }
+    if (in.op == ROp::CALL_R || in.op == ROp::CALLINTR_R) {
+      const auto argc = static_cast<std::int32_t>(in.imm.i64);
+      for (std::int32_t k = 0; k < argc; ++k) {
+        if (rc_.args_pool[static_cast<std::size_t>(in.b + k)] == r) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  const std::int32_t ins_il = out_[static_cast<std::size_t>(insert_at)].il_pc;
+  std::vector<std::int32_t> cands;
+  for (std::int32_t k = body; k <= j; ++k) {
+    const RInstr& in = out_[static_cast<std::size_t>(k)];
+    if (in.op == ROp::NOP_R || in.pinned()) continue;
+    const bool ldlen = in.op == ROp::LDLEN_R;
+    if (!ldlen && !licm_candidate_op(in.op)) continue;
+    const Operands ops = operands_of(in, rc_.args_pool);
+    if (ops.def < rc_.slot_regs) continue;  // slots stay where they are
+    if (region_defs[static_cast<std::size_t>(ops.def)] != 1) continue;
+    bool ok = true;
+    for (int u = 0; u < ops.nuses && ok; ++u) {
+      if (region_defs[static_cast<std::size_t>(ops.uses[u])] != 0) ok = false;
+    }
+    // Every use of the destination must be inside the region, after the
+    // definition (a use before it would be loop-carried; one outside would
+    // observe the speculated value).
+    for (std::size_t p = 0; p < out_.size() && ok; ++p) {
+      if (out_[p].op == ROp::NOP_R) continue;
+      if (!uses_reg(out_[p], ops.def)) continue;
+      const auto pos = static_cast<std::int32_t>(p);
+      if (pos <= k || pos > j || pos < body) ok = false;
+    }
+    if (!ok) continue;
+    if (ldlen) {
+      if (k < entry_pos || k > eb_end) continue;
+      // The fault site moves to the insertion point; both must sit in the
+      // same try scopes or a throw could reach a different handler.
+      bool same_scope = true;
+      for (const ExHandler& h : mp_->handlers) {
+        const bool at_ins = ins_il >= h.try_begin && ins_il < h.try_end;
+        const bool at_k = in.il_pc >= h.try_begin && in.il_pc < h.try_end;
+        if (at_ins != at_k) {
+          same_scope = false;
+          break;
+        }
+      }
+      if (!same_scope) continue;
+    }
+    cands.push_back(k);
+  }
+  if (cands.empty()) return false;
+
+  std::vector<RInstr> hoisted;
+  hoisted.reserve(cands.size());
+  for (std::int32_t k : cands) {
+    RInstr h = out_[static_cast<std::size_t>(k)];
+    h.il_pc = ins_il;
+    hoisted.push_back(h);
+    out_[static_cast<std::size_t>(k)].op = ROp::NOP_R;
+  }
+  out_.insert(out_.begin() + insert_at, hoisted.begin(), hoisted.end());
+  const auto nh = static_cast<std::int32_t>(hoisted.size());
+  for (auto& v : il_start_) {
+    if (v >= insert_at) v += nh;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
 // Bounds-check elimination for counted loops whose bound is ldlen.
 
 void Compiler::eliminate_bounds_checks() {
@@ -1388,8 +2105,8 @@ void Compiler::compact() {
   newpos[out_.size()] = static_cast<std::int32_t>(packed.size());
 
   // IL -> rpc map.
-  rc_.il2rpc.assign(m_.code.size() + 1, 0);
-  for (std::size_t il = 0; il <= m_.code.size(); ++il) {
+  rc_.il2rpc.assign(mp_->code.size() + 1, 0);
+  for (std::size_t il = 0; il <= mp_->code.size(); ++il) {
     const std::int32_t orig = il_start_[il];
     rc_.il2rpc[il] = newpos[static_cast<std::size_t>(orig)];
   }
@@ -1402,12 +2119,39 @@ void Compiler::compact() {
   rc_.code = std::move(packed);
 }
 
+std::string Compiler::dump_rcode() const {
+  // Pre-compaction listings keep original indices (NOP placeholders are
+  // skipped but not renumbered) so per-pass diffs line up.
+  const std::vector<RInstr>& code = rc_.code.empty() ? out_ : rc_.code;
+  std::string s;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].op == ROp::NOP_R) continue;
+    s += std::to_string(i);
+    s += ": ";
+    s += to_string(code[i]);
+    s += '\n';
+  }
+  return s;
+}
+
+std::string Compiler::dump_il() const {
+  std::string s;
+  for (std::size_t pc = 0; pc < mp_->code.size(); ++pc) {
+    s += std::to_string(pc);
+    s += ": ";
+    s += vm::to_string(mp_->code[pc]);
+    s += '\n';
+  }
+  return s;
+}
+
 void Compiler::finalize() {
-  rc_.method = &m_;
+  rc_.method = mp_;
+  rc_.inlined_body = inlined_;
   // Catch handlers receive the exception in the stack register for
   // (depth 0, Ref) — the verifier seeds handler entry stacks with [Ref].
   // Resolve these before the ref scan so any register created here is seen.
-  for (const ExHandler& h : m_.handlers) {
+  for (const ExHandler& h : mp_->handlers) {
     rc_.handler_exc_reg.push_back(
         h.kind == HandlerKind::Catch ? sreg(0, ValType::Ref) : -1);
   }
@@ -1434,6 +2178,14 @@ RCode compile(Module& module, const MethodDef& m, const EngineFlags& flags) {
     throw std::logic_error("compile of unverified method: " + m.name);
   }
   return Compiler(module, m, flags).run();
+}
+
+RCode compile_traced(Module& module, const MethodDef& m,
+                     const EngineFlags& flags, const PassObserver& observe) {
+  if (!m.verified) {
+    throw std::logic_error("compile of unverified method: " + m.name);
+  }
+  return Compiler(module, m, flags, &observe).run();
 }
 
 }  // namespace hpcnet::vm::regir

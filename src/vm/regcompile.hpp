@@ -1,6 +1,9 @@
 // Stack IL -> register IR compilation for Tier::Optimizing.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "vm/execution.hpp"
 #include "vm/regir.hpp"
 
@@ -8,5 +11,17 @@ namespace hpcnet::vm::regir {
 
 /// Compiles a verified method under the profile's optimization flags.
 RCode compile(Module& module, const MethodDef& m, const EngineFlags& flags);
+
+/// Observer for jit_explorer and tests: invoked after each enabled pass with
+/// the pass name and the current IR listing. Listings before "compact" are
+/// pre-compaction (NOP placeholders still present, branch targets still in
+/// IL-pc space); the "inline" listing is the expanded stack IL, not register
+/// IR, since inlining runs before translation.
+using PassObserver =
+    std::function<void(const char* pass, const std::string& listing)>;
+
+/// As compile(), additionally reporting the IR after every pass.
+RCode compile_traced(Module& module, const MethodDef& m,
+                     const EngineFlags& flags, const PassObserver& observe);
 
 }  // namespace hpcnet::vm::regir

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,11 @@ struct RInstr {
 /// A compiled method.
 struct RCode {
   const MethodDef* method = nullptr;
+  /// When the inlining pass expanded call sites, `method` points at this
+  /// private copy of the body (re-verified, same name/id/signature) instead
+  /// of the module's method, so handler tables, stack maps and il_pc ranges
+  /// stay consistent with the code that was actually compiled.
+  std::shared_ptr<const MethodDef> inlined_body;
   std::vector<RInstr> code;
   std::vector<std::int32_t> args_pool;  // flattened call argument registers
   std::vector<std::int32_t> ref_regs;   // ref-typed registers (GC roots)

@@ -110,8 +110,11 @@ const char* counter_name(Counter c) {
 
 const char* jit_pass_name(JitPass p) {
   switch (p) {
+    case JitPass::Inline: return "inline";
     case JitPass::Translate: return "translate";
     case JitPass::Optimize: return "copyprop+dce";
+    case JitPass::Cse: return "cse";
+    case JitPass::Licm: return "licm";
     case JitPass::BoundsCheckElim: return "bounds-check-elim";
     case JitPass::Compact: return "compact";
     case JitPass::Finalize: return "finalize";

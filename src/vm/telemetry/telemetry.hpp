@@ -53,8 +53,11 @@ const char* counter_name(Counter c);
 
 /// The optimizing pipeline's passes, in execution order (regcompile.cpp).
 enum class JitPass : std::uint8_t {
+  Inline,           // IL-level method inlining (pre-translation)
   Translate,        // stack IL -> register IR
   Optimize,         // copy propagation + DCE rounds
+  Cse,              // common-subexpression elimination (EBB value numbering)
+  Licm,             // loop-invariant code motion
   BoundsCheckElim,  // counted-loop bounds-check hoisting
   Compact,          // dead-instruction squeeze + branch retarget
   Finalize,         // ref maps, arg pools, il->pc tables

@@ -291,6 +291,10 @@ class MethodVerifier {
             fail(pc, "call target out of range");
           }
           const MethodDef& callee = mod_.method(in.a);
+          if (callee.sig.params.size() >
+              static_cast<std::size_t>(kMaxCallArgs)) {
+            fail(pc, "call target exceeds max argument count");
+          }
           for (std::size_t i = callee.sig.params.size(); i-- > 0;) {
             expect(pop(st, pc), callee.sig.params[i], pc, "call argument");
           }
@@ -300,6 +304,10 @@ class MethodVerifier {
         case Op::CALLINTR: {
           if (in.a < 0 || in.a >= I_COUNT_) fail(pc, "intrinsic id");
           const IntrinsicDef& d = intrinsic(in.a);
+          if (d.sig.params.size() >
+              static_cast<std::size_t>(kMaxIntrinsicArgs)) {
+            fail(pc, "intrinsic exceeds max argument count");
+          }
           for (std::size_t i = d.sig.params.size(); i-- > 0;) {
             expect(pop(st, pc), d.sig.params[i], pc, "intrinsic argument");
           }
@@ -469,6 +477,11 @@ void verify(Module& module, std::int32_t method_id) {
   MethodDef& m = module.method(method_id);
   if (m.verified) return;
   std::lock_guard<std::mutex> lock(mu);
+  if (m.verified) return;
+  MethodVerifier(module, m).run();
+}
+
+void verify_body(Module& module, MethodDef& m) {
   if (m.verified) return;
   MethodVerifier(module, m).run();
 }

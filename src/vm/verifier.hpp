@@ -35,4 +35,10 @@ void verify(Module& module, std::int32_t method_id);
 /// Verifies every method in the module.
 void verify_all(Module& module);
 
+/// Verifies a detached method body against `module` (the body need not be —
+/// and typically is not — registered in the module's method table). Used by
+/// the inliner on its privately expanded copies; callers own synchronization
+/// of `m`. Throws VerifyError on invalid IL.
+void verify_body(Module& module, MethodDef& m);
+
 }  // namespace hpcnet::vm

@@ -199,6 +199,181 @@ TEST(RegIr, DisassemblyIsNonEmptyAndNamed) {
 }
 
 // ---------------------------------------------------------------------------
+// Inlining / CSE / LICM: the structural effects the §5 disassembly study
+// would show for the pass mixes of DESIGN.md §5.
+
+/// Caller looping `x = sq(x)` over a one-expression callee.
+std::int32_t build_call_loop(Module& mod, std::int32_t* callee_out) {
+  ILBuilder sq(mod, "t_sq", {{ValType::I32}, ValType::I32});
+  sq.ldarg(0).ldarg(0).mul().ldc_i4(1).add().ret();
+  const auto sq_m = sq.finish();
+  if (callee_out != nullptr) *callee_out = sq_m;
+  ILBuilder b(mod, "t_callloop", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto x = b.add_local(ValType::I32);
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(3).stloc(x);
+  b.ldc_i4(0).stloc(i).br(cond);
+  b.bind(top);
+  b.ldloc(x).call(sq_m).stloc(x);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.bind(cond);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.ldloc(x).ret();
+  return b.finish();
+}
+
+TEST(RegIr, InliningRemovesCallSites) {
+  VirtualMachine vm;
+  const auto m = build_call_loop(vm.module(), nullptr);
+  verify(vm.module(), m);
+  const RCode on = regir::compile(vm.module(), vm.module().method(m),
+                                  profiles::clr11().flags);  // inline_calls
+  const RCode off = regir::compile(vm.module(), vm.module().method(m),
+                                   profiles::sun14().flags);  // no inlining
+  EXPECT_EQ(count_op(on, ROp::CALL_R), 0u);
+  EXPECT_EQ(count_op(off, ROp::CALL_R), 1u);
+  // The callee body is spliced in: the multiply now appears in the caller.
+  EXPECT_GE(count_op(on, ROp::MUL_I4), 1u);
+  EXPECT_NE(on.inlined_body, nullptr);
+  EXPECT_EQ(off.inlined_body, nullptr);
+}
+
+TEST(RegIr, InliningRespectsSizeBudget) {
+  VirtualMachine vm;
+  // A callee bigger than inline_max_il must stay a call.
+  ILBuilder big(vm.module(), "t_big", {{ValType::I32}, ValType::I32});
+  big.ldarg(0);
+  for (int i = 0; i < 40; ++i) big.ldc_i4(i).add();
+  big.ret();
+  const auto big_m = big.finish();
+  ILBuilder b(vm.module(), "t_bigcall", {{ValType::I32}, ValType::I32});
+  b.ldarg(0).call(big_m).ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EngineFlags f = profiles::clr11().flags;
+  f.inline_max_il = 24;
+  const RCode rc = regir::compile(vm.module(), vm.module().method(m), f);
+  EXPECT_EQ(count_op(rc, ROp::CALL_R), 1u);
+  EXPECT_EQ(rc.inlined_body, nullptr);
+}
+
+TEST(RegIr, RecursiveInlineIsBoundedByDepth) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const auto fib_id = static_cast<std::int32_t>(mod.method_count());
+  ILBuilder b(mod, "t_fib", {{ValType::I32}, ValType::I32});
+  auto rec = b.new_label();
+  b.ldarg(0).ldc_i4(2).bge(rec);
+  b.ldarg(0).ret();
+  b.bind(rec);
+  b.ldarg(0).ldc_i4(1).sub().call(fib_id);
+  b.ldarg(0).ldc_i4(2).sub().call(fib_id);
+  b.add().ret();
+  const auto m = b.finish();
+  ASSERT_EQ(m, fib_id);
+  verify(mod, m);
+  const EngineFlags f = profiles::clr11().flags;  // inline_depth = 2
+  const RCode rc = regir::compile(mod, mod.method(m), f);
+  // One level unrolled per round: calls remain (the recursion cannot
+  // disappear), but the body grew past the original and stays bounded.
+  EXPECT_GE(count_op(rc, ROp::CALL_R), 2u);
+  EXPECT_LE(rc.code.size(),
+            static_cast<std::size_t>(f.inline_total_il) * 4u);
+}
+
+TEST(RegIr, CseEliminatesDuplicateSubexpressions) {
+  VirtualMachine vm;
+  // x = (x*x + 3) ^ ((x*x + 3) >> 1): two mul/addi pairs fold to one.
+  ILBuilder b(vm.module(), "t_cse", {{ValType::I32}, ValType::I32});
+  const auto x = b.add_local(ValType::I32);
+  b.ldarg(0).stloc(x);
+  b.ldloc(x).ldloc(x).mul().ldc_i4(3).add();
+  b.ldloc(x).ldloc(x).mul().ldc_i4(3).add().ldc_i4(1).shr();
+  b.xor_().ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EngineFlags on = profiles::clr11().flags;
+  EngineFlags off = on;
+  off.cse = false;
+  const RCode a = regir::compile(vm.module(), vm.module().method(m), on);
+  const RCode c = regir::compile(vm.module(), vm.module().method(m), off);
+  EXPECT_EQ(count_op(a, ROp::MUL_I4), 1u);
+  EXPECT_EQ(count_op(c, ROp::MUL_I4), 2u);
+  EXPECT_LT(count_op(a, ROp::ADDI_I4), count_op(c, ROp::ADDI_I4));
+}
+
+TEST(RegIr, CseDedupsRepeatedElementLoads) {
+  VirtualMachine vm;
+  // a[0] + a[0]: one checked load feeds both uses under CSE.
+  ILBuilder b(vm.module(), "t_cseelem", {{ValType::I32}, ValType::I32});
+  const auto arr = b.add_local(ValType::Ref);
+  b.ldarg(0).newarr(ValType::I32).stloc(arr);
+  b.ldloc(arr).ldc_i4(0).ldelem(ValType::I32);
+  b.ldloc(arr).ldc_i4(0).ldelem(ValType::I32);
+  b.add().ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EngineFlags on = profiles::clr11().flags;
+  on.bounds_check_elim = false;  // isolate CSE's CHK_BOUNDS dedup
+  EngineFlags off = on;
+  off.cse = false;
+  const RCode a = regir::compile(vm.module(), vm.module().method(m), on);
+  const RCode c = regir::compile(vm.module(), vm.module().method(m), off);
+  EXPECT_LT(count_op(a, ROp::CHK_BOUNDS), count_op(c, ROp::CHK_BOUNDS));
+  EXPECT_LT(count_op(a, ROp::LDELEM_I4) + count_op(a, ROp::LDELEMU_I4),
+            count_op(c, ROp::LDELEM_I4) + count_op(c, ROp::LDELEMU_I4));
+}
+
+TEST(RegIr, LicmHoistsInvariantMultiplyAboveLoop) {
+  VirtualMachine vm;
+  // acc += a*a with loop-invariant argument a.
+  ILBuilder b(vm.module(), "t_licm", {{ValType::I32, ValType::I32},
+                                      ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto acc = b.add_local(ValType::I32);
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(acc);
+  b.ldc_i4(0).stloc(i).br(cond);
+  b.bind(top);
+  b.ldloc(acc).ldarg(1).ldarg(1).mul().add().stloc(acc);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.bind(cond);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.ldloc(acc).ret();
+  const auto m = b.finish();
+  verify(vm.module(), m);
+  EngineFlags on = profiles::clr11().flags;
+  EngineFlags off = on;
+  off.licm = false;
+  const RCode a = regir::compile(vm.module(), vm.module().method(m), on);
+  const RCode c = regir::compile(vm.module(), vm.module().method(m), off);
+  ASSERT_EQ(count_op(a, ROp::MUL_I4), 1u);
+  ASSERT_EQ(count_op(c, ROp::MUL_I4), 1u);
+  // Find the backward branch (the loop's back-edge) in each listing; with
+  // LICM the multiply sits before the loop body it used to sit inside.
+  auto analyse = [](const RCode& rc) {
+    std::size_t mul_pos = 0, loop_begin = rc.code.size();
+    for (std::size_t k = 0; k < rc.code.size(); ++k) {
+      const RInstr& in = rc.code[k];
+      if (in.op == ROp::MUL_I4) mul_pos = k;
+      const bool branch = in.op == ROp::JMPB ||
+                          (in.op >= ROp::JZ_I4 && in.op <= ROp::JGEI_I4);
+      if (branch && in.d >= 0 && static_cast<std::size_t>(in.d) <= k) {
+        loop_begin = std::min(loop_begin, static_cast<std::size_t>(in.d));
+      }
+    }
+    return std::make_pair(mul_pos, loop_begin);
+  };
+  const auto [mul_on, loop_on] = analyse(a);
+  const auto [mul_off, loop_off] = analyse(c);
+  EXPECT_LT(mul_on, loop_on);      // hoisted into the preheader
+  EXPECT_GE(mul_off, loop_off);    // still inside the loop without LICM
+}
+
+// ---------------------------------------------------------------------------
 // Behavioural equivalence: every optimizing flag combination must compute
 // exactly what the interpreter computes, over a program mixing arithmetic,
 // arrays, calls and branches.
@@ -234,6 +409,23 @@ std::vector<FlagCase> flag_matrix() {
     f.bounds_check_elim = false;
     f.fast_multidim = false;
     f.fast_math = false;
+    f.inline_calls = false;
+    f.cse = false;
+    f.licm = false;
+  });
+  add("no_inline", [](EngineFlags& f) { f.inline_calls = false; });
+  add("no_cse", [](EngineFlags& f) { f.cse = false; });
+  add("no_licm", [](EngineFlags& f) { f.licm = false; });
+  add("inline_deep", [](EngineFlags& f) {
+    f.inline_calls = true;
+    f.inline_depth = 4;
+    f.inline_max_il = 64;
+    f.inline_total_il = 512;
+  });
+  add("cse_licm_no_copyprop", [](EngineFlags& f) {
+    f.copy_propagation = false;
+    f.cse = true;
+    f.licm = true;
   });
   return cases;
 }
@@ -283,7 +475,7 @@ TEST_P(RegIrFlags, EveryFlagComboMatchesInterpreter) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombos, RegIrFlags,
-                         ::testing::Range<std::size_t>(0, 8));
+                         ::testing::Range<std::size_t>(0, 13));
 
 }  // namespace
 }  // namespace hpcnet::test

@@ -192,6 +192,37 @@ TEST(Verifier, MarksReachability) {
   EXPECT_TRUE(def.reachable[3]);
 }
 
+TEST(Verifier, RejectsCallBeyondMaxArgumentCount) {
+  // Regression: the interpreters marshal call arguments through a fixed
+  // Slot argbuf[kMaxCallArgs]; a 17-parameter callee must be rejected at
+  // verify time, never reaching the buffer.
+  VirtualMachine vm;
+  std::vector<ValType> params(static_cast<std::size_t>(kMaxCallArgs) + 1,
+                              ValType::I32);
+  ILBuilder callee(vm.module(), "arity17", {params, ValType::I32});
+  callee.ldarg(0).ret();
+  const auto c = callee.finish();
+  ILBuilder b(vm.module(), "arity17_caller", {{ValType::I32}, ValType::I32});
+  for (std::size_t i = 0; i < params.size(); ++i) b.ldc_i4(1);
+  b.call(c).ret();
+  const auto m = b.finish();
+  EXPECT_THROW(verify(vm.module(), m), VerifyError);
+}
+
+TEST(Verifier, AcceptsCallAtMaxArgumentCount) {
+  VirtualMachine vm;
+  std::vector<ValType> params(static_cast<std::size_t>(kMaxCallArgs),
+                              ValType::I32);
+  ILBuilder callee(vm.module(), "arity16", {params, ValType::I32});
+  callee.ldarg(0).ldarg(15).add().ret();
+  const auto c = callee.finish();
+  ILBuilder b(vm.module(), "arity16_caller", {{ValType::I32}, ValType::I32});
+  for (std::size_t i = 0; i < params.size(); ++i) b.ldc_i4(2);
+  b.call(c).ret();
+  const auto m = b.finish();
+  EXPECT_NO_THROW(verify(vm.module(), m));
+}
+
 TEST(Verifier, IsIdempotent) {
   VirtualMachine vm;
   ILBuilder b(vm.module(), "idem", {{}, ValType::I32});
