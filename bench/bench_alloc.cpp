@@ -1,0 +1,197 @@
+// Allocation scaling: does object/array creation scale with threads?
+//
+// Two tables:
+//  1. Direct-heap scaling — native threads allocating straight through
+//     Heap::alloc_array, comparing the per-thread TLAB bump path against the
+//     heap-shared buffer (one lock acquisition per allocation, the pre-TLAB
+//     behaviour). This isolates the allocator itself from engine overhead
+//     and is the acceptance gauge for the segmented-heap work: the TLAB
+//     column must keep scaling where the lock column flatlines.
+//  2. Table-1-style creation throughput per engine — managed fork-join
+//     workers (create.mt.* programs) allocating instances, 1-D arrays,
+//     rank-2 matrices and boxes at 1/2/4/8 threads, reported as
+//     allocations/sec. GC runs at the normal threshold mid-benchmark, as in
+//     the paper's Create rows.
+//
+//   bench_alloc [--quick] [--json FILE]
+//
+// --quick shrinks iteration counts and the engine list (CI smoke runs);
+// --json writes the tables as a JSON array via ResultTable::print_json.
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cil/micro.hpp"
+#include "cil/suite.hpp"
+#include "support/reporter.hpp"
+#include "support/timer.hpp"
+#include "vm/telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using vm::Slot;
+
+/// One direct-heap run: nthreads attached native threads each allocate
+/// `per_thread` 16-element f64 arrays, through their own TLAB when
+/// `use_tlab`, else through the heap-shared buffer under the lock. Returns
+/// allocations/sec over the parallel phase.
+double run_direct(vm::VirtualMachine& v, int nthreads, bool use_tlab,
+                  std::int32_t per_thread) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  std::atomic<std::int64_t> begin_ns{0};
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&] {
+      auto ctx = v.attach_thread(nullptr);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+        v.safepoint_poll(*ctx);
+        std::this_thread::yield();
+      }
+      vm::Tlab* tlab = use_tlab ? &ctx->tlab : nullptr;
+      for (std::int32_t i = 0; i < per_thread; ++i) {
+        v.heap().alloc_array(vm::ValType::F64, 16, tlab);
+        if ((i & 1023) == 0) v.safepoint_poll(*ctx);
+      }
+      v.detach_thread(*ctx);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < nthreads) {
+    std::this_thread::yield();
+  }
+  begin_ns.store(support::now_ns(), std::memory_order_relaxed);
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double secs = support::elapsed_seconds(
+      begin_ns.load(std::memory_order_relaxed), support::now_ns());
+  return static_cast<double>(nthreads) * per_thread / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_alloc [--quick] [--json FILE]\n";
+      return 1;
+    }
+  }
+
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  cil::BenchContext bc;
+  auto& v = bc.vm();
+
+  // ---- Table A: direct heap, TLAB vs shared-lock path ---------------------
+  // A large budget keeps the collector out of the measured window; the dead
+  // window is swept between configurations.
+  support::ResultTable direct(
+      "allocation scaling: direct heap [allocs/sec], TLAB vs global lock");
+  {
+    const std::int32_t per_thread = quick ? 100000 : 400000;
+    v.heap().set_threshold(1u << 30);
+    for (int n : thread_counts) {
+      const std::string row = std::to_string(n) + " threads";
+      // Warm-up pass, then the measured pass, for each mode.
+      for (bool use_tlab : {false, true}) {
+        run_direct(v, n, use_tlab, per_thread / 4);
+        v.collect();
+        const double rate = run_direct(v, n, use_tlab, per_thread);
+        direct.set(row, use_tlab ? "tlab" : "global-lock", rate);
+        v.collect();
+      }
+    }
+    for (int n : thread_counts) {
+      const std::string row = std::to_string(n) + " threads";
+      direct.set(row, "tlab/global-lock",
+                 direct.get(row, "tlab") / direct.get(row, "global-lock"));
+    }
+    v.heap().set_threshold(64u << 20);
+  }
+
+  // ---- Table B: per-engine managed creation at 1..8 threads ---------------
+  const std::vector<std::string> kinds{"object", "array", "matrix", "box"};
+  std::vector<std::int32_t> methods;
+  for (const auto& k : kinds) methods.push_back(cil::build_create_mt(v, k));
+
+  support::ResultTable engines_t(
+      "allocation scaling: managed creation [allocs/sec] (Table-1 style)");
+  {
+    const std::int32_t iters = quick ? 20000 : 200000;
+    for (auto& e : bc.engines()) {
+      // Quick mode exercises the tier extremes only (the paper's JIT vs
+      // interpreter contrast); full mode runs every profile.
+      if (quick && e->name() != "clr11" && e->name() != "rotor10") continue;
+      std::cerr << "running creation benchmarks on " << e->name() << "...\n";
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        // Warm-up: compiles driver + worker on this engine outside the
+        // timed region.
+        bc.invoke(*e, methods[k], {Slot::from_i32(1), Slot::from_i32(1000)});
+        for (int n : thread_counts) {
+          // Per-thread work shrinks with the thread count so each cell does
+          // the same total number of allocations; collecting first keeps the
+          // number of in-cell GCs the same for every cell.
+          const std::int32_t per_thread = iters / n;
+          v.collect();
+          const std::int64_t t0 = support::now_ns();
+          const Slot r = bc.invoke(
+              *e, methods[k], {Slot::from_i32(n), Slot::from_i32(per_thread)});
+          const double secs =
+              support::elapsed_seconds(t0, support::now_ns());
+          if (r.i32 != n) {
+            std::cerr << "worker census mismatch on " << e->name() << "/"
+                      << kinds[k] << ": " << r.i32 << " != " << n << "\n";
+            return 1;
+          }
+          engines_t.set(kinds[k] + ":" + std::to_string(n) + "t", e->name(),
+                        static_cast<double>(n) * per_thread / secs);
+        }
+      }
+    }
+  }
+
+  direct.print(std::cout);
+  std::cout << "\n";
+  engines_t.print(std::cout);
+
+  // TLAB housekeeping counters, for the waste accounting in EXPERIMENTS.md.
+  if (vm::telemetry::enabled()) {
+    const auto snap = vm::telemetry::snapshot();
+    const auto c = [&](vm::telemetry::Counter ctr) {
+      return static_cast<unsigned long long>(snap.counter(ctr));
+    };
+    std::cout << "\ntlab refills: " << c(vm::telemetry::Counter::TlabRefills)
+              << ", waste bytes: "
+              << c(vm::telemetry::Counter::TlabWasteBytes)
+              << ", large allocs: "
+              << c(vm::telemetry::Counter::LargeAllocs) << ", allocations: "
+              << c(vm::telemetry::Counter::Allocations) << ", bytes: "
+              << c(vm::telemetry::Counter::BytesAllocated) << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "[";
+    direct.print_json(out);
+    out << ",\n";
+    engines_t.print_json(out);
+    out << "]\n";
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return 0;
+}

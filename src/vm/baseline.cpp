@@ -135,7 +135,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         break;
       case Op::LDSTR: {
         frame.pc = pc;
-        ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a));
+        ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab);
         st[frame.sp++] = Slot::from_ref(s);
         break;
       }
@@ -492,7 +492,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
 
       case Op::NEWOBJ: {
         frame.pc = pc;
-        ObjRef obj = vm_.heap().alloc_instance(in.a);
+        ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
         st[frame.sp++] = Slot::from_ref(obj);
         break;
       }
@@ -520,7 +520,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         frame.pc = pc;
         const std::int32_t len = st[frame.sp - 1].i32;
         if (len < 0) BASE_THROW(mod.index_range_class(), "negative array size");
-        ObjRef arr = vm_.heap().alloc_array(in.type, len);
+        ObjRef arr = vm_.heap().alloc_array(in.type, len, &ctx.tlab);
         st[frame.sp - 1] = Slot::from_ref(arr);
         break;
       }
@@ -572,7 +572,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         if (rows < 0 || cols < 0) {
           BASE_THROW(mod.index_range_class(), "negative matrix size");
         }
-        ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols);
+        ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols, &ctx.tlab);
         frame.sp -= 1;
         st[frame.sp - 1] = Slot::from_ref(mat);
         break;
@@ -627,7 +627,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
 
       case Op::BOX: {
         frame.pc = pc;
-        ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1]);
+        ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1], &ctx.tlab);
         st[frame.sp - 1] = Slot::from_ref(box);
         break;
       }

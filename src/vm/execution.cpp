@@ -194,9 +194,17 @@ VirtualMachine::VirtualMachine() : heap_(&module_) {
 VirtualMachine::~VirtualMachine() {
   // Join any managed threads that were never joined so they don't outlive
   // the VM state they reference.
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : threads_) {
-    if (t->thread.joinable()) t->thread.join();
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (auto& t : threads_) {
+      if (t->thread.joinable()) t->thread.join();
+    }
+  }
+  // Detach the lazily-attached host-thread context so its TLAB is
+  // unregistered before the heap is torn down.
+  if (main_ctx_) {
+    detach_thread(*main_ctx_);
+    main_ctx_.reset();
   }
 }
 
@@ -226,11 +234,15 @@ std::unique_ptr<VMContext> VirtualMachine::attach_thread(Engine* engine) {
     std::unique_lock<std::mutex> lock(park_mu_);
     attach_locked(*ctx, lock);
   }
+  // Registered after the attach handshake: the thread now counts as running,
+  // so no collection can complete (and sweep the TLAB list) concurrently.
+  heap_.register_tlab(ctx->tlab);
   telemetry::on_thread_attach(ctx->thread_id);
   return ctx;
 }
 
 void VirtualMachine::detach_thread(VMContext& ctx) {
+  heap_.unregister_tlab(ctx.tlab);
   telemetry::on_thread_detach(ctx.thread_id);
   std::unique_lock<std::mutex> lock(park_mu_);
   contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), &ctx),
@@ -352,10 +364,9 @@ void VirtualMachine::mark_roots() {
 
 ObjRef VirtualMachine::make_exception(VMContext& ctx, std::int32_t class_id,
                                       const std::string& message) {
-  (void)ctx;
-  ObjRef msg = heap_.alloc_string(message);
+  ObjRef msg = heap_.alloc_string(message, &ctx.tlab);
   Pinned pin(*this, msg);
-  ObjRef exc = heap_.alloc_instance(class_id);
+  ObjRef exc = heap_.alloc_instance(class_id, &ctx.tlab);
   exc->fields()[0] = Slot::from_ref(msg);  // System.Exception.message
   return exc;
 }
@@ -407,7 +418,7 @@ ObjRef VirtualMachine::start_thread(VMContext& ctx, std::int32_t method_id,
   ManagedThread* t = rec.get();
   t->arg = arg;
 
-  ObjRef handle = heap_.alloc_instance(thread_class_);
+  ObjRef handle = heap_.alloc_instance(thread_class_, &ctx.tlab);
   t->handle = handle;
 
   std::int32_t index;

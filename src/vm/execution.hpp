@@ -149,6 +149,8 @@ struct VMContext {
   GcFrame* top_frame = nullptr;
   ObjRef pending_exception = nullptr;
   FrameArena arena;
+  Tlab tlab;  // this thread's allocation buffer; registered with the heap
+              // while attached, retired at GC rendezvous and detach
   support::JavaRandom math_random{20030315};  // Math.random() state
 
   bool has_pending() const { return pending_exception != nullptr; }

@@ -1,5 +1,6 @@
 #include "vm/heap.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <new>
 #include <stdexcept>
@@ -7,6 +8,29 @@
 #include "vm/telemetry/telemetry.hpp"
 
 namespace hpcnet::vm {
+
+namespace {
+
+constexpr std::size_t kAllocAlign = alignof(Slot);
+constexpr std::size_t kSegmentAlign = 4096;  // page-aligned segments
+
+/// Smallest block that can carry a header: dead space below this cannot be
+/// tiled with a Free filler, so bump() pads the preceding object instead.
+constexpr std::size_t kMinBlock =
+    (sizeof(ObjHeader) + kAllocAlign - 1) & ~(kAllocAlign - 1);
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAllocAlign - 1) & ~(kAllocAlign - 1);
+}
+
+/// Tiles [p, p+bytes) with a Free filler so the segment stays walkable.
+void write_filler(char* p, std::size_t bytes) {
+  auto* h = new (p) ObjHeader();
+  h->kind = ObjKind::Free;
+  h->alloc_bytes = static_cast<std::uint32_t>(bytes);
+}
+
+}  // namespace
 
 std::size_t elem_size(ValType t) {
   switch (t) {
@@ -20,57 +44,186 @@ std::size_t elem_size(ValType t) {
   return 8;
 }
 
-Heap::Heap(Module* module, std::size_t gc_threshold_bytes)
-    : module_(module), threshold_(gc_threshold_bytes) {}
+struct Heap::Segment {
+  explicit Segment(std::size_t n)
+      : mem(static_cast<char*>(
+            ::operator new(n, std::align_val_t{kSegmentAlign}))),
+        bytes(n) {}
+  ~Segment() { ::operator delete(mem, std::align_val_t{kSegmentAlign}); }
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
 
-Heap::~Heap() {
-  for (ObjRef o : objects_) ::operator delete(o, std::align_val_t{alignof(Slot)});
+  char* mem;
+  std::size_t bytes;
+};
+
+Heap::Heap(Module* module, std::size_t gc_threshold_bytes)
+    : module_(module), threshold_(gc_threshold_bytes) {
+  tlabs_.push_back(&shared_tlab_);
 }
 
-ObjRef Heap::alloc_raw(std::size_t payload_bytes) {
-  // Trigger a collection outside the allocation lock so the GC can take it.
-  if (bytes_since_gc_ > threshold_ && gc_requester_) {
-    gc_requester_();
+Heap::~Heap() {
+  // Registered TLABs may dangle here (the VM tears contexts down first);
+  // only the raw storage needs freeing.
+  for (ObjRef o : large_) ::operator delete(o, std::align_val_t{kAllocAlign});
+}
+
+void Heap::register_tlab(Tlab& tlab) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tlabs_.push_back(&tlab);
+}
+
+void Heap::unregister_tlab(Tlab& tlab) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fold_locked(tlab);
+  retire_locked(tlab, /*count_waste=*/true);
+  tlabs_.erase(std::remove(tlabs_.begin(), tlabs_.end(), &tlab),
+               tlabs_.end());
+}
+
+void Heap::fold_locked(Tlab& t) {
+  if (t.pending_allocs_ == 0 && t.pending_bytes_ == 0) return;
+  stats_.total_allocations += t.pending_allocs_;
+  live_objects_ += t.pending_allocs_;
+  live_bytes_ += t.pending_bytes_;
+  bytes_since_gc_.fetch_add(t.pending_bytes_, std::memory_order_relaxed);
+  t.pending_allocs_ = 0;
+  t.pending_bytes_ = 0;
+}
+
+void Heap::retire_locked(Tlab& t, bool count_waste) {
+  if (t.cur_ != nullptr && t.cur_ < t.end_) {
+    const std::size_t tail = static_cast<std::size_t>(t.end_ - t.cur_);
+    write_filler(t.cur_, tail);
+    if (count_waste) {
+      telemetry::count(telemetry::Counter::TlabWasteBytes, tail);
+    }
   }
-  const std::size_t total = sizeof(ObjHeader) + payload_bytes;
-  void* mem = ::operator new(total, std::align_val_t{alignof(Slot)});
-  std::memset(mem, 0, total);
-  auto* obj = new (mem) ObjHeader();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    objects_.push_back(obj);
-    sizes_.push_back(total);
-    bytes_since_gc_ += total;
-    live_bytes_ += total;
-    ++stats_.total_allocations;
+  t.cur_ = nullptr;
+  t.end_ = nullptr;
+}
+
+void Heap::acquire_region_locked(Tlab& t, std::size_t total) {
+  telemetry::count(telemetry::Counter::TlabRefills);
+  // First fit from the free runs the last sweep recovered inside live
+  // segments; the run's filler header is overwritten as the TLAB bumps.
+  for (std::size_t i = 0; i < free_runs_.size(); ++i) {
+    if (free_runs_[i].bytes >= total) {
+      t.cur_ = free_runs_[i].p;
+      t.end_ = free_runs_[i].p + free_runs_[i].bytes;
+      free_runs_[i] = free_runs_.back();
+      free_runs_.pop_back();
+      return;
+    }
   }
+  // Whole segment: reuse a pooled one or take fresh pages.
+  std::unique_ptr<Segment> seg;
+  if (!pool_.empty()) {
+    seg = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    seg = std::make_unique<Segment>(kSegmentBytes);
+  }
+  t.cur_ = seg->mem;
+  t.end_ = seg->mem + seg->bytes;
+  segments_.push_back(std::move(seg));
+}
+
+ObjRef Heap::bump(Tlab& t, std::size_t total) {
+  const std::size_t rem = static_cast<std::size_t>(t.end_ - t.cur_) - total;
+  // A tail too small to carry a filler header would break segment walking;
+  // absorb it into this block as hidden padding.
+  if (rem != 0 && rem < kMinBlock) total += rem;
+  char* p = t.cur_;
+  t.cur_ += total;
+  std::memset(p, 0, total);
+  auto* obj = new (p) ObjHeader();
+  obj->alloc_bytes = static_cast<std::uint32_t>(total);
+  t.pending_allocs_ += 1;
+  t.pending_bytes_ += total;
   telemetry::record_allocation(total);
   return obj;
 }
 
-ObjRef Heap::alloc_instance(std::int32_t class_id) {
+ObjRef Heap::alloc_raw(std::size_t payload_bytes, Tlab* tlab) {
+  const std::size_t total = align_up(sizeof(ObjHeader) + payload_bytes);
+  // Fast path: bump inside the calling thread's TLAB, no synchronization.
+  // The GC budget is deliberately not checked here — it is enforced at
+  // refill points, giving the trigger one-TLAB (64 KiB) granularity.
+  if (tlab != nullptr && total < kLargeThreshold && tlab->cur_ != nullptr &&
+      total <= static_cast<std::size_t>(tlab->end_ - tlab->cur_)) {
+    return bump(*tlab, total);
+  }
+  return alloc_slow(total, tlab);
+}
+
+ObjRef Heap::alloc_slow(std::size_t total, Tlab* tlab) {
+  // Fold this thread's pending byte count, then decide whether to trigger a
+  // collection *before* acquiring new space, with no locks held (the
+  // requester stops the world and re-enters the heap via sweep()).
+  bool trigger;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fold_locked(tlab != nullptr ? *tlab : shared_tlab_);
+    trigger = bytes_since_gc_.load(std::memory_order_relaxed) > threshold_;
+  }
+  if (trigger && gc_requester_) {
+    gc_requester_();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total >= kLargeThreshold) {
+    void* mem = ::operator new(total, std::align_val_t{kAllocAlign});
+    std::memset(mem, 0, total);
+    auto* obj = new (mem) ObjHeader();  // alloc_bytes stays 0: size lives in
+                                        // large_sizes_ (may exceed 4 GiB)
+    large_.push_back(obj);
+    large_sizes_.push_back(total);
+    ++stats_.total_allocations;
+    ++live_objects_;
+    live_bytes_ += total;
+    bytes_since_gc_.fetch_add(total, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::LargeAllocs);
+    telemetry::record_allocation(total);
+    return obj;
+  }
+
+  // Refill. tlab-less callers share shared_tlab_, which is only ever
+  // touched under mu_ — this is the old one-lock-per-object path.
+  Tlab& t = tlab != nullptr ? *tlab : shared_tlab_;
+  if (t.cur_ == nullptr ||
+      total > static_cast<std::size_t>(t.end_ - t.cur_)) {
+    retire_locked(t, /*count_waste=*/true);
+    acquire_region_locked(t, total);
+  }
+  return bump(t, total);
+}
+
+ObjRef Heap::alloc_instance(std::int32_t class_id, Tlab* tlab) {
   const auto& cls = module_->klass(class_id);
-  ObjRef obj = alloc_raw(cls.fields.size() * sizeof(Slot));
+  ObjRef obj = alloc_raw(cls.fields.size() * sizeof(Slot), tlab);
   obj->kind = ObjKind::Instance;
   obj->klass = class_id;
   obj->length = static_cast<std::int32_t>(cls.fields.size());
   return obj;
 }
 
-ObjRef Heap::alloc_array(ValType elem, std::int32_t length) {
+ObjRef Heap::alloc_array(ValType elem, std::int32_t length, Tlab* tlab) {
   if (length < 0) throw std::invalid_argument("negative array length");
-  ObjRef obj = alloc_raw(static_cast<std::size_t>(length) * elem_size(elem));
+  ObjRef obj =
+      alloc_raw(static_cast<std::size_t>(length) * elem_size(elem), tlab);
   obj->kind = ObjKind::Array;
   obj->elem = elem;
   obj->length = length;
   return obj;
 }
 
-ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows,
-                           std::int32_t cols) {
+ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols,
+                           Tlab* tlab) {
   if (rows < 0 || cols < 0) throw std::invalid_argument("negative matrix dim");
   ObjRef obj = alloc_raw(static_cast<std::size_t>(rows) *
-                         static_cast<std::size_t>(cols) * elem_size(elem));
+                             static_cast<std::size_t>(cols) * elem_size(elem),
+                         tlab);
   obj->kind = ObjKind::Matrix2;
   obj->elem = elem;
   obj->length = rows;
@@ -78,8 +231,8 @@ ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows,
   return obj;
 }
 
-ObjRef Heap::alloc_box(ValType type, Slot value) {
-  ObjRef obj = alloc_raw(sizeof(Slot));
+ObjRef Heap::alloc_box(ValType type, Slot value, Tlab* tlab) {
+  ObjRef obj = alloc_raw(sizeof(Slot), tlab);
   obj->kind = ObjKind::Boxed;
   obj->elem = type;
   obj->length = 1;
@@ -87,8 +240,8 @@ ObjRef Heap::alloc_box(ValType type, Slot value) {
   return obj;
 }
 
-ObjRef Heap::alloc_string(const std::string& s) {
-  ObjRef obj = alloc_raw(s.size());
+ObjRef Heap::alloc_string(const std::string& s, Tlab* tlab) {
+  ObjRef obj = alloc_raw(s.size(), tlab);
   obj->kind = ObjKind::String;
   obj->length = static_cast<std::int32_t>(s.size());
   std::memcpy(obj->chars(), s.data(), s.size());
@@ -141,46 +294,138 @@ void Heap::trace(ObjRef obj, std::vector<ObjRef>& worklist) {
       if (obj->elem == ValType::Ref) push(obj->fields()[0].ref);
       break;
     case ObjKind::String:
+    case ObjKind::Free:
       break;
   }
 }
 
 void Heap::sweep() {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t allocated_window = bytes_since_gc_;
+  // The world is stopped: every mutator is parked (the park handshake gives
+  // the happens-before edge), so their TLABs can be retired here. Retiring
+  // tiles each live window with a filler; the walk below reclaims it.
+  for (Tlab* t : tlabs_) {
+    fold_locked(*t);
+    retire_locked(*t, /*count_waste=*/false);
+  }
+
+  const std::size_t allocated_window =
+      bytes_since_gc_.load(std::memory_order_relaxed);
   std::size_t freed_bytes = 0;
   std::size_t swept = 0;
+  live_bytes_ = 0;
+  live_objects_ = 0;
+  free_runs_.clear();
+
+  // Walk each segment by the sizes stored in the headers, coalescing dead
+  // blocks (including old fillers) into free runs. Fully-dead segments go
+  // back to the pool; runs inside live segments get filler headers and feed
+  // the next TLAB refills.
+  std::size_t seg_out = 0;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    Segment& seg = *segments_[s];
+    char* p = seg.mem;
+    char* const seg_end = seg.mem + seg.bytes;
+    bool any_live = false;
+    char* run_start = nullptr;
+    std::vector<FreeRun> runs;
+    auto close_run = [&](char* run_end) {
+      if (run_start == nullptr) return;
+      runs.push_back({run_start, static_cast<std::size_t>(run_end - run_start)});
+      run_start = nullptr;
+    };
+    while (p < seg_end) {
+      auto* h = reinterpret_cast<ObjHeader*>(p);
+      const std::size_t sz = h->alloc_bytes;
+      if (h->marked) {
+        h->marked = false;
+        any_live = true;
+        ++live_objects_;
+        live_bytes_ += sz;
+        close_run(p);
+      } else {
+        if (h->kind != ObjKind::Free) {
+          ++swept;
+          ++stats_.swept_objects;
+          freed_bytes += sz;
+        }
+        if (run_start == nullptr) run_start = p;
+      }
+      p += sz;
+    }
+    close_run(seg_end);
+    if (!any_live) {
+      if (pool_.size() < kMaxPooledSegments) {
+        pool_.push_back(std::move(segments_[s]));
+      }
+      continue;  // segment leaves the walkable list
+    }
+    for (const FreeRun& r : runs) {
+      write_filler(r.p, r.bytes);
+      free_runs_.push_back(r);
+    }
+    segments_[seg_out++] = std::move(segments_[s]);
+  }
+  segments_.resize(seg_out);
+
+  // Large objects are swept individually, as the old flat heap did.
   std::size_t out = 0;
-  for (std::size_t i = 0; i < objects_.size(); ++i) {
-    ObjRef obj = objects_[i];
+  for (std::size_t i = 0; i < large_.size(); ++i) {
+    ObjRef obj = large_[i];
     if (obj->marked) {
       obj->marked = false;
-      objects_[out] = obj;
-      sizes_[out] = sizes_[i];
+      ++live_objects_;
+      live_bytes_ += large_sizes_[i];
+      large_[out] = obj;
+      large_sizes_[out] = large_sizes_[i];
       ++out;
     } else {
-      live_bytes_ -= sizes_[i];
-      freed_bytes += sizes_[i];
+      freed_bytes += large_sizes_[i];
       ++swept;
       ++stats_.swept_objects;
-      ::operator delete(obj, std::align_val_t{alignof(Slot)});
+      ::operator delete(obj, std::align_val_t{kAllocAlign});
     }
   }
-  objects_.resize(out);
-  sizes_.resize(out);
-  bytes_since_gc_ = 0;
+  large_.resize(out);
+  large_sizes_.resize(out);
+
+  bytes_since_gc_.store(0, std::memory_order_relaxed);
   ++stats_.collections;
   // Runs during the stop-the-world window; the VM's collect() folds these
   // into the pause event it records when the world resumes.
-  telemetry::record_gc_sweep(allocated_window, freed_bytes, swept);
+  telemetry::record_gc_sweep(allocated_window, freed_bytes, swept,
+                             segments_.size());
 }
 
 HeapStats Heap::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   HeapStats s = stats_;
-  s.live_objects = objects_.size();
+  s.live_objects = live_objects_;
   s.live_bytes = live_bytes_;
+  // Read (without resetting) the registered TLABs' unfolded counts. Exact
+  // when the owning threads are quiescent/joined; a thread racing its own
+  // bump path may be missed, like the telemetry sinks.
+  for (const Tlab* t : tlabs_) {
+    s.total_allocations += t->pending_allocs_;
+    s.live_objects += t->pending_allocs_;
+    s.live_bytes += t->pending_bytes_;
+  }
+  s.segments = segments_.size();
+  s.pooled_segments = pool_.size();
+  s.large_objects = large_.size();
   return s;
+}
+
+std::size_t Heap::bytes_since_gc() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = bytes_since_gc_.load(std::memory_order_relaxed);
+  for (const Tlab* t : tlabs_) n += t->pending_bytes_;
+  return n;
+}
+
+void Heap::set_threshold(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ = bytes;
 }
 
 void Heap::request_gc() {

@@ -3,15 +3,33 @@
 // management; the benchmarks (Create, Serial, Boxing, the SciMark kernels'
 // array traffic) all allocate through here.
 //
-// Collection protocol: allocation is the only GC trigger. When the allocation
-// budget is exceeded, the allocating thread asks the VirtualMachine (via the
-// gc_requester callback) to bring all managed threads to safepoints and then
-// runs mark (from the roots the VM enumerates) and sweep.
+// Storage design (DESIGN.md §7): the heap hands out aligned, page-multiple
+// 64 KiB *segments* under its lock; each mutator thread owns a *TLAB*
+// (thread-local allocation buffer) — a bump-pointer window into a segment or
+// into a free run recovered by the sweeper — and allocates objects inside it
+// with zero synchronization. The lock is taken only to refill an exhausted
+// TLAB (one lock acquisition per ~64 KiB of allocation instead of one per
+// object) and for oversized objects (> 1/4 segment), which go to a dedicated
+// large-object list. Every segment is kept fully tiled with object headers
+// (dead space is covered by ObjKind::Free filler headers), so the sweeper can
+// walk a segment linearly using the per-object size stored in the header.
+//
+// Collection protocol: allocation is the only GC trigger. Allocated-byte
+// counts accumulate per-TLAB and are folded into the heap's atomic
+// bytes_since_gc_ at refill points; when the folded total exceeds the budget,
+// the refilling thread asks the VirtualMachine (via the gc_requester
+// callback) to bring all managed threads to safepoints and then runs mark
+// (from the roots the VM enumerates) and sweep. Sweep retires every
+// registered TLAB (the world is stopped, so their owners are parked), builds
+// per-segment free runs from dead space, and returns fully-dead segments to
+// a reusable pool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -20,7 +38,10 @@
 
 namespace hpcnet::vm {
 
-enum class ObjKind : std::uint8_t { Instance, Array, Matrix2, Boxed, String };
+/// Free is a filler pseudo-object covering dead space inside a segment so the
+/// sweeper can walk segments linearly; it is never visible to managed code.
+enum class ObjKind : std::uint8_t { Instance, Array, Matrix2, Boxed, String,
+                                    Free };
 
 struct ObjHeader {
   std::int32_t klass = -1;   // class id for Instance; -1 otherwise
@@ -31,6 +52,11 @@ struct ObjHeader {
   std::int32_t length = 0;    // Array: elements; Matrix2: rows; String: bytes;
                               // Instance: field count; Boxed: 1
   std::int32_t cols = 0;      // Matrix2 only
+  std::uint32_t alloc_bytes = 0;  // total block size (header + payload + pad)
+                                  // for segment-resident objects; the sweeper
+                                  // walks segments by this. 0 for objects on
+                                  // the large-object list (side table holds
+                                  // their sizes, which may exceed 4 GiB).
 
   // Payload follows the header, 8-byte aligned.
   Slot* fields() { return reinterpret_cast<Slot*>(this + 1); }
@@ -56,10 +82,44 @@ struct HeapStats {
   std::size_t total_allocations = 0;
   std::size_t collections = 0;
   std::size_t swept_objects = 0;
+  std::size_t segments = 0;        // active (walkable) segments
+  std::size_t pooled_segments = 0; // empty segments awaiting reuse
+  std::size_t large_objects = 0;   // live entries on the large-object list
+};
+
+/// A thread's bump-allocation window. Owned by the mutator's VMContext and
+/// registered with the Heap while the thread is attached; only the owning
+/// thread touches it while the world is running, so the allocation fast path
+/// needs no synchronization. The sweeper retires all registered TLABs during
+/// the stop-the-world window (the park handshake provides the
+/// happens-before edge TSan needs).
+class Tlab {
+ public:
+  Tlab() = default;
+  Tlab(const Tlab&) = delete;
+  Tlab& operator=(const Tlab&) = delete;
+
+ private:
+  friend class Heap;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  // Allocation accounting since the last fold into the heap's shared
+  // counters (see Heap::fold_locked).
+  std::uint64_t pending_allocs_ = 0;
+  std::uint64_t pending_bytes_ = 0;
 };
 
 class Heap {
  public:
+  /// Segment granule handed to TLABs. Page-multiple; one lock acquisition
+  /// per segment of allocation instead of one per object.
+  static constexpr std::size_t kSegmentBytes = 64u << 10;
+  /// Blocks of at least this total size bypass TLABs for the large-object
+  /// list (they would waste too much of a segment).
+  static constexpr std::size_t kLargeThreshold = kSegmentBytes / 4;
+  /// Empty segments kept for reuse before being returned to the OS.
+  static constexpr std::size_t kMaxPooledSegments = 256;
+
   /// `module` supplies field layouts for marking instances.
   explicit Heap(Module* module, std::size_t gc_threshold_bytes = 64u << 20);
   ~Heap();
@@ -71,36 +131,87 @@ class Heap {
   /// exceeded; responsible for stopping the world and calling collect().
   void set_gc_requester(std::function<void()> fn) { gc_requester_ = std::move(fn); }
 
-  ObjRef alloc_instance(std::int32_t class_id);
-  ObjRef alloc_array(ValType elem, std::int32_t length);
-  ObjRef alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols);
-  ObjRef alloc_box(ValType type, Slot value);
-  ObjRef alloc_string(const std::string& s);
+  /// Registers a mutator's TLAB. Call from the owning thread once it is
+  /// attached (and before it allocates through the TLAB); unregister before
+  /// the thread detaches. Registration is what lets sweep() retire the
+  /// buffer at the GC rendezvous.
+  void register_tlab(Tlab& tlab);
+  void unregister_tlab(Tlab& tlab);
+
+  /// Allocation. Passing the calling thread's registered TLAB takes the
+  /// lock-free bump fast path; with tlab == nullptr the allocation is served
+  /// from a heap-shared buffer under the lock (the pre-TLAB behaviour, kept
+  /// for native callers without a VMContext and as the bench baseline).
+  ObjRef alloc_instance(std::int32_t class_id, Tlab* tlab = nullptr);
+  ObjRef alloc_array(ValType elem, std::int32_t length, Tlab* tlab = nullptr);
+  ObjRef alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols,
+                       Tlab* tlab = nullptr);
+  ObjRef alloc_box(ValType type, Slot value, Tlab* tlab = nullptr);
+  ObjRef alloc_string(const std::string& s, Tlab* tlab = nullptr);
 
   /// Mark phase: call mark() for every root, then trace().
   void mark(ObjRef root);
-  /// Sweep unmarked objects and reset marks. World must be stopped.
+  /// Sweep unmarked objects and reset marks. World must be stopped: retires
+  /// all registered TLABs, walks segments building free runs, pools
+  /// fully-dead segments, sweeps the large-object list.
   void sweep();
 
+  /// Counts are exact once the threads whose allocations are being counted
+  /// have been joined (their TLAB pendings are read under the lock).
   HeapStats stats() const;
-  std::size_t bytes_since_gc() const { return bytes_since_gc_; }
-  void set_threshold(std::size_t bytes) { threshold_ = bytes; }
+  std::size_t bytes_since_gc() const;
+  void set_threshold(std::size_t bytes);
 
   /// Forces a full collection via the registered requester (tests/examples).
   void request_gc();
 
  private:
-  ObjRef alloc_raw(std::size_t payload_bytes);
+  struct Segment;
+  struct FreeRun {
+    char* p = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  ObjRef alloc_raw(std::size_t payload_bytes, Tlab* tlab);
+  ObjRef alloc_slow(std::size_t total, Tlab* tlab);
+  ObjRef bump(Tlab& t, std::size_t total);
+  void fold_locked(Tlab& t);
+  void retire_locked(Tlab& t, bool count_waste);
+  void acquire_region_locked(Tlab& t, std::size_t total);
   void trace(ObjRef obj, std::vector<ObjRef>& worklist);
 
   Module* module_;
   std::function<void()> gc_requester_;
   mutable std::mutex mu_;
-  std::vector<ObjRef> objects_;
-  std::vector<std::size_t> sizes_;  // parallel to objects_ (payload+header)
-  std::size_t bytes_since_gc_ = 0;
-  std::size_t live_bytes_ = 0;
+
+  // Segment store. segments_ holds walkable segments (fully tiled with
+  // object/filler headers outside live TLAB windows); pool_ holds empty
+  // segments awaiting reuse.
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<Segment>> pool_;
+  std::vector<FreeRun> free_runs_;  // dead runs inside live segments,
+                                    // rebuilt by each sweep
+
+  // Large-object list (blocks >= kLargeThreshold), swept individually.
+  std::vector<ObjRef> large_;
+  std::vector<std::size_t> large_sizes_;  // parallel to large_
+
+  std::vector<Tlab*> tlabs_;  // registered mutator TLABs (+ shared_tlab_)
+  Tlab shared_tlab_;          // serves tlab-less callers, used under mu_
+
+  // GC-trigger protocol: the bump fast path never checks the budget; each
+  // TLAB's byte count is folded into this atomic at refill points (under
+  // mu_) and the refilling/large-allocating thread compares it against
+  // threshold_ *before* acquiring new space, calling the requester with no
+  // locks held. sweep() resets it while the world is stopped. Atomic so
+  // the unlocked compare is well-defined against the sweeper's reset.
+  std::atomic<std::size_t> bytes_since_gc_{0};
   std::size_t threshold_;
+
+  // Authoritative at fold points; sweep() recomputes live_* exactly from
+  // the mark bits.
+  std::size_t live_bytes_ = 0;
+  std::size_t live_objects_ = 0;
   HeapStats stats_{};
 };
 

@@ -153,7 +153,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
         push(ValType::Ref, Slot::from_ref(nullptr));
         break;
       case Op::LDSTR: {
-        ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a));
+        ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab);
         push(ValType::Ref, Slot::from_ref(s));
         break;
       }
@@ -504,7 +504,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
         return result;
 
       case Op::NEWOBJ: {
-        ObjRef obj = vm_.heap().alloc_instance(in.a);
+        ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
         push(ValType::Ref, Slot::from_ref(obj));
         break;
       }
@@ -533,7 +533,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       case Op::NEWARR: {
         const std::int32_t len = st[frame.sp - 1].v.i32;
         if (len < 0) INTERP_THROW(mod.index_range_class(), "negative array size");
-        ObjRef arr = vm_.heap().alloc_array(in.type, len);
+        ObjRef arr = vm_.heap().alloc_array(in.type, len, &ctx.tlab);
         st[frame.sp - 1] = {Slot::from_ref(arr), ValType::Ref};
         break;
       }
@@ -590,7 +590,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
         if (rows < 0 || cols < 0) {
           INTERP_THROW(mod.index_range_class(), "negative matrix size");
         }
-        ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols);
+        ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols, &ctx.tlab);
         frame.sp -= 2;
         push(ValType::Ref, Slot::from_ref(mat));
         break;
@@ -645,7 +645,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       }
 
       case Op::BOX: {
-        ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1].v);
+        ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1].v, &ctx.tlab);
         st[frame.sp - 1] = {Slot::from_ref(box), ValType::Ref};
         break;
       }

@@ -1,5 +1,7 @@
 #include "vm/monitor.hpp"
 
+#include <atomic>
+
 #include "support/timer.hpp"
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
@@ -8,16 +10,21 @@
 namespace hpcnet::vm {
 
 MonitorTable::Entry& MonitorTable::entry_for(ObjRef obj) {
-  // lock_id is written once under table_mu_ and never changes afterwards, so
-  // a nonzero read outside the lock is safe.
-  std::uint32_t id = obj->lock_id;
+  // lock_id is written once (under table_mu_) and never changes afterwards.
+  // The unlocked fast-path read still needs acquire/release on the word
+  // itself: the release store publishes the Entry constructed just before it,
+  // so a thread that observes a nonzero id also observes a fully-built Entry
+  // at entries_[id - 1] (deque => stable addresses, no reallocation races).
+  std::atomic_ref<std::uint32_t> lock_id(obj->lock_id);
+  std::uint32_t id = lock_id.load(std::memory_order_acquire);
   if (id == 0) {
     std::lock_guard<std::mutex> lock(table_mu_);
-    if (obj->lock_id == 0) {
+    id = lock_id.load(std::memory_order_relaxed);
+    if (id == 0) {
       entries_.emplace_back();
-      obj->lock_id = static_cast<std::uint32_t>(entries_.size());
+      id = static_cast<std::uint32_t>(entries_.size());
+      lock_id.store(id, std::memory_order_release);
     }
-    id = obj->lock_id;
   }
   return entries_[id - 1];
 }

@@ -161,7 +161,8 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
         R[in.d].raw = static_cast<std::uint64_t>(in.imm.i64);
         break;
       case ROp::LDSTR_R:
-        R[in.d] = Slot::from_ref(vm_.heap().alloc_string(mod.string_at(in.a)));
+        R[in.d] = Slot::from_ref(
+            vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab));
         break;
 
       case ROp::ADD_I4: R[in.d].i32 = arith::add_i32(R[in.a].i32, R[in.b].i32); break;
@@ -464,7 +465,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
         return result;
 
       case ROp::NEWOBJ_R:
-        R[in.d] = Slot::from_ref(vm_.heap().alloc_instance(in.a));
+        R[in.d] = Slot::from_ref(vm_.heap().alloc_instance(in.a, &ctx.tlab));
         break;
       case ROp::LDFLD_R: {
         ObjRef obj = R[in.a].ref;
@@ -489,7 +490,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
         const std::int32_t len = R[in.a].i32;
         if (len < 0) OPT_THROW(mod.index_range_class(), "negative array size");
         R[in.d] = Slot::from_ref(
-            vm_.heap().alloc_array(static_cast<ValType>(in.b), len));
+            vm_.heap().alloc_array(static_cast<ValType>(in.b), len, &ctx.tlab));
         break;
       }
       case ROp::LDLEN_R: {
@@ -582,7 +583,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
           OPT_THROW(mod.index_range_class(), "negative matrix size");
         }
         R[in.d] = Slot::from_ref(vm_.heap().alloc_matrix2(
-            static_cast<ValType>(in.imm.i64), rows, cols));
+            static_cast<ValType>(in.imm.i64), rows, cols, &ctx.tlab));
         break;
       }
 
@@ -685,7 +686,7 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
 
       case ROp::BOX_R:
         R[in.d] = Slot::from_ref(
-            vm_.heap().alloc_box(static_cast<ValType>(in.b), R[in.a]));
+            vm_.heap().alloc_box(static_cast<ValType>(in.b), R[in.a], &ctx.tlab));
         break;
       case ROp::UNBOX_R: {
         ObjRef box = R[in.a].ref;

@@ -151,7 +151,6 @@ std::vector<char> serialize_graph(VirtualMachine& vm, ObjRef root) {
 
 ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
                          std::size_t size) {
-  (void)ctx;
   Reader r(data, size);
   if (r.u32() != kMagic) throw SerializeError("bad magic");
   const std::uint32_t count = r.u32();
@@ -193,7 +192,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         if (static_cast<std::size_t>(nfields) != cls.fields.size()) {
           throw SerializeError("field count mismatch");
         }
-        obj = heap.alloc_instance(klass);
+        obj = heap.alloc_instance(klass, &ctx.tlab);
         vm.pin(obj);
         objs.push_back(obj);
         for (std::size_t i = 0; i < cls.fields.size(); ++i) {
@@ -209,7 +208,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         const auto elem = static_cast<ValType>(r.u8());
         const std::int32_t len = r.i32();
         if (len < 0) throw SerializeError("bad array length");
-        obj = heap.alloc_array(elem, len);
+        obj = heap.alloc_array(elem, len, &ctx.tlab);
         vm.pin(obj);
         objs.push_back(obj);
         if (elem == ValType::Ref) {
@@ -228,7 +227,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         const std::int32_t rows = r.i32();
         const std::int32_t cols = r.i32();
         if (rows < 0 || cols < 0) throw SerializeError("bad matrix dims");
-        obj = heap.alloc_matrix2(elem, rows, cols);
+        obj = heap.alloc_matrix2(elem, rows, cols, &ctx.tlab);
         vm.pin(obj);
         objs.push_back(obj);
         const std::size_t n =
@@ -245,7 +244,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         const auto elem = static_cast<ValType>(r.u8());
         Slot s;
         s.raw = r.u64();
-        obj = heap.alloc_box(elem, s);
+        obj = heap.alloc_box(elem, s, &ctx.tlab);
         vm.pin(obj);
         objs.push_back(obj);
         break;

@@ -127,6 +127,17 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                 static_cast<double>(s.counter(Counter::BytesAllocated)) /
                     (1024.0 * 1024.0));
   os << line;
+  std::snprintf(line, sizeof line,
+                "  tlab refills: %llu, tlab waste %.2f KB, large allocs: "
+                "%llu, segments: %llu\n",
+                static_cast<unsigned long long>(
+                    s.counter(Counter::TlabRefills)),
+                static_cast<double>(s.counter(Counter::TlabWasteBytes)) /
+                    1024.0,
+                static_cast<unsigned long long>(
+                    s.counter(Counter::LargeAllocs)),
+                static_cast<unsigned long long>(s.gc.heap_segments));
+  os << line;
   print_histogram(os, s.gc_pause_ns, "pauses");
   print_histogram(os, s.safepoint_stall_ns, "safepoint stalls");
 

@@ -103,6 +103,9 @@ const char* counter_name(Counter c) {
     case Counter::MonitorAcquires: return "monitor_acquires";
     case Counter::MonitorContended: return "monitor_contended";
     case Counter::MonitorWaits: return "monitor_waits";
+    case Counter::TlabRefills: return "tlab_refills";
+    case Counter::TlabWasteBytes: return "tlab_waste_bytes";
+    case Counter::LargeAllocs: return "large_allocs";
     case Counter::kCount: break;
   }
   return "?";
@@ -267,13 +270,14 @@ void record_compile(std::int32_t method_id, const std::string& method_name,
 }
 
 void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
-                     std::uint64_t objects_swept) {
+                     std::uint64_t objects_swept, std::uint64_t segments) {
   if (!enabled()) return;
   Hub& h = hub();
   std::lock_guard<std::mutex> lock(h.mu);
   h.pending_gc_allocated = bytes_allocated;
   h.pending_gc_freed = bytes_freed;
   h.pending_gc_swept = objects_swept;
+  h.gc.heap_segments = segments;
 }
 
 void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns) {

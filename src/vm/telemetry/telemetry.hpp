@@ -46,6 +46,9 @@ enum class Counter : std::uint8_t {
   MonitorAcquires,   // Monitor.Enter calls (fast or contended)
   MonitorContended,  // acquires that had to park
   MonitorWaits,      // Monitor.Wait calls
+  TlabRefills,       // TLAB refill slow paths (one lock trip per refill)
+  TlabWasteBytes,    // bytes discarded at TLAB retirement (refill/detach)
+  LargeAllocs,       // allocations routed to the large-object list
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -90,6 +93,8 @@ struct GcTelemetry {
   std::uint64_t bytes_allocated = 0;  // allocated in the windows before GCs
   std::uint64_t bytes_freed = 0;
   std::uint64_t objects_swept = 0;
+  std::uint64_t heap_segments = 0;  // gauge: walkable segments after the
+                                    // most recent sweep
 };
 
 struct EngineJitTimes {
@@ -211,9 +216,10 @@ void record_compile(std::int32_t method_id, const std::string& method_name,
                     std::int64_t begin_ns, std::int64_t end_ns);
 
 /// Sweep-side GC facts, recorded by the heap during the stop-the-world
-/// window; folded into the pause recorded by record_gc_pause.
+/// window; folded into the pause recorded by record_gc_pause. `segments` is
+/// the post-sweep walkable-segment count (kept as a gauge).
 void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
-                     std::uint64_t objects_swept);
+                     std::uint64_t objects_swept, std::uint64_t segments);
 /// Full stop-the-world pause (request -> world resumed).
 void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns);
 

@@ -251,6 +251,97 @@ TEST(VmGc, CollectionDuringMultithreadedAllocation) {
   EXPECT_GT(f.vm.gc_count(), 0u);
 }
 
+// N native threads bump-allocate through their own TLABs across many GC
+// cycles; after the threads are joined the heap's census must be *exact*:
+// every allocation is accounted, and allocations partition into swept +
+// live. This is the structural check that per-thread accounting folds
+// correctly at refill, rendezvous and detach.
+TEST(VmGc, MultithreadedTlabAllocationCensusStaysExact) {
+  VirtualMachine vm;
+  Heap& heap = vm.heap();
+  heap.set_threshold(1 << 16);  // 64 KiB: many collections under the run
+  constexpr int kThreads = 8;
+  constexpr int kAllocs = 4000;
+  constexpr int kPinEvery = 1000;  // 4 survivors per thread
+  const auto before = heap.stats();
+
+  std::vector<std::thread> threads;
+  std::mutex pinned_mu;
+  std::vector<ObjRef> pinned;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&vm, t, &pinned_mu, &pinned] {
+      auto ctx = vm.attach_thread(nullptr);
+      for (int i = 0; i < kAllocs; ++i) {
+        const std::int32_t len = 8 + (i % 57);
+        ObjRef a = vm.heap().alloc_array(ValType::I32, len, &ctx->tlab);
+        a->i32_data()[0] = t * kAllocs + i;
+        if (i % kPinEvery == 0) {
+          vm.pin(a);
+          std::lock_guard<std::mutex> lock(pinned_mu);
+          pinned.push_back(a);
+        }
+        // Mid-loop safepoint so this thread also parks for others' GCs.
+        vm.safepoint_poll(*ctx);
+      }
+      vm.detach_thread(*ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(vm.gc_count(), 0u);
+
+  vm.collect();  // final collection: only the pinned survivors stay
+  const auto after = heap.stats();
+  EXPECT_EQ(after.total_allocations - before.total_allocations,
+            static_cast<std::size_t>(kThreads) * kAllocs);
+  // Allocations partition exactly into swept and live.
+  EXPECT_EQ(after.total_allocations - after.swept_objects,
+            after.live_objects);
+  EXPECT_EQ(after.live_objects,
+            static_cast<std::size_t>(kThreads) * (kAllocs / kPinEvery));
+  // Survivors' payloads were not clobbered by segment reuse.
+  for (ObjRef a : pinned) {
+    EXPECT_EQ(a->kind, ObjKind::Array);
+    EXPECT_GE(a->length, 8);
+    vm.unpin(a);
+  }
+  vm.collect();
+  EXPECT_EQ(heap.stats().live_objects, 0u);
+  EXPECT_EQ(heap.stats().total_allocations, heap.stats().swept_objects);
+}
+
+// Oversized blocks (> 1/4 segment) bypass TLABs for the large-object list
+// and are swept individually; fully-dead segments return to the pool and
+// get reused by later refills.
+TEST(VmGc, LargeObjectPathAndSegmentPoolReuse) {
+  VirtualMachine vm;
+  Heap& heap = vm.heap();
+  // 4096 doubles = 32 KiB payload: larger than the 16 KiB large threshold.
+  ObjRef big = heap.alloc_array(ValType::F64, 4096);
+  big->f64_data()[4095] = 2003.0315;
+  vm.pin(big);
+  EXPECT_EQ(heap.stats().large_objects, 1u);
+
+  // Churn a few segments' worth of small garbage, then collect: the dead
+  // segments must be pooled, the pinned large object must survive intact.
+  for (int i = 0; i < 2000; ++i) heap.alloc_array(ValType::F64, 32);
+  const auto grown = heap.stats();
+  EXPECT_GT(grown.segments, 0u);
+  vm.collect();
+  const auto swept = heap.stats();
+  EXPECT_GT(swept.pooled_segments, 0u);
+  EXPECT_LT(swept.segments, grown.segments);
+  EXPECT_EQ(big->f64_data()[4095], 2003.0315);
+
+  // Refill after the collection reuses pooled segments rather than growing.
+  for (int i = 0; i < 2000; ++i) heap.alloc_array(ValType::F64, 32);
+  EXPECT_LE(heap.stats().segments + heap.stats().pooled_segments,
+            grown.segments + swept.pooled_segments + 1);
+
+  vm.unpin(big);
+  vm.collect();
+  EXPECT_EQ(heap.stats().large_objects, 0u);
+}
+
 TEST(VmGc, HeapStatsTrackLiveBytes) {
   VMFixture f;
   const auto before = f.vm.heap().stats();
