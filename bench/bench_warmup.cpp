@@ -1,0 +1,155 @@
+// Warmup curves for the tiered execution pipeline: per-invocation wall time
+// of the first N calls of four representative programs (SOR, Crypt(IDEA),
+// Method-Static, Loop-For) on each engine. Single-tier engines trace a flat
+// line (after the one-off JIT on call 1); the .tiered profiles start at the
+// interpreter's level and step down as the method crosses the baseline (8)
+// and optimizing (64) promotion thresholds.
+//
+//   bench_warmup [--quick] [--iters N] [--json FILE]
+//
+// Each (engine, program) pair runs in a fresh VM so every curve starts cold.
+// The trailing "steady-state" table (mean of the last third of the curve) is
+// what CI asserts on: tiered steady state must land within noise of the
+// optimizing-only engine.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cil/jg.hpp"
+#include "cil/micro.hpp"
+#include "cil/sm.hpp"
+#include "support/reporter.hpp"
+#include "support/timer.hpp"
+#include "vm/execution.hpp"
+
+namespace {
+
+using namespace hpcnet;
+using vm::Slot;
+
+struct Program {
+  std::string name;
+  std::int32_t (*build)(vm::VirtualMachine&);
+  std::vector<Slot> args;
+};
+
+// sm.sor.run takes (n, iters); adapt it to the single-builder shape.
+std::int32_t build_sor(vm::VirtualMachine& v) { return cil::build_sm_sor(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int iters = 96;  // crosses both promotion thresholds (8 and 64)
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_warmup [--quick] [--iters N] [--json FILE]\n";
+      return 1;
+    }
+  }
+  if (iters < 8) iters = 8;
+
+  const std::int32_t sor_n = quick ? 16 : 32;
+  const std::int32_t sor_sweeps = quick ? 2 : 4;
+  const std::int32_t crypt_n = quick ? 1024 : 4096;
+  const std::int32_t call_n = quick ? 128 : 512;
+  const std::int32_t loop_n = quick ? 1024 : 8192;
+
+  const std::vector<Program> programs = {
+      {"SOR", build_sor, {Slot::from_i32(sor_n), Slot::from_i32(sor_sweeps)}},
+      {"Crypt(IDEA)", cil::build_jg_crypt, {Slot::from_i32(crypt_n)}},
+      {"Method-Static", cil::build_method_static, {Slot::from_i32(call_n)}},
+      {"Loop-For", cil::build_loop_for, {Slot::from_i32(loop_n)}},
+  };
+  const std::vector<std::string> engines = {"rotor10", "mono023", "clr11",
+                                            "mono023.tiered", "clr11.tiered"};
+
+  // Curve rows: dense around the promotion thresholds, sparse elsewhere.
+  std::vector<int> sampled;
+  for (int i = 1; i <= iters; ++i) {
+    const bool near_tier_up = (i >= 7 && i <= 10) || (i >= 63 && i <= 66);
+    const bool log_spaced = (i & (i - 1)) == 0;  // powers of two
+    if (near_tier_up || log_spaced || i == iters) sampled.push_back(i);
+  }
+
+  std::vector<support::ResultTable> tables;
+  support::ResultTable steady(
+      "warmup: steady-state per-invocation time, mean of last third [us]");
+  support::ResultTable first("warmup: first-invocation time [us]");
+
+  for (const Program& p : programs) {
+    support::ResultTable curve("warmup curve: " + p.name +
+                               " per-invocation time [us]");
+    std::uint64_t want_raw = 0;
+    bool have_want = false;
+    for (const std::string& ename : engines) {
+      // Fresh VM per (engine, program) so hotness counters start at zero and
+      // nothing is pre-verified by an earlier engine's run.
+      vm::VirtualMachine v;
+      const std::int32_t method = p.build(v);
+      auto eng = vm::make_engine(v, vm::profiles::by_name(ename));
+      vm::VMContext& ctx = v.main_context();
+
+      std::vector<double> us(static_cast<std::size_t>(iters));
+      Slot last = Slot::from_i32(0);
+      for (int i = 0; i < iters; ++i) {
+        const auto t0 = support::now_ns();
+        last = eng->invoke(ctx, method, p.args);
+        us[static_cast<std::size_t>(i)] =
+            support::elapsed_seconds(t0, support::now_ns()) * 1e6;
+      }
+      if (!have_want) {
+        want_raw = last.raw;
+        have_want = true;
+      } else if (last.raw != want_raw) {
+        std::cerr << p.name << " on " << ename
+                  << ": result mismatch across engines\n";
+        return 1;
+      }
+
+      for (int i : sampled) {
+        curve.set("iter " + std::string(i < 10 ? "0" : "") + std::to_string(i),
+                  ename, us[static_cast<std::size_t>(i - 1)]);
+      }
+      double tail = 0;
+      const int tail_n = iters / 3;
+      for (int i = iters - tail_n; i < iters; ++i) {
+        tail += us[static_cast<std::size_t>(i)];
+      }
+      steady.set(p.name, ename, tail / tail_n);
+      first.set(p.name, ename, us[0]);
+    }
+    tables.push_back(std::move(curve));
+  }
+  tables.push_back(std::move(first));
+  tables.push_back(std::move(steady));
+
+  for (const auto& t : tables) {
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "[";
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      if (i != 0) out << ",\n";
+      tables[i].print_json(out);
+    }
+    out << "]\n";
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return 0;
+}

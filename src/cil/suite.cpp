@@ -186,7 +186,11 @@ vm::Engine& BenchContext::engine(const std::string& profile_name) {
   for (auto& e : engines_) {
     if (e->name() == profile_name) return *e;
   }
-  throw std::invalid_argument("unknown engine: " + profile_name);
+  // Derived profiles ("clr11.tiered", ...) are created on demand so tools
+  // can name any profile by_name() understands, not just the paper seven.
+  engines_.push_back(
+      vm::make_engine(vm_, vm::profiles::by_name(profile_name)));
+  return *engines_.back();
 }
 
 Slot BenchContext::invoke(vm::Engine& e, std::int32_t method,

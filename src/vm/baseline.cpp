@@ -15,11 +15,12 @@
 #include "vm/intrinsics.hpp"
 #include "vm/telemetry/telemetry.hpp"
 #include "vm/unwind.hpp"
-#include "vm/verifier.hpp"
 
 namespace hpcnet::vm {
 
 namespace {
+
+constexpr std::uint8_t kTierIndex = static_cast<std::uint8_t>(Tier::Baseline);
 
 struct BaseFrame {
   GcFrame gc;  // must be first
@@ -53,15 +54,13 @@ struct BaseFrame {
   }
 };
 
-class BaselineEngine final : public Engine {
+class BaselineBackend final : public TierBackend {
  public:
-  BaselineEngine(VirtualMachine& vm, EngineProfile profile)
-      : vm_(vm), profile_(std::move(profile)) {}
+  BaselineBackend(VirtualMachine& vm, TieredEngine& engine)
+      : vm_(vm), engine_(engine), tiered_(engine.tiered()) {}
 
-  const EngineProfile& profile() const override { return profile_; }
-
- protected:
-  Slot do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) override {
+  Slot execute(VMContext& ctx, const MethodDef& m,
+               const Slot* args) override {
     return exec(ctx, m, args);
   }
 
@@ -69,7 +68,8 @@ class BaselineEngine final : public Engine {
   Slot exec(VMContext& ctx, const MethodDef& m, const Slot* args);
 
   VirtualMachine& vm_;
-  EngineProfile profile_;
+  TieredEngine& engine_;
+  const bool tiered_;
 };
 
 #define BASE_THROW(cls, msg)                \
@@ -79,11 +79,11 @@ class BaselineEngine final : public Engine {
     goto dispatch_exception;                \
   } while (0)
 
-Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
-                          const Slot* args) {
+Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
+                           const Slot* args) {
   Module& mod = vm_.module();
-  if (!m.verified) verify(mod, m.id);
-  telemetry::InvocationScope tel(m.id);
+  engine_.ensure_verified(m);
+  telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
   BaseFrame frame;
@@ -105,11 +105,15 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
   // Bytecode counter kept in a register-friendly local; flushed to the
   // telemetry scope only at frame exit so the dispatch loop pays nothing.
   std::uint64_t bc = 0;
+  // Taken backward branches; counted inside the existing back-edge safepoint
+  // blocks (no new branches in the dispatch loop) and flushed at frame exit.
+  std::uint32_t backedges = 0;
 
   auto leave_frame = [&] {
     tel.bytecodes = bc;
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
+    if (tiered_ && backedges != 0) engine_.note_backedges(m.id, backedges);
   };
 
   for (;;) {
@@ -342,6 +346,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
 
       case Op::BR:
         if (in.a <= pc) {  // back-edge safepoint
+          ++backedges;
           frame.pc = in.a;
           vm_.safepoint_poll(ctx);
         }
@@ -358,6 +363,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         }
         if (truth == (in.op == Op::BRTRUE)) {
           if (in.a <= pc) {
+            ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
           }
@@ -396,6 +402,7 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         }
         if (taken) {
           if (in.a <= pc) {
+            ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
           }
@@ -467,8 +474,11 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
         vm_.safepoint_poll(ctx);
         const MethodDef& callee = mod.method(in.a);
         const std::size_t argc = callee.sig.params.size();
-        const Slot r =
-            exec(ctx, callee, st + frame.sp - static_cast<std::int32_t>(argc));
+        // Tiered mode routes calls through the engine so a hot callee runs
+        // on its promoted tier; Single mode keeps the direct recursion.
+        Slot* cargs = st + frame.sp - static_cast<std::int32_t>(argc);
+        const Slot r = tiered_ ? engine_.call(ctx, in.a, cargs)
+                               : exec(ctx, callee, cargs);
         if (ctx.has_pending()) goto dispatch_exception;
         frame.sp -= static_cast<std::int32_t>(argc);
         if (callee.sig.ret != ValType::None) st[frame.sp++] = r;
@@ -708,9 +718,9 @@ Slot BaselineEngine::exec(VMContext& ctx, const MethodDef& m,
 
 }  // namespace
 
-std::unique_ptr<Engine> make_baseline(VirtualMachine& vm,
-                                      EngineProfile profile) {
-  return std::make_unique<BaselineEngine>(vm, std::move(profile));
+std::unique_ptr<TierBackend> make_baseline_backend(VirtualMachine& vm,
+                                                   TieredEngine& engine) {
+  return std::make_unique<BaselineBackend>(vm, engine);
 }
 
 }  // namespace hpcnet::vm

@@ -1,0 +1,38 @@
+#include "vm/codecache.hpp"
+
+#include <stdexcept>
+
+#include "vm/regir.hpp"
+
+namespace hpcnet::vm {
+
+CodeCache::CodeCache() = default;
+
+CodeCache::~CodeCache() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+CodeCache::Chunk* CodeCache::grow(std::size_t chunk_index) {
+  if (chunk_index >= kMaxChunks) {
+    throw std::length_error("CodeCache: method id out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Chunk* c = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    c = new Chunk();
+    chunks_[chunk_index].store(c, std::memory_order_release);
+  }
+  return c;
+}
+
+const regir::RCode* CodeCache::adopt(
+    std::unique_ptr<const regir::RCode> code) {
+  const regir::RCode* raw = code.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.push_back(std::move(code));
+  return raw;
+}
+
+}  // namespace hpcnet::vm

@@ -1,0 +1,83 @@
+// The VM-owned code cache behind the tiered execution pipeline (DESIGN.md
+// §"Tiered execution"). One CodeCache per engine profile holds the per-method
+// CodeEntry table: hotness counters, the method's current dispatch tier,
+// published compiled bodies keyed by (method_id, tier), and a per-method
+// compile latch.
+//
+// Locking discipline:
+//   - entry() is lock-free once the entry's chunk exists (chunks are
+//     allocated under mu_ and published with release stores; entries never
+//     move, so readers index concurrently with growth).
+//   - Entry::latch serializes verification and compilation of ONE method.
+//     regir::compile runs under the method's latch only — never under a
+//     cache-wide lock — so different methods compile concurrently.
+//   - A thread must never hold one entry's latch while acquiring another's:
+//     the inline pass verifies callees, so compile callers pre-verify the
+//     transitive callee set (each under its own latch) before latching the
+//     method being compiled. This is what makes mutually-inlining methods
+//     deadlock-free.
+//   - mu_ guards only chunk allocation and ownership of compiled bodies;
+//     it is held for pointer pushes, never across verify/compile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hpcnet::vm {
+
+namespace regir {
+struct RCode;
+}
+
+class CodeCache {
+ public:
+  static constexpr std::size_t kNumTiers = 3;  // Tier::Interp..Optimizing
+
+  /// Per-method tiering state. Writers publish code[t] (release) before
+  /// raising `tier` (release); readers that load `tier` with acquire and see
+  /// Optimizing may load code[Optimizing] relaxed and rely on it non-null.
+  struct Entry {
+    std::atomic<std::uint32_t> hotness{0};  // invocations + capped back-edges
+    std::atomic<std::uint8_t> tier{0};      // current dispatch Tier
+    std::atomic<bool> verified{false};      // method passed IL verification
+    std::atomic<const regir::RCode*> code[kNumTiers] = {};
+    std::mutex latch;  // serializes this method's verify/compile
+  };
+
+  CodeCache();  // out of line: members hold the still-incomplete RCode
+  ~CodeCache();
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  /// The entry for `method_id`; lock-free after first touch of its chunk.
+  Entry& entry(std::int32_t method_id) {
+    const auto id = static_cast<std::size_t>(method_id);
+    Chunk* c = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    if (c == nullptr) c = grow(id >> kChunkBits);
+    return c->entries[id & (kChunkSize - 1)];
+  }
+
+  /// Takes ownership of a compiled body; the returned pointer stays valid
+  /// for the cache's lifetime (entries publish it, never free it).
+  const regir::RCode* adopt(std::unique_ptr<const regir::RCode> code);
+
+ private:
+  static constexpr std::size_t kChunkBits = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = 128;  // 65536 methods
+
+  struct Chunk {
+    Entry entries[kChunkSize];
+  };
+
+  Chunk* grow(std::size_t chunk_index);
+
+  std::mutex mu_;
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::vector<std::unique_ptr<const regir::RCode>> owned_;
+};
+
+}  // namespace hpcnet::vm

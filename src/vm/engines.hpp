@@ -1,18 +1,108 @@
-// Internal: per-tier engine factories (implemented in interpreter.cpp,
-// baseline.cpp and optimizing.cpp). Public code uses make_engine().
+// Internal: the tiered execution pipeline. The three engines the paper
+// compares (interpreter.cpp, baseline.cpp, optimizing.cpp) are tier backends
+// behind one TieredEngine; public code uses make_engine().
+//
+// Dispatch (tiered.cpp): every call funnels through TieredEngine::call(),
+// which consults the method's CodeCache entry. Methods at Tier::Optimizing
+// run their published register-IR body directly; colder methods bump the
+// hotness counter, may promote (at the call boundary — no OSR), and run on
+// their current tier's backend. In TierMode::Single the profile's tier runs
+// unconditionally, preserving the paper's per-engine measurement mode.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "vm/codecache.hpp"
 #include "vm/execution.hpp"
 
 namespace hpcnet::vm {
 
-std::unique_ptr<Engine> make_interpreter(VirtualMachine& vm,
-                                         EngineProfile profile);
-std::unique_ptr<Engine> make_baseline(VirtualMachine& vm,
-                                      EngineProfile profile);
-std::unique_ptr<Engine> make_optimizing(VirtualMachine& vm,
-                                        EngineProfile profile);
+class TieredEngine;
+
+/// One execution tier. execute() runs `m` on the calling thread; `args`
+/// points at m.num_args() Slots (copied into the frame; never mutated). On
+/// managed exception the backend sets ctx.pending_exception and returns.
+class TierBackend {
+ public:
+  virtual ~TierBackend() = default;
+  virtual Slot execute(VMContext& ctx, const MethodDef& m,
+                       const Slot* args) = 0;
+};
+
+/// The optimizing tier also dispatches directly on compiled bodies (the
+/// hot-to-hot CALL_R fast path skips the CodeCache entry entirely).
+class OptBackend : public TierBackend {
+ public:
+  virtual Slot run_compiled(VMContext& ctx, const regir::RCode& rc,
+                            const Slot* args) = 0;
+};
+
+std::unique_ptr<TierBackend> make_interp_backend(VirtualMachine& vm,
+                                                 TieredEngine& engine);
+std::unique_ptr<TierBackend> make_baseline_backend(VirtualMachine& vm,
+                                                   TieredEngine& engine);
+std::unique_ptr<OptBackend> make_optimizing_backend(VirtualMachine& vm,
+                                                    TieredEngine& engine);
+
+/// The engine: owns one backend per tier and drives per-method tier
+/// selection through the profile's CodeCache.
+class TieredEngine final : public Engine {
+ public:
+  TieredEngine(VirtualMachine& vm, EngineProfile profile);
+  ~TieredEngine() override;
+
+  const EngineProfile& profile() const override { return profile_; }
+  VirtualMachine& vm() { return vm_; }
+  bool tiered() const { return tiered_; }
+
+  /// Dispatches one call: straight into published optimized code when the
+  /// method is hot, otherwise hotness bookkeeping + the current tier.
+  Slot call(VMContext& ctx, std::int32_t method_id, const Slot* args);
+
+  /// Frame-entry verification gate used by the IL tiers: one acquire load
+  /// once the method is verified. Verification state is shared VM-wide (the
+  /// "<verify>" cache), so concurrent engines never race on MethodDef.
+  void ensure_verified(const MethodDef& m) {
+    CodeCache::Entry& e = vcache_.entry(m.id);
+    if (!e.verified.load(std::memory_order_acquire)) verify_slow(e, m);
+  }
+
+  /// Optimized code for a CALL_R site. Single mode compiles on demand and
+  /// never returns null; tiered mode returns the published body or null
+  /// (the caller routes the cold callee back through call()).
+  const regir::RCode* opt_code_for_call(std::int32_t method_id);
+
+  /// Frame-exit flush of taken-backward-branch counts from the IL tiers;
+  /// may promote the method for its next invocation (loop-heavy methods
+  /// tier up after one or two calls even if rarely invoked).
+  void note_backedges(std::int32_t method_id, std::uint32_t taken);
+
+  /// The method's current dispatch tier (telemetry, tests, benches).
+  Tier method_tier(std::int32_t method_id) {
+    return static_cast<Tier>(
+        cache_.entry(method_id).tier.load(std::memory_order_acquire));
+  }
+
+ protected:
+  Slot do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) override;
+
+ private:
+  Tier maybe_promote(CodeCache::Entry& e, const MethodDef& m,
+                     std::uint32_t hotness);
+  const regir::RCode& compile_optimizing(CodeCache::Entry& e,
+                                         const MethodDef& m);
+  void pre_verify_callees(const MethodDef& root);
+  void verify_slow(CodeCache::Entry& e, const MethodDef& m);
+
+  VirtualMachine& vm_;
+  EngineProfile profile_;
+  const bool tiered_;
+  CodeCache& cache_;   // this profile's compiled code + tier state
+  CodeCache& vcache_;  // VM-shared verification latches/flags
+  std::unique_ptr<TierBackend> interp_;
+  std::unique_ptr<TierBackend> baseline_;
+  std::unique_ptr<OptBackend> opt_;
+};
 
 }  // namespace hpcnet::vm

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 
 #include "support/timer.hpp"
+#include "vm/codecache.hpp"
 #include "vm/engines.hpp"
 #include "vm/monitor.hpp"
 #include "vm/telemetry/telemetry.hpp"
-#include "vm/verifier.hpp"
 
 namespace hpcnet::vm {
 
@@ -115,9 +116,37 @@ std::vector<EngineProfile> all() {
           sun14(),  mono023(), rotor10()};
 }
 
+EngineProfile tiered(EngineProfile base) {
+  base.tiering.mode = TierMode::Tiered;
+  switch (base.tier) {
+    case Tier::Interp:
+      // Rotor never JITted: tiered mode degenerates to the interpreter.
+      base.tiering.max_tier = Tier::Interp;
+      break;
+    case Tier::Baseline:
+      // Mono 0.23's JIT is itself the baseline; promote eagerly but never
+      // into the register-IR tier it didn't have.
+      base.tiering.max_tier = Tier::Baseline;
+      base.tiering.baseline_threshold = 4;
+      break;
+    case Tier::Optimizing:
+      base.tiering.max_tier = Tier::Optimizing;
+      break;
+  }
+  base.name += ".tiered";
+  return base;
+}
+
 EngineProfile by_name(const std::string& name) {
   for (auto& p : all()) {
     if (p.name == name) return p;
+  }
+  // "<base>.tiered" selects the hotness-promoting pipeline over that base.
+  constexpr std::string_view kSuffix = ".tiered";
+  if (name.size() > kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+          0) {
+    return tiered(by_name(name.substr(0, name.size() - kSuffix.size())));
   }
   throw std::invalid_argument("unknown engine profile: " + name);
 }
@@ -145,7 +174,9 @@ Slot Engine::invoke(VMContext& ctx, std::int32_t method_id,
                     std::span<const Slot> args) {
   VirtualMachine& vm = *ctx.vm;
   const MethodDef& m = vm.module().method(method_id);
-  if (!m.verified) verify(vm.module(), method_id);
+  // Verification happens at frame entry inside the tier backends (through
+  // the VM-shared verify cache), not here: this path is reachable from many
+  // threads and an unsynchronized MethodDef check would race.
   if (args.size() != m.sig.params.size()) {
     throw std::invalid_argument("invoke " + m.name + ": argument count");
   }
@@ -171,15 +202,7 @@ Slot Engine::invoke(VMContext& ctx, std::int32_t method_id,
   return result;
 }
 
-std::unique_ptr<Engine> make_engine(VirtualMachine& vm,
-                                    const EngineProfile& profile) {
-  switch (profile.tier) {
-    case Tier::Interp: return make_interpreter(vm, profile);
-    case Tier::Baseline: return make_baseline(vm, profile);
-    case Tier::Optimizing: return make_optimizing(vm, profile);
-  }
-  throw std::logic_error("bad tier");
-}
+// make_engine lives in tiered.cpp next to the TieredEngine it constructs.
 
 // ---------------------------------------------------------------------------
 // VirtualMachine.
@@ -189,6 +212,13 @@ VirtualMachine::VirtualMachine() : heap_(&module_) {
   thread_class_ =
       module_.define_class("System.Threading.Thread", {{"id", ValType::I32}});
   heap_.set_gc_requester([this] { collect(); });
+}
+
+CodeCache& VirtualMachine::code_cache(const std::string& key) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  auto& slot = caches_[key];
+  if (!slot) slot = std::make_unique<CodeCache>();
+  return *slot;
 }
 
 VirtualMachine::~VirtualMachine() {

@@ -7,12 +7,18 @@
 //   Tier::Optimizing — stack-to-register JIT + passes   (CLR 1.1 / JVM role)
 //
 // A named EngineProfile selects a tier plus the optimization-pass mix that
-// reproduces each paper VM's observed behaviour (see DESIGN.md §5).
+// reproduces each paper VM's observed behaviour (see DESIGN.md §5). The
+// three tiers are backends of one TieredEngine: in the default Single mode
+// every method runs on the profile's tier from the first call (the paper's
+// measurement mode); "<profile>.tiered" variants interpret cold code and
+// promote hot methods through the tiers at call boundaries, sharing compiled
+// bodies through a VM-owned CodeCache (DESIGN.md "Tiered execution").
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -29,6 +35,7 @@ namespace hpcnet::vm {
 
 class VirtualMachine;
 class Engine;
+class CodeCache;
 class MonitorTable;
 struct VMContext;
 
@@ -36,6 +43,27 @@ struct VMContext;
 // Engine profiles.
 
 enum class Tier : std::uint8_t { Interp, Baseline, Optimizing };
+
+/// Single = the profile's tier runs every method from the first call (the
+/// paper's measurement mode, and what keeps the per-engine benches
+/// comparable). Tiered = methods start in the interpreter and promote
+/// through the tiers as hotness counters cross the policy thresholds.
+enum class TierMode : std::uint8_t { Single, Tiered };
+
+/// Hotness-driven promotion policy. Hotness is invocations plus capped
+/// back-edge credit, accumulated in the profile's CodeCache entry; promotion
+/// happens only at call boundaries (no OSR — in-flight frames finish on the
+/// tier they started on).
+struct TierPolicy {
+  TierMode mode = TierMode::Single;
+  Tier max_tier = Tier::Optimizing;      // highest tier this profile reaches
+  std::uint32_t baseline_threshold = 8;  // hotness to leave the interpreter
+  std::uint32_t opt_threshold = 64;      // hotness to enter the register JIT
+  std::uint32_t backedge_credit = 64;    // per-frame cap on back-edge hotness
+                                         // flushed at frame exit
+  std::uint32_t tiny_method_il = 8;      // bodies <= this are call-overhead
+                                         // bound: first call goes baseline
+};
 
 /// Optimization-pass flags for the Optimizing tier. Each maps to a behaviour
 /// the paper observed in a specific JIT (DESIGN.md §5).
@@ -68,6 +96,7 @@ struct EngineProfile {
   std::string name;
   Tier tier = Tier::Optimizing;
   EngineFlags flags;
+  TierPolicy tiering;  // Single by default: existing profiles are unchanged
 };
 
 /// The seven VM configurations benchmarked by the paper, plus "native" which
@@ -82,7 +111,13 @@ EngineProfile mono023();
 EngineProfile rotor10();
 /// All of the above, in the paper's presentation order.
 std::vector<EngineProfile> all();
-/// Lookup by name; throws std::invalid_argument for unknown names.
+/// Mixed-mode variant of `base`: renamed "<name>.tiered", methods start
+/// interpreted and promote up to base.tier. The rotor shape stays
+/// interp-only, mono becomes baseline-heavy (low threshold, capped at
+/// baseline), and the optimizing profiles get the clr/ibm mixed-mode shape.
+EngineProfile tiered(EngineProfile base);
+/// Lookup by name; "<profile>.tiered" resolves to tiered(<profile>).
+/// Throws std::invalid_argument for unknown names.
 EngineProfile by_name(const std::string& name);
 }  // namespace profiles
 
@@ -180,7 +215,7 @@ class Engine {
   friend class VirtualMachine;
 };
 
-/// Creates the engine for a profile, bound to `vm`.
+/// Creates the (tiered) engine for a profile, bound to `vm`.
 std::unique_ptr<Engine> make_engine(VirtualMachine& vm,
                                     const EngineProfile& profile);
 
@@ -247,6 +282,14 @@ class VirtualMachine {
   /// Number of GCs performed (tests).
   std::size_t gc_count() const { return gc_count_.load(); }
 
+  // -- Code cache ------------------------------------------------------------
+  /// The code cache for `key` (created on first use). Engines key their
+  /// cache by profile name, so engines sharing a VM and a name share
+  /// compiled code; profiles with differing flags must therefore use
+  /// distinct names. Verification state lives in the reserved "<verify>"
+  /// cache shared by every engine on this VM.
+  CodeCache& code_cache(const std::string& key);
+
  private:
   friend class Engine;
   void safepoint_park(VMContext& ctx);
@@ -286,6 +329,9 @@ class VirtualMachine {
 
   std::mutex main_ctx_mu_;
   std::unique_ptr<VMContext> main_ctx_;
+
+  std::mutex caches_mu_;
+  std::map<std::string, std::unique_ptr<CodeCache>> caches_;
 };
 
 /// RAII pin.

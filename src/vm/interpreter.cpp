@@ -12,11 +12,12 @@
 #include "vm/intrinsics.hpp"
 #include "vm/telemetry/telemetry.hpp"
 #include "vm/unwind.hpp"
-#include "vm/verifier.hpp"
 
 namespace hpcnet::vm {
 
 namespace {
+
+constexpr std::uint8_t kTierIndex = static_cast<std::uint8_t>(Tier::Interp);
 
 // SSCLI funnels primitive operations through its portability layer rather
 // than open-coding them; these out-of-line helpers model that call-per-
@@ -58,15 +59,13 @@ void push_portable(InterpFrame& f, ValType t, Slot v) {
 
 TaggedSlot pop_portable(InterpFrame& f) { return f.stack[--f.sp]; }
 
-class Interpreter final : public Engine {
+class InterpBackend final : public TierBackend {
  public:
-  Interpreter(VirtualMachine& vm, EngineProfile profile)
-      : vm_(vm), profile_(std::move(profile)) {}
+  InterpBackend(VirtualMachine& vm, TieredEngine& engine)
+      : vm_(vm), engine_(engine), tiered_(engine.tiered()) {}
 
-  const EngineProfile& profile() const override { return profile_; }
-
- protected:
-  Slot do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) override {
+  Slot execute(VMContext& ctx, const MethodDef& m,
+               const Slot* args) override {
     return exec(ctx, m, args);
   }
 
@@ -74,7 +73,8 @@ class Interpreter final : public Engine {
   Slot exec(VMContext& ctx, const MethodDef& m, const Slot* args);
 
   VirtualMachine& vm_;
-  EngineProfile profile_;
+  TieredEngine& engine_;
+  const bool tiered_;
 };
 
 #define INTERP_THROW(cls, msg)                \
@@ -83,10 +83,11 @@ class Interpreter final : public Engine {
     goto dispatch_exception;                  \
   } while (0)
 
-Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
+Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
+                         const Slot* args) {
   Module& mod = vm_.module();
-  if (!m.verified) verify(mod, m.id);
-  telemetry::InvocationScope tel(m.id);
+  engine_.ensure_verified(m);
+  telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
   InterpFrame frame;
@@ -111,11 +112,15 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
   // Bytecode counter kept in a register-friendly local; flushed to the
   // telemetry scope only at frame exit so the dispatch loop pays nothing.
   std::uint64_t bc = 0;
+  // Taken backward branches, flushed to the tiering policy at frame exit
+  // (kept register-local for the same reason as bc).
+  std::uint32_t backedges = 0;
 
   auto leave_frame = [&] {
     tel.bytecodes = bc;
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
+    if (tiered_ && backedges != 0) engine_.note_backedges(m.id, backedges);
   };
 
   auto push = [&](ValType t, Slot v) { push_portable(frame, t, v); };
@@ -358,6 +363,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
       }
 
       case Op::BR:
+        if (in.a <= pc) ++backedges;
         pc = in.a;
         continue;
       case Op::BRTRUE:
@@ -370,6 +376,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
           default: truth = a.v.i32 != 0; break;
         }
         if (truth == (in.op == Op::BRTRUE)) {
+          if (in.a <= pc) ++backedges;
           pc = in.a;
           continue;
         }
@@ -408,6 +415,7 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
           case ValType::None: break;
         }
         if (taken) {
+          if (in.a <= pc) ++backedges;
           pc = in.a;
           continue;
         }
@@ -478,7 +486,10 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
         for (std::size_t i = 0; i < argc; ++i) {
           argbuf[i] = st[frame.sp - static_cast<std::int32_t>(argc - i)].v;
         }
-        const Slot r = exec(ctx, callee, argbuf);
+        // Tiered mode routes calls through the engine so a hot callee runs
+        // on its promoted tier; Single mode keeps the direct recursion.
+        const Slot r = tiered_ ? engine_.call(ctx, in.a, argbuf)
+                               : exec(ctx, callee, argbuf);
         if (ctx.has_pending()) goto dispatch_exception;
         frame.sp -= static_cast<std::int32_t>(argc);
         if (callee.sig.ret != ValType::None) push(callee.sig.ret, r);
@@ -727,9 +738,9 @@ Slot Interpreter::exec(VMContext& ctx, const MethodDef& m, const Slot* args) {
 
 }  // namespace
 
-std::unique_ptr<Engine> make_interpreter(VirtualMachine& vm,
-                                         EngineProfile profile) {
-  return std::make_unique<Interpreter>(vm, std::move(profile));
+std::unique_ptr<TierBackend> make_interp_backend(VirtualMachine& vm,
+                                                 TieredEngine& engine) {
+  return std::make_unique<InterpBackend>(vm, engine);
 }
 
 }  // namespace hpcnet::vm

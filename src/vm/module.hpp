@@ -69,6 +69,9 @@ struct MethodDef {
   std::vector<bool> reachable;
 
   std::size_t num_args() const { return sig.params.size(); }
+  /// IL body length; the tiering policy starts tiny (call-overhead-bound)
+  /// methods above the interpreter on their first invocation.
+  std::size_t il_size() const { return code.size(); }
   /// Frame slot count: arguments then locals share one array.
   std::size_t frame_slots() const { return sig.params.size() + locals.size(); }
   /// Static type of frame slot i (argument or local).

@@ -1,21 +1,16 @@
 // Tier::Optimizing — the CLR 1.1 / IBM JVM class engine. Methods are
-// compiled once (per engine) to the three-address register IR in regir.hpp
-// and executed by a dense dispatch loop over a flat register file: no operand
-// stack, no tag checks, safepoint polls only on taken backward branches.
+// compiled (by the TieredEngine, into the profile's CodeCache) to the
+// three-address register IR in regir.hpp and executed by a dense dispatch
+// loop over a flat register file: no operand stack, no tag checks, safepoint
+// polls only on taken backward branches.
 #include <algorithm>
-#include <atomic>
-#include <deque>
-#include <mutex>
 
-#include "support/timer.hpp"
 #include "vm/arith.hpp"
 #include "vm/engines.hpp"
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
 #include "vm/intrinsics.hpp"
-#include "vm/regcompile.hpp"
 #include "vm/telemetry/telemetry.hpp"
-#include "vm/verifier.hpp"
 #include "vm/regir.hpp"
 #include "vm/unwind.hpp"
 
@@ -26,6 +21,8 @@ namespace {
 using regir::RCode;
 using regir::RInstr;
 using regir::ROp;
+
+constexpr std::uint8_t kTierIndex = static_cast<std::uint8_t>(Tier::Optimizing);
 
 constexpr std::int64_t kRegFieldBits = 20;
 constexpr std::int64_t kRegFieldMask = (1 << kRegFieldBits) - 1;
@@ -56,59 +53,30 @@ struct OptFrame {
   return true;
 }
 
-class OptimizingEngine final : public Engine {
+class OptimizingBackend final : public OptBackend {
  public:
-  OptimizingEngine(VirtualMachine& vm, EngineProfile profile)
-      : vm_(vm), profile_(std::move(profile)) {}
+  OptimizingBackend(VirtualMachine& vm, TieredEngine& engine)
+      : vm_(vm), engine_(engine) {}
 
-  const EngineProfile& profile() const override { return profile_; }
-
-  /// Compiled code for a method (compiling on first use). Thread-safe.
-  const RCode& code_for(std::int32_t method_id) {
-    if (static_cast<std::size_t>(method_id) < size_.load(std::memory_order_acquire)) {
-      RCode* rc = slots_[static_cast<std::size_t>(method_id)].load(
-          std::memory_order_acquire);
-      if (rc != nullptr) return *rc;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    while (slots_.size() <= static_cast<std::size_t>(method_id)) {
-      slots_.emplace_back(nullptr);
-    }
-    size_.store(slots_.size(), std::memory_order_release);
-    RCode* rc = slots_[static_cast<std::size_t>(method_id)].load();
-    if (rc == nullptr) {
-      // Attribute pass times recorded inside regir::compile to this engine,
-      // and span the whole compile (verify included) for the trace.
-      const telemetry::CompileContext tel_engine(profile_.name.c_str());
-      const std::int64_t compile_begin = support::now_ns();
-      verify(vm_.module(), method_id);
-      auto compiled = std::make_unique<RCode>(regir::compile(
-          vm_.module(), vm_.module().method(method_id), profile_.flags));
-      rc = compiled.get();
-      owned_.push_back(std::move(compiled));
-      slots_[static_cast<std::size_t>(method_id)].store(
-          rc, std::memory_order_release);
-      telemetry::record_compile(method_id,
-                                vm_.module().method(method_id).name,
-                                compile_begin, support::now_ns());
-    }
-    return *rc;
+  // Compilation (and the per-method latching around it) lives in the
+  // TieredEngine + CodeCache; this backend only executes published bodies.
+  Slot run_compiled(VMContext& ctx, const RCode& rc,
+                    const Slot* args) override {
+    return run(ctx, rc, args);
   }
 
- protected:
-  Slot do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) override {
-    return run(ctx, code_for(m.id), args);
+  Slot execute(VMContext& ctx, const MethodDef& m,
+               const Slot* args) override {
+    // Only reachable in Single mode, where opt_code_for_call compiles on
+    // demand and never returns null (tiered dispatch uses run_compiled).
+    return run(ctx, *engine_.opt_code_for_call(m.id), args);
   }
 
  private:
   Slot run(VMContext& ctx, const RCode& rc, const Slot* args);
 
   VirtualMachine& vm_;
-  EngineProfile profile_;
-  std::mutex mu_;
-  std::deque<std::atomic<RCode*>> slots_;
-  std::atomic<std::size_t> size_{0};
-  std::vector<std::unique_ptr<RCode>> owned_;
+  TieredEngine& engine_;
 };
 
 #define OPT_THROW(cls, msg)                 \
@@ -117,10 +85,11 @@ class OptimizingEngine final : public Engine {
     goto dispatch_exception;                \
   } while (0)
 
-Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
+Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
+                            const Slot* args) {
   Module& mod = vm_.module();
   const MethodDef& m = *rc.method;
-  telemetry::record_invocation(m.id);
+  telemetry::record_invocation(m.id, 0, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
   OptFrame frame;
@@ -416,8 +385,12 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
         for (std::int32_t k = 0; k < argc; ++k) {
           argbuf[k] = R[rc.args_pool[static_cast<std::size_t>(in.b + k)]];
         }
-        const RCode& callee = code_for(in.a);
-        const Slot r = run(ctx, callee, argbuf);
+        // Hot-to-hot fast path: a published body runs directly. A cold
+        // callee (tiered mode only) routes back through the engine, which
+        // counts the call and runs it on its current tier.
+        const RCode* callee = engine_.opt_code_for_call(in.a);
+        const Slot r = callee != nullptr ? run(ctx, *callee, argbuf)
+                                         : engine_.call(ctx, in.a, argbuf);
         if (ctx.has_pending()) goto dispatch_exception;
         if (in.d >= 0) R[in.d] = r;
         break;
@@ -765,9 +738,9 @@ Slot OptimizingEngine::run(VMContext& ctx, const RCode& rc, const Slot* args) {
 
 }  // namespace
 
-std::unique_ptr<Engine> make_optimizing(VirtualMachine& vm,
-                                        EngineProfile profile) {
-  return std::make_unique<OptimizingEngine>(vm, std::move(profile));
+std::unique_ptr<OptBackend> make_optimizing_backend(VirtualMachine& vm,
+                                                    TieredEngine& engine) {
+  return std::make_unique<OptimizingBackend>(vm, engine);
 }
 
 }  // namespace hpcnet::vm

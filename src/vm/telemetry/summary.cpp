@@ -76,6 +76,31 @@ std::vector<support::ResultTable> summary_tables(const Snapshot& s,
       if (m.bytecodes != 0) {
         t.set(name, "bytecodes", static_cast<double>(m.bytecodes));
       }
+      // Dominant execution tier (0=interp 1=baseline 2=opt) plus the split
+      // across tiers, when the tiered pipeline moved the method.
+      std::uint64_t tiered_total = 0;
+      for (std::uint64_t v : m.tier_invocations) tiered_total += v;
+      if (tiered_total != 0) {
+        std::size_t dominant = 0;
+        std::size_t used = 0;
+        for (std::size_t tier = 0; tier < kNumTiers; ++tier) {
+          if (m.tier_invocations[tier] == 0) continue;
+          ++used;
+          if (m.tier_invocations[tier] > m.tier_invocations[dominant]) {
+            dominant = tier;
+          }
+        }
+        t.set(name, "tier", static_cast<double>(dominant));
+        if (used > 1) {
+          const char* tier_cols[kNumTiers] = {"interp", "baseline", "opt"};
+          for (std::size_t tier = 0; tier < kNumTiers; ++tier) {
+            if (m.tier_invocations[tier] != 0) {
+              t.set(name, tier_cols[tier],
+                    static_cast<double>(m.tier_invocations[tier]));
+            }
+          }
+        }
+      }
       if (m.jit_ns != 0) t.set(name, "jit_ms", ms(m.jit_ns));
     }
     tables.push_back(std::move(t));

@@ -27,6 +27,7 @@ struct ThreadSink {
   std::mutex mu;
   std::vector<std::uint64_t> invocations;  // indexed by method id
   std::vector<std::uint64_t> bytecodes;
+  std::vector<std::uint64_t> tier_invocations[kNumTiers];
   std::uint64_t counters[kNumCounters] = {};
   std::uint32_t tid = 0;          // managed thread id, if attached
   std::int64_t attach_ns = 0;
@@ -36,6 +37,7 @@ struct ThreadSink {
     std::lock_guard<std::mutex> lock(mu);
     invocations.resize(id + 1, 0);
     bytecodes.resize(id + 1, 0);
+    for (auto& t : tier_invocations) t.resize(id + 1, 0);
   }
 };
 
@@ -106,6 +108,8 @@ const char* counter_name(Counter c) {
     case Counter::TlabRefills: return "tlab_refills";
     case Counter::TlabWasteBytes: return "tlab_waste_bytes";
     case Counter::LargeAllocs: return "large_allocs";
+    case Counter::TierUps: return "tier_ups";
+    case Counter::Deopts: return "deopts";
     case Counter::kCount: break;
   }
   return "?";
@@ -141,6 +145,7 @@ void reset() {
     std::lock_guard<std::mutex> slock(s->mu);
     std::fill(s->invocations.begin(), s->invocations.end(), 0);
     std::fill(s->bytecodes.begin(), s->bytecodes.end(), 0);
+    for (auto& t : s->tier_invocations) std::fill(t.begin(), t.end(), 0);
     std::fill(std::begin(s->counters), std::end(s->counters), 0);
   }
   h.gc_pause_ns.reset();
@@ -167,6 +172,9 @@ Snapshot snapshot() {
       m.method_id = static_cast<std::int32_t>(id);
       m.invocations += s->invocations[id];
       m.bytecodes += s->bytecodes[id];
+      for (std::size_t t = 0; t < kNumTiers; ++t) {
+        m.tier_invocations[t] += s->tier_invocations[t][id];
+      }
     }
     for (std::size_t c = 0; c < kNumCounters; ++c) {
       out.counters[c] += s->counters[c];
@@ -214,12 +222,16 @@ std::int64_t Snapshot::jit_total_ns() const {
 
 namespace detail {
 
-void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes) {
+void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes,
+                            std::uint8_t tier) {
   if (method_id < 0) return;
   ThreadSink& s = sink();
   s.ensure_method(static_cast<std::size_t>(method_id));
   s.invocations[static_cast<std::size_t>(method_id)] += 1;
   s.bytecodes[static_cast<std::size_t>(method_id)] += bytecodes;
+  if (tier < kNumTiers) {
+    s.tier_invocations[tier][static_cast<std::size_t>(method_id)] += 1;
+  }
 }
 
 void count_slow(Counter c, std::uint64_t delta) {
@@ -266,6 +278,27 @@ void record_compile(std::int32_t method_id, const std::string& method_name,
   ev.end_ns = end_ns;
   ev.tid = tl_tid;
   ev.args_json = "\"engine\":\"" + j.engine + "\"";
+  h.add_event(std::move(ev));
+}
+
+void record_tier_up(std::int32_t method_id, const std::string& method_name,
+                    std::uint8_t from_tier, std::uint8_t to_tier) {
+  if (!enabled()) return;
+  count(Counter::TierUps);
+  auto tier_name = [](std::uint8_t t) {
+    return t == 0 ? "interp" : t == 1 ? "baseline" : "opt";
+  };
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  TraceEvent ev;
+  ev.name = "tier-up " + method_name;
+  ev.cat = "tier";
+  ev.begin_ns = support::now_ns();
+  ev.end_ns = ev.begin_ns;  // instant event
+  ev.tid = tl_tid;
+  ev.args_json = std::string("\"method_id\":") + std::to_string(method_id) +
+                 ",\"from\":\"" + tier_name(from_tier) + "\",\"to\":\"" +
+                 tier_name(to_tier) + "\"";
   h.add_event(std::move(ev));
 }
 

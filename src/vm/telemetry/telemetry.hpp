@@ -49,6 +49,10 @@ enum class Counter : std::uint8_t {
   TlabRefills,       // TLAB refill slow paths (one lock trip per refill)
   TlabWasteBytes,    // bytes discarded at TLAB retirement (refill/detach)
   LargeAllocs,       // allocations routed to the large-object list
+  TierUps,           // tiered-pipeline promotions (interp->baseline->opt)
+  Deopts,            // tier demotions; always 0 (the pipeline is OSR-free
+                     // and never invalidates code) — kept so dashboards can
+                     // assert on it
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -81,11 +85,14 @@ struct TraceEvent {
   std::string args_json;          // pre-rendered `"k":v` pairs, may be empty
 };
 
+constexpr std::size_t kNumTiers = 3;  // Tier::Interp..Tier::Optimizing
+
 struct MethodProfile {
   std::int32_t method_id = -1;
   std::uint64_t invocations = 0;  // managed frames entered (all tiers)
   std::uint64_t bytecodes = 0;    // IL instructions retired (interp/baseline)
   std::int64_t jit_ns = 0;        // compile time, summed over engines
+  std::uint64_t tier_invocations[kNumTiers] = {};  // frames entered per tier
 };
 
 struct GcTelemetry {
@@ -156,15 +163,19 @@ Snapshot snapshot();
 // Hot-path hooks: inline gate, out-of-line recording.
 
 namespace detail {
-void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes);
+void record_invocation_slow(std::int32_t method_id, std::uint64_t bytecodes,
+                            std::uint8_t tier);
 void count_slow(Counter c, std::uint64_t delta);
 void record_allocation_slow(std::uint64_t bytes);
 }  // namespace detail
 
 /// One managed frame entered (plus bytecodes retired, for the IL tiers).
+/// `tier` is the numeric Tier the frame ran on (uint8 to keep this header
+/// free of execution.hpp).
 inline void record_invocation(std::int32_t method_id,
-                              std::uint64_t bytecodes = 0) {
-  if (enabled()) detail::record_invocation_slow(method_id, bytecodes);
+                              std::uint64_t bytecodes = 0,
+                              std::uint8_t tier = 0) {
+  if (enabled()) detail::record_invocation_slow(method_id, bytecodes, tier);
 }
 
 inline void count(Counter c, std::uint64_t delta = 1) {
@@ -183,8 +194,9 @@ inline void record_allocation(std::uint64_t bytes) {
 /// C++ exception reports 0 bytecodes; the invocation itself is still counted.
 class InvocationScope {
  public:
-  explicit InvocationScope(std::int32_t method_id) : method_id_(method_id) {}
-  ~InvocationScope() { record_invocation(method_id_, bytecodes); }
+  explicit InvocationScope(std::int32_t method_id, std::uint8_t tier = 0)
+      : method_id_(method_id), tier_(tier) {}
+  ~InvocationScope() { record_invocation(method_id_, bytecodes, tier_); }
   InvocationScope(const InvocationScope&) = delete;
   InvocationScope& operator=(const InvocationScope&) = delete;
 
@@ -192,6 +204,7 @@ class InvocationScope {
 
  private:
   std::int32_t method_id_;
+  std::uint8_t tier_;
 };
 
 // ---------------------------------------------------------------------------
@@ -214,6 +227,11 @@ void record_jit_pass(std::int32_t method_id, JitPass pass, std::int64_t ns);
 /// Whole-compile span; also emits a "jit" trace event named after the method.
 void record_compile(std::int32_t method_id, const std::string& method_name,
                     std::int64_t begin_ns, std::int64_t end_ns);
+
+/// A tiered-pipeline promotion: bumps Counter::TierUps and emits an instant
+/// "tier" trace event. Called once per transition (the CAS/compile winner).
+void record_tier_up(std::int32_t method_id, const std::string& method_name,
+                    std::uint8_t from_tier, std::uint8_t to_tier);
 
 /// Sweep-side GC facts, recorded by the heap during the stop-the-world
 /// window; folded into the pause recorded by record_gc_pause. `segments` is

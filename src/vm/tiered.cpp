@@ -1,0 +1,210 @@
+// TieredEngine: hotness-driven dispatch across the three tier backends.
+//
+// The CodeEntry state machine (DESIGN.md "Tiered execution"):
+//
+//   unverified --verify--> Interp --h >= baseline_threshold--> Baseline
+//              (tiny bodies skip straight to Baseline on their first call)
+//       Baseline/Interp --h >= opt_threshold--> Optimizing (compiled)
+//
+// Hotness h = invocations + per-frame-capped back-edge credit. Promotion
+// happens only at call boundaries: a frame executing when its method tiers
+// up simply finishes on the old tier (no on-stack replacement), which is
+// what keeps every tier bit-identical — the tiers already agree on results
+// instruction-for-instruction, so WHERE a frame runs can never change WHAT
+// it computes.
+//
+// Locking: verification takes the VM-shared per-method verify latch;
+// compilation takes this profile's per-method latch. Neither is ever held
+// while acquiring another method's latch — the inline pass's callees are
+// verified (transitively) up front — and regir::compile runs outside any
+// cache-wide lock, so distinct methods compile concurrently.
+#include <algorithm>
+#include <vector>
+
+#include "support/timer.hpp"
+#include "vm/engines.hpp"
+#include "vm/regcompile.hpp"
+#include "vm/regir.hpp"
+#include "vm/telemetry/telemetry.hpp"
+#include "vm/verifier.hpp"
+
+namespace hpcnet::vm {
+
+namespace {
+constexpr std::uint8_t kOpt = static_cast<std::uint8_t>(Tier::Optimizing);
+}
+
+TieredEngine::TieredEngine(VirtualMachine& vm, EngineProfile profile)
+    : vm_(vm),
+      profile_(std::move(profile)),
+      tiered_(profile_.tiering.mode == TierMode::Tiered),
+      cache_(vm.code_cache(profile_.name)),
+      vcache_(vm.code_cache("<verify>")),
+      interp_(make_interp_backend(vm, *this)),
+      baseline_(make_baseline_backend(vm, *this)),
+      opt_(make_optimizing_backend(vm, *this)) {}
+
+TieredEngine::~TieredEngine() = default;
+
+Slot TieredEngine::do_invoke(VMContext& ctx, const MethodDef& m, Slot* args) {
+  return call(ctx, m.id, args);
+}
+
+Slot TieredEngine::call(VMContext& ctx, std::int32_t method_id,
+                        const Slot* args) {
+  CodeCache::Entry& e = cache_.entry(method_id);
+  // Hot path: the method reached the optimizing tier (or Single mode already
+  // compiled it) — the acquire load of `tier` makes the relaxed code load
+  // safe, see CodeCache::Entry.
+  if (e.tier.load(std::memory_order_acquire) == kOpt) {
+    return opt_->run_compiled(
+        ctx, *e.code[kOpt].load(std::memory_order_relaxed), args);
+  }
+  const MethodDef& m = vm_.module().method(method_id);
+  if (!tiered_) {
+    switch (profile_.tier) {
+      case Tier::Interp: return interp_->execute(ctx, m, args);
+      case Tier::Baseline: return baseline_->execute(ctx, m, args);
+      case Tier::Optimizing:
+        return opt_->run_compiled(ctx, compile_optimizing(e, m), args);
+    }
+  }
+  // Tiered slow path: count the invocation and maybe promote. Once a method
+  // sits at the policy's max tier the counters stop (no steady-state cost
+  // for interp-only / baseline-capped shapes, and no counter overflow).
+  const TierPolicy& pol = profile_.tiering;
+  Tier t = static_cast<Tier>(e.tier.load(std::memory_order_relaxed));
+  if (t < pol.max_tier) {
+    const std::uint32_t h =
+        e.hotness.fetch_add(1, std::memory_order_relaxed) + 1;
+    t = maybe_promote(e, m, h);
+    if (t == Tier::Optimizing) {
+      return opt_->run_compiled(
+          ctx, *e.code[kOpt].load(std::memory_order_acquire), args);
+    }
+  }
+  return t == Tier::Baseline ? baseline_->execute(ctx, m, args)
+                             : interp_->execute(ctx, m, args);
+}
+
+Tier TieredEngine::maybe_promote(CodeCache::Entry& e, const MethodDef& m,
+                                 std::uint32_t hotness) {
+  const TierPolicy& pol = profile_.tiering;
+  Tier cur = static_cast<Tier>(e.tier.load(std::memory_order_relaxed));
+  Tier want = cur;
+  if (cur == Tier::Interp && (hotness >= pol.baseline_threshold ||
+                              m.il_size() <= pol.tiny_method_il)) {
+    want = Tier::Baseline;
+  }
+  if (hotness >= pol.opt_threshold) want = Tier::Optimizing;
+  if (want > pol.max_tier) want = pol.max_tier;
+  if (want <= cur) return cur;
+  if (want == Tier::Optimizing) {
+    compile_optimizing(e, m);  // publishes code + raises tier
+    return Tier::Optimizing;
+  }
+  // Interp -> Baseline needs no compiled artifact: a monotonic max on the
+  // tier byte. Only the winning CAS records the transition.
+  std::uint8_t prev = e.tier.load(std::memory_order_relaxed);
+  while (prev < static_cast<std::uint8_t>(want)) {
+    if (e.tier.compare_exchange_weak(prev, static_cast<std::uint8_t>(want),
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+      telemetry::record_tier_up(m.id, m.name, prev,
+                                static_cast<std::uint8_t>(want));
+      return want;
+    }
+  }
+  return static_cast<Tier>(prev);
+}
+
+const regir::RCode& TieredEngine::compile_optimizing(CodeCache::Entry& e,
+                                                     const MethodDef& m) {
+  if (const regir::RCode* rc = e.code[kOpt].load(std::memory_order_acquire)) {
+    return *rc;
+  }
+  // All verification happens BEFORE this method's latch is taken: the inline
+  // pass verifies callees, and holding latch(A) while waiting on latch(B)
+  // would deadlock two threads compiling mutually-inlining methods.
+  ensure_verified(m);
+  if (profile_.flags.inline_calls) pre_verify_callees(m);
+  std::unique_lock<std::mutex> latch(e.latch);
+  if (const regir::RCode* rc = e.code[kOpt].load(std::memory_order_relaxed)) {
+    return *rc;  // lost the race; the winner already published
+  }
+  const telemetry::CompileContext tel_engine(profile_.name.c_str());
+  const std::int64_t compile_begin = support::now_ns();
+  auto compiled = std::make_unique<const regir::RCode>(
+      regir::compile(vm_.module(), m, profile_.flags));
+  const regir::RCode* rc = cache_.adopt(std::move(compiled));
+  e.code[kOpt].store(rc, std::memory_order_release);
+  const std::uint8_t prev =
+      e.tier.exchange(kOpt, std::memory_order_release);
+  latch.unlock();
+  telemetry::record_compile(m.id, m.name, compile_begin, support::now_ns());
+  if (tiered_ && prev != kOpt) {
+    telemetry::record_tier_up(m.id, m.name, prev, kOpt);
+  }
+  return *rc;
+}
+
+const regir::RCode* TieredEngine::opt_code_for_call(std::int32_t method_id) {
+  CodeCache::Entry& e = cache_.entry(method_id);
+  if (e.tier.load(std::memory_order_acquire) == kOpt) {
+    return e.code[kOpt].load(std::memory_order_relaxed);
+  }
+  if (tiered_) return nullptr;
+  return &compile_optimizing(e, vm_.module().method(method_id));
+}
+
+void TieredEngine::note_backedges(std::int32_t method_id,
+                                  std::uint32_t taken) {
+  CodeCache::Entry& e = cache_.entry(method_id);
+  const TierPolicy& pol = profile_.tiering;
+  if (static_cast<Tier>(e.tier.load(std::memory_order_relaxed)) >=
+      pol.max_tier) {
+    return;
+  }
+  const std::uint32_t credit = std::min(taken, pol.backedge_credit);
+  const std::uint32_t h =
+      e.hotness.fetch_add(credit, std::memory_order_relaxed) + credit;
+  maybe_promote(e, vm_.module().method(method_id), h);
+}
+
+void TieredEngine::verify_slow(CodeCache::Entry& e, const MethodDef& m) {
+  std::lock_guard<std::mutex> latch(e.latch);
+  if (e.verified.load(std::memory_order_relaxed)) return;
+  verify(vm_.module(), m.id);
+  e.verified.store(true, std::memory_order_release);
+}
+
+void TieredEngine::pre_verify_callees(const MethodDef& root) {
+  // The transitive CALL-target set (a superset of what the inline pass will
+  // actually expand). Each callee is verified under its own latch, one at a
+  // time; by the time regir::compile's inline pass calls verify() on a
+  // callee it is a synchronized no-op.
+  std::vector<std::int32_t> work{root.id};
+  std::vector<bool> visited(vm_.module().method_count(), false);
+  visited[static_cast<std::size_t>(root.id)] = true;
+  while (!work.empty()) {
+    const std::int32_t id = work.back();
+    work.pop_back();
+    const MethodDef& m = vm_.module().method(id);
+    if (id != root.id) ensure_verified(m);
+    for (const Instr& in : m.code) {
+      if (in.op != Op::CALL) continue;
+      const auto callee = static_cast<std::size_t>(in.a);
+      if (callee < visited.size() && !visited[callee]) {
+        visited[callee] = true;
+        work.push_back(in.a);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Engine> make_engine(VirtualMachine& vm,
+                                    const EngineProfile& profile) {
+  return std::make_unique<TieredEngine>(vm, profile);
+}
+
+}  // namespace hpcnet::vm

@@ -472,6 +472,17 @@ TEST_P(RegIrFlags, EveryFlagComboMatchesInterpreter) {
   Slot arg = Slot::from_i32(50);
   const Slot got = engine->invoke(ctx, m, std::span<const Slot>(&arg, 1));
   EXPECT_EQ(got.raw, want.raw) << fc.name;
+
+  // Tiered row: same flags under hotness promotion. Every invocation must be
+  // bit-identical to the single-tier answer no matter which tier the method
+  // (or its callee) happens to run on — including the ones that straddle the
+  // interp->baseline and baseline->opt transitions.
+  EngineProfile tp = profiles::tiered(p);
+  auto tiered_engine = make_engine(f.vm, tp);
+  for (int round = 0; round < 80; ++round) {
+    const Slot r = tiered_engine->invoke(ctx, m, std::span<const Slot>(&arg, 1));
+    EXPECT_EQ(r.raw, want.raw) << fc.name << " tiered round " << round;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombos, RegIrFlags,
