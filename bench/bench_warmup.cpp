@@ -133,6 +133,43 @@ int main(int argc, char** argv) {
   tables.push_back(std::move(first));
   tables.push_back(std::move(steady));
 
+  // Monster loop: ONE invocation whose nested loops cross the OSR back-edge
+  // trigger thousands of times over (>= 1e6 grid updates). Call-boundary
+  // tiering never gets a second chance here — the .tiered profiles must
+  // promote mid-invocation (on-stack replacement) to land within noise of
+  // the optimizing-only engine, and that is what CI asserts on this table.
+  const std::int32_t monster_n = quick ? 32 : 64;
+  const std::int32_t monster_sweeps = quick ? 64 : 300;
+  support::ResultTable monster(
+      "warmup: monster loop, single-invocation SOR(" +
+      std::to_string(monster_n) + "x" + std::to_string(monster_n) + ", " +
+      std::to_string(monster_sweeps) + " sweeps) wall time [ms]");
+  {
+    const std::vector<Slot> margs = {Slot::from_i32(monster_n),
+                                     Slot::from_i32(monster_sweeps)};
+    std::uint64_t want_raw = 0;
+    bool have_want = false;
+    for (const std::string& ename : engines) {
+      vm::VirtualMachine v;
+      const std::int32_t method = build_sor(v);
+      auto eng = vm::make_engine(v, vm::profiles::by_name(ename));
+      vm::VMContext& ctx = v.main_context();
+      const auto t0 = support::now_ns();
+      const Slot r = eng->invoke(ctx, method, margs);
+      const double ms = support::elapsed_seconds(t0, support::now_ns()) * 1e3;
+      if (!have_want) {
+        want_raw = r.raw;
+        have_want = true;
+      } else if (r.raw != want_raw) {
+        std::cerr << "monster SOR on " << ename
+                  << ": result mismatch across engines\n";
+        return 1;
+      }
+      monster.set("SOR single shot", ename, ms);
+    }
+  }
+  tables.push_back(std::move(monster));
+
   for (const auto& t : tables) {
     t.print(std::cout);
     std::cout << "\n";

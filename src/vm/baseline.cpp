@@ -8,6 +8,8 @@
 //
 // GC maps: the frame records its current IL pc; roots are derived from the
 // verifier's per-pc stack type map plus the static local/arg types.
+#include <vector>
+
 #include "vm/arith.hpp"
 #include "vm/engines.hpp"
 #include "vm/execution.hpp"
@@ -109,11 +111,59 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
   // blocks (no new branches in the dispatch loop) and flushed at frame exit.
   std::uint32_t backedges = 0;
 
-  auto leave_frame = [&] {
-    tel.bytecodes = bc;
-    ctx.top_frame = frame.gc.parent;
-    ctx.arena.release(arena_mark);
-    if (tiered_ && backedges != 0) engine_.note_backedges(m.id, backedges);
+  // RAII frame teardown: runs on normal returns, managed-exception
+  // propagation AND native C++ unwinds (arena exhaustion, nested compile
+  // failure) — see the matching guard in interpreter.cpp for the full
+  // rationale. Declared after `tel` so bc lands before tel's flush.
+  struct FrameExit {
+    BaselineBackend* self;
+    VMContext& ctx;
+    BaseFrame& frame;
+    telemetry::InvocationScope& tel;
+    const MethodDef& m;
+    FrameArena::Mark arena_mark;
+    const std::uint64_t& bc;
+    const std::uint32_t& backedges;
+    bool tiered;
+    ~FrameExit() {
+      tel.bytecodes = bc;
+      ctx.top_frame = frame.gc.parent;
+      ctx.arena.release(arena_mark);
+      if (tiered && backedges != 0) {
+        try {
+          self->engine_.note_backedges(m.id, backedges);
+        } catch (...) {
+          // Never let a failed promotion terminate an in-flight unwind.
+        }
+      }
+    }
+  } frame_exit{this, ctx, frame, tel, m, arena_mark, bc, backedges, tiered_};
+
+  // On-stack replacement at the back-edge safepoint blocks (see
+  // interpreter.cpp; the baseline frame's slots/stack are untagged Slots so
+  // the state transfer is a straight copy).
+  const std::uint32_t osr_step = tiered_ ? engine_.osr_step() : 0;
+  std::uint32_t osr_next = osr_step;
+  Slot osr_result;
+  auto try_osr = [&](std::int32_t header) -> bool {
+    osr_next = osr_step == 0 ? 0 : osr_next + osr_step;
+    if (osr_step == 0 || !uw.idle()) return false;
+    const auto& entry_stack = m.stack_in[static_cast<std::size_t>(header)];
+    if (static_cast<std::size_t>(frame.sp) != entry_stack.size()) {
+      return false;
+    }
+    const regir::RCode* rc = engine_.osr_code(m, header);
+    if (rc == nullptr) {
+      osr_next = 0;  // unbuildable continuation: stop trying in this frame
+      return false;
+    }
+    std::vector<Slot> a(nslots + entry_stack.size());
+    for (std::size_t i = 0; i < nslots; ++i) a[i] = loc[i];
+    for (std::int32_t k = 0; k < frame.sp; ++k) {
+      a[nslots + static_cast<std::size_t>(k)] = st[k];
+    }
+    osr_result = engine_.osr_enter(ctx, *rc, header, a.data());
+    return true;
   };
 
   for (;;) {
@@ -349,6 +399,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
           ++backedges;
           frame.pc = in.a;
           vm_.safepoint_poll(ctx);
+          if (backedges == osr_next && try_osr(in.a)) return osr_result;
         }
         pc = in.a;
         continue;
@@ -366,6 +417,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
             ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
+            if (backedges == osr_next && try_osr(in.a)) return osr_result;
           }
           pc = in.a;
           continue;
@@ -405,6 +457,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
             ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
+            if (backedges == osr_next && try_osr(in.a)) return osr_result;
           }
           pc = in.a;
           continue;
@@ -497,8 +550,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
       }
       case Op::RET:
         if (m.sig.ret != ValType::None) result = st[frame.sp - 1];
-        leave_frame();
-        return result;
+        return result;  // frame_exit tears down
 
       case Op::NEWOBJ: {
         frame.pc = pc;
@@ -679,8 +731,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
             continue;
           case UnwindAction::Kind::Propagate:
             ctx.pending_exception = uw.exception();
-            leave_frame();
-            return result;
+            return result;  // frame_exit tears down
         }
         break;
       }
@@ -707,8 +758,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
         continue;
       default:
         ctx.pending_exception = exc;
-        leave_frame();
-        return result;
+        return result;  // frame_exit tears down
     }
   }
   }

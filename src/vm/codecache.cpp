@@ -35,4 +35,12 @@ const regir::RCode* CodeCache::adopt(
   return raw;
 }
 
+CodeCache::Entry& CodeCache::osr_entry(const void* body,
+                                       std::int32_t header_pc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Entry>& slot = osr_entries_[{body, header_pc}];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
 }  // namespace hpcnet::vm

@@ -22,8 +22,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace hpcnet::vm {
@@ -44,6 +46,17 @@ class CodeCache {
     std::atomic<std::uint8_t> tier{0};      // current dispatch Tier
     std::atomic<bool> verified{false};      // method passed IL verification
     std::atomic<const regir::RCode*> code[kNumTiers] = {};
+    /// Bumped by TieredEngine::request_deopt. Compiled frames capture the
+    /// generation at entry and bail out (deopt) at the next back-edge
+    /// safepoint once it no longer matches — the hook speculative
+    /// optimizations use to invalidate running code.
+    std::atomic<std::uint32_t> deopt_generation{0};
+    /// Synchronized OSR/deopt event counts for this method (continuations
+    /// report against their root method's entry). Telemetry keeps the same
+    /// tallies in thread-local sinks, but those only merge safely once the
+    /// recording threads quiesce; these atomics are pollable mid-run.
+    std::atomic<std::uint32_t> osr_entries{0};
+    std::atomic<std::uint32_t> deopts{0};
     std::mutex latch;  // serializes this method's verify/compile
   };
 
@@ -64,6 +77,13 @@ class CodeCache {
   /// for the cache's lifetime (entries publish it, never free it).
   const regir::RCode* adopt(std::unique_ptr<const regir::RCode> code);
 
+  /// The OSR entry keyed (method body, loop-header pc). Bodies at distinct
+  /// headers compile independently; continuations of a deopted continuation
+  /// re-key by their own body pointer, so the map also backs re-OSR. Takes
+  /// mu_ (OSR compiles are rare — once per hot loop header); the returned
+  /// reference is stable for the cache's lifetime.
+  Entry& osr_entry(const void* body, std::int32_t header_pc);
+
  private:
   static constexpr std::size_t kChunkBits = 9;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
@@ -78,6 +98,10 @@ class CodeCache {
   std::mutex mu_;
   std::atomic<Chunk*> chunks_[kMaxChunks] = {};
   std::vector<std::unique_ptr<const regir::RCode>> owned_;
+  // Entries are address-stable (they hold atomics and a mutex), so the OSR
+  // map stores them behind unique_ptr.
+  std::map<std::pair<const void*, std::int32_t>, std::unique_ptr<Entry>>
+      osr_entries_;
 };
 
 }  // namespace hpcnet::vm

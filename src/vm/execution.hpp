@@ -51,9 +51,10 @@ enum class Tier : std::uint8_t { Interp, Baseline, Optimizing };
 enum class TierMode : std::uint8_t { Single, Tiered };
 
 /// Hotness-driven promotion policy. Hotness is invocations plus capped
-/// back-edge credit, accumulated in the profile's CodeCache entry; promotion
-/// happens only at call boundaries (no OSR — in-flight frames finish on the
-/// tier they started on).
+/// back-edge credit, accumulated in the profile's CodeCache entry. Methods
+/// promote at call boundaries; a frame already running when its method gets
+/// hot enters compiled code mid-loop via on-stack replacement once its OWN
+/// taken back edges cross `osr_backedge_trigger` (DESIGN.md §10).
 struct TierPolicy {
   TierMode mode = TierMode::Single;
   Tier max_tier = Tier::Optimizing;      // highest tier this profile reaches
@@ -63,6 +64,10 @@ struct TierPolicy {
                                          // flushed at frame exit
   std::uint32_t tiny_method_il = 8;      // bodies <= this are call-overhead
                                          // bound: first call goes baseline
+  std::uint32_t osr_backedge_trigger = 1024;  // taken back edges inside ONE
+                                              // frame before OSR kicks in
+                                              // (profiles capped below the
+                                              // optimizing tier never OSR)
 };
 
 /// Optimization-pass flags for the Optimizing tier. Each maps to a behaviour

@@ -4,6 +4,7 @@
 // safepoint flag. This is the "generic portability layer, no optimization"
 // design the paper measures at 5-10x below the optimizing engines.
 #include <cstring>
+#include <vector>
 
 #include "vm/arith.hpp"
 #include "vm/engines.hpp"
@@ -116,11 +117,68 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
   // (kept register-local for the same reason as bc).
   std::uint32_t backedges = 0;
 
-  auto leave_frame = [&] {
-    tel.bytecodes = bc;
-    ctx.top_frame = frame.gc.parent;
-    ctx.arena.release(arena_mark);
-    if (tiered_ && backedges != 0) engine_.note_backedges(m.id, backedges);
+  // Frame teardown is RAII so it runs on EVERY exit: normal returns,
+  // managed exceptions propagating out, and native C++ exceptions (frame
+  // arena exhaustion, a compile failure inside a nested call) unwinding
+  // through the dispatch loop. Before this guard, a native unwind left
+  // ctx.top_frame pointing at this dead frame (a GC crash waiting in the
+  // caller's catch) and silently dropped the frame's back-edge credit.
+  // Declared after `tel` so the bytecode count lands before tel's flush.
+  struct FrameExit {
+    InterpBackend* self;
+    VMContext& ctx;
+    InterpFrame& frame;
+    telemetry::InvocationScope& tel;
+    const MethodDef& m;
+    FrameArena::Mark arena_mark;
+    const std::uint64_t& bc;
+    const std::uint32_t& backedges;
+    bool tiered;
+    ~FrameExit() {
+      tel.bytecodes = bc;
+      ctx.top_frame = frame.gc.parent;
+      ctx.arena.release(arena_mark);
+      if (tiered && backedges != 0) {
+        try {
+          self->engine_.note_backedges(m.id, backedges);
+        } catch (...) {
+          // A failed promotion (code-cache exhaustion) must not terminate
+          // the process when this flush runs during another unwind; the
+          // credit is simply dropped.
+        }
+      }
+    }
+  } frame_exit{this, ctx, frame, tel, m, arena_mark, bc, backedges, tiered_};
+
+  // On-stack replacement: once THIS frame's taken back edges cross the
+  // trigger, compile a continuation at the loop header and finish the
+  // invocation in compiled code (DESIGN.md §10). osr_next re-arms after
+  // every attempt so transient failures retry later; a header that can
+  // never OSR disables further attempts for the frame.
+  const std::uint32_t osr_step = tiered_ ? engine_.osr_step() : 0;
+  std::uint32_t osr_next = osr_step;
+  Slot osr_result;
+  auto try_osr = [&](std::int32_t header) -> bool {
+    osr_next = osr_step == 0 ? 0 : osr_next + osr_step;
+    if (osr_step == 0 || !uw.idle()) return false;
+    const auto& entry_stack = m.stack_in[static_cast<std::size_t>(header)];
+    if (static_cast<std::size_t>(frame.sp) != entry_stack.size()) {
+      return false;
+    }
+    const regir::RCode* rc = engine_.osr_code(m, header);
+    if (rc == nullptr) {
+      osr_next = 0;  // unbuildable continuation: stop trying in this frame
+      return false;
+    }
+    // Live frame state -> continuation arguments: slots, then the operand
+    // stack bottom-up (the continuation signature orders them the same).
+    std::vector<Slot> a(nslots + entry_stack.size());
+    for (std::size_t i = 0; i < nslots; ++i) a[i] = frame.slots[i].v;
+    for (std::int32_t k = 0; k < frame.sp; ++k) {
+      a[nslots + static_cast<std::size_t>(k)] = frame.stack[k].v;
+    }
+    osr_result = engine_.osr_enter(ctx, *rc, header, a.data());
+    return true;
   };
 
   auto push = [&](ValType t, Slot v) { push_portable(frame, t, v); };
@@ -363,7 +421,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
       }
 
       case Op::BR:
-        if (in.a <= pc) ++backedges;
+        if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
+          return osr_result;
+        }
         pc = in.a;
         continue;
       case Op::BRTRUE:
@@ -376,7 +436,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           default: truth = a.v.i32 != 0; break;
         }
         if (truth == (in.op == Op::BRTRUE)) {
-          if (in.a <= pc) ++backedges;
+          if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
+            return osr_result;
+          }
           pc = in.a;
           continue;
         }
@@ -415,7 +477,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::None: break;
         }
         if (taken) {
-          if (in.a <= pc) ++backedges;
+          if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
+            return osr_result;
+          }
           pc = in.a;
           continue;
         }
@@ -511,8 +575,7 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
       }
       case Op::RET:
         if (m.sig.ret != ValType::None) result = st[frame.sp - 1].v;
-        leave_frame();
-        return result;
+        return result;  // frame_exit tears down
 
       case Op::NEWOBJ: {
         ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
@@ -698,8 +761,7 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
             continue;
           case UnwindAction::Kind::Propagate:
             ctx.pending_exception = uw.exception();
-            leave_frame();
-            return result;
+            return result;  // frame_exit tears down
         }
         break;
       }
@@ -727,8 +789,7 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
         continue;
       default:
         ctx.pending_exception = exc;
-        leave_frame();
-        return result;
+        return result;  // frame_exit tears down
     }
   }
   }

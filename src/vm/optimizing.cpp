@@ -106,13 +106,37 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
   std::int32_t pc = 0;
   Slot result;
 
+  // Deopt arming: snapshot the method's deopt generation at frame entry.
+  // request_deopt bumps it, and the next taken back edge notices and bails
+  // out through the side table. Single mode and bodies without a side table
+  // keep dent null — the check below stays a single null test off the cold
+  // path of a taken branch.
+  CodeCache::Entry* dent = nullptr;
+  std::uint32_t dgen = 0;
+  if (engine_.tiered() && !rc.deopt_points.empty()) {
+    dent = &engine_.code_entry(m.id);
+    dgen = dent->deopt_generation.load(std::memory_order_relaxed);
+  }
+
   auto leave_frame = [&] {
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
   };
-  auto take_branch = [&](std::int32_t target) {
-    if (target <= pc) vm_.safepoint_poll(ctx);  // back-edge poll
+  // Returns true when the frame must deoptimize: the branch was a taken back
+  // edge (a safepoint, hence also a deopt point) and the generation moved.
+  // `pc` then still indexes the branch, which is how deopt_bailout finds the
+  // side-table record. Deopt waits for an idle unwind machine — a finally
+  // running on behalf of a leave/throw holds state only this frame knows.
+  auto take_branch = [&](std::int32_t target) -> bool {
+    if (target <= pc) {
+      vm_.safepoint_poll(ctx);  // back-edge poll
+      if (dent != nullptr && uw.idle() &&
+          dent->deopt_generation.load(std::memory_order_relaxed) != dgen) {
+        return true;
+      }
+    }
     pc = target;
+    return false;
   };
 
   for (;;) {
@@ -335,48 +359,48 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
 
       case ROp::JMP:
       case ROp::JMPB:
-        take_branch(in.d);
+        if (take_branch(in.d)) goto deopt_bailout;
         continue;
-      case ROp::JZ_I4: if (R[in.a].i32 == 0) { take_branch(in.d); continue; } break;
-      case ROp::JNZ_I4: if (R[in.a].i32 != 0) { take_branch(in.d); continue; } break;
-      case ROp::JZ_I8: if (R[in.a].i64 == 0) { take_branch(in.d); continue; } break;
-      case ROp::JNZ_I8: if (R[in.a].i64 != 0) { take_branch(in.d); continue; } break;
-      case ROp::JZ_REF: if (R[in.a].ref == nullptr) { take_branch(in.d); continue; } break;
-      case ROp::JNZ_REF: if (R[in.a].ref != nullptr) { take_branch(in.d); continue; } break;
+      case ROp::JZ_I4: if (R[in.a].i32 == 0) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNZ_I4: if (R[in.a].i32 != 0) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JZ_I8: if (R[in.a].i64 == 0) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNZ_I8: if (R[in.a].i64 != 0) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JZ_REF: if (R[in.a].ref == nullptr) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNZ_REF: if (R[in.a].ref != nullptr) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
 
-      case ROp::JEQ_I4: if (R[in.a].i32 == R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JNE_I4: if (R[in.a].i32 != R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JLT_I4: if (R[in.a].i32 < R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JLE_I4: if (R[in.a].i32 <= R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JGT_I4: if (R[in.a].i32 > R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JGE_I4: if (R[in.a].i32 >= R[in.b].i32) { take_branch(in.d); continue; } break;
-      case ROp::JEQ_I8: if (R[in.a].i64 == R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JNE_I8: if (R[in.a].i64 != R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JLT_I8: if (R[in.a].i64 < R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JLE_I8: if (R[in.a].i64 <= R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JGT_I8: if (R[in.a].i64 > R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JGE_I8: if (R[in.a].i64 >= R[in.b].i64) { take_branch(in.d); continue; } break;
-      case ROp::JEQ_R4: if (R[in.a].f32 == R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JNE_R4: if (R[in.a].f32 != R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JLT_R4: if (R[in.a].f32 < R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JLE_R4: if (R[in.a].f32 <= R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JGT_R4: if (R[in.a].f32 > R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JGE_R4: if (R[in.a].f32 >= R[in.b].f32) { take_branch(in.d); continue; } break;
-      case ROp::JEQ_R8: if (R[in.a].f64 == R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JNE_R8: if (R[in.a].f64 != R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JLT_R8: if (R[in.a].f64 < R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JLE_R8: if (R[in.a].f64 <= R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JGT_R8: if (R[in.a].f64 > R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JGE_R8: if (R[in.a].f64 >= R[in.b].f64) { take_branch(in.d); continue; } break;
-      case ROp::JEQ_REF: if (R[in.a].ref == R[in.b].ref) { take_branch(in.d); continue; } break;
-      case ROp::JNE_REF: if (R[in.a].ref != R[in.b].ref) { take_branch(in.d); continue; } break;
+      case ROp::JEQ_I4: if (R[in.a].i32 == R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNE_I4: if (R[in.a].i32 != R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLT_I4: if (R[in.a].i32 < R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLE_I4: if (R[in.a].i32 <= R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGT_I4: if (R[in.a].i32 > R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGE_I4: if (R[in.a].i32 >= R[in.b].i32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JEQ_I8: if (R[in.a].i64 == R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNE_I8: if (R[in.a].i64 != R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLT_I8: if (R[in.a].i64 < R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLE_I8: if (R[in.a].i64 <= R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGT_I8: if (R[in.a].i64 > R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGE_I8: if (R[in.a].i64 >= R[in.b].i64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JEQ_R4: if (R[in.a].f32 == R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNE_R4: if (R[in.a].f32 != R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLT_R4: if (R[in.a].f32 < R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLE_R4: if (R[in.a].f32 <= R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGT_R4: if (R[in.a].f32 > R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGE_R4: if (R[in.a].f32 >= R[in.b].f32) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JEQ_R8: if (R[in.a].f64 == R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNE_R8: if (R[in.a].f64 != R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLT_R8: if (R[in.a].f64 < R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLE_R8: if (R[in.a].f64 <= R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGT_R8: if (R[in.a].f64 > R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGE_R8: if (R[in.a].f64 >= R[in.b].f64) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JEQ_REF: if (R[in.a].ref == R[in.b].ref) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNE_REF: if (R[in.a].ref != R[in.b].ref) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
 
-      case ROp::JEQI_I4: if (R[in.a].i32 == static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
-      case ROp::JNEI_I4: if (R[in.a].i32 != static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
-      case ROp::JLTI_I4: if (R[in.a].i32 < static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
-      case ROp::JLEI_I4: if (R[in.a].i32 <= static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
-      case ROp::JGTI_I4: if (R[in.a].i32 > static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
-      case ROp::JGEI_I4: if (R[in.a].i32 >= static_cast<std::int32_t>(in.imm.i64)) { take_branch(in.d); continue; } break;
+      case ROp::JEQI_I4: if (R[in.a].i32 == static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JNEI_I4: if (R[in.a].i32 != static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLTI_I4: if (R[in.a].i32 < static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JLEI_I4: if (R[in.a].i32 <= static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGTI_I4: if (R[in.a].i32 > static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
+      case ROp::JGEI_I4: if (R[in.a].i32 >= static_cast<std::int32_t>(in.imm.i64)) { if (take_branch(in.d)) goto deopt_bailout; continue; } break;
 
       case ROp::CALL_R: {
         vm_.safepoint_poll(ctx);
@@ -485,7 +509,7 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
         ObjRef arr = R[in.b].ref;
         if (arr == nullptr) OPT_THROW(mod.null_reference_class(), "ldlen");
         if (R[in.a].i32 < arr->length) {
-          take_branch(in.d);
+          if (take_branch(in.d)) goto deopt_bailout;
           continue;
         }
         break;
@@ -709,6 +733,14 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
     }
     ++pc;
     continue;
+
+  deopt_bailout: {
+    // The invocation finishes in an interpreter continuation built from the
+    // side-table record at this branch; its result IS this frame's result.
+    result = engine_.deopt_bailout(ctx, rc, pc, R);
+    leave_frame();
+    return result;
+  }
 
   dispatch_exception: {
     ObjRef exc = ctx.pending_exception;

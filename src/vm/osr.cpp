@@ -1,0 +1,97 @@
+#include "vm/osr.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vm/opcode.hpp"
+#include "vm/verifier.hpp"
+
+namespace hpcnet::vm::osr {
+
+namespace {
+
+/// Ops whose `a` field is an instruction index (post-verification).
+bool is_branch_target_op(Op op) {
+  switch (op) {
+    case Op::BR:
+    case Op::BRTRUE:
+    case Op::BRFALSE:
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BLE:
+    case Op::BGT:
+    case Op::BGE:
+    case Op::LEAVE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const MethodDef> build_continuation(Module& module,
+                                                    const MethodDef& m,
+                                                    std::int32_t header_pc) {
+  if (!m.verified || header_pc < 0 ||
+      static_cast<std::size_t>(header_pc) >= m.code.size() ||
+      !m.reachable[static_cast<std::size_t>(header_pc)]) {
+    return nullptr;
+  }
+  const std::vector<ValType>& entry_stack =
+      m.stack_in[static_cast<std::size_t>(header_pc)];
+  const std::size_t nslots = m.frame_slots();
+  const auto nargs = static_cast<std::int32_t>(m.num_args());
+  // The prologue rebuilds the header's operand stack from the trailing
+  // arguments, then jumps to the (shifted) header.
+  const auto delta = static_cast<std::int32_t>(entry_stack.size()) + 1;
+
+  auto c = std::make_shared<MethodDef>();
+  c->name = m.name + "$osr@" + std::to_string(header_pc);
+  c->id = m.id;  // telemetry/hotness/verification attribute to the original
+  c->sig.ret = m.sig.ret;
+  c->sig.params.reserve(nslots + entry_stack.size());
+  for (std::size_t i = 0; i < nslots; ++i) {
+    c->sig.params.push_back(m.slot_type(i));
+  }
+  for (ValType t : entry_stack) c->sig.params.push_back(t);
+  // No locals: the original frame's locals arrive as arguments, so LDLOC j /
+  // STLOC j rewrite to LDARG/STARG (nargs + j) below.
+
+  c->code.reserve(m.code.size() + static_cast<std::size_t>(delta));
+  for (std::size_t k = 0; k < entry_stack.size(); ++k) {
+    c->code.push_back(Instr::make(
+        Op::LDARG, static_cast<std::int32_t>(nslots + k)));
+  }
+  c->code.push_back(Instr::make(Op::BR, header_pc + delta));
+  for (const Instr& src : m.code) {
+    Instr in = src;
+    switch (in.op) {
+      case Op::LDLOC: in.op = Op::LDARG; in.a += nargs; break;
+      case Op::STLOC: in.op = Op::STARG; in.a += nargs; break;
+      default:
+        if (is_branch_target_op(in.op)) in.a += delta;
+        break;
+    }
+    c->code.push_back(in);
+  }
+  c->handlers = m.handlers;
+  for (ExHandler& h : c->handlers) {
+    h.try_begin += delta;
+    h.try_end += delta;
+    h.handler += delta;
+  }
+
+  try {
+    verify_body(module, *c);
+  } catch (const VerifyError&) {
+    // A loop header the transform cannot express (the conservative out: the
+    // frame just keeps running on its current tier).
+    return nullptr;
+  }
+  return c;
+}
+
+}  // namespace hpcnet::vm::osr

@@ -1,0 +1,38 @@
+// On-stack replacement continuations (DESIGN.md §10). An OSR continuation
+// of method `m` at loop header `H` is a detached MethodDef that takes the
+// whole live frame state as arguments — every frame slot of `m` (arguments
+// then locals) followed by the operand stack entries at `H`, bottom-up —
+// rebuilds the operand stack in a short prologue, and branches into a copy
+// of `m`'s body at `H`. Running the continuation to completion IS finishing
+// the original invocation: its return value (or propagated exception) is the
+// original call's result.
+//
+// The same transform serves both directions of the tier transfer:
+//   * OSR up:   compile the continuation with the register JIT and enter it
+//               from a hot interpreter/baseline frame.
+//   * deopt:    interpret the continuation, entered from a compiled frame
+//               whose register file was mapped back through the deopt side
+//               table (regir::RCode::deopt_points).
+//
+// Continuations are NEVER registered in the module's method table (adding
+// methods would race the lock-free readers of the table); they share the
+// original method's id so telemetry, verification latches and hotness all
+// attribute to the real method. Callers own the shared_ptr's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vm/module.hpp"
+
+namespace hpcnet::vm::osr {
+
+/// Builds and verifies the continuation of `m` at loop header `header_pc`.
+/// `m` must already be verified (the transform reads `stack_in`). Returns
+/// nullptr if the continuation cannot be built or does not verify — the
+/// caller then simply never OSRs this loop.
+std::shared_ptr<const MethodDef> build_continuation(Module& module,
+                                                    const MethodDef& m,
+                                                    std::int32_t header_pc);
+
+}  // namespace hpcnet::vm::osr

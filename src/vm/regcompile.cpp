@@ -2110,12 +2110,42 @@ void Compiler::compact() {
     const std::int32_t orig = il_start_[il];
     rc_.il2rpc[il] = newpos[static_cast<std::size_t>(orig)];
   }
-  // Re-target branches (their d fields hold IL pcs).
-  for (RInstr& in : packed) {
-    if (is_branch(in.op)) {
-      in.d = rc_.il2rpc[static_cast<std::size_t>(in.d)];
+  // Re-target branches (their d fields hold IL pcs). Backward branches are
+  // also (a) canonicalized JMP -> JMPB and (b) recorded in the deopt side
+  // table: at a taken back edge the register file holds exactly the IL frame
+  // state of the loop header — slot registers mirror the locals in place,
+  // and the header's entry operand stack lives in the (depth, type) stack
+  // registers DCE kept live across the edge — so the table only has to name
+  // those stack registers. If any header's entry stack has no register
+  // (cannot happen for translated code, but stay conservative) the WHOLE
+  // table is dropped: deopt support is all-or-nothing per body, which is
+  // what lets the runtime bail at ANY taken back edge without probing.
+  bool deopt_ok = true;
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    RInstr& in = packed[i];
+    if (!is_branch(in.op)) continue;
+    const std::int32_t il_target = in.d;
+    in.d = rc_.il2rpc[static_cast<std::size_t>(il_target)];
+    if (in.d > static_cast<std::int32_t>(i)) continue;  // forward
+    if (in.op == ROp::JMP) in.op = ROp::JMPB;
+    if (!deopt_ok) continue;
+    RCode::DeoptPoint dp;
+    dp.rpc = static_cast<std::int32_t>(i);
+    dp.il_pc = il_target;
+    const auto& entry_stack = mp_->stack_in[static_cast<std::size_t>(il_target)];
+    for (std::size_t depth = 0; depth < entry_stack.size(); ++depth) {
+      const auto key = (static_cast<std::int64_t>(depth) << 4) |
+                       static_cast<std::int64_t>(entry_stack[depth]);
+      const auto it = stack_regs_.find(key);
+      if (it == stack_regs_.end()) {
+        deopt_ok = false;
+        break;
+      }
+      dp.stack_regs.push_back(it->second);
     }
+    if (deopt_ok) rc_.deopt_points.push_back(std::move(dp));
   }
+  if (!deopt_ok) rc_.deopt_points.clear();
   rc_.code = std::move(packed);
 }
 

@@ -150,6 +150,20 @@ struct RInstr {
 
 /// A compiled method.
 struct RCode {
+  /// Deopt side table: one record per backward branch (JMPB and the fused
+  /// conditional back edges), sorted by `rpc`. At the recorded register pc
+  /// the register file holds the IL frame state of the branch TARGET (the
+  /// loop header): registers [0, slot_regs) mirror the locals/arguments and
+  /// `stack_regs` (bottom-up) hold the header's entry operand stack — the
+  /// invariant DCE maintains by keeping slot registers and successor-entry
+  /// stack registers live across block boundaries. Empty when the body has
+  /// no recoverable back edges; deopt is then disabled for the whole body.
+  struct DeoptPoint {
+    std::int32_t rpc = -1;    // register pc of the backward branch
+    std::int32_t il_pc = -1;  // IL pc of the loop header (branch target)
+    std::vector<std::int32_t> stack_regs;  // header entry stack, bottom-up
+  };
+  std::vector<DeoptPoint> deopt_points;
   const MethodDef* method = nullptr;
   /// When the inlining pass expanded call sites, `method` points at this
   /// private copy of the body (re-verified, same name/id/signature) instead

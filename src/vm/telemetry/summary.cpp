@@ -177,6 +177,15 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                     s.counter(Counter::MonitorWaits)));
   os << line;
   print_histogram(os, s.monitor_wait_ns, "contended-acquire waits");
+
+  os << "\n== telemetry: tiering ==\n";
+  std::snprintf(line, sizeof line,
+                "  tier-ups: %llu, osr entries: %llu, deopts: %llu\n",
+                static_cast<unsigned long long>(s.counter(Counter::TierUps)),
+                static_cast<unsigned long long>(
+                    s.counter(Counter::OsrEntries)),
+                static_cast<unsigned long long>(s.counter(Counter::Deopts)));
+  os << line;
 }
 
 }  // namespace hpcnet::vm::telemetry

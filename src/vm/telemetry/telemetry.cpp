@@ -109,6 +109,7 @@ const char* counter_name(Counter c) {
     case Counter::TlabWasteBytes: return "tlab_waste_bytes";
     case Counter::LargeAllocs: return "large_allocs";
     case Counter::TierUps: return "tier_ups";
+    case Counter::OsrEntries: return "osr_entries";
     case Counter::Deopts: return "deopts";
     case Counter::kCount: break;
   }
@@ -300,6 +301,40 @@ void record_tier_up(std::int32_t method_id, const std::string& method_name,
                  ",\"from\":\"" + tier_name(from_tier) + "\",\"to\":\"" +
                  tier_name(to_tier) + "\"";
   h.add_event(std::move(ev));
+}
+
+namespace {
+// Shared shape of the OSR/deopt instant events (both land in cat "tier"
+// next to the tier-up markers so the trace shows the whole promotion story).
+void record_tier_instant(const char* verb, Counter counter,
+                         std::int32_t method_id,
+                         const std::string& method_name, std::int32_t il_pc) {
+  if (!enabled()) return;
+  count(counter);
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  TraceEvent ev;
+  ev.name = std::string(verb) + " " + method_name;
+  ev.cat = "tier";
+  ev.begin_ns = support::now_ns();
+  ev.end_ns = ev.begin_ns;  // instant event
+  ev.tid = tl_tid;
+  ev.args_json = std::string("\"method_id\":") + std::to_string(method_id) +
+                 ",\"il_pc\":" + std::to_string(il_pc);
+  h.add_event(std::move(ev));
+}
+}  // namespace
+
+void record_osr_entry(std::int32_t method_id, const std::string& method_name,
+                      std::int32_t il_pc) {
+  record_tier_instant("osr-enter", Counter::OsrEntries, method_id,
+                      method_name, il_pc);
+}
+
+void record_deopt(std::int32_t method_id, const std::string& method_name,
+                  std::int32_t il_pc) {
+  record_tier_instant("deopt", Counter::Deopts, method_id, method_name,
+                      il_pc);
 }
 
 void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,

@@ -50,9 +50,11 @@ enum class Counter : std::uint8_t {
   TlabWasteBytes,    // bytes discarded at TLAB retirement (refill/detach)
   LargeAllocs,       // allocations routed to the large-object list
   TierUps,           // tiered-pipeline promotions (interp->baseline->opt)
-  Deopts,            // tier demotions; always 0 (the pipeline is OSR-free
-                     // and never invalidates code) — kept so dashboards can
-                     // assert on it
+  OsrEntries,        // on-stack replacements: frames that entered compiled
+                     // code mid-loop at a back-edge safepoint
+  Deopts,            // deoptimizations: compiled frames that bailed out at a
+                     // back-edge safepoint to an interpreter continuation
+                     // (request_deopt invalidated the method's assumptions)
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -232,6 +234,18 @@ void record_compile(std::int32_t method_id, const std::string& method_name,
 /// "tier" trace event. Called once per transition (the CAS/compile winner).
 void record_tier_up(std::int32_t method_id, const std::string& method_name,
                     std::uint8_t from_tier, std::uint8_t to_tier);
+
+/// An on-stack replacement: a running interpreter/baseline frame entered
+/// compiled code at the loop header `il_pc`. Bumps Counter::OsrEntries and
+/// emits an instant "tier" trace event.
+void record_osr_entry(std::int32_t method_id, const std::string& method_name,
+                      std::int32_t il_pc);
+
+/// A deoptimization: a compiled frame bailed out at a back-edge safepoint to
+/// an interpreter continuation at `il_pc`. Bumps Counter::Deopts and emits
+/// an instant "tier" trace event.
+void record_deopt(std::int32_t method_id, const std::string& method_name,
+                  std::int32_t il_pc);
 
 /// Sweep-side GC facts, recorded by the heap during the stop-the-world
 /// window; folded into the pause recorded by record_gc_pause. `segments` is

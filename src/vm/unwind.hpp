@@ -48,6 +48,11 @@ class UnwindMachine {
   /// The in-flight exception (valid while unwinding).
   ObjRef exception() const { return exc_; }
   bool unwinding() const { return mode_ == Mode::Throw; }
+  /// No throw OR leave in flight. OSR and deopt transfer only locals and the
+  /// operand stack, so both are gated on an idle machine — a frame executing
+  /// a finally on behalf of an unwind keeps its pending-finally queue here
+  /// and must not be torn out from under it.
+  bool idle() const { return mode_ == Mode::None; }
   void reset() {
     mode_ = Mode::None;
     exc_ = nullptr;

@@ -1,11 +1,15 @@
 // Tiered execution pipeline: hotness-driven promotion through the
 // interp -> baseline -> optimizing tiers, the shared per-profile CodeCache,
-// and the per-method compile latch. The Concurrent* tests are the TSan
-// targets for the tier-up path: many threads hitting the first (cold) call
-// of the same and of different methods at once.
+// and the per-method compile latch. The Concurrent* and Osr* tests are the
+// TSan targets for the tier-up path: many threads hitting the first (cold)
+// call of the same and of different methods at once, and racing the OSR
+// compile of the same loop header.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -42,6 +46,16 @@ std::int32_t build_loop(Module& mod, const std::string& name) {
   b.ldloc(i).ldarg(0).blt(top);
   b.ldloc(acc).ret();
   return b.finish();
+}
+
+/// What build_loop(n) computes, with i32 wrap-around semantics (uint32
+/// arithmetic is bit-identical to the VM's two's-complement overflow).
+std::int32_t sum_squares(std::int32_t n) {
+  std::uint32_t acc = 0;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(n); ++i) {
+    acc += i * i;
+  }
+  return static_cast<std::int32_t>(acc);
 }
 
 TEST(Tiered, PromotesThroughAllTiersAtThresholds) {
@@ -322,8 +336,10 @@ TEST(Tiered, TelemetryCountsTierUpsAndZeroDeopts) {
   const telemetry::Snapshot snap = telemetry::snapshot();
   telemetry::set_enabled(false);
 
-  // interp (cold call) -> optimizing via back-edge credit: one promotion,
-  // never a demotion (the pipeline is OSR-free and code is never dropped).
+  // interp (cold call) -> optimizing via back-edge credit: one promotion and
+  // no deopt. 100 back edges per frame stays below the OSR trigger and
+  // nothing requests a deoptimization here, so Deopts must read zero — the
+  // counter is live (see the Osr* tests), not structurally dead.
   EXPECT_GE(snap.counter(telemetry::Counter::TierUps), 1u);
   EXPECT_EQ(snap.counter(telemetry::Counter::Deopts), 0u);
 
@@ -337,6 +353,334 @@ TEST(Tiered, TelemetryCountsTierUpsAndZeroDeopts) {
     if (std::string(ev.cat) == "tier") saw_tier_event = true;
   }
   EXPECT_TRUE(saw_tier_event);
+}
+
+// ---------------------------------------------------------------------------
+// On-stack replacement and deoptimization.
+
+TEST(Tiered, OsrPromotesWithinSingleInvocation) {
+  namespace telemetry = hpcnet::vm::telemetry;
+  telemetry::set_enabled(true);
+  if (!telemetry::enabled()) {
+    GTEST_SKIP() << "built with HPCNET_TELEMETRY=OFF";
+  }
+  VirtualMachine vm;
+  const auto m = build_loop(vm.module(), "osr_single_shot");
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+  VMContext& ctx = vm.main_context();
+
+  telemetry::reset();
+  // One cold call whose frame alone crosses osr_backedge_trigger many times
+  // over: promotion may not wait for the invocation boundary.
+  Slot arg = Slot::from_i32(200'000);
+  const Slot r = eng.invoke(ctx, m, std::span<const Slot>(&arg, 1));
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  telemetry::set_enabled(false);
+
+  EXPECT_EQ(r.i32, sum_squares(200'000));
+  EXPECT_GE(snap.counter(telemetry::Counter::OsrEntries), 1u);
+  EXPECT_EQ(eng.method_tier(m), Tier::Optimizing);
+  const telemetry::MethodProfile* prof = snap.method(m);
+  ASSERT_NE(prof, nullptr);
+  // The OSR continuation runs on the optimizing backend within the same
+  // logical call, so the compiled tier shows an invocation too.
+  EXPECT_GE(prof->tier_invocations[2], 1u);
+}
+
+TEST(Tiered, OsrWithLiveOperandStack) {
+  namespace telemetry = hpcnet::vm::telemetry;
+  VirtualMachine vm;
+  // sum i for i in [0, n) with the accumulator LIVE ON THE OPERAND STACK
+  // across the back edge — OSR must carry the stack, not just the locals.
+  ILBuilder b(vm.module(), "osr_stack_loop", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  auto top = b.new_label();
+  b.ldc_i4(0);  // the accumulator; never touches a local
+  b.bind(top);
+  b.ldloc(i).add();
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.ret();
+  const auto m = b.finish();
+
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+  VMContext& ctx = vm.main_context();
+  telemetry::set_enabled(true);
+  const bool have_telemetry = telemetry::enabled();
+  telemetry::reset();
+  Slot arg = Slot::from_i32(20'000);
+  const Slot r = eng.invoke(ctx, m, std::span<const Slot>(&arg, 1));
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  telemetry::set_enabled(false);
+
+  EXPECT_EQ(r.i32, 20'000 * 19'999 / 2);
+  if (have_telemetry) {
+    EXPECT_GE(snap.counter(telemetry::Counter::OsrEntries), 1u);
+  }
+  EXPECT_EQ(eng.method_tier(m), Tier::Optimizing);
+}
+
+TEST(Tiered, OsrInsideTryFinally) {
+  VirtualMachine vm;
+  // The hot loop lives inside a protected region whose finally adjusts the
+  // result on the way out: the OSR continuation must keep the handler table
+  // (shifted to the new pcs) so the compiled code still runs the finally.
+  ILBuilder b(vm.module(), "osr_finally_loop",
+              {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto acc = b.add_local(ValType::I32);
+  auto try_begin = b.new_label();
+  auto try_end = b.new_label();
+  auto handler = b.new_label();
+  auto done = b.new_label();
+  auto top = b.new_label();
+  b.bind(try_begin);
+  b.bind(top);
+  b.ldloc(acc).ldloc(i).add().stloc(acc);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.leave(done);
+  b.bind(try_end);
+  b.bind(handler);
+  b.ldloc(acc).ldc_i4(1'000'000).add().stloc(acc);
+  b.endfinally();
+  b.bind(done);
+  b.ldloc(acc).ret();
+  b.add_finally(try_begin, try_end, handler);
+  const auto m = b.finish();
+
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+  VMContext& ctx = vm.main_context();
+  Slot arg = Slot::from_i32(20'000);
+  const Slot r = eng.invoke(ctx, m, std::span<const Slot>(&arg, 1));
+  EXPECT_EQ(r.i32, 20'000 * 19'999 / 2 + 1'000'000);
+  EXPECT_EQ(eng.method_tier(m), Tier::Optimizing);
+}
+
+TEST(Tiered, HotLoopExitingViaThrowStillPromotes) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  // The frame NEVER returns normally: it loops `arg` times and then throws.
+  // Its back-edge credit must survive the unwind, or the method stays cold
+  // forever no matter how hot the loop is.
+  ILBuilder b(mod, "osr_throw_exit", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto acc = b.add_local(ValType::I32);
+  auto cond = b.new_label();
+  auto top = b.new_label();
+  b.ldc_i4(0).stloc(i).br(cond);
+  b.bind(top);
+  b.ldloc(acc).ldloc(i).add().stloc(acc);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.bind(cond);
+  b.ldloc(i).ldarg(0).blt(top);
+  b.newobj(mod.exception_class()).throw_();
+  const auto m = b.finish();
+
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+  VMContext& ctx = vm.main_context();
+  Slot arg = Slot::from_i32(100);  // 100 back edges >> opt_threshold credit
+  for (int call = 0; call < 3; ++call) {
+    EXPECT_THROW(eng.invoke(ctx, m, std::span<const Slot>(&arg, 1)),
+                 ManagedException)
+        << "call " << call;
+  }
+  EXPECT_EQ(eng.method_tier(m), Tier::Optimizing);
+}
+
+TEST(Tiered, SaturatingHotnessAtWrapBoundary) {
+  VirtualMachine vm;
+  const auto m = build_straightline(vm.module(), "osr_hot_wrap");
+  TieredEngine eng(vm, profiles::tiered(profiles::mono023()));
+  VMContext& ctx = vm.main_context();
+
+  // Pre-cook the counter to the top of the u32 range: the next bump must
+  // saturate, not wrap to zero (which would reset the method to ice cold).
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  eng.code_entry(m).hotness.store(kMax);
+  Slot arg = Slot::from_i32(11);
+  const std::int32_t want = ((11 * 7 + 3) * 5 - 11) ^ 2;
+  EXPECT_EQ(eng.invoke(ctx, m, std::span<const Slot>(&arg, 1)).i32, want);
+  EXPECT_EQ(eng.code_entry(m).hotness.load(), kMax);
+  EXPECT_EQ(eng.method_tier(m), Tier::Baseline);  // mono caps at baseline
+}
+
+TEST(Tiered, SingleModeConcurrentFirstCall) {
+  namespace telemetry = hpcnet::vm::telemetry;
+  telemetry::set_enabled(true);
+  if (!telemetry::enabled()) {
+    GTEST_SKIP() << "built with HPCNET_TELEMETRY=OFF";
+  }
+  VirtualMachine vm;
+  const auto m = build_loop(vm.module(), "single_mode_race");
+  TieredEngine eng(vm, profiles::clr11());  // TierMode::Single
+  telemetry::reset();
+
+  // Single mode compiles on first call; when eight threads deliver that
+  // first call at once, the per-method latch must admit exactly one compile
+  // and everyone else must wait for the published code — never run a
+  // half-built body and never compile twice.
+  constexpr int kThreads = 8;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto ctx = vm.attach_thread(&eng);
+      Slot arg = Slot::from_i32(60);
+      for (int i = 0; i < 10; ++i) {
+        const Slot r = eng.invoke(*ctx, m, std::span<const Slot>(&arg, 1));
+        if (r.i32 != 70210) wrong.fetch_add(1);
+      }
+      vm.detach_thread(*ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  telemetry::set_enabled(false);
+
+  EXPECT_EQ(wrong.load(), 0);
+  const telemetry::EngineJitTimes* jit = snap.engine_jit("clr11");
+  ASSERT_NE(jit, nullptr);
+  EXPECT_EQ(jit->methods_compiled, 1u);
+}
+
+TEST(Tiered, ConcurrentOsrSameLoop) {
+  VirtualMachine vm;
+  const auto m = build_loop(vm.module(), "osr_race");
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+
+  // Two cold frames cross the OSR trigger at the same loop header at nearly
+  // the same moment: the continuation build + compile must be latched like
+  // any other compile, and both frames must resume with the right state.
+  constexpr int kThreads = 2;
+  const std::int32_t want = sum_squares(20'000);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto ctx = vm.attach_thread(&eng);
+      Slot arg = Slot::from_i32(20'000);
+      for (int i = 0; i < 3; ++i) {
+        const Slot r = eng.invoke(*ctx, m, std::span<const Slot>(&arg, 1));
+        if (r.i32 != want) wrong.fetch_add(1);
+      }
+      vm.detach_thread(*ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(eng.method_tier(m), Tier::Optimizing);
+}
+
+TEST(Tiered, DeoptThenReOsrRoundTrip) {
+  namespace telemetry = hpcnet::vm::telemetry;
+  telemetry::set_enabled(true);
+  // Progress is observed through code-cache atomics, so the round trip runs
+  // even in HPCNET_TELEMETRY=OFF builds; only the counter cross-check at the
+  // end needs the sinks.
+  const bool have_telemetry = telemetry::enabled();
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const std::int32_t cls = mod.define_class("osr.Flag", {{"stop", ValType::I32}});
+
+  // Worker: spin until flag.stop != 0, counting iterations. The loop is
+  // unbounded, so the TEST decides how long each execution tier stays
+  // resident — no timing-dependent trip counts. The flag is read and
+  // written under the cell's monitor to keep the test TSan-clean.
+  ILBuilder w(mod, "osr_deopt_worker", {{ValType::Ref}, ValType::I32});
+  const auto n = w.add_local(ValType::I32);
+  auto top = w.new_label();
+  w.bind(top);
+  w.ldloc(n).ldc_i4(1).add().stloc(n);
+  w.ldarg(0).call_intr(I_MON_ENTER);
+  w.ldarg(0).ldfld(cls, "stop");
+  w.ldarg(0).call_intr(I_MON_EXIT);
+  w.brfalse(top);
+  w.ldloc(n).ret();
+  const auto worker = w.finish();
+
+  ILBuilder s(mod, "osr_deopt_stop", {{ValType::Ref}, ValType::I32});
+  s.ldarg(0).call_intr(I_MON_ENTER);
+  s.ldarg(0).ldc_i4(1).stfld(cls, "stop");
+  s.ldarg(0).call_intr(I_MON_EXIT);
+  s.ldc_i4(0).ret();
+  const auto stop = s.finish();
+
+  ILBuilder c(mod, "osr_deopt_cell", {{}, ValType::Ref});
+  c.newobj(cls).ret();
+  const auto make_cell = c.finish();
+
+  TieredEngine eng(vm, profiles::tiered(profiles::clr11()));
+  VMContext& ctx = vm.main_context();
+  telemetry::reset();
+  const Slot cell = eng.invoke(ctx, make_cell, {});
+
+  Slot result = Slot::from_i32(0);
+  std::thread t([&] {
+    auto wctx = vm.attach_thread(&eng);
+    Slot a = cell;
+    result = eng.invoke(*wctx, worker, std::span<const Slot>(&a, 1));
+    vm.detach_thread(*wctx);
+  });
+
+  // Mid-run progress is observed through the code-cache entry's atomic
+  // osr_entries/deopts counters; the thread-local telemetry sinks only merge
+  // safely once the worker quiesces, so the snapshot waits for the join.
+  CodeCache::Entry& entry = eng.code_entry(worker);
+  auto wait_for = [](std::atomic<std::uint32_t>& ctr, std::uint32_t min) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (ctr.load(std::memory_order_relaxed) >= min) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  };
+
+  // 1. The spinning frame crosses the trigger and OSR-enters compiled code.
+  const bool osr1 = wait_for(entry.osr_entries, 1);
+  bool deopted = false;
+  bool osr2 = false;
+  if (osr1) {
+    // 2. Invalidate: the running compiled frame must bail to the
+    //    interpreter at its next back-edge safepoint. A request that lands
+    //    in the sliver between the osr_entries bump and the frame snapping
+    //    its generation at entry is invisible to that frame, so keep
+    //    re-requesting until a bail is observed.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      eng.request_deopt(worker);
+      if (entry.deopts.load(std::memory_order_relaxed) >= 1) {
+        deopted = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // 3. The interpreter continuation is the same hot loop, so it re-arms and
+  //    OSR-enters freshly compiled code again — the full round trip.
+  if (deopted) osr2 = wait_for(entry.osr_entries, 2);
+
+  Slot a = cell;
+  eng.invoke(ctx, stop, std::span<const Slot>(&a, 1));
+  t.join();
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  telemetry::set_enabled(false);
+
+  EXPECT_TRUE(osr1) << "hot loop never OSR-promoted";
+  EXPECT_TRUE(deopted) << "compiled frame never bailed after request_deopt";
+  EXPECT_TRUE(osr2) << "deopted loop never re-entered compiled code";
+  if (have_telemetry) {
+    EXPECT_GE(snap.counter(telemetry::Counter::OsrEntries), 2u);
+    EXPECT_GE(snap.counter(telemetry::Counter::Deopts), 1u);
+  }
+  EXPECT_GE(result.i32, 1);
+  // The deopt zeroed the hotness, but the frame-exit back-edge flush from
+  // the interpreter continuation re-promotes the method.
+  EXPECT_EQ(eng.method_tier(worker), Tier::Optimizing);
 }
 
 TEST(Tiered, TieredProfileNamesResolveViaByName) {
