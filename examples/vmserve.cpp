@@ -1,0 +1,143 @@
+// vmserve: the multi-tenant execution service over SciMark jobs.
+//
+//   $ ./vmserve [engine] [--workers N] [--tenants N] [--rounds N]
+//               [--fuel F] [--mem MB] [--json]
+//
+// Builds the SciMark kernels into one VM, starts an ExecutionService with N
+// workers on the chosen engine profile, registers N tenants (each with the
+// given per-job fuel and per-tenant memory budget; 0 = unmetered), submits
+// `rounds` rounds of mixed-size jobs per tenant, then prints every job's
+// outcome and the per-tenant telemetry summary (fuel spent, bytes charged,
+// jobs completed/killed, queue wait).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cil/sm.hpp"
+#include "vm/service/service.hpp"
+#include "vm/telemetry/summary.hpp"
+#include "vm/telemetry/telemetry.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: vmserve [engine] [--workers N] [--tenants N] [--rounds N]\n"
+    "               [--fuel F] [--mem MB] [--json]\n"
+    "  engine     profile name (clr11, mono023, rotor10, clr11.tiered, ...)\n"
+    "  --workers  worker threads sharing the VM          (default 4)\n"
+    "  --tenants  tenants submitting jobs                (default 2)\n"
+    "  --rounds   rounds of 5 mixed SciMark jobs each    (default 2)\n"
+    "  --fuel     per-job fuel budget, backward branches (default 0 = off)\n"
+    "  --mem      per-tenant allocation budget in MB     (default 0 = off)\n";
+
+struct JobSpec {
+  const char* name;
+  std::int32_t method;
+  std::vector<hpcnet::vm::Slot> args;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcnet;
+  using vm::Slot;
+  namespace telemetry = vm::telemetry;
+  namespace service = vm::service;
+
+  std::string engine = "clr11";
+  int workers = 4;
+  int tenants = 2;
+  int rounds = 2;
+  std::uint64_t fuel = 0;
+  std::uint64_t mem_mb = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (a == "--tenants" && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else if (a == "--rounds" && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (a == "--fuel" && i + 1 < argc) {
+      fuel = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--mem" && i + 1 < argc) {
+      mem_mb = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      engine = a;
+    }
+  }
+
+  telemetry::set_enabled(true);
+
+  vm::VirtualMachine machine;
+  const std::vector<JobSpec> jobs = {
+      {"fft", cil::build_sm_fft(machine),
+       {Slot::from_i32(256), Slot::from_i32(2)}},
+      {"sor", cil::build_sm_sor(machine),
+       {Slot::from_i32(100), Slot::from_i32(10)}},
+      {"montecarlo", cil::build_sm_montecarlo(machine),
+       {Slot::from_i32(200000)}},
+      {"sparse", cil::build_sm_sparse(machine),
+       {Slot::from_i32(1000), Slot::from_i32(5000), Slot::from_i32(10)}},
+      {"lu", cil::build_sm_lu(machine), {Slot::from_i32(100)}},
+  };
+
+  vm::EngineProfile profile;
+  try {
+    profile = vm::profiles::by_name(engine);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
+    return 1;
+  }
+
+  service::ExecutionService svc(machine, profile, {.workers = workers});
+  for (int t = 0; t < tenants; ++t) {
+    svc.add_tenant({.name = "tenant-" + std::to_string(t),
+                    .fuel_per_job = fuel,
+                    .memory_budget_bytes = mem_mb << 20});
+  }
+
+  struct Pending {
+    std::string tenant;
+    const char* job;
+    service::JobHandle handle;
+  };
+  std::vector<Pending> pending;
+  for (int r = 0; r < rounds; ++r) {
+    for (int t = 0; t < tenants; ++t) {
+      const std::string tenant = "tenant-" + std::to_string(t);
+      for (const JobSpec& j : jobs) {
+        pending.push_back(
+            {tenant, j.name, svc.submit(tenant, j.method, j.args)});
+      }
+    }
+  }
+
+  std::printf("%-10s %-11s %-13s %14s %10s %9s %9s\n", "tenant", "job",
+              "outcome", "value", "fuel", "queue_ms", "run_ms");
+  for (Pending& p : pending) {
+    const service::JobResult r = p.handle.wait();
+    std::printf("%-10s %-11s %-13s %14.6g %10llu %9.3f %9.3f\n",
+                p.tenant.c_str(), p.job, service::outcome_name(r.outcome),
+                r.outcome == service::JobOutcome::Completed ? r.value.f64 : 0.0,
+                static_cast<unsigned long long>(r.fuel_spent),
+                static_cast<double>(r.queue_ns) * 1e-6,
+                static_cast<double>(r.run_ns) * 1e-6);
+  }
+  svc.drain();
+  std::printf("\n");
+
+  telemetry::SummaryOptions opts;
+  opts.json = json;
+  telemetry::print_summary(std::cout, telemetry::snapshot(), &machine.module(),
+                           opts);
+  return 0;
+}

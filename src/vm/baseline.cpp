@@ -85,6 +85,12 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
                            const Slot* args) {
   Module& mod = vm_.module();
   engine_.ensure_verified(m);
+  // Fuel check at the call boundary (see interpreter.cpp for rationale).
+  if (ctx.fuel.exhausted()) {
+    vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                        "fuel budget exhausted");
+    return Slot{};
+  }
   telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -110,6 +116,8 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
   // Taken backward branches; counted inside the existing back-edge safepoint
   // blocks (no new branches in the dispatch loop) and flushed at frame exit.
   std::uint32_t backedges = 0;
+  // Back edges already charged to ctx.fuel (== backedges at each pulse).
+  std::uint32_t fuel_charged = 0;
 
   // RAII frame teardown: runs on normal returns, managed-exception
   // propagation AND native C++ unwinds (arena exhaustion, nested compile
@@ -124,11 +132,17 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
     FrameArena::Mark arena_mark;
     const std::uint64_t& bc;
     const std::uint32_t& backedges;
+    const std::uint32_t& fuel_charged;
     bool tiered;
     ~FrameExit() {
       tel.bytecodes = bc;
       ctx.top_frame = frame.gc.parent;
       ctx.arena.release(arena_mark);
+      // Residual fuel for back edges taken since the last pulse (the next
+      // pulse or call boundary catches any overdraw).
+      if (ctx.fuel.active && backedges != fuel_charged) {
+        ctx.fuel.charge(backedges - fuel_charged);
+      }
       if (tiered && backedges != 0) {
         try {
           self->engine_.note_backedges(m.id, backedges);
@@ -137,24 +151,33 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
         }
       }
     }
-  } frame_exit{this, ctx, frame, tel, m, arena_mark, bc, backedges, tiered_};
+  } frame_exit{this,       ctx, frame,     tel,          m,
+               arena_mark, bc,  backedges, fuel_charged, tiered_};
 
   // On-stack replacement at the back-edge safepoint blocks (see
   // interpreter.cpp; the baseline frame's slots/stack are untagged Slots so
-  // the state transfer is a straight copy).
+  // the state transfer is a straight copy). As in the interpreter, the OSR
+  // counter doubles as the fuel counter: one `backedges == pulse_next`
+  // compare serves both, so metering adds no branch to the dispatch loop.
   const std::uint32_t osr_step = tiered_ ? engine_.osr_step() : 0;
-  std::uint32_t osr_next = osr_step;
+  const bool fuel_on = ctx.fuel.active;
+  const std::uint32_t pulse_step =
+      osr_step != 0 ? osr_step : (fuel_on ? kFuelPulseBackedges : 0);
+  std::uint32_t pulse_next = pulse_step;
+  bool osr_armed = osr_step != 0;
   Slot osr_result;
   auto try_osr = [&](std::int32_t header) -> bool {
-    osr_next = osr_step == 0 ? 0 : osr_next + osr_step;
-    if (osr_step == 0 || !uw.idle()) return false;
+    if (!osr_armed || !uw.idle()) return false;
     const auto& entry_stack = m.stack_in[static_cast<std::size_t>(header)];
     if (static_cast<std::size_t>(frame.sp) != entry_stack.size()) {
       return false;
     }
     const regir::RCode* rc = engine_.osr_code(m, header);
     if (rc == nullptr) {
-      osr_next = 0;  // unbuildable continuation: stop trying in this frame
+      // Unbuildable continuation: stop trying in this frame; keep pulsing
+      // only if fuel still needs the counter.
+      osr_armed = false;
+      if (!fuel_on) pulse_next = 0;
       return false;
     }
     std::vector<Slot> a(nslots + entry_stack.size());
@@ -164,6 +187,21 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
     }
     osr_result = engine_.osr_enter(ctx, *rc, header, a.data());
     return true;
+  };
+  // Pulse handler: charge the window's fuel (raising a catchable
+  // FuelExhausted via ctx.pending_exception when dry), then attempt OSR.
+  auto pulse = [&](std::int32_t header) -> bool {
+    pulse_next += pulse_step;
+    if (fuel_on) {
+      ctx.fuel.charge(backedges - fuel_charged);
+      fuel_charged = backedges;
+      if (ctx.fuel.exhausted()) {
+        vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                            "fuel budget exhausted");
+        return false;
+      }
+    }
+    return try_osr(header);
   };
 
   for (;;) {
@@ -190,6 +228,9 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
       case Op::LDSTR: {
         frame.pc = pc;
         ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab);
+        if (s == nullptr) {
+          BASE_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
         st[frame.sp++] = Slot::from_ref(s);
         break;
       }
@@ -399,7 +440,10 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
           ++backedges;
           frame.pc = in.a;
           vm_.safepoint_poll(ctx);
-          if (backedges == osr_next && try_osr(in.a)) return osr_result;
+          if (backedges == pulse_next) {
+            if (pulse(in.a)) return osr_result;
+            if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
+          }
         }
         pc = in.a;
         continue;
@@ -417,7 +461,10 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
             ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
-            if (backedges == osr_next && try_osr(in.a)) return osr_result;
+            if (backedges == pulse_next) {
+              if (pulse(in.a)) return osr_result;
+              if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
+            }
           }
           pc = in.a;
           continue;
@@ -457,7 +504,10 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
             ++backedges;
             frame.pc = in.a;
             vm_.safepoint_poll(ctx);
-            if (backedges == osr_next && try_osr(in.a)) return osr_result;
+            if (backedges == pulse_next) {
+              if (pulse(in.a)) return osr_result;
+              if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
+            }
           }
           pc = in.a;
           continue;
@@ -555,6 +605,9 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
       case Op::NEWOBJ: {
         frame.pc = pc;
         ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
+        if (obj == nullptr) {
+          BASE_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
         st[frame.sp++] = Slot::from_ref(obj);
         break;
       }
@@ -583,6 +636,9 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
         const std::int32_t len = st[frame.sp - 1].i32;
         if (len < 0) BASE_THROW(mod.index_range_class(), "negative array size");
         ObjRef arr = vm_.heap().alloc_array(in.type, len, &ctx.tlab);
+        if (arr == nullptr) {
+          BASE_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
         st[frame.sp - 1] = Slot::from_ref(arr);
         break;
       }
@@ -635,6 +691,9 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
           BASE_THROW(mod.index_range_class(), "negative matrix size");
         }
         ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols, &ctx.tlab);
+        if (mat == nullptr) {
+          BASE_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
         frame.sp -= 1;
         st[frame.sp - 1] = Slot::from_ref(mat);
         break;
@@ -690,6 +749,9 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
       case Op::BOX: {
         frame.pc = pc;
         ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1], &ctx.tlab);
+        if (box == nullptr) {
+          BASE_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
         st[frame.sp - 1] = Slot::from_ref(box);
         break;
       }

@@ -394,9 +394,15 @@ void VirtualMachine::mark_roots() {
 
 ObjRef VirtualMachine::make_exception(VMContext& ctx, std::int32_t class_id,
                                       const std::string& message) {
+  // Kill-path exceptions (FuelExhausted, OutOfMemory) must construct even
+  // when the thrower's tenant budget is dry, so a refused charge falls back
+  // to the heap-shared TLAB, which is never metered. This unmetered reserve
+  // is bounded: a handful of small objects per kill.
   ObjRef msg = heap_.alloc_string(message, &ctx.tlab);
+  if (msg == nullptr) msg = heap_.alloc_string(message, nullptr);
   Pinned pin(*this, msg);
   ObjRef exc = heap_.alloc_instance(class_id, &ctx.tlab);
+  if (exc == nullptr) exc = heap_.alloc_instance(class_id, nullptr);
   exc->fields()[0] = Slot::from_ref(msg);  // System.Exception.message
   return exc;
 }
@@ -449,6 +455,11 @@ ObjRef VirtualMachine::start_thread(VMContext& ctx, std::int32_t method_id,
   t->arg = arg;
 
   ObjRef handle = heap_.alloc_instance(thread_class_, &ctx.tlab);
+  if (handle == nullptr) {  // tenant allocation budget refused
+    throw_exception(ctx, module_.out_of_memory_class(),
+                    "allocation budget exhausted");
+    return nullptr;
+  }
   t->handle = handle;
 
   std::int32_t index;

@@ -181,6 +181,28 @@ class ManagedException : public std::runtime_error {
 // ---------------------------------------------------------------------------
 // Per-thread execution context.
 
+/// Deterministic execution metering. The service layer (src/vm/service) arms
+/// one of these per job; the tier backends charge taken backward branches
+/// against it at the pulse cadence they already use for OSR arming, so
+/// metering adds no second branch to the dispatch loops (DESIGN.md §11).
+/// When the budget runs dry the job faults with a catchable FuelExhausted
+/// exception at the next back-edge safepoint or call boundary.
+struct FuelMeter {
+  bool active = false;
+  std::int64_t remaining = 0;  // may go negative by < one pulse window
+  std::uint64_t spent = 0;     // taken backward branches charged so far
+
+  void charge(std::uint64_t n) {
+    spent += n;
+    remaining -= static_cast<std::int64_t>(n);
+  }
+  bool exhausted() const { return active && remaining <= 0; }
+};
+
+/// Fuel pulse cadence when no OSR counter is armed; with the tiered pipeline
+/// the pulse rides the OSR trigger instead (one shared counter per frame).
+constexpr std::uint32_t kFuelPulseBackedges = 1024;
+
 struct VMContext {
   VirtualMachine* vm = nullptr;
   Engine* engine = nullptr;  // engine executing this thread's managed code
@@ -192,6 +214,7 @@ struct VMContext {
   Tlab tlab;  // this thread's allocation buffer; registered with the heap
               // while attached, retired at GC rendezvous and detach
   support::JavaRandom math_random{20030315};  // Math.random() state
+  FuelMeter fuel;  // per-job execution budget (inactive outside the service)
 
   bool has_pending() const { return pending_exception != nullptr; }
 };

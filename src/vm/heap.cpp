@@ -81,6 +81,12 @@ void Heap::unregister_tlab(Tlab& tlab) {
                tlabs_.end());
 }
 
+void Heap::retire_tlab(Tlab& tlab) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fold_locked(tlab);
+  retire_locked(tlab, /*count_waste=*/true);
+}
+
 void Heap::fold_locked(Tlab& t) {
   if (t.pending_allocs_ == 0 && t.pending_bytes_ == 0) return;
   stats_.total_allocations += t.pending_allocs_;
@@ -103,19 +109,29 @@ void Heap::retire_locked(Tlab& t, bool count_waste) {
   t.end_ = nullptr;
 }
 
-void Heap::acquire_region_locked(Tlab& t, std::size_t total) {
+bool Heap::acquire_region_locked(Tlab& t, std::size_t total) {
+  // A bound tenant budget pays for the whole region up front (bumps inside
+  // it are then free); a refused charge refuses the refill.
+  auto charge = [&](std::size_t region_bytes) {
+    if (t.budget_ == nullptr) return true;
+    if (!t.budget_->try_charge(region_bytes)) return false;
+    t.budget_charged_ += region_bytes;
+    return true;
+  };
   telemetry::count(telemetry::Counter::TlabRefills);
   // First fit from the free runs the last sweep recovered inside live
   // segments; the run's filler header is overwritten as the TLAB bumps.
   for (std::size_t i = 0; i < free_runs_.size(); ++i) {
     if (free_runs_[i].bytes >= total) {
+      if (!charge(free_runs_[i].bytes)) return false;
       t.cur_ = free_runs_[i].p;
       t.end_ = free_runs_[i].p + free_runs_[i].bytes;
       free_runs_[i] = free_runs_.back();
       free_runs_.pop_back();
-      return;
+      return true;
     }
   }
+  if (!charge(kSegmentBytes)) return false;
   // Whole segment: reuse a pooled one or take fresh pages.
   std::unique_ptr<Segment> seg;
   if (!pool_.empty()) {
@@ -127,6 +143,7 @@ void Heap::acquire_region_locked(Tlab& t, std::size_t total) {
   t.cur_ = seg->mem;
   t.end_ = seg->mem + seg->bytes;
   segments_.push_back(std::move(seg));
+  return true;
 }
 
 ObjRef Heap::bump(Tlab& t, std::size_t total) {
@@ -173,6 +190,12 @@ ObjRef Heap::alloc_slow(std::size_t total, Tlab* tlab) {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (total >= kLargeThreshold) {
+    // The large path charges exact sizes (no region rounding), which is what
+    // makes memory-budget kills on big-array allocation deterministic.
+    if (tlab != nullptr && tlab->budget_ != nullptr) {
+      if (!tlab->budget_->try_charge(total)) return nullptr;
+      tlab->budget_charged_ += total;
+    }
     void* mem = ::operator new(total, std::align_val_t{kAllocAlign});
     std::memset(mem, 0, total);
     auto* obj = new (mem) ObjHeader();  // alloc_bytes stays 0: size lives in
@@ -194,7 +217,7 @@ ObjRef Heap::alloc_slow(std::size_t total, Tlab* tlab) {
   if (t.cur_ == nullptr ||
       total > static_cast<std::size_t>(t.end_ - t.cur_)) {
     retire_locked(t, /*count_waste=*/true);
-    acquire_region_locked(t, total);
+    if (!acquire_region_locked(t, total)) return nullptr;
   }
   return bump(t, total);
 }
@@ -202,6 +225,7 @@ ObjRef Heap::alloc_slow(std::size_t total, Tlab* tlab) {
 ObjRef Heap::alloc_instance(std::int32_t class_id, Tlab* tlab) {
   const auto& cls = module_->klass(class_id);
   ObjRef obj = alloc_raw(cls.fields.size() * sizeof(Slot), tlab);
+  if (obj == nullptr) return nullptr;  // tenant budget refused
   obj->kind = ObjKind::Instance;
   obj->klass = class_id;
   obj->length = static_cast<std::int32_t>(cls.fields.size());
@@ -212,6 +236,7 @@ ObjRef Heap::alloc_array(ValType elem, std::int32_t length, Tlab* tlab) {
   if (length < 0) throw std::invalid_argument("negative array length");
   ObjRef obj =
       alloc_raw(static_cast<std::size_t>(length) * elem_size(elem), tlab);
+  if (obj == nullptr) return nullptr;  // tenant budget refused
   obj->kind = ObjKind::Array;
   obj->elem = elem;
   obj->length = length;
@@ -224,6 +249,7 @@ ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols,
   ObjRef obj = alloc_raw(static_cast<std::size_t>(rows) *
                              static_cast<std::size_t>(cols) * elem_size(elem),
                          tlab);
+  if (obj == nullptr) return nullptr;  // tenant budget refused
   obj->kind = ObjKind::Matrix2;
   obj->elem = elem;
   obj->length = rows;
@@ -233,6 +259,7 @@ ObjRef Heap::alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols,
 
 ObjRef Heap::alloc_box(ValType type, Slot value, Tlab* tlab) {
   ObjRef obj = alloc_raw(sizeof(Slot), tlab);
+  if (obj == nullptr) return nullptr;  // tenant budget refused
   obj->kind = ObjKind::Boxed;
   obj->elem = type;
   obj->length = 1;
@@ -242,6 +269,7 @@ ObjRef Heap::alloc_box(ValType type, Slot value, Tlab* tlab) {
 
 ObjRef Heap::alloc_string(const std::string& s, Tlab* tlab) {
   ObjRef obj = alloc_raw(s.size(), tlab);
+  if (obj == nullptr) return nullptr;  // tenant budget refused
   obj->kind = ObjKind::String;
   obj->length = static_cast<std::int32_t>(s.size());
   std::memcpy(obj->chars(), s.data(), s.size());

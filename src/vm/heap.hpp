@@ -87,6 +87,48 @@ struct HeapStats {
   std::size_t large_objects = 0;   // live entries on the large-object list
 };
 
+/// A tenant's allocation budget (src/vm/service, DESIGN.md §11): a shared
+/// atomic pool of bytes that TLAB refills and large-object allocations charge
+/// against before taking heap space. When a charge would overdraw the pool
+/// the allocation is refused (alloc_* return nullptr) and the engines raise a
+/// managed OutOfMemoryException — one tenant's allocation storm cannot take
+/// heap headroom from a co-tenant. Granularity is the TLAB region (a refill
+/// charges the whole region up front; bumps inside it are free) except on the
+/// large-object path, which charges exact sizes.
+class AllocBudget {
+ public:
+  explicit AllocBudget(std::uint64_t limit_bytes)
+      : remaining_(static_cast<std::int64_t>(limit_bytes)) {}
+
+  /// Attempts to take `bytes` from the pool; false when it would overdraw.
+  bool try_charge(std::uint64_t bytes) {
+    std::int64_t cur = remaining_.load(std::memory_order_relaxed);
+    while (cur >= static_cast<std::int64_t>(bytes)) {
+      if (remaining_.compare_exchange_weak(
+              cur, cur - static_cast<std::int64_t>(bytes),
+              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Returns bytes to the pool (job teardown: the budget bounds a tenant's
+  /// in-flight allocation, not its lifetime total; killed jobs' garbage is
+  /// reclaimed by the next GC).
+  void release(std::uint64_t bytes) {
+    remaining_.fetch_add(static_cast<std::int64_t>(bytes),
+                         std::memory_order_relaxed);
+  }
+
+  std::int64_t remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> remaining_;
+};
+
 /// A thread's bump-allocation window. Owned by the mutator's VMContext and
 /// registered with the Heap while the thread is attached; only the owning
 /// thread touches it while the world is running, so the allocation fast path
@@ -99,6 +141,19 @@ class Tlab {
   Tlab(const Tlab&) = delete;
   Tlab& operator=(const Tlab&) = delete;
 
+  /// Binds (or, with nullptr, unbinds) a tenant budget: subsequent refills
+  /// and large allocations through this TLAB charge the budget and are
+  /// refused when it runs dry. Resets budget_charged(). Callers should
+  /// retire the TLAB around bind/unbind (Heap::retire_tlab) so a window
+  /// acquired under one accounting regime is not consumed under another.
+  void bind_budget(AllocBudget* b) {
+    budget_ = b;
+    budget_charged_ = 0;
+  }
+  AllocBudget* budget() const { return budget_; }
+  /// Bytes charged to the bound budget since bind_budget().
+  std::uint64_t budget_charged() const { return budget_charged_; }
+
  private:
   friend class Heap;
   char* cur_ = nullptr;
@@ -107,6 +162,10 @@ class Tlab {
   // counters (see Heap::fold_locked).
   std::uint64_t pending_allocs_ = 0;
   std::uint64_t pending_bytes_ = 0;
+  // Tenant accounting (null = unmetered; the heap-shared TLAB is always
+  // unmetered, which is why metered jobs must never route through it).
+  AllocBudget* budget_ = nullptr;
+  std::uint64_t budget_charged_ = 0;
 };
 
 class Heap {
@@ -138,10 +197,18 @@ class Heap {
   void register_tlab(Tlab& tlab);
   void unregister_tlab(Tlab& tlab);
 
+  /// Folds and retires `tlab`'s current window from the owning thread (the
+  /// remainder becomes walkable filler). The service layer calls this around
+  /// AllocBudget bind/unbind so no window crosses accounting regimes.
+  void retire_tlab(Tlab& tlab);
+
   /// Allocation. Passing the calling thread's registered TLAB takes the
   /// lock-free bump fast path; with tlab == nullptr the allocation is served
   /// from a heap-shared buffer under the lock (the pre-TLAB behaviour, kept
   /// for native callers without a VMContext and as the bench baseline).
+  /// When the TLAB has a bound AllocBudget that refuses the charge, these
+  /// return nullptr (the engines turn that into a managed
+  /// OutOfMemoryException); unmetered allocation never returns nullptr.
   ObjRef alloc_instance(std::int32_t class_id, Tlab* tlab = nullptr);
   ObjRef alloc_array(ValType elem, std::int32_t length, Tlab* tlab = nullptr);
   ObjRef alloc_matrix2(ValType elem, std::int32_t rows, std::int32_t cols,
@@ -177,7 +244,8 @@ class Heap {
   ObjRef bump(Tlab& t, std::size_t total);
   void fold_locked(Tlab& t);
   void retire_locked(Tlab& t, bool count_waste);
-  void acquire_region_locked(Tlab& t, std::size_t total);
+  /// False when the TLAB's bound budget refuses the region charge.
+  bool acquire_region_locked(Tlab& t, std::size_t total);
   void trace(ObjRef obj, std::vector<ObjRef>& worklist);
 
   Module* module_;

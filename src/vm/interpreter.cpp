@@ -88,6 +88,14 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
                          const Slot* args) {
   Module& mod = vm_.module();
   engine_.ensure_verified(m);
+  // Fuel check at the call boundary: a frame entered after the budget ran
+  // dry (the caller charges residual fuel at its own frame exit) faults
+  // immediately, so loop-free callees cannot extend a dead job for long.
+  if (ctx.fuel.exhausted()) {
+    vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                        "fuel budget exhausted");
+    return Slot{};
+  }
   telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -116,6 +124,8 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
   // Taken backward branches, flushed to the tiering policy at frame exit
   // (kept register-local for the same reason as bc).
   std::uint32_t backedges = 0;
+  // Back edges already charged to ctx.fuel (== backedges at each pulse).
+  std::uint32_t fuel_charged = 0;
 
   // Frame teardown is RAII so it runs on EVERY exit: normal returns,
   // managed exceptions propagating out, and native C++ exceptions (frame
@@ -133,11 +143,18 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
     FrameArena::Mark arena_mark;
     const std::uint64_t& bc;
     const std::uint32_t& backedges;
+    const std::uint32_t& fuel_charged;
     bool tiered;
     ~FrameExit() {
       tel.bytecodes = bc;
       ctx.top_frame = frame.gc.parent;
       ctx.arena.release(arena_mark);
+      // Residual fuel: back edges taken since the last pulse are charged at
+      // frame exit (no kill check here — the next pulse or call boundary
+      // catches an overdraw), so short loops in callees are still metered.
+      if (ctx.fuel.active && backedges != fuel_charged) {
+        ctx.fuel.charge(backedges - fuel_charged);
+      }
       if (tiered && backedges != 0) {
         try {
           self->engine_.note_backedges(m.id, backedges);
@@ -148,26 +165,37 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
         }
       }
     }
-  } frame_exit{this, ctx, frame, tel, m, arena_mark, bc, backedges, tiered_};
+  } frame_exit{this,       ctx, frame,     tel,          m,
+               arena_mark, bc,  backedges, fuel_charged, tiered_};
 
   // On-stack replacement: once THIS frame's taken back edges cross the
   // trigger, compile a continuation at the loop header and finish the
-  // invocation in compiled code (DESIGN.md §10). osr_next re-arms after
-  // every attempt so transient failures retry later; a header that can
-  // never OSR disables further attempts for the frame.
+  // invocation in compiled code (DESIGN.md §10). The OSR counter doubles as
+  // the fuel-metering counter: both ride one `++backedges == pulse_next`
+  // compare in the dispatch loop, so arming fuel adds no second branch to
+  // the hot path (DESIGN.md §11). With OSR armed the pulse cadence is the
+  // OSR trigger; fuel alone pulses every kFuelPulseBackedges; with neither,
+  // pulse_next parks at 0 and only matches on 32-bit wrap (a harmless
+  // no-op pulse).
   const std::uint32_t osr_step = tiered_ ? engine_.osr_step() : 0;
-  std::uint32_t osr_next = osr_step;
+  const bool fuel_on = ctx.fuel.active;
+  const std::uint32_t pulse_step =
+      osr_step != 0 ? osr_step : (fuel_on ? kFuelPulseBackedges : 0);
+  std::uint32_t pulse_next = pulse_step;
+  bool osr_armed = osr_step != 0;
   Slot osr_result;
   auto try_osr = [&](std::int32_t header) -> bool {
-    osr_next = osr_step == 0 ? 0 : osr_next + osr_step;
-    if (osr_step == 0 || !uw.idle()) return false;
+    if (!osr_armed || !uw.idle()) return false;
     const auto& entry_stack = m.stack_in[static_cast<std::size_t>(header)];
     if (static_cast<std::size_t>(frame.sp) != entry_stack.size()) {
       return false;
     }
     const regir::RCode* rc = engine_.osr_code(m, header);
     if (rc == nullptr) {
-      osr_next = 0;  // unbuildable continuation: stop trying in this frame
+      // Unbuildable continuation: stop trying in this frame. Fuel still
+      // needs pulses, so only park the counter when it has no other client.
+      osr_armed = false;
+      if (!fuel_on) pulse_next = 0;
       return false;
     }
     // Live frame state -> continuation arguments: slots, then the operand
@@ -179,6 +207,24 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
     }
     osr_result = engine_.osr_enter(ctx, *rc, header, a.data());
     return true;
+  };
+  // Fires when backedges hits pulse_next: charges the pulse window's fuel
+  // (killing the job with a catchable FuelExhausted at this safepoint when
+  // the budget runs dry — reported via ctx.pending_exception), then
+  // attempts OSR. Re-arms after every firing so transient OSR failures
+  // retry and an exhausted-but-caught job is re-killed a pulse later.
+  auto pulse = [&](std::int32_t header) -> bool {
+    pulse_next += pulse_step;
+    if (fuel_on) {
+      ctx.fuel.charge(backedges - fuel_charged);
+      fuel_charged = backedges;
+      if (ctx.fuel.exhausted()) {
+        vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                            "fuel budget exhausted");
+        return false;
+      }
+    }
+    return try_osr(header);
   };
 
   auto push = [&](ValType t, Slot v) { push_portable(frame, t, v); };
@@ -217,6 +263,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
         break;
       case Op::LDSTR: {
         ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab);
+        if (s == nullptr) {
+          INTERP_THROW(mod.out_of_memory_class(),
+                       "allocation budget exhausted");
+        }
         push(ValType::Ref, Slot::from_ref(s));
         break;
       }
@@ -421,8 +471,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
       }
 
       case Op::BR:
-        if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
-          return osr_result;
+        if (in.a <= pc && ++backedges == pulse_next) {
+          if (pulse(in.a)) return osr_result;
+          if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
         }
         pc = in.a;
         continue;
@@ -436,8 +487,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           default: truth = a.v.i32 != 0; break;
         }
         if (truth == (in.op == Op::BRTRUE)) {
-          if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
-            return osr_result;
+          if (in.a <= pc && ++backedges == pulse_next) {
+            if (pulse(in.a)) return osr_result;
+            if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
           }
           pc = in.a;
           continue;
@@ -477,8 +529,9 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::None: break;
         }
         if (taken) {
-          if (in.a <= pc && ++backedges == osr_next && try_osr(in.a)) {
-            return osr_result;
+          if (in.a <= pc && ++backedges == pulse_next) {
+            if (pulse(in.a)) return osr_result;
+            if (ctx.has_pending()) goto dispatch_exception;  // fuel fault
           }
           pc = in.a;
           continue;
@@ -579,6 +632,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
 
       case Op::NEWOBJ: {
         ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
+        if (obj == nullptr) {
+          INTERP_THROW(mod.out_of_memory_class(),
+                       "allocation budget exhausted");
+        }
         push(ValType::Ref, Slot::from_ref(obj));
         break;
       }
@@ -608,6 +665,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
         const std::int32_t len = st[frame.sp - 1].v.i32;
         if (len < 0) INTERP_THROW(mod.index_range_class(), "negative array size");
         ObjRef arr = vm_.heap().alloc_array(in.type, len, &ctx.tlab);
+        if (arr == nullptr) {
+          INTERP_THROW(mod.out_of_memory_class(),
+                       "allocation budget exhausted");
+        }
         st[frame.sp - 1] = {Slot::from_ref(arr), ValType::Ref};
         break;
       }
@@ -665,6 +726,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           INTERP_THROW(mod.index_range_class(), "negative matrix size");
         }
         ObjRef mat = vm_.heap().alloc_matrix2(in.type, rows, cols, &ctx.tlab);
+        if (mat == nullptr) {
+          INTERP_THROW(mod.out_of_memory_class(),
+                       "allocation budget exhausted");
+        }
         frame.sp -= 2;
         push(ValType::Ref, Slot::from_ref(mat));
         break;
@@ -720,6 +785,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
 
       case Op::BOX: {
         ObjRef box = vm_.heap().alloc_box(in.type, st[frame.sp - 1].v, &ctx.tlab);
+        if (box == nullptr) {
+          INTERP_THROW(mod.out_of_memory_class(),
+                       "allocation budget exhausted");
+        }
         st[frame.sp - 1] = {Slot::from_ref(box), ValType::Ref};
         break;
       }

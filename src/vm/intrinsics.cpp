@@ -137,7 +137,7 @@ void mon_pulseall(VMContext& ctx, const Slot* a, Slot*) {
 
 void ser(VMContext& ctx, const Slot* a, Slot* r) {
   try {
-    *r = Slot::from_ref(serialize_to_string(*ctx.vm, a[0].ref));
+    *r = Slot::from_ref(serialize_to_string(*ctx.vm, ctx, a[0].ref));
   } catch (const SerializeError& e) {
     ctx.vm->throw_exception(ctx, ctx.vm->module().exception_class(), e.what());
   }

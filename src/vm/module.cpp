@@ -30,6 +30,13 @@ Module::Module() {
       define_class("System.DivideByZeroException", {}, exc_arith_);
   exc_invalidcast_ =
       define_class("System.InvalidCastException", {}, exc_exception_);
+  // Service-layer faults (appended last so the ids above stay stable for
+  // serialized modules): thrown when a metered job exceeds its fuel or
+  // allocation budget (src/vm/service, DESIGN.md §11).
+  exc_fuel_ =
+      define_class("HPCNet.FuelExhaustedException", {}, exc_exception_);
+  exc_oom_ =
+      define_class("System.OutOfMemoryException", {}, exc_exception_);
 }
 
 std::int32_t Module::define_class(const std::string& name,

@@ -106,6 +106,8 @@ class Module {
   std::int32_t divide_by_zero_class() const { return exc_divzero_; }
   std::int32_t arithmetic_class() const { return exc_arith_; }
   std::int32_t invalid_cast_class() const { return exc_invalidcast_; }
+  std::int32_t fuel_exhausted_class() const { return exc_fuel_; }
+  std::int32_t out_of_memory_class() const { return exc_oom_; }
 
   // --- Methods -----------------------------------------------------------
   /// Registers an (unverified) method body; returns its id.
@@ -152,6 +154,8 @@ class Module {
   std::int32_t exc_divzero_ = -1;
   std::int32_t exc_arith_ = -1;
   std::int32_t exc_invalidcast_ = -1;
+  std::int32_t exc_fuel_ = -1;
+  std::int32_t exc_oom_ = -1;
 };
 
 }  // namespace hpcnet::vm

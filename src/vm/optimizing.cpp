@@ -89,6 +89,13 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
                             const Slot* args) {
   Module& mod = vm_.module();
   const MethodDef& m = *rc.method;
+  // Fuel check at the call boundary (see interpreter.cpp for rationale).
+  // Also guards OSR continuations: osr_enter lands here too.
+  if (ctx.fuel.exhausted()) {
+    vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                        "fuel budget exhausted");
+    return Slot{};
+  }
   telemetry::record_invocation(m.id, 0, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -118,7 +125,19 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
     dgen = dent->deopt_generation.load(std::memory_order_relaxed);
   }
 
+  // Fuel windows: this tier has no OSR counter to piggyback on, so metering
+  // costs one extra predictable branch per taken back edge (the satellite-2
+  // single-compare constraint binds the interpreter, not this tier).
+  const bool fuel_on = ctx.fuel.active;
+  std::uint32_t backedges = 0;
+  std::uint32_t fuel_charged = 0;
+  std::uint32_t pulse_next = fuel_on ? kFuelPulseBackedges : 0;
+
   auto leave_frame = [&] {
+    if (fuel_on && backedges != fuel_charged) {
+      ctx.fuel.charge(backedges - fuel_charged);
+      fuel_charged = backedges;
+    }
     ctx.top_frame = frame.gc.parent;
     ctx.arena.release(arena_mark);
   };
@@ -130,6 +149,19 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
   auto take_branch = [&](std::int32_t target) -> bool {
     if (target <= pc) {
       vm_.safepoint_poll(ctx);  // back-edge poll
+      if (fuel_on && ++backedges == pulse_next) {
+        pulse_next += kFuelPulseBackedges;
+        ctx.fuel.charge(backedges - fuel_charged);
+        fuel_charged = backedges;
+        if (ctx.fuel.exhausted()) {
+          // Leave pc at the branch so the deopt side table (and the
+          // unwinder's il_pc mapping) still index a real safepoint; the
+          // caller's bailout path sees the pending exception and dispatches.
+          vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
+                              "fuel budget exhausted");
+          return true;
+        }
+      }
       if (dent != nullptr && uw.idle() &&
           dent->deopt_generation.load(std::memory_order_relaxed) != dgen) {
         return true;
@@ -153,10 +185,14 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
       case ROp::LDI:
         R[in.d].raw = static_cast<std::uint64_t>(in.imm.i64);
         break;
-      case ROp::LDSTR_R:
-        R[in.d] = Slot::from_ref(
-            vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab));
+      case ROp::LDSTR_R: {
+        ObjRef s = vm_.heap().alloc_string(mod.string_at(in.a), &ctx.tlab);
+        if (s == nullptr) {
+          OPT_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
+        R[in.d] = Slot::from_ref(s);
         break;
+      }
 
       case ROp::ADD_I4: R[in.d].i32 = arith::add_i32(R[in.a].i32, R[in.b].i32); break;
       case ROp::SUB_I4: R[in.d].i32 = arith::sub_i32(R[in.a].i32, R[in.b].i32); break;
@@ -461,9 +497,14 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
         leave_frame();
         return result;
 
-      case ROp::NEWOBJ_R:
-        R[in.d] = Slot::from_ref(vm_.heap().alloc_instance(in.a, &ctx.tlab));
+      case ROp::NEWOBJ_R: {
+        ObjRef obj = vm_.heap().alloc_instance(in.a, &ctx.tlab);
+        if (obj == nullptr) {
+          OPT_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
+        R[in.d] = Slot::from_ref(obj);
         break;
+      }
       case ROp::LDFLD_R: {
         ObjRef obj = R[in.a].ref;
         if (obj == nullptr) OPT_THROW(mod.null_reference_class(), "ldfld");
@@ -486,8 +527,12 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
       case ROp::NEWARR_R: {
         const std::int32_t len = R[in.a].i32;
         if (len < 0) OPT_THROW(mod.index_range_class(), "negative array size");
-        R[in.d] = Slot::from_ref(
-            vm_.heap().alloc_array(static_cast<ValType>(in.b), len, &ctx.tlab));
+        ObjRef arr =
+            vm_.heap().alloc_array(static_cast<ValType>(in.b), len, &ctx.tlab);
+        if (arr == nullptr) {
+          OPT_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
+        R[in.d] = Slot::from_ref(arr);
         break;
       }
       case ROp::LDLEN_R: {
@@ -579,8 +624,12 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
         if (rows < 0 || cols < 0) {
           OPT_THROW(mod.index_range_class(), "negative matrix size");
         }
-        R[in.d] = Slot::from_ref(vm_.heap().alloc_matrix2(
-            static_cast<ValType>(in.imm.i64), rows, cols, &ctx.tlab));
+        ObjRef mat = vm_.heap().alloc_matrix2(
+            static_cast<ValType>(in.imm.i64), rows, cols, &ctx.tlab);
+        if (mat == nullptr) {
+          OPT_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
+        R[in.d] = Slot::from_ref(mat);
         break;
       }
 
@@ -681,10 +730,15 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
         break;
       }
 
-      case ROp::BOX_R:
-        R[in.d] = Slot::from_ref(
-            vm_.heap().alloc_box(static_cast<ValType>(in.b), R[in.a], &ctx.tlab));
+      case ROp::BOX_R: {
+        ObjRef box =
+            vm_.heap().alloc_box(static_cast<ValType>(in.b), R[in.a], &ctx.tlab);
+        if (box == nullptr) {
+          OPT_THROW(mod.out_of_memory_class(), "allocation budget exhausted");
+        }
+        R[in.d] = Slot::from_ref(box);
         break;
+      }
       case ROp::UNBOX_R: {
         ObjRef box = R[in.a].ref;
         if (box == nullptr) OPT_THROW(mod.null_reference_class(), "unbox");
@@ -735,6 +789,9 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
     continue;
 
   deopt_bailout: {
+    // A pending FuelExhausted raised at the back-edge safepoint unwinds like
+    // any managed exception; only real deopt requests fall through below.
+    if (ctx.has_pending()) goto dispatch_exception;
     // The invocation finishes in an interpreter continuation built from the
     // side-table record at this branch; its result IS this frame's result.
     result = engine_.deopt_bailout(ctx, rc, pc, R);

@@ -193,6 +193,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
           throw SerializeError("field count mismatch");
         }
         obj = heap.alloc_instance(klass, &ctx.tlab);
+        if (obj == nullptr) throw SerializeError("allocation budget exhausted");
         vm.pin(obj);
         objs.push_back(obj);
         for (std::size_t i = 0; i < cls.fields.size(); ++i) {
@@ -209,6 +210,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         const std::int32_t len = r.i32();
         if (len < 0) throw SerializeError("bad array length");
         obj = heap.alloc_array(elem, len, &ctx.tlab);
+        if (obj == nullptr) throw SerializeError("allocation budget exhausted");
         vm.pin(obj);
         objs.push_back(obj);
         if (elem == ValType::Ref) {
@@ -228,6 +230,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         const std::int32_t cols = r.i32();
         if (rows < 0 || cols < 0) throw SerializeError("bad matrix dims");
         obj = heap.alloc_matrix2(elem, rows, cols, &ctx.tlab);
+        if (obj == nullptr) throw SerializeError("allocation budget exhausted");
         vm.pin(obj);
         objs.push_back(obj);
         const std::size_t n =
@@ -245,6 +248,7 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         Slot s;
         s.raw = r.u64();
         obj = heap.alloc_box(elem, s, &ctx.tlab);
+        if (obj == nullptr) throw SerializeError("allocation budget exhausted");
         vm.pin(obj);
         objs.push_back(obj);
         break;
@@ -254,7 +258,9 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
         if (len < 0) throw SerializeError("bad string length");
         obj = heap.alloc_string(
             std::string(r.bytes(static_cast<std::size_t>(len)),
-                        static_cast<std::size_t>(len)));
+                        static_cast<std::size_t>(len)),
+            &ctx.tlab);
+        if (obj == nullptr) throw SerializeError("allocation budget exhausted");
         vm.pin(obj);
         objs.push_back(obj);
         break;
@@ -282,9 +288,14 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
   return objs[0];
 }
 
-ObjRef serialize_to_string(VirtualMachine& vm, ObjRef root) {
+ObjRef serialize_to_string(VirtualMachine& vm, VMContext& ctx, ObjRef root) {
   std::vector<char> bytes = serialize_graph(vm, root);
-  return vm.heap().alloc_string(std::string(bytes.data(), bytes.size()));
+  // Allocate through the caller's TLAB, never the heap-shared one: a metered
+  // job must not mint its output blob unaccounted (tenant budget audit).
+  ObjRef blob = vm.heap().alloc_string(
+      std::string(bytes.data(), bytes.size()), &ctx.tlab);
+  if (blob == nullptr) throw SerializeError("allocation budget exhausted");
+  return blob;
 }
 
 ObjRef deserialize_from_string(VirtualMachine& vm, VMContext& ctx,

@@ -37,7 +37,9 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
                          std::size_t size);
 
 /// Convenience wrappers over String blobs (what the intrinsics expose).
-ObjRef serialize_to_string(VirtualMachine& vm, ObjRef root);
+/// The blob is allocated through `ctx`'s TLAB so a metered job's serialized
+/// output is charged to its tenant budget like any other allocation.
+ObjRef serialize_to_string(VirtualMachine& vm, VMContext& ctx, ObjRef root);
 ObjRef deserialize_from_string(VirtualMachine& vm, VMContext& ctx,
                                ObjRef blob);
 

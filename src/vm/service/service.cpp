@@ -1,0 +1,297 @@
+#include "vm/service/service.hpp"
+
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "support/timer.hpp"
+#include "vm/telemetry/telemetry.hpp"
+#include "vm/verifier.hpp"
+
+namespace hpcnet::vm::service {
+
+const char* outcome_name(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::Completed: return "completed";
+    case JobOutcome::KilledFuel: return "killed-fuel";
+    case JobOutcome::KilledMemory: return "killed-memory";
+    case JobOutcome::Faulted: return "faulted";
+    case JobOutcome::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// JobHandle.
+
+struct JobHandle::State {
+  // Filled at submit; immutable once queued. `budget` points into the
+  // service's tenant table, valid while jobs can run (the service drains
+  // before the table is destroyed).
+  VirtualMachine* vm = nullptr;
+  std::string tenant;
+  std::int32_t method_id = -1;
+  std::vector<Slot> args;
+  std::uint64_t fuel = 0;
+  AllocBudget* budget = nullptr;
+  bool returns_ref = false;
+  std::int64_t submit_ns = 0;
+
+  // Completion protocol.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool result_pinned = false;  // written before `done` is published
+  JobResult result;
+
+  ~State() {
+    if (result_pinned) vm->unpin(result.value.ref);
+  }
+};
+
+JobResult JobHandle::wait(VMContext* ctx) {
+  if (ctx != nullptr) state_->vm->enter_safe_region(*ctx);
+  JobResult out;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    out = state_->result;
+  }
+  if (ctx != nullptr) state_->vm->leave_safe_region(*ctx);
+  return out;
+}
+
+bool JobHandle::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionService.
+
+ExecutionService::ExecutionService(VirtualMachine& vm,
+                                   const EngineProfile& profile,
+                                   Options options)
+    : vm_(vm), profile_(profile) {
+  const int n = options.workers < 1 ? 1 : options.workers;
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+ExecutionService::~ExecutionService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ExecutionService::add_tenant(const TenantConfig& config) {
+  auto tenant = std::make_shared<Tenant>();
+  tenant->config = config;
+  if (config.memory_budget_bytes > 0) {
+    tenant->budget = std::make_unique<AllocBudget>(config.memory_budget_bytes);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tenants_.emplace(config.name, std::move(tenant)).second) {
+    throw std::invalid_argument("execution service: duplicate tenant " +
+                                config.name);
+  }
+}
+
+JobHandle ExecutionService::submit(const std::string& tenant,
+                                   std::int32_t method_id,
+                                   std::vector<Slot> args) {
+  auto state = std::make_shared<JobHandle::State>();
+  state->vm = &vm_;
+  state->tenant = tenant;
+  state->method_id = method_id;
+  state->args = std::move(args);
+  state->submit_ns = support::now_ns();
+
+  std::shared_ptr<Tenant> ten;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      throw std::invalid_argument("execution service: unknown tenant " +
+                                  tenant);
+    }
+    ten = it->second;
+  }
+  state->fuel = ten->config.fuel_per_job;
+  state->budget = ten->budget.get();
+
+  // Shape validation up front; IL verification itself happens behind the
+  // workers' per-method verify latch (a raw verify() here would race it).
+  Module& mod = vm_.module();
+  JobResult reject;
+  reject.outcome = JobOutcome::Rejected;
+  if (method_id < 0 ||
+      static_cast<std::size_t>(method_id) >= mod.method_count()) {
+    reject.error = "bad method id";
+  } else if (state->args.size() != mod.method(method_id).num_args()) {
+    reject.error = "argument count mismatch";
+  } else {
+    state->returns_ref = mod.method(method_id).sig.ret == ValType::Ref;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::logic_error("execution service: already stopping");
+      }
+      queue_.push_back(state);
+    }
+    work_cv_.notify_one();
+    return JobHandle(state);
+  }
+  finish(*state, std::move(reject));
+  return JobHandle(state);
+}
+
+void ExecutionService::drain(VMContext* ctx) {
+  if (ctx != nullptr) vm_.enter_safe_region(*ctx);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  }
+  if (ctx != nullptr) vm_.leave_safe_region(*ctx);
+}
+
+TenantStats ExecutionService::tenant_stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(tenant);
+  return it != stats_.end() ? it->second : TenantStats{};
+}
+
+void ExecutionService::worker_main(std::size_t /*index*/) {
+  // Each worker owns an engine built from the service profile; engines
+  // sharing a VM and a profile name share compiled code (CodeCache), so
+  // tier-up / OSR work done for one tenant's job benefits every worker.
+  std::unique_ptr<Engine> engine = make_engine(vm_, profile_);
+  std::unique_ptr<VMContext> ctx = vm_.attach_thread(engine.get());
+  for (;;) {
+    std::shared_ptr<JobHandle::State> job;
+    // Park GC-safe while the queue is empty: a collection triggered by a
+    // busy worker must not wait on an idle one. mu_ is never held across
+    // the safe-region transitions (leave may park for an in-flight GC).
+    vm_.enter_safe_region(*ctx);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+    }
+    vm_.leave_safe_region(*ctx);
+    if (job == nullptr) break;  // stopping, queue fully drained
+    run_job(*ctx, *engine, *job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+  vm_.detach_thread(*ctx);
+}
+
+void ExecutionService::run_job(VMContext& ctx, Engine& engine,
+                               JobHandle::State& job) {
+  const std::int64_t start_ns = support::now_ns();
+  JobResult res;
+  res.queue_ns = start_ns - job.submit_ns;
+
+  // Arm the per-job fuel meter. Fuel is charged in taken backward branches
+  // at the backends' pulse cadence, so the measured kill point is exact to
+  // within one pulse window and identical run to run.
+  if (job.fuel > 0) {
+    ctx.fuel.active = true;
+    ctx.fuel.remaining = static_cast<std::int64_t>(job.fuel);
+    ctx.fuel.spent = 0;
+  }
+  // Bind the tenant's allocation budget, retiring the TLAB window on both
+  // sides of the job so no window acquired under one accounting regime is
+  // bumped under another.
+  if (job.budget != nullptr) {
+    vm_.heap().retire_tlab(ctx.tlab);
+    ctx.tlab.bind_budget(job.budget);
+  }
+
+  try {
+    Slot value = engine.invoke(ctx, job.method_id,
+                               std::span<const Slot>(job.args));
+    res.outcome = JobOutcome::Completed;
+    res.value = value;
+  } catch (const ManagedException& e) {
+    if (e.class_name() == "HPCNet.FuelExhaustedException") {
+      res.outcome = JobOutcome::KilledFuel;
+    } else if (e.class_name() == "System.OutOfMemoryException") {
+      res.outcome = JobOutcome::KilledMemory;
+    } else {
+      res.outcome = JobOutcome::Faulted;
+    }
+    res.error = e.what();
+  } catch (const VerifyError& e) {
+    res.outcome = JobOutcome::Rejected;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res.outcome = JobOutcome::Faulted;
+    res.error = e.what();
+  }
+
+  // Disarm and read back the job's accounting. Frame-exit residual flushes
+  // ran during unwinding, so `spent` is complete here.
+  res.fuel_spent = ctx.fuel.spent;
+  ctx.fuel = FuelMeter{};
+  if (job.budget != nullptr) {
+    vm_.heap().retire_tlab(ctx.tlab);
+    res.bytes_charged = ctx.tlab.budget_charged();
+    ctx.tlab.bind_budget(nullptr);
+    // The budget caps in-flight allocation, not a lifetime total: the job is
+    // over, its garbage belongs to the next GC, the headroom to the tenant.
+    job.budget->release(res.bytes_charged);
+  }
+  // Root a ref-typed result for as long as a handle can observe it
+  // (~State unpins).
+  if (res.outcome == JobOutcome::Completed && job.returns_ref &&
+      res.value.ref != nullptr) {
+    vm_.pin(res.value.ref);
+    job.result_pinned = true;
+  }
+  res.run_ns = support::now_ns() - start_ns;
+  finish(job, std::move(res));
+}
+
+void ExecutionService::finish(JobHandle::State& job, JobResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantStats& st = stats_[job.tenant];
+    switch (result.outcome) {
+      case JobOutcome::Completed: st.jobs_completed += 1; break;
+      case JobOutcome::KilledFuel: st.jobs_killed_fuel += 1; break;
+      case JobOutcome::KilledMemory: st.jobs_killed_memory += 1; break;
+      case JobOutcome::Faulted: st.jobs_faulted += 1; break;
+      case JobOutcome::Rejected: st.jobs_rejected += 1; break;
+    }
+    st.fuel_spent += result.fuel_spent;
+    st.bytes_charged += result.bytes_charged;
+    st.queue_ns += result.queue_ns;
+    st.run_ns += result.run_ns;
+  }
+  telemetry::record_service_job(job.tenant,
+                                static_cast<std::uint8_t>(result.outcome),
+                                result.fuel_spent, result.bytes_charged,
+                                result.queue_ns, result.run_ns);
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.result = std::move(result);
+    job.done = true;
+  }
+  job.cv.notify_all();
+}
+
+}  // namespace hpcnet::vm::service

@@ -1,0 +1,160 @@
+// Multi-tenant execution service (DESIGN.md §11): a job queue + worker pool
+// running verified IL jobs from N tenants on one shared VM, with two
+// per-tenant resource boundaries the paper's single-tenant harness lacks:
+//
+//   Fuel    — a deterministic execution budget, in taken backward branches,
+//             armed per JOB (per-job, not per-tenant, so the kill point does
+//             not depend on co-tenant scheduling). The tier backends charge
+//             the meter at their existing back-edge pulse cadence; an
+//             over-budget job faults with a catchable
+//             HPCNet.FuelExhaustedException at the next back-edge safepoint
+//             or call boundary, in all three tiers and OSR continuations.
+//   Memory  — an allocation budget (bytes), shared per TENANT across its
+//             concurrent jobs, charged at TLAB refill and on the
+//             large-object path (heap.hpp AllocBudget). A refused charge
+//             surfaces as a managed System.OutOfMemoryException.
+//
+// Workers are plain attached VM threads: each owns an engine built from the
+// service's profile (engines sharing the VM and profile name share compiled
+// code through the VM's CodeCache), parks GC-safe while the queue is empty,
+// and tears fuel/budget state down between jobs so no state leaks across
+// tenants. Job isolation is by construction — tenants share the heap and the
+// code cache but never a TLAB window, a fuel meter, or an unreleased budget.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vm/execution.hpp"
+
+namespace hpcnet::vm::service {
+
+/// Per-tenant resource limits. Zero means unmetered for either axis.
+struct TenantConfig {
+  std::string name;
+  std::uint64_t fuel_per_job = 0;        // taken backward branches per job
+  std::uint64_t memory_budget_bytes = 0; // in-flight allocation cap, shared
+                                         // by the tenant's concurrent jobs
+};
+
+/// Keep the numeric values stable: telemetry::record_service_job takes the
+/// outcome as uint8 with this exact encoding.
+enum class JobOutcome : std::uint8_t {
+  Completed = 0,
+  KilledFuel = 1,    // fuel budget exhausted (uncaught FuelExhausted)
+  KilledMemory = 2,  // allocation budget exhausted (uncaught OutOfMemory)
+  Faulted = 3,       // any other managed or native fault
+  Rejected = 4,      // refused before execution (bad method/args/IL)
+};
+const char* outcome_name(JobOutcome o);
+
+struct JobResult {
+  JobOutcome outcome = JobOutcome::Rejected;
+  Slot value{};              // return value when Completed
+  std::string error;         // exception class + message otherwise
+  std::uint64_t fuel_spent = 0;    // backward branches charged
+  std::uint64_t bytes_charged = 0; // budget bytes charged by this job's TLAB
+  std::int64_t queue_ns = 0;       // submit -> worker pickup
+  std::int64_t run_ns = 0;         // worker pickup -> finish
+};
+
+/// Shared handle to a submitted job. wait() blocks until a worker finishes
+/// (or rejects) the job. A ref-typed result is pinned in the VM until the
+/// last handle to the job is dropped.
+class JobHandle {
+ public:
+  /// Callers on a VM-attached thread must pass their context so the wait
+  /// parks GC-safe (a worker's collection would otherwise deadlock against
+  /// an attached waiter blocked outside a safepoint).
+  JobResult wait(VMContext* ctx = nullptr);
+  bool done() const;
+
+ private:
+  friend class ExecutionService;
+  struct State;
+  explicit JobHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Service-side per-tenant counters (mirrors telemetry::TenantTelemetry but
+/// always collected, so callers do not need the telemetry switch on).
+struct TenantStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_killed_fuel = 0;
+  std::uint64_t jobs_killed_memory = 0;
+  std::uint64_t jobs_faulted = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t fuel_spent = 0;
+  std::uint64_t bytes_charged = 0;
+  std::int64_t queue_ns = 0;
+  std::int64_t run_ns = 0;
+};
+
+struct ServiceOptions {
+  int workers = 1;
+};
+
+class ExecutionService {
+ public:
+  using Options = ServiceOptions;
+
+  /// Workers share `vm` (heap, module, code caches) and each build their own
+  /// engine from `profile`. The VM must outlive the service.
+  ExecutionService(VirtualMachine& vm, const EngineProfile& profile,
+                   Options options = {});
+  /// Drains the queue and joins the workers.
+  ~ExecutionService();
+
+  ExecutionService(const ExecutionService&) = delete;
+  ExecutionService& operator=(const ExecutionService&) = delete;
+
+  /// Registers a tenant. Throws std::invalid_argument on a duplicate name.
+  void add_tenant(const TenantConfig& config);
+
+  /// Enqueues `method_id(args)` for `tenant`. Malformed submissions (unknown
+  /// tenant throws; bad method id / arg count) come back Rejected without
+  /// reaching a worker; unverifiable IL is Rejected by the worker's verify
+  /// latch. The returned handle may outlive the service.
+  JobHandle submit(const std::string& tenant, std::int32_t method_id,
+                   std::vector<Slot> args);
+
+  /// Blocks until every job submitted so far has finished. Same attached-
+  /// caller rule as JobHandle::wait.
+  void drain(VMContext* ctx = nullptr);
+
+  TenantStats tenant_stats(const std::string& tenant) const;
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Tenant {
+    TenantConfig config;
+    std::unique_ptr<AllocBudget> budget;  // null when unmetered
+  };
+
+  void worker_main(std::size_t index);
+  void run_job(VMContext& ctx, Engine& engine, JobHandle::State& job);
+  void finish(JobHandle::State& job, JobResult result);
+
+  VirtualMachine& vm_;
+  const EngineProfile profile_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on submit and stop
+  std::condition_variable drain_cv_;  // signalled when a job finishes
+  std::deque<std::shared_ptr<JobHandle::State>> queue_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  std::map<std::string, TenantStats> stats_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hpcnet::vm::service

@@ -120,6 +120,34 @@ std::vector<support::ResultTable> summary_tables(const Snapshot& s,
     tables.push_back(std::move(t));
   }
 
+  if (!s.tenants.empty()) {
+    support::ResultTable t("telemetry: execution service (per tenant)");
+    for (const TenantTelemetry& ten : s.tenants) {
+      t.set(ten.tenant, "jobs", static_cast<double>(ten.jobs_total()));
+      t.set(ten.tenant, "completed", static_cast<double>(ten.jobs_completed));
+      const std::uint64_t killed =
+          ten.jobs_killed_fuel + ten.jobs_killed_memory;
+      t.set(ten.tenant, "killed", static_cast<double>(killed));
+      if (ten.jobs_faulted != 0) {
+        t.set(ten.tenant, "faulted", static_cast<double>(ten.jobs_faulted));
+      }
+      if (ten.jobs_rejected != 0) {
+        t.set(ten.tenant, "rejected", static_cast<double>(ten.jobs_rejected));
+      }
+      t.set(ten.tenant, "fuel_spent", static_cast<double>(ten.fuel_spent));
+      t.set(ten.tenant, "alloc_mb",
+            static_cast<double>(ten.bytes_charged) / (1024.0 * 1024.0));
+      const std::uint64_t jobs = ten.jobs_total();
+      if (jobs != 0) {
+        t.set(ten.tenant, "avg_queue_ms",
+              ms(ten.queue_ns) / static_cast<double>(jobs));
+        t.set(ten.tenant, "avg_run_ms",
+              ms(ten.run_ns) / static_cast<double>(jobs));
+      }
+    }
+    tables.push_back(std::move(t));
+  }
+
   return tables;
 }
 
@@ -186,6 +214,26 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                     s.counter(Counter::OsrEntries)),
                 static_cast<unsigned long long>(s.counter(Counter::Deopts)));
   os << line;
+
+  if (!s.tenants.empty()) {
+    os << "\n== telemetry: execution service ==\n";
+    for (const TenantTelemetry& ten : s.tenants) {
+      std::snprintf(
+          line, sizeof line,
+          "  %s: %llu jobs (%llu ok, %llu fuel-killed, %llu mem-killed, "
+          "%llu faulted, %llu rejected), fuel %llu, alloc %.2f MB\n",
+          ten.tenant.c_str(),
+          static_cast<unsigned long long>(ten.jobs_total()),
+          static_cast<unsigned long long>(ten.jobs_completed),
+          static_cast<unsigned long long>(ten.jobs_killed_fuel),
+          static_cast<unsigned long long>(ten.jobs_killed_memory),
+          static_cast<unsigned long long>(ten.jobs_faulted),
+          static_cast<unsigned long long>(ten.jobs_rejected),
+          static_cast<unsigned long long>(ten.fuel_spent),
+          static_cast<double>(ten.bytes_charged) / (1024.0 * 1024.0));
+      os << line;
+    }
+  }
 }
 
 }  // namespace hpcnet::vm::telemetry

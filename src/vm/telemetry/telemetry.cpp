@@ -56,6 +56,7 @@ struct Hub {
 
   std::map<std::string, EngineJitTimes> jit;  // by engine name
   std::map<std::int32_t, std::int64_t> method_jit_ns;
+  std::map<std::string, TenantTelemetry> tenants;  // by tenant name
 
   std::vector<TraceEvent> events;
 
@@ -156,6 +157,7 @@ void reset() {
   h.pending_gc_allocated = h.pending_gc_freed = h.pending_gc_swept = 0;
   h.jit.clear();
   h.method_jit_ns.clear();
+  h.tenants.clear();
   h.events.clear();
 }
 
@@ -194,6 +196,7 @@ Snapshot snapshot() {
   out.monitor_wait_ns = h.monitor_wait_ns;
   out.gc = h.gc;
   for (const auto& [name, j] : h.jit) out.jit.push_back(j);
+  for (const auto& [name, t] : h.tenants) out.tenants.push_back(t);
   out.events = h.events;
   return out;
 }
@@ -208,6 +211,13 @@ const MethodProfile* Snapshot::method(std::int32_t id) const {
 const EngineJitTimes* Snapshot::engine_jit(const std::string& engine) const {
   for (const EngineJitTimes& j : jit) {
     if (j.engine == engine) return &j;
+  }
+  return nullptr;
+}
+
+const TenantTelemetry* Snapshot::tenant(const std::string& name) const {
+  for (const TenantTelemetry& t : tenants) {
+    if (t.tenant == name) return &t;
   }
   return nullptr;
 }
@@ -385,6 +395,27 @@ void record_monitor_contention_end(std::int64_t wait_ns) {
   Hub& h = hub();
   std::lock_guard<std::mutex> lock(h.mu);
   h.monitor_wait_ns.record(static_cast<std::uint64_t>(wait_ns));
+}
+
+void record_service_job(const std::string& tenant, std::uint8_t outcome,
+                        std::uint64_t fuel_spent, std::uint64_t bytes_charged,
+                        std::int64_t queue_ns, std::int64_t run_ns) {
+  if (!enabled()) return;
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  TenantTelemetry& t = h.tenants[tenant];
+  if (t.tenant.empty()) t.tenant = tenant;
+  switch (outcome) {
+    case 0: t.jobs_completed += 1; break;
+    case 1: t.jobs_killed_fuel += 1; break;
+    case 2: t.jobs_killed_memory += 1; break;
+    case 3: t.jobs_faulted += 1; break;
+    default: t.jobs_rejected += 1; break;
+  }
+  t.fuel_spent += fuel_spent;
+  t.bytes_charged += bytes_charged;
+  t.queue_ns += queue_ns;
+  t.run_ns += run_ns;
 }
 
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

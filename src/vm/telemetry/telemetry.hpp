@@ -106,6 +106,27 @@ struct GcTelemetry {
                                     // most recent sweep
 };
 
+/// Per-tenant execution-service accounting (src/vm/service, DESIGN.md §11).
+/// One row per tenant name, accumulated by record_service_job at job
+/// completion (a low-frequency hook: one hub-lock trip per job).
+struct TenantTelemetry {
+  std::string tenant;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_killed_fuel = 0;    // FuelExhausted terminations
+  std::uint64_t jobs_killed_memory = 0;  // allocation-budget terminations
+  std::uint64_t jobs_faulted = 0;        // other managed/native faults
+  std::uint64_t jobs_rejected = 0;       // refused before execution
+  std::uint64_t fuel_spent = 0;          // taken backward branches, all jobs
+  std::uint64_t bytes_charged = 0;       // budget bytes charged, all jobs
+  std::int64_t queue_ns = 0;             // total submit -> dispatch wait
+  std::int64_t run_ns = 0;               // total dispatch -> finish time
+
+  std::uint64_t jobs_total() const {
+    return jobs_completed + jobs_killed_fuel + jobs_killed_memory +
+           jobs_faulted + jobs_rejected;
+  }
+};
+
 struct EngineJitTimes {
   std::string engine;
   std::int64_t pass_ns[kNumJitPasses] = {};
@@ -126,6 +147,7 @@ struct Snapshot {
   support::Histogram monitor_wait_ns;  // contended-acquire wait times
   GcTelemetry gc;
   std::vector<EngineJitTimes> jit;     // one entry per engine that compiled
+  std::vector<TenantTelemetry> tenants;  // sorted by tenant name
   std::vector<TraceEvent> events;
 
   std::uint64_t counter(Counter c) const {
@@ -133,6 +155,7 @@ struct Snapshot {
   }
   const MethodProfile* method(std::int32_t id) const;
   const EngineJitTimes* engine_jit(const std::string& engine) const;
+  const TenantTelemetry* tenant(const std::string& name) const;
   std::int64_t jit_total_ns() const;
 };
 
@@ -263,6 +286,14 @@ void record_safepoint_stall(std::int64_t ns);
 void record_monitor_contention_begin();
 /// ...and has finished, after `wait_ns` parked.
 void record_monitor_contention_end(std::int64_t wait_ns);
+
+/// One execution-service job finished (src/vm/service). `outcome` is the
+/// numeric service::JobOutcome (uint8 to keep this header free of
+/// service.hpp): 0 completed, 1 killed-fuel, 2 killed-memory, 3 faulted,
+/// 4 rejected. Low-frequency: one hub-lock trip per job.
+void record_service_job(const std::string& tenant, std::uint8_t outcome,
+                        std::uint64_t fuel_spent, std::uint64_t bytes_charged,
+                        std::int64_t queue_ns, std::int64_t run_ns);
 
 /// Generic trace span on the current thread ("kernel" runs, etc.).
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

@@ -1,0 +1,335 @@
+// Multi-tenant execution service tests: deterministic fuel kills in every
+// tier (including OSR continuations), memory-budget kills, co-tenant
+// non-interference, concurrent submission, and the accounting-bypass
+// regressions (DESIGN.md §11). The whole binary also runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vm/execution.hpp"
+#include "vm/heap.hpp"
+#include "vm/ilbuilder.hpp"
+#include "vm/service/service.hpp"
+#include "vm/verifier.hpp"
+
+namespace hpcnet::test {
+namespace {
+
+using namespace hpcnet::vm;
+using service::ExecutionService;
+using service::JobOutcome;
+using service::JobResult;
+using service::TenantConfig;
+
+/// sum(0..n-1) with exactly one taken backward branch per iteration, so a
+/// run of spin(n) costs n fuel (plus the pulse-window rounding at the kill).
+std::int32_t build_spin(Module& mod, const std::string& name) {
+  ILBuilder b(mod, name, {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto sum = b.add_local(ValType::I32);
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.ldc_i4(0).stloc(i);
+  b.ldc_i4(0).stloc(sum);
+  b.bind(loop);
+  b.ldloc(i).ldarg(0).bge(done);
+  b.ldloc(sum).ldloc(i).add().stloc(sum);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.br(loop);
+  b.bind(done);
+  b.ldloc(sum).ret();
+  return b.finish();
+}
+
+/// A floating-point recurrence whose bit pattern detects any perturbation.
+std::int32_t build_compute(Module& mod, const std::string& name) {
+  ILBuilder b(mod, name, {{ValType::I32}, ValType::F64});
+  const auto i = b.add_local(ValType::I32);
+  const auto acc = b.add_local(ValType::F64);
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.ldc_r8(1.0).stloc(acc);
+  b.ldc_i4(0).stloc(i);
+  b.bind(loop);
+  b.ldloc(i).ldarg(0).bge(done);
+  b.ldloc(acc).ldc_r8(1.0000001).mul().ldc_r8(0.5).add().stloc(acc);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.br(loop);
+  b.bind(done);
+  b.ldloc(acc).ret();
+  return b.finish();
+}
+
+/// Allocates `count` f64 arrays of `elems` elements and drops each. With
+/// elems >= 2048 every array takes the large-object path, which charges the
+/// tenant budget exact byte counts — the kill point is deterministic.
+std::int32_t build_alloc_loop(Module& mod, const std::string& name) {
+  ILBuilder b(mod, name, {{ValType::I32, ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.ldc_i4(0).stloc(i);
+  b.bind(loop);
+  b.ldloc(i).ldarg(0).bge(done);
+  b.ldarg(1).newarr(ValType::F64).pop();
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.br(loop);
+  b.bind(done);
+  b.ldloc(i).ret();
+  return b.finish();
+}
+
+TEST(Service, CompletesJobsAndReportsStats) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 2});
+  svc.add_tenant({.name = "a"});
+  auto h1 = svc.submit("a", spin, {Slot::from_i32(1000)});
+  auto h2 = svc.submit("a", spin, {Slot::from_i32(10)});
+  const JobResult r1 = h1.wait();
+  const JobResult r2 = h2.wait();
+  EXPECT_EQ(r1.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r1.value.i32, 999 * 1000 / 2);
+  EXPECT_EQ(r2.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r2.value.i32, 45);
+  EXPECT_EQ(r1.fuel_spent, 0u);  // unmetered tenant: the meter stays off
+  svc.drain();
+  const auto st = svc.tenant_stats("a");
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_killed_fuel + st.jobs_killed_memory, 0u);
+}
+
+TEST(Service, MalformedSubmissionsAreRejected) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  // Unverifiable IL: pops an empty stack. Rejected by the worker's verifier.
+  ILBuilder bad(vm.module(), "svc.bad", {{}, ValType::I32});
+  bad.add().ret();
+  const auto bad_id = bad.finish();
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a"});
+  EXPECT_EQ(svc.submit("a", 9999, {}).wait().outcome, JobOutcome::Rejected);
+  EXPECT_EQ(svc.submit("a", spin, {}).wait().outcome,
+            JobOutcome::Rejected);  // argument count mismatch
+  EXPECT_EQ(svc.submit("a", bad_id, {}).wait().outcome, JobOutcome::Rejected);
+  EXPECT_THROW(svc.submit("nobody", spin, {Slot::from_i32(1)}),
+               std::invalid_argument);
+  EXPECT_EQ(svc.tenant_stats("a").jobs_rejected, 3u);
+}
+
+// The tentpole invariant: a fuel-exhausted job terminates deterministically —
+// the same fuel count every run, in every tier, including the tiered
+// pipeline's OSR continuation (spin OSR-enters compiled code at the loop
+// header after 1024 back edges and keeps charging there).
+TEST(Service, FuelKillIsDeterministicInEveryTier) {
+  constexpr std::uint64_t kFuel = 10'000;
+  std::vector<std::uint64_t> spent_by_profile;
+  for (const char* prof : {"rotor10", "mono023", "clr11", "clr11.tiered"}) {
+    VirtualMachine vm;
+    const auto spin = build_spin(vm.module(), "svc.spin");
+    ExecutionService svc(vm, profiles::by_name(prof), {.workers = 1});
+    svc.add_tenant({.name = "a", .fuel_per_job = kFuel});
+    const JobResult r1 =
+        svc.submit("a", spin, {Slot::from_i32(1 << 20)}).wait();
+    ASSERT_EQ(r1.outcome, JobOutcome::KilledFuel) << prof;
+    EXPECT_GE(r1.fuel_spent, kFuel) << prof;
+    // Overdraw is bounded by one pulse window.
+    EXPECT_LT(r1.fuel_spent, kFuel + kFuelPulseBackedges) << prof;
+    const JobResult r2 =
+        svc.submit("a", spin, {Slot::from_i32(1 << 20)}).wait();
+    ASSERT_EQ(r2.outcome, JobOutcome::KilledFuel) << prof;
+    EXPECT_EQ(r1.fuel_spent, r2.fuel_spent) << prof;
+    spent_by_profile.push_back(r1.fuel_spent);
+  }
+  // Fuel is a tier-independent unit (taken backward branches), so the kill
+  // point agrees across the interpreter, baseline, optimizing, and
+  // interp->OSR execution shapes.
+  for (std::size_t i = 1; i < spent_by_profile.size(); ++i) {
+    EXPECT_EQ(spent_by_profile[0], spent_by_profile[i]);
+  }
+}
+
+TEST(Service, FuelExhaustedIsCatchableInIl) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  // try { spin-loop } catch (FuelExhausted) { return -1; }
+  ILBuilder b(mod, "svc.catch_fuel", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto res = b.add_local(ValType::I32);
+  auto t0 = b.new_label();
+  auto t1 = b.new_label();
+  auto h = b.new_label();
+  auto out = b.new_label();
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.ldc_i4(0).stloc(res);
+  b.ldc_i4(0).stloc(i);
+  b.bind(t0);
+  b.bind(loop);
+  b.ldloc(i).ldarg(0).bge(done);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.br(loop);
+  b.bind(done);
+  b.ldc_i4(1).stloc(res);
+  b.leave(out);
+  b.bind(t1);
+  b.add_catch(t0, t1, h, mod.fuel_exhausted_class());
+  b.bind(h);
+  b.pop().ldc_i4(-1).stloc(res).leave(out);
+  b.bind(out);
+  b.ldloc(res).ret();
+  const auto catcher = b.finish();
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a", .fuel_per_job = 5'000});
+  const JobResult r = svc.submit("a", catcher, {Slot::from_i32(1 << 20)}).wait();
+  // The fault is a catchable managed exception: the job caught it and
+  // completed normally, with the meter recording the overdraw.
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r.value.i32, -1);
+  EXPECT_GE(r.fuel_spent, 5'000u);
+}
+
+TEST(Service, MemoryBudgetKillsArrayCreateDeterministically) {
+  VirtualMachine vm;
+  const auto alloc = build_alloc_loop(vm.module(), "svc.alloc");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  // 4096-element f64 arrays are 32 KiB payloads — large-object allocations,
+  // charged exact sizes, so the kill lands on the same array every run.
+  svc.add_tenant({.name = "a", .memory_budget_bytes = 256u << 10});
+  const JobResult r1 =
+      svc.submit("a", alloc, {Slot::from_i32(64), Slot::from_i32(4096)}).wait();
+  ASSERT_EQ(r1.outcome, JobOutcome::KilledMemory);
+  EXPECT_LE(r1.bytes_charged, 256u << 10);
+  EXPECT_GE(r1.bytes_charged, 7u * 4096u * 8u);  // at least 7 arrays landed
+  const JobResult r2 =
+      svc.submit("a", alloc, {Slot::from_i32(64), Slot::from_i32(4096)}).wait();
+  ASSERT_EQ(r2.outcome, JobOutcome::KilledMemory);
+  EXPECT_EQ(r1.bytes_charged, r2.bytes_charged);
+  // The budget was fully released at job teardown: a small run now fits.
+  const JobResult r3 =
+      svc.submit("a", alloc, {Slot::from_i32(4), Slot::from_i32(4096)}).wait();
+  EXPECT_EQ(r3.outcome, JobOutcome::Completed);
+}
+
+// Satellite regression: metered jobs must not mint objects through the
+// heap-shared TLAB unaccounted. Every byte a budgeted job allocates shows up
+// in bytes_charged (region-granular on the TLAB path, exact on the large
+// path), and a dry budget refuses both paths.
+TEST(Service, BudgetedAllocationCannotBypassAccounting) {
+  VirtualMachine vm;
+  Heap& heap = vm.heap();
+  // Direct heap probe: a TLAB bound to a dry budget refuses the small path
+  // (region charge) and the large path (exact charge)...
+  Tlab t;
+  heap.register_tlab(t);
+  AllocBudget dry(16u << 10);  // below one 64 KiB TLAB region
+  t.bind_budget(&dry);
+  EXPECT_EQ(heap.alloc_array(ValType::F64, 8192, &t), nullptr);  // large
+  EXPECT_EQ(heap.alloc_array(ValType::I32, 4, &t), nullptr);     // region
+  EXPECT_EQ(t.budget_charged(), 0u);
+  // ...while the shared (tlab-less) path stays unmetered by design: that is
+  // exactly why run_job must never leave a metered context on it.
+  EXPECT_NE(heap.alloc_array(ValType::I32, 4, nullptr), nullptr);
+  t.bind_budget(nullptr);
+  heap.retire_tlab(t);
+  heap.unregister_tlab(t);
+
+  // Service-level: a budgeted job's charged bytes cover everything it
+  // allocated. 10 arrays x 32 KiB payload must all be visible in the charge.
+  const auto alloc = build_alloc_loop(vm.module(), "svc.alloc");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a", .memory_budget_bytes = 8u << 20});
+  const JobResult r =
+      svc.submit("a", alloc, {Slot::from_i32(10), Slot::from_i32(4096)}).wait();
+  ASSERT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_GE(r.bytes_charged, 10u * 4096u * 8u);
+}
+
+TEST(Service, CoTenantKillDoesNotPerturbVictimResults) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  const auto alloc = build_alloc_loop(vm.module(), "svc.alloc");
+  const auto compute = build_compute(vm.module(), "svc.compute");
+
+  // Reference result, computed directly on an engine of the same profile.
+  auto engine = make_engine(vm, profiles::clr11());
+  VMContext& ctx = vm.main_context();
+  ctx.engine = engine.get();
+  verify(vm.module(), compute);
+  const std::vector<Slot> cargs{Slot::from_i32(200'000)};
+  const Slot expected = engine->invoke(ctx, compute, cargs);
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 2});
+  svc.add_tenant({.name = "noisy",
+                  .fuel_per_job = 20'000,
+                  .memory_budget_bytes = 256u << 10});
+  svc.add_tenant({.name = "victim"});
+  std::vector<service::JobHandle> victims;
+  std::uint64_t kills = 0;
+  for (int round = 0; round < 8; ++round) {
+    auto hk = svc.submit("noisy", spin, {Slot::from_i32(1 << 20)});
+    auto hm =
+        svc.submit("noisy", alloc, {Slot::from_i32(64), Slot::from_i32(4096)});
+    victims.push_back(svc.submit("victim", compute, cargs));
+    EXPECT_EQ(hk.wait(&ctx).outcome, JobOutcome::KilledFuel);
+    EXPECT_EQ(hm.wait(&ctx).outcome, JobOutcome::KilledMemory);
+    ++kills;
+  }
+  for (auto& h : victims) {
+    const JobResult r = h.wait(&ctx);
+    ASSERT_EQ(r.outcome, JobOutcome::Completed);
+    // Bit-identical to the uncontended direct run: co-tenant kills must not
+    // perturb a victim's floating-point results.
+    EXPECT_EQ(r.value.raw, expected.raw);
+  }
+  EXPECT_GE(kills, 1u);
+  svc.drain(&ctx);
+  EXPECT_EQ(svc.tenant_stats("victim").jobs_completed, victims.size());
+  EXPECT_EQ(svc.tenant_stats("noisy").jobs_killed_fuel, 8u);
+  EXPECT_EQ(svc.tenant_stats("noisy").jobs_killed_memory, 8u);
+}
+
+TEST(Service, ConcurrentSubmissionFromEightThreads) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 8});
+  for (int t = 0; t < 4; ++t) {
+    svc.add_tenant({.name = "t" + std::to_string(t),
+                    .fuel_per_job = t % 2 == 0 ? 0u : 1'000'000u});
+  }
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const int n = 100 + (t * kJobsPerThread + j) % 900;
+        const JobResult r =
+            svc.submit("t" + std::to_string(t % 4), spin, {Slot::from_i32(n)})
+                .wait();
+        if (r.outcome == JobOutcome::Completed &&
+            r.value.i32 == (n - 1) * n / 2) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  svc.drain();
+  EXPECT_EQ(ok.load(), kThreads * kJobsPerThread);
+  std::uint64_t total = 0;
+  for (int t = 0; t < 4; ++t) {
+    total += svc.tenant_stats("t" + std::to_string(t)).jobs_completed;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads * kJobsPerThread));
+}
+
+}  // namespace
+}  // namespace hpcnet::test
