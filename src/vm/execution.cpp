@@ -443,6 +443,16 @@ ObjRef VirtualMachine::start_thread(VMContext& ctx, std::int32_t method_id,
   if (engine == nullptr) {
     throw std::logic_error("start_thread: context has no engine");
   }
+  // A metered job (fuel armed or a tenant allocation budget bound — the
+  // service layer's two boundaries) may not spawn threads: the child would
+  // run on a fresh context with no meter and no budget, and could keep
+  // running after the job completes and its budget is released — escaping
+  // both boundaries. Surface as a catchable managed fault (DESIGN.md §11).
+  if (ctx.fuel.active || ctx.tlab.budget() != nullptr) {
+    throw_exception(ctx, module_.exception_class(),
+                    "Thread.Start refused: metered jobs are single-threaded");
+    return nullptr;
+  }
   const MethodDef& m = module_.method(method_id);
   if (m.sig.params.size() != 1 || m.sig.params[0] != ValType::Ref) {
     throw_exception(ctx, module_.exception_class(),

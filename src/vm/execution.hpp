@@ -302,6 +302,9 @@ class VirtualMachine {
   // -- Managed threads -------------------------------------------------------
   /// Starts a managed thread running `method_id(arg)` on `engine`; returns a
   /// handle object. Used by the Thread.Start intrinsic and the MT benchmarks.
+  /// Refused (catchable managed exception, returns nullptr) when `ctx` is
+  /// metered — fuel armed or an allocation budget bound — because the child
+  /// context would be neither and would escape both boundaries.
   ObjRef start_thread(VMContext& ctx, std::int32_t method_id, ObjRef arg);
   /// Joins the thread behind `handle` (safe-region blocking).
   void join_thread(VMContext& ctx, ObjRef handle);

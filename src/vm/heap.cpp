@@ -110,28 +110,29 @@ void Heap::retire_locked(Tlab& t, bool count_waste) {
 }
 
 bool Heap::acquire_region_locked(Tlab& t, std::size_t total) {
-  // A bound tenant budget pays for the whole region up front (bumps inside
-  // it are then free); a refused charge refuses the refill.
-  auto charge = [&](std::size_t region_bytes) {
-    if (t.budget_ == nullptr) return true;
-    if (!t.budget_->try_charge(region_bytes)) return false;
-    t.budget_charged_ += region_bytes;
-    return true;
-  };
   telemetry::count(telemetry::Counter::TlabRefills);
-  // First fit from the free runs the last sweep recovered inside live
-  // segments; the run's filler header is overwritten as the TLAB bumps.
-  for (std::size_t i = 0; i < free_runs_.size(); ++i) {
-    if (free_runs_[i].bytes >= total) {
-      if (!charge(free_runs_[i].bytes)) return false;
-      t.cur_ = free_runs_[i].p;
-      t.end_ = free_runs_[i].p + free_runs_[i].bytes;
-      free_runs_[i] = free_runs_.back();
-      free_runs_.pop_back();
-      return true;
+  if (t.budget_ == nullptr) {
+    // First fit from the free runs the last sweep recovered inside live
+    // segments; the run's filler header is overwritten as the TLAB bumps.
+    for (std::size_t i = 0; i < free_runs_.size(); ++i) {
+      if (free_runs_[i].bytes >= total) {
+        t.cur_ = free_runs_[i].p;
+        t.end_ = free_runs_[i].p + free_runs_[i].bytes;
+        free_runs_[i] = free_runs_.back();
+        free_runs_.pop_back();
+        return true;
+      }
     }
+  } else {
+    // Budgeted refills bypass the free-run first fit and always charge (and
+    // receive) exactly one segment granule: free-run sizes depend on
+    // co-tenant-driven GC/fragmentation history, so a fixed per-refill
+    // charge is what keeps the tenant's budget-kill point deterministic —
+    // and caps how much budget one TLAB window can consume. A refill is
+    // refused only when the tenant cannot pay for a single granule.
+    if (!t.budget_->try_charge(kSegmentBytes)) return false;
+    t.budget_charged_ += kSegmentBytes;
   }
-  if (!charge(kSegmentBytes)) return false;
   // Whole segment: reuse a pooled one or take fresh pages.
   std::unique_ptr<Segment> seg;
   if (!pool_.empty()) {

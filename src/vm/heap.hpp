@@ -25,10 +25,12 @@
 // a reusable pool.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -92,16 +94,25 @@ struct HeapStats {
 /// against before taking heap space. When a charge would overdraw the pool
 /// the allocation is refused (alloc_* return nullptr) and the engines raise a
 /// managed OutOfMemoryException — one tenant's allocation storm cannot take
-/// heap headroom from a co-tenant. Granularity is the TLAB region (a refill
-/// charges the whole region up front; bumps inside it are free) except on the
-/// large-object path, which charges exact sizes.
+/// heap headroom from a co-tenant. Granularity: a budgeted TLAB refill always
+/// charges exactly one kSegmentBytes granule (bumps inside the window are
+/// then free), independent of fragmentation state, so the budget-kill point
+/// is deterministic; the large-object path charges exact sizes.
 class AllocBudget {
  public:
+  /// Limits above INT64_MAX clamp to INT64_MAX (the pool arithmetic is
+  /// signed): an over-wide configuration means "effectively unmetered", not
+  /// a pool that starts overdrawn.
   explicit AllocBudget(std::uint64_t limit_bytes)
-      : remaining_(static_cast<std::int64_t>(limit_bytes)) {}
+      : remaining_(static_cast<std::int64_t>(std::min<std::uint64_t>(
+            limit_bytes, std::numeric_limits<std::int64_t>::max()))) {}
 
   /// Attempts to take `bytes` from the pool; false when it would overdraw.
   bool try_charge(std::uint64_t bytes) {
+    if (bytes > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max())) {
+      return false;  // can never fit in a clamped pool; the cast would wrap
+    }
     std::int64_t cur = remaining_.load(std::memory_order_relaxed);
     while (cur >= static_cast<std::int64_t>(bytes)) {
       if (remaining_.compare_exchange_weak(
@@ -115,9 +126,11 @@ class AllocBudget {
 
   /// Returns bytes to the pool (job teardown: the budget bounds a tenant's
   /// in-flight allocation, not its lifetime total; killed jobs' garbage is
-  /// reclaimed by the next GC).
+  /// reclaimed by the next GC). Only charged amounts may be released, so the
+  /// clamped cast cannot be reached in practice.
   void release(std::uint64_t bytes) {
-    remaining_.fetch_add(static_cast<std::int64_t>(bytes),
+    remaining_.fetch_add(static_cast<std::int64_t>(std::min<std::uint64_t>(
+                             bytes, std::numeric_limits<std::int64_t>::max())),
                          std::memory_order_relaxed);
   }
 

@@ -1,5 +1,7 @@
 #include "vm/service/service.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -44,6 +46,8 @@ struct JobHandle::State {
   bool result_pinned = false;  // written before `done` is published
   JobResult result;
 
+  // Unpins through the VM: a handle may outlive the service, but the VM
+  // must outlive every handle (service.hpp documents this contract).
   ~State() {
     if (result_pinned) vm->unpin(result.value.ref);
   }
@@ -210,7 +214,10 @@ void ExecutionService::run_job(VMContext& ctx, Engine& engine,
   // within one pulse window and identical run to run.
   if (job.fuel > 0) {
     ctx.fuel.active = true;
-    ctx.fuel.remaining = static_cast<std::int64_t>(job.fuel);
+    // Clamp: a configured fuel_per_job above INT64_MAX means "effectively
+    // unmetered", not a meter armed already negative.
+    ctx.fuel.remaining = static_cast<std::int64_t>(std::min<std::uint64_t>(
+        job.fuel, std::numeric_limits<std::int64_t>::max()));
     ctx.fuel.spent = 0;
   }
   // Bind the tenant's allocation budget, retiring the TLAB window on both

@@ -20,6 +20,10 @@
 // and tears fuel/budget state down between jobs so no state leaks across
 // tenants. Job isolation is by construction — tenants share the heap and the
 // code cache but never a TLAB window, a fuel meter, or an unreleased budget.
+// Metered jobs are single-threaded by construction too: Thread.Start from a
+// context with fuel armed or a budget bound is refused with a catchable
+// managed exception, because a spawned thread would run unmetered and could
+// outlive the job whose budget paid for it.
 #pragma once
 
 #include <condition_variable>
@@ -67,7 +71,8 @@ struct JobResult {
 
 /// Shared handle to a submitted job. wait() blocks until a worker finishes
 /// (or rejects) the job. A ref-typed result is pinned in the VM until the
-/// last handle to the job is dropped.
+/// last handle to the job is dropped — which is why the VM must outlive
+/// every handle (the drop unpins through the VM's pin registry).
 class JobHandle {
  public:
   /// Callers on a VM-attached thread must pass their context so the wait
@@ -106,7 +111,8 @@ class ExecutionService {
   using Options = ServiceOptions;
 
   /// Workers share `vm` (heap, module, code caches) and each build their own
-  /// engine from `profile`. The VM must outlive the service.
+  /// engine from `profile`. The VM must outlive the service — and every
+  /// JobHandle the service issues (handles unpin results through the VM).
   ExecutionService(VirtualMachine& vm, const EngineProfile& profile,
                    Options options = {});
   /// Drains the queue and joins the workers.
@@ -121,7 +127,7 @@ class ExecutionService {
   /// Enqueues `method_id(args)` for `tenant`. Malformed submissions (unknown
   /// tenant throws; bad method id / arg count) come back Rejected without
   /// reaching a worker; unverifiable IL is Rejected by the worker's verify
-  /// latch. The returned handle may outlive the service.
+  /// latch. The returned handle may outlive the service, but not the VM.
   JobHandle submit(const std::string& tenant, std::int32_t method_id,
                    std::vector<Slot> args);
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
 #include "vm/ilbuilder.hpp"
+#include "vm/intrinsics.hpp"
 #include "vm/service/service.hpp"
 #include "vm/verifier.hpp"
 
@@ -79,6 +81,18 @@ std::int32_t build_alloc_loop(Module& mod, const std::string& name) {
   b.br(loop);
   b.bind(done);
   b.ldloc(i).ret();
+  return b.finish();
+}
+
+/// spawner() { Thread.Join(Thread.Start(child, null)); return 1; } — the
+/// shape a tenant would use to fork work onto an unmetered thread.
+std::int32_t build_spawner(Module& mod, const std::string& name) {
+  ILBuilder c(mod, name + ".child", {{ValType::Ref}, ValType::None});
+  c.ret();
+  const auto child = c.finish();
+  ILBuilder b(mod, name, {{}, ValType::I32});
+  b.ldc_i4(child).ldnull().call_intr(I_THREAD_START).call_intr(I_THREAD_JOIN);
+  b.ldc_i4(1).ret();
   return b.finish();
 }
 
@@ -248,6 +262,90 @@ TEST(Service, BudgetedAllocationCannotBypassAccounting) {
       svc.submit("a", alloc, {Slot::from_i32(10), Slot::from_i32(4096)}).wait();
   ASSERT_EQ(r.outcome, JobOutcome::Completed);
   EXPECT_GE(r.bytes_charged, 10u * 4096u * 8u);
+}
+
+// Regression (REVIEW): a metered job must not escape its boundaries through
+// Thread.Start — the child thread would run on a fresh context with no fuel
+// meter and no allocation budget, and could outlive the job whose budget
+// paid for it. Both metering axes refuse the spawn with a catchable fault;
+// unmetered tenants keep the full threading substrate.
+TEST(Service, MeteredJobCannotSpawnThreads) {
+  VirtualMachine vm;
+  const auto spawner = build_spawner(vm.module(), "svc.spawn");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "fuel", .fuel_per_job = 1'000'000});
+  svc.add_tenant({.name = "mem", .memory_budget_bytes = 8u << 20});
+  svc.add_tenant({.name = "free"});
+  const JobResult rf = svc.submit("fuel", spawner, {}).wait();
+  EXPECT_EQ(rf.outcome, JobOutcome::Faulted);
+  EXPECT_NE(rf.error.find("Thread.Start refused"), std::string::npos);
+  const JobResult rm = svc.submit("mem", spawner, {}).wait();
+  EXPECT_EQ(rm.outcome, JobOutcome::Faulted);
+  EXPECT_NE(rm.error.find("Thread.Start refused"), std::string::npos);
+  const JobResult ru = svc.submit("free", spawner, {}).wait();
+  EXPECT_EQ(ru.outcome, JobOutcome::Completed);
+  EXPECT_EQ(ru.value.i32, 1);
+}
+
+// Regression (REVIEW): a budgeted refill must charge a fixed segment granule
+// rather than whatever free run first-fits — run sizes depend on co-tenant
+// GC/fragmentation history, which would make the budget-kill point
+// nondeterministic and let one huge run drain a tenant's budget for a single
+// TLAB window.
+TEST(Service, BudgetedRefillChargesFixedGranuleDespiteFragmentation) {
+  VirtualMachine vm;
+  Heap& heap = vm.heap();
+  VMContext& ctx = vm.main_context();
+  // Manufacture fragmentation: fill segments with small dead objects, keep
+  // one pinned survivor so its segment stays live, and collect — the
+  // survivor's segment now holds a large free run feeding first-fit refills.
+  ObjRef keep = heap.alloc_instance(vm.thread_class(), &ctx.tlab);
+  Pinned pin(vm, keep);
+  for (int i = 0; i < 4096; ++i) {
+    heap.alloc_instance(vm.thread_class(), &ctx.tlab);
+  }
+  vm.collect();
+
+  Tlab t;
+  heap.register_tlab(t);
+  AllocBudget budget(Heap::kSegmentBytes + Heap::kSegmentBytes / 2);
+  t.bind_budget(&budget);
+  // The refill charges exactly one granule, not the run the GC left behind.
+  EXPECT_NE(heap.alloc_array(ValType::I32, 4, &t), nullptr);
+  EXPECT_EQ(t.budget_charged(), Heap::kSegmentBytes);
+  // The remaining half granule cannot pay for another refill: a second
+  // budgeted window is refused even though free runs remain available to
+  // unmetered callers.
+  Tlab t2;
+  heap.register_tlab(t2);
+  t2.bind_budget(&budget);
+  EXPECT_EQ(heap.alloc_array(ValType::I32, 4, &t2), nullptr);
+  EXPECT_EQ(t2.budget_charged(), 0u);
+  t2.bind_budget(nullptr);
+  heap.unregister_tlab(t2);
+  t.bind_budget(nullptr);
+  heap.unregister_tlab(t);
+}
+
+// Regression (REVIEW): limits above INT64_MAX mean "effectively unmetered",
+// not a meter armed already negative (fuel) or a pool that refuses
+// everything after a wrapped cast (memory).
+TEST(Service, OverWideLimitsClampRatherThanKill) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a",
+                  .fuel_per_job = std::numeric_limits<std::uint64_t>::max()});
+  const JobResult r = svc.submit("a", spin, {Slot::from_i32(200'000)}).wait();
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);  // meter armed, never fires
+  EXPECT_GE(r.fuel_spent, 200'000u);
+
+  AllocBudget wide(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(wide.remaining(), std::numeric_limits<std::int64_t>::max());
+  // A charge wider than the signed pool can never succeed (the unclamped
+  // cast would wrap negative and "succeed" by growing the pool).
+  EXPECT_FALSE(wide.try_charge(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_TRUE(wide.try_charge(64));
 }
 
 TEST(Service, CoTenantKillDoesNotPerturbVictimResults) {
