@@ -1,6 +1,6 @@
 // Allocation scaling: does object/array creation scale with threads?
 //
-// Two tables:
+// Three tables:
 //  1. Direct-heap scaling — native threads allocating straight through
 //     Heap::alloc_array, comparing the per-thread TLAB bump path against the
 //     heap-shared buffer (one lock acquisition per allocation, the pre-TLAB
@@ -12,11 +12,17 @@
 //     rank-2 matrices and boxes at 1/2/4/8 threads, reported as
 //     allocations/sec. GC runs at the normal threshold mid-benchmark, as in
 //     the paper's Create rows.
+//  3. GC scaling — the acceptance gauge for the generational/parallel
+//     collector: minor-pause p50 as the live old generation grows ~4x per
+//     step (the card scan's clean-segment skip must keep it flat), and
+//     full-collection wall time at 1/2/4/8 GC worker threads over the same
+//     live heap (mark+sweep must speed up with workers).
 //
 //   bench_alloc [--quick] [--json FILE]
 //
 // --quick shrinks iteration counts and the engine list (CI smoke runs);
 // --json writes the tables as a JSON array via ResultTable::print_json.
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <fstream>
@@ -161,9 +167,94 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Table C: GC scaling — flat minors, parallel majors -----------------
+  support::ResultTable gct("gc scaling: minor pauses vs old gen, major at "
+                           "1..8 GC threads [ms]");
+  {
+    auto& heap = v.heap();
+    heap.set_threshold(1u << 30);  // explicit collections only
+    heap.set_gc_threads(1);
+
+    // Live old generation: chains of small ref arrays (mark-heavy: every
+    // link is a pointer hop) each carrying an f64 payload (sweep-heavy).
+    // Only chain heads are pinned; a major after each growth step promotes
+    // the lot.
+    std::vector<vm::ObjRef> roots;
+    auto grow_old = [&](int chains, int links) {
+      for (int c = 0; c < chains; ++c) {
+        vm::ObjRef head = v.heap().alloc_array(vm::ValType::Ref, 4);
+        v.pin(head);
+        roots.push_back(head);
+        vm::ObjRef cur = head;
+        for (int l = 0; l < links; ++l) {
+          vm::ObjRef next = v.heap().alloc_array(vm::ValType::Ref, 4);
+          vm::ObjRef payload = v.heap().alloc_array(vm::ValType::F64, 16);
+          cur->ref_data()[0] = next;
+          cur->ref_data()[1] = payload;
+          vm::gc_write_barrier(cur);
+          cur = next;
+        }
+      }
+      v.collect();  // promote everything just built
+    };
+    // Median minor pause over `reps` cycles of ~2000 young garbage arrays.
+    auto minor_p50_ms = [&](int reps) {
+      std::vector<double> t;
+      for (int r = 0; r < reps; ++r) {
+        for (int i = 0; i < 2000; ++i) {
+          v.heap().alloc_array(vm::ValType::F64, 16);
+        }
+        const std::int64_t t0 = support::now_ns();
+        v.collect(vm::GcKind::Minor);
+        t.push_back(support::elapsed_seconds(t0, support::now_ns()) * 1e3);
+      }
+      std::sort(t.begin(), t.end());
+      return t[t.size() / 2];
+    };
+
+    const int links = quick ? 300 : 1500;
+    const int chains = quick ? 12 : 24;
+    const int reps = quick ? 7 : 15;
+    int grown = 0;
+    for (const int target : {1, 4, 16}) {  // old-gen size multiplier
+      grow_old((target - grown) * chains, links);
+      grown = target;
+      const std::string row = "minor:old=" + std::to_string(target) + "x";
+      gct.set(row, "p50_ms", minor_p50_ms(reps));
+      gct.set(row, "old_mb",
+              static_cast<double>(v.heap().stats().old_bytes) /
+                  (1024.0 * 1024.0));
+    }
+
+    // Parallel major over the full 16x live heap: best-of-3 per width.
+    double serial_ms = 0.0;
+    for (int n : thread_counts) {
+      heap.set_gc_threads(n);
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::int64_t t0 = support::now_ns();
+        v.collect();
+        const double ms =
+            support::elapsed_seconds(t0, support::now_ns()) * 1e3;
+        if (rep == 0 || ms < best) best = ms;
+      }
+      const std::string row = "major:" + std::to_string(n) + "t";
+      gct.set(row, "p50_ms", best);
+      if (n == 1) serial_ms = best;
+      gct.set(row, "speedup_vs_1t", serial_ms / best);
+    }
+
+    heap.set_gc_threads(1);
+    for (vm::ObjRef r : roots) v.unpin(r);
+    v.collect();
+    v.heap().set_threshold(64u << 20);
+  }
+
   direct.print(std::cout);
   std::cout << "\n";
   engines_t.print(std::cout);
+  std::cout << "\n";
+  gct.print(std::cout);
 
   // TLAB housekeeping counters, for the waste accounting in EXPERIMENTS.md.
   if (vm::telemetry::enabled()) {
@@ -190,6 +281,8 @@ int main(int argc, char** argv) {
     direct.print_json(out);
     out << ",\n";
     engines_t.print_json(out);
+    out << ",\n";
+    gct.print_json(out);
     out << "]\n";
     std::cout << "JSON written to " << json_path << "\n";
   }

@@ -622,6 +622,7 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
         ObjRef obj = st[--frame.sp].ref;
         if (obj == nullptr) BASE_THROW(mod.null_reference_class(), "stfld");
         obj->fields()[in.a] = v;
+        if (in.type == ValType::Ref) gc_write_barrier(obj);
         break;
       }
       case Op::LDSFLD:
@@ -679,7 +680,10 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::I64: arr->i64_data()[idx] = v.i64; break;
           case ValType::F32: arr->f32_data()[idx] = v.f32; break;
           case ValType::F64: arr->f64_data()[idx] = v.f64; break;
-          default: arr->ref_data()[idx] = v.ref; break;
+          default:
+            arr->ref_data()[idx] = v.ref;
+            gc_write_barrier(arr);
+            break;
         }
         break;
       }
@@ -733,7 +737,10 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::I64: mat->i64_data()[i] = v.i64; break;
           case ValType::F32: mat->f32_data()[i] = v.f32; break;
           case ValType::F64: mat->f64_data()[i] = v.f64; break;
-          default: mat->ref_data()[i] = v.ref; break;
+          default:
+            mat->ref_data()[i] = v.ref;
+            gc_write_barrier(mat);
+            break;
         }
         break;
       }

@@ -211,7 +211,7 @@ VirtualMachine::VirtualMachine() : heap_(&module_) {
   monitors_ = std::make_unique<MonitorTable>(*this);
   thread_class_ =
       module_.define_class("System.Threading.Thread", {{"id", ValType::I32}});
-  heap_.set_gc_requester([this] { collect(); });
+  heap_.set_gc_requester([this](GcKind kind) { collect(kind); });
 }
 
 CodeCache& VirtualMachine::code_cache(const std::string& key) {
@@ -318,7 +318,7 @@ void VirtualMachine::leave_safe_region(VMContext& ctx) {
   ++num_running_;
 }
 
-void VirtualMachine::collect() {
+void VirtualMachine::collect(GcKind kind) {
   std::unique_lock<std::mutex> world(world_mu_, std::try_to_lock);
   if (!world.owns_lock()) {
     // Another thread is already collecting. Blocking on world_mu_ here would
@@ -348,8 +348,9 @@ void VirtualMachine::collect() {
     if (attached) --num_running_;  // the collecting thread counts as parked
     park_cv_.wait(lock, [&] { return num_running_ == 0; });
   }
+  heap_.gc_prepare(kind);
   mark_roots();
-  heap_.sweep();
+  heap_.gc_perform(kind);
   gc_count_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(park_mu_);
@@ -358,7 +359,8 @@ void VirtualMachine::collect() {
   }
   resume_cv_.notify_all();
   if (pause_begin != 0) {
-    telemetry::record_gc_pause(pause_begin, support::now_ns());
+    telemetry::record_gc_pause(kind == GcKind::Major, pause_begin,
+                               support::now_ns());
   }
 }
 

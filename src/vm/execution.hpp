@@ -282,8 +282,11 @@ class VirtualMachine {
   void leave_safe_region(VMContext& ctx);
 
   /// Stops the world, marks from all roots, sweeps. Called automatically at
-  /// the allocation threshold; callable directly (GC.Collect).
-  void collect();
+  /// the allocation threshold (Minor unless the old generation outgrew its
+  /// own threshold); direct calls (GC.Collect) default to a full Major
+  /// collection, preserving the pre-generational contract that an explicit
+  /// collect reclaims every unreachable object.
+  void collect(GcKind kind = GcKind::Major);
 
   // -- Exception helpers ----------------------------------------------------
   /// Allocates an exception instance of `class_id` with `message`.

@@ -652,6 +652,7 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
         ObjRef obj = st[--frame.sp].v.ref;
         if (obj == nullptr) INTERP_THROW(mod.null_reference_class(), "stfld");
         obj->fields()[in.a] = v.v;
+        if (in.type == ValType::Ref) gc_write_barrier(obj);
         break;
       }
       case Op::LDSFLD:
@@ -715,7 +716,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::I64: arr->i64_data()[idx] = v.v.i64; break;
           case ValType::F32: arr->f32_data()[idx] = v.v.f32; break;
           case ValType::F64: arr->f64_data()[idx] = v.v.f64; break;
-          default: arr->ref_data()[idx] = v.v.ref; break;
+          default:
+            arr->ref_data()[idx] = v.v.ref;
+            gc_write_barrier(arr);
+            break;
         }
         break;
       }
@@ -769,7 +773,10 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
           case ValType::I64: mat->i64_data()[i] = v.v.i64; break;
           case ValType::F32: mat->f32_data()[i] = v.v.f32; break;
           case ValType::F64: mat->f64_data()[i] = v.v.f64; break;
-          default: mat->ref_data()[i] = v.v.ref; break;
+          default:
+            mat->ref_data()[i] = v.v.ref;
+            gc_write_barrier(mat);
+            break;
         }
         break;
       }

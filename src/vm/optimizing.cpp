@@ -177,6 +177,11 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
       case ROp::NOP_R:
       case ROp::SAFEPOINT:
         break;
+      case ROp::CARDMARK:
+        // Null guard: the preceding store threw before this point if the
+        // object was null, but CSE may have sunk the mark past a re-entry.
+        if (R[in.a].ref != nullptr) gc_write_barrier(R[in.a].ref);
+        break;
       case ROp::MOV:
       case ROp::MEMLD:
       case ROp::MEMST:

@@ -199,6 +199,9 @@ Operands operands_of(const RInstr& in, const std::vector<std::int32_t>& pool) {
       use(in.a);
       use(in.d);  // d = source
       break;
+    case ROp::CARDMARK:
+      use(in.a);  // object carded; no def
+      break;
     case ROp::STSFLD_R:
       use(in.d);
       break;
@@ -899,6 +902,9 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
       break;
     case Op::STFLD:
       emit(ROp::STFLD_R, sreg(d - 1, in.type), sreg(d - 2, ValType::Ref), in.a);
+      if (in.type == ValType::Ref) {
+        emit(ROp::CARDMARK, -1, sreg(d - 2, ValType::Ref));
+      }
       break;
     case Op::LDSFLD:
       emit(ROp::LDSFLD_R, sreg(d, in.type), in.b, in.a);
@@ -954,6 +960,10 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
                 ROp::STELEMU_R8, ROp::STELEMU_REF),
            sreg(d - 1, in.type), sreg(d - 3, ValType::Ref),
            sreg(d - 2, ValType::I32));
+      if (in.type != ValType::I32 && in.type != ValType::I64 &&
+          in.type != ValType::F32 && in.type != ValType::F64) {
+        emit(ROp::CARDMARK, -1, sreg(d - 3, ValType::Ref));
+      }
       break;
     }
     case Op::NEWMAT: {
@@ -1008,6 +1018,10 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
         RInstr& r = emit(ROp::STEL2_SLOW, -1, sreg(d - 4, ValType::Ref),
                          sreg(d - 3, ValType::I32));
         r.imm.i64 = packed | (static_cast<std::int64_t>(in.type) << 40);
+      }
+      if (in.type != ValType::I32 && in.type != ValType::I64 &&
+          in.type != ValType::F32 && in.type != ValType::F64) {
+        emit(ROp::CARDMARK, -1, sreg(d - 4, ValType::Ref));
       }
       break;
     }
@@ -1191,6 +1205,7 @@ void Compiler::optimize_blocks() {
           }
           case ROp::RET_R:
           case ROp::THROW_R:
+          case ROp::CARDMARK:
           case ROp::JZ_I4: case ROp::JNZ_I4: case ROp::JZ_I8:
           case ROp::JNZ_I8: case ROp::JZ_REF: case ROp::JNZ_REF:
             rewrite(in.a);
@@ -1523,6 +1538,9 @@ void Compiler::cse_blocks() {
 
     std::map<Key, Entry> avail;
     std::set<std::pair<std::int32_t, std::int32_t>> checked;
+    // Objects (canonical regs) already card-marked since the last point a GC
+    // could have run in this block; a repeat CARDMARK on one is redundant.
+    std::set<std::int32_t> carded;
     // Alias map: reg -> another reg currently holding the same value (the
     // shadow of its defining expression). Keys are built over canonicalized
     // operands so second-order duplicates match even after the stack
@@ -1576,6 +1594,7 @@ void Compiler::cse_blocks() {
           ++it;
         }
       }
+      carded.erase(r);
     };
     auto kill_loads = [&](bool fields, bool elems) {
       for (auto it = avail.begin(); it != avail.end();) {
@@ -1623,6 +1642,12 @@ void Compiler::cse_blocks() {
           continue;
         }
         checked.insert(key);
+      } else if (in.op == ROp::CARDMARK && !in.pinned()) {
+        if (carded.count(ca) != 0) {
+          in.op = ROp::NOP_R;
+          continue;
+        }
+        carded.insert(ca);
       }
 
       // Stores and calls may write memory that load entries describe.
@@ -1632,6 +1657,20 @@ void Compiler::cse_blocks() {
         kill_loads(true, false);
       } else if (is_elem_store(in.op)) {
         kill_loads(false, true);
+      }
+
+      // Anything that can allocate — and so trigger a minor GC that clears
+      // cards — ends card-mark redundancy: the next store to the same object
+      // must mark again. SAFEPOINT parks for someone else's collection.
+      switch (in.op) {
+        case ROp::CALL_R: case ROp::CALLINTR_R:
+        case ROp::NEWOBJ_R: case ROp::NEWARR_R: case ROp::NEWMAT_R:
+        case ROp::BOX_R: case ROp::LDSTR_R:
+        case ROp::SAFEPOINT:
+          carded.clear();
+          break;
+        default:
+          break;
       }
 
       const Operands ops = operands_of(in, rc_.args_pool);

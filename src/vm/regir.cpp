@@ -205,6 +205,7 @@ const char* name_of(ROp op) {
     case ROp::LEAVE_R: return "leave";
     case ROp::ENDFINALLY_R: return "endfinally";
     case ROp::SAFEPOINT: return "safepoint";
+    case ROp::CARDMARK: return "cardmark";
     case ROp::COUNT_: break;
   }
   return "?";

@@ -126,6 +126,10 @@ enum class ROp : std::uint8_t {
   ENDFINALLY_R,
   SAFEPOINT,
 
+  CARDMARK,  // card-mark a (object a ref field/element was just stored into);
+             // emitted after every ref STFLD/STELEM so the generational GC
+             // sees old->young edges; CSE drops repeats between GC points
+
   COUNT_,
 };
 

@@ -284,6 +284,9 @@ ObjRef deserialize_graph(VirtualMachine& vm, VMContext& ctx, const char* data,
     } else {
       f.obj->ref_data()[f.slot] = target;
     }
+    // A minor GC between the allocation passes can promote earlier-created
+    // objects, making these fixups genuine old->young stores.
+    gc_write_barrier(f.obj);
   }
   return objs[0];
 }

@@ -166,12 +166,23 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
   os << "== telemetry: GC ==\n";
   char line[256];
   std::snprintf(line, sizeof line,
-                "  collections: %llu, allocated %.2f MB, freed %.2f MB, "
-                "swept %llu objects\n",
+                "  collections: %llu (%llu minor, %llu major), allocated "
+                "%.2f MB, freed %.2f MB, swept %llu objects\n",
                 static_cast<unsigned long long>(s.gc.collections),
+                static_cast<unsigned long long>(s.gc.minor_collections),
+                static_cast<unsigned long long>(s.gc.major_collections),
                 static_cast<double>(s.gc.bytes_allocated) / (1024.0 * 1024.0),
                 static_cast<double>(s.gc.bytes_freed) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(s.gc.objects_swept));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  phases: mark %.2f ms, sweep %.2f ms; cards scanned: "
+                "%llu, promoted %.2f KB\n",
+                ms(s.gc.mark_ns), ms(s.gc.sweep_ns),
+                static_cast<unsigned long long>(
+                    s.counter(Counter::CardsScanned)),
+                static_cast<double>(s.counter(Counter::PromotedBytes)) /
+                    1024.0);
   os << line;
   std::snprintf(line, sizeof line,
                 "  allocations (all time): %llu objects, %.2f MB\n",
@@ -192,6 +203,8 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                 static_cast<unsigned long long>(s.gc.heap_segments));
   os << line;
   print_histogram(os, s.gc_pause_ns, "pauses");
+  print_histogram(os, s.minor_pause_ns, "minor pauses");
+  print_histogram(os, s.major_pause_ns, "major pauses");
   print_histogram(os, s.safepoint_stall_ns, "safepoint stalls");
 
   os << "\n== telemetry: monitors ==\n";

@@ -46,6 +46,8 @@ struct Hub {
   std::vector<std::unique_ptr<ThreadSink>> sinks;
 
   support::Histogram gc_pause_ns;
+  support::Histogram minor_pause_ns;
+  support::Histogram major_pause_ns;
   support::Histogram safepoint_stall_ns;
   support::Histogram monitor_wait_ns;
   GcTelemetry gc;
@@ -112,6 +114,8 @@ const char* counter_name(Counter c) {
     case Counter::TierUps: return "tier_ups";
     case Counter::OsrEntries: return "osr_entries";
     case Counter::Deopts: return "deopts";
+    case Counter::CardsScanned: return "cards_scanned";
+    case Counter::PromotedBytes: return "promoted_bytes";
     case Counter::kCount: break;
   }
   return "?";
@@ -151,6 +155,8 @@ void reset() {
     std::fill(std::begin(s->counters), std::end(s->counters), 0);
   }
   h.gc_pause_ns.reset();
+  h.minor_pause_ns.reset();
+  h.major_pause_ns.reset();
   h.safepoint_stall_ns.reset();
   h.monitor_wait_ns.reset();
   h.gc = GcTelemetry{};
@@ -192,6 +198,8 @@ Snapshot snapshot() {
   for (auto& [id, m] : methods) out.methods.push_back(m);
 
   out.gc_pause_ns = h.gc_pause_ns;
+  out.minor_pause_ns = h.minor_pause_ns;
+  out.major_pause_ns = h.major_pause_ns;
   out.safepoint_stall_ns = h.safepoint_stall_ns;
   out.monitor_wait_ns = h.monitor_wait_ns;
   out.gc = h.gc;
@@ -347,28 +355,41 @@ void record_deopt(std::int32_t method_id, const std::string& method_name,
                       il_pc);
 }
 
-void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
-                     std::uint64_t objects_swept, std::uint64_t segments) {
+void record_gc_sweep(bool major, std::uint64_t bytes_allocated,
+                     std::uint64_t bytes_freed, std::uint64_t objects_swept,
+                     std::uint64_t segments, std::int64_t mark_ns,
+                     std::int64_t sweep_ns) {
   if (!enabled()) return;
   Hub& h = hub();
   std::lock_guard<std::mutex> lock(h.mu);
+  (void)major;  // the pause hook splits per kind; sweep facts are combined
   h.pending_gc_allocated = bytes_allocated;
   h.pending_gc_freed = bytes_freed;
   h.pending_gc_swept = objects_swept;
   h.gc.heap_segments = segments;
+  h.gc.mark_ns += mark_ns;
+  h.gc.sweep_ns += sweep_ns;
 }
 
-void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns) {
+void record_gc_pause(bool major, std::int64_t begin_ns, std::int64_t end_ns) {
   if (!enabled()) return;
   Hub& h = hub();
   std::lock_guard<std::mutex> lock(h.mu);
-  h.gc_pause_ns.record(static_cast<std::uint64_t>(end_ns - begin_ns));
+  const auto pause = static_cast<std::uint64_t>(end_ns - begin_ns);
+  h.gc_pause_ns.record(pause);
+  if (major) {
+    h.major_pause_ns.record(pause);
+    h.gc.major_collections += 1;
+  } else {
+    h.minor_pause_ns.record(pause);
+    h.gc.minor_collections += 1;
+  }
   h.gc.collections += 1;
   h.gc.bytes_allocated += h.pending_gc_allocated;
   h.gc.bytes_freed += h.pending_gc_freed;
   h.gc.objects_swept += h.pending_gc_swept;
   TraceEvent ev;
-  ev.name = "GC pause";
+  ev.name = major ? "GC pause (major)" : "GC pause (minor)";
   ev.cat = "gc";
   ev.begin_ns = begin_ns;
   ev.end_ns = end_ns;

@@ -55,6 +55,8 @@ enum class Counter : std::uint8_t {
   Deopts,            // deoptimizations: compiled frames that bailed out at a
                      // back-edge safepoint to an interpreter continuation
                      // (request_deopt invalidated the method's assumptions)
+  CardsScanned,      // dirty cards visited by minor-collection card scans
+  PromotedBytes,     // nursery-survivor bytes promoted to the old generation
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -98,12 +100,16 @@ struct MethodProfile {
 };
 
 struct GcTelemetry {
-  std::uint64_t collections = 0;
+  std::uint64_t collections = 0;        // minor + major
+  std::uint64_t minor_collections = 0;  // nursery-only (card-scan) cycles
+  std::uint64_t major_collections = 0;  // full-heap parallel cycles
   std::uint64_t bytes_allocated = 0;  // allocated in the windows before GCs
   std::uint64_t bytes_freed = 0;
   std::uint64_t objects_swept = 0;
   std::uint64_t heap_segments = 0;  // gauge: walkable segments after the
                                     // most recent sweep
+  std::int64_t mark_ns = 0;   // total trace/mark phase time, all collections
+  std::int64_t sweep_ns = 0;  // total sweep phase time, all collections
 };
 
 /// Per-tenant execution-service accounting (src/vm/service, DESIGN.md §11).
@@ -142,7 +148,9 @@ struct EngineJitTimes {
 struct Snapshot {
   std::vector<MethodProfile> methods;  // sorted by method_id
   std::uint64_t counters[kNumCounters] = {};
-  support::Histogram gc_pause_ns;
+  support::Histogram gc_pause_ns;        // all collections (minor + major)
+  support::Histogram minor_pause_ns;     // nursery collections only
+  support::Histogram major_pause_ns;     // full collections only
   support::Histogram safepoint_stall_ns;
   support::Histogram monitor_wait_ns;  // contended-acquire wait times
   GcTelemetry gc;
@@ -271,12 +279,17 @@ void record_deopt(std::int32_t method_id, const std::string& method_name,
                   std::int32_t il_pc);
 
 /// Sweep-side GC facts, recorded by the heap during the stop-the-world
-/// window; folded into the pause recorded by record_gc_pause. `segments` is
-/// the post-sweep walkable-segment count (kept as a gauge).
-void record_gc_sweep(std::uint64_t bytes_allocated, std::uint64_t bytes_freed,
-                     std::uint64_t objects_swept, std::uint64_t segments);
-/// Full stop-the-world pause (request -> world resumed).
-void record_gc_pause(std::int64_t begin_ns, std::int64_t end_ns);
+/// window; folded into the pause recorded by record_gc_pause. `major`
+/// selects which per-kind totals the facts land in; `mark_ns`/`sweep_ns`
+/// are the collection's phase timings. `segments` is the post-sweep
+/// walkable-segment count (kept as a gauge).
+void record_gc_sweep(bool major, std::uint64_t bytes_allocated,
+                     std::uint64_t bytes_freed, std::uint64_t objects_swept,
+                     std::uint64_t segments, std::int64_t mark_ns,
+                     std::int64_t sweep_ns);
+/// Full stop-the-world pause (request -> world resumed). Lands in the
+/// combined gc_pause_ns histogram and the per-kind minor/major one.
+void record_gc_pause(bool major, std::int64_t begin_ns, std::int64_t end_ns);
 
 /// Time a mutator spent parked at a safepoint for someone else's collection.
 void record_safepoint_stall(std::int64_t ns);
