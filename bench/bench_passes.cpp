@@ -1,7 +1,8 @@
 // §5 pass attribution: how much of the optimizing tier's advantage comes
 // from each JIT pass. The clr11 flag set is re-run with inlining, CSE and
-// LICM toggled individually (and all off / all on), over the benchmarks each
-// pass targets: the method-call micro (inlining), Fibonacci (recursive
+// LICM toggled individually (and all off / all on), plus the vector tier's
+// VECLOOP lowering alone and on top of the full set, over the benchmarks
+// each pass targets: the method-call micro (inlining), Fibonacci (recursive
 // inlining), and the SciMark SOR / SparseMatmul / MonteCarlo kernels
 // (CSE + LICM on array-heavy loops). Scores are best-of-5 work-units/sec,
 // the noise-robust protocol bench_bce uses.
@@ -46,7 +47,12 @@ std::vector<Variant> variants() {
   f = base;
   f.licm = true;
   out.push_back({"+licm", f});
+  f = base;
+  f.vectorize = true;
+  out.push_back({"+vec", f});
   out.push_back({"all on (clr11)", vm::profiles::clr11().flags});
+  out.push_back(
+      {"all on +vec (clr11.vec)", vm::profiles::vec(vm::profiles::clr11()).flags});
   return out;
 }
 

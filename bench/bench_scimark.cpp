@@ -67,6 +67,19 @@ int main(int argc, char** argv) {
     record(g11, e->name(), rl);
   }
   {
+    // Vector tier: clr11 flags plus the VECLOOP lowering pass. Scored the
+    // same way as the paper seven (single pass, checksum-validated), so the
+    // column is directly comparable to clr11.
+    vm::Engine& e = bc.engine("clr11.vec");
+    std::cerr << "running scimark on " << e.name() << "...\n";
+    const ScimarkResult rs = run_scimark_cil(bc.vm(), e, small, true);
+    const ScimarkResult rl = run_scimark_cil(bc.vm(), e, large, true);
+    g9.set("small memory model", e.name(), rs.composite);
+    g9.set("large memory model", e.name(), rl.composite);
+    record(g10, e.name(), rs);
+    record(g11, e.name(), rl);
+  }
+  {
     // Tiered steady state: a cold pass promotes every kernel (their loops
     // earn the full back-edge credit on the first invocation), then the
     // scored passes run register IR — comparable to clr11, whose methods

@@ -115,21 +115,28 @@ std::int32_t build_loop(vm::VirtualMachine& v, const std::string& which) {
 
 int dump_passes(vm::VirtualMachine& v, std::int32_t method,
                 const std::string& profile_name) {
-  const vm::EngineProfile* profile = nullptr;
-  for (const auto& p : vm::profiles::all()) {
-    if (p.name == profile_name) profile = &p;
-  }
-  if (profile == nullptr || profile->tier != vm::Tier::Optimizing) {
+  // by_name also resolves derived profiles ("clr11.vec", "clr11.tiered"),
+  // so the vector-lowering pass can be inspected with e.g.
+  //   jit_explorer daxpy --passes clr11.vec
+  vm::EngineProfile profile;
+  try {
+    profile = vm::profiles::by_name(profile_name);
+  } catch (const std::exception&) {
     std::fprintf(stderr, "unknown optimizing profile: %s\n",
+                 profile_name.c_str());
+    return 1;
+  }
+  if (profile.tier != vm::Tier::Optimizing) {
+    std::fprintf(stderr, "profile %s does not reach the optimizing tier\n",
                  profile_name.c_str());
     return 1;
   }
   std::printf("================ CIL ================\n%s\n",
               vm::disassemble_cil(v.module(), method).c_str());
   std::printf("======== %s, IR after each pass ========\n",
-              profile->name.c_str());
+              profile.name.c_str());
   vm::regir::compile_traced(
-      v.module(), v.module().method(method), profile->flags,
+      v.module(), v.module().method(method), profile.flags,
       [](const char* pass, const std::string& listing) {
         std::printf("---- after %s ----\n%s\n", pass, listing.c_str());
       });

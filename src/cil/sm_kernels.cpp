@@ -346,6 +346,7 @@ std::int32_t build_sm_fft(vm::VirtualMachine& v) {
     b.ldarg(1).stloc(cycles);
     b.ldc_i4(7).call(rnd.new_fn).stloc(st);
     b.ldarg(0).ldc_i4(2).mul().newarr(ValType::F64).stloc(data);
+    b.ldloc(data).call_intr(vm::I_GC_PRETOUCH);
     b.ldloc(st).ldloc(data).call(rnd.fill_fn);
     counted_loop(b, c, cycles, [&] {
       b.ldloc(data).ldc_i4(-1).call(xform_fn);
@@ -385,6 +386,7 @@ std::int32_t build_sm_sor(vm::VirtualMachine& v) {
     b.ldloc(n).newarr(ValType::Ref).stloc(G);
     counted_loop(b, i, n, [&] {
       b.ldloc(G).ldloc(i).ldloc(n).newarr(ValType::F64).stelem(ValType::Ref);
+      b.ldloc(G).ldloc(i).ldelem(ValType::Ref).call_intr(vm::I_GC_PRETOUCH);
       b.ldloc(st).ldloc(G).ldloc(i).ldelem(ValType::Ref).call(rnd.fill_fn);
     });
     b.ldc_r8(1.25 * 0.25).stloc(o4);
@@ -492,13 +494,17 @@ std::int32_t build_sm_sparse(vm::VirtualMachine& v) {
     b.ldarg(2).stloc(iters);
     b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
     b.ldloc(n).newarr(ValType::F64).stloc(x);
+    b.ldloc(x).call_intr(vm::I_GC_PRETOUCH);
     b.ldloc(st).ldloc(x).call(rnd.fill_fn);
     b.ldloc(n).newarr(ValType::F64).stloc(y);
+    b.ldloc(y).call_intr(vm::I_GC_PRETOUCH);
     b.ldarg(1).ldloc(n).div().stloc(nr);
     b.ldloc(nr).ldloc(n).mul().stloc(anz);
     b.ldloc(anz).newarr(ValType::F64).stloc(val);
+    b.ldloc(val).call_intr(vm::I_GC_PRETOUCH);
     b.ldloc(st).ldloc(val).call(rnd.fill_fn);
     b.ldloc(anz).newarr(ValType::I32).stloc(col);
+    b.ldloc(col).call_intr(vm::I_GC_PRETOUCH);
     b.ldloc(n).ldc_i4(1).add().newarr(ValType::I32).stloc(row);
     b.ldloc(row).ldc_i4(0).ldc_i4(0).stelem(ValType::I32);
     counted_loop(b, r, n, [&] {
@@ -575,6 +581,7 @@ std::int32_t build_sm_lu(vm::VirtualMachine& v) {
     b.ldloc(n).newarr(ValType::Ref).stloc(A);
     counted_loop(b, i, n, [&] {
       b.ldloc(A).ldloc(i).ldloc(n).newarr(ValType::F64).stelem(ValType::Ref);
+      b.ldloc(A).ldloc(i).ldelem(ValType::Ref).call_intr(vm::I_GC_PRETOUCH);
       b.ldloc(st).ldloc(A).ldloc(i).ldelem(ValType::Ref).call(rnd.fill_fn);
     });
     b.ldloc(n).newarr(ValType::I32).stloc(pivot);
@@ -684,8 +691,10 @@ std::int32_t build_bce_daxpy(vm::VirtualMachine& v, const std::string& name,
     b.ldarg(1).stloc(reps);
     b.ldc_i4(101010).call(rnd.new_fn).stloc(st);
     b.ldloc(n).newarr(ValType::F64).stloc(x);
+    b.ldloc(x).call_intr(vm::I_GC_PRETOUCH);
     b.ldloc(st).ldloc(x).call(rnd.fill_fn);
     b.ldloc(n).newarr(ValType::F64).stloc(y);
+    b.ldloc(y).call_intr(vm::I_GC_PRETOUCH);
     counted_loop(b, rep, reps, [&] {
       auto body = [&] {
         b.ldloc(y).ldloc(i)

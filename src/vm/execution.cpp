@@ -137,16 +137,32 @@ EngineProfile tiered(EngineProfile base) {
   return base;
 }
 
+EngineProfile vec(EngineProfile base) {
+  // The recognizer runs inside the optimizing tier's pass pipeline; BCE is
+  // forced on because its loop analysis (and the unchecked element forms it
+  // produces) are what the recognizer consumes.
+  base.flags.vectorize = true;
+  base.flags.bounds_check_elim = true;
+  base.name += ".vec";
+  return base;
+}
+
 EngineProfile by_name(const std::string& name) {
   for (auto& p : all()) {
     if (p.name == name) return p;
   }
-  // "<base>.tiered" selects the hotness-promoting pipeline over that base.
-  constexpr std::string_view kSuffix = ".tiered";
-  if (name.size() > kSuffix.size() &&
-      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+  // "<base>.tiered" selects the hotness-promoting pipeline over that base;
+  // "<base>.vec" adds the vector tier. Suffixes compose left to right.
+  constexpr std::string_view kTiered = ".tiered";
+  if (name.size() > kTiered.size() &&
+      name.compare(name.size() - kTiered.size(), kTiered.size(), kTiered) ==
           0) {
-    return tiered(by_name(name.substr(0, name.size() - kSuffix.size())));
+    return tiered(by_name(name.substr(0, name.size() - kTiered.size())));
+  }
+  constexpr std::string_view kVec = ".vec";
+  if (name.size() > kVec.size() &&
+      name.compare(name.size() - kVec.size(), kVec.size(), kVec) == 0) {
+    return vec(by_name(name.substr(0, name.size() - kVec.size())));
   }
   throw std::invalid_argument("unknown engine profile: " + name);
 }

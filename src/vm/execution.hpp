@@ -95,6 +95,10 @@ struct EngineFlags {
   bool cse = false;            // common-subexpression elimination (EBB-scoped
                                // value numbering incl. ldlen/field/elem loads)
   bool licm = false;           // loop-invariant code motion from back-edges
+  bool vectorize = false;      // VECLOOP superinstruction lowering for
+                               // recognized map/reduction/stencil loops
+                               // (DESIGN.md §12); off in all seven paper
+                               // profiles so they stay bit-identical
 };
 
 struct EngineProfile {
@@ -121,7 +125,13 @@ std::vector<EngineProfile> all();
 /// interp-only, mono becomes baseline-heavy (low threshold, capped at
 /// baseline), and the optimizing profiles get the clr/ibm mixed-mode shape.
 EngineProfile tiered(EngineProfile base);
-/// Lookup by name; "<profile>.tiered" resolves to tiered(<profile>).
+/// Vector-tier variant of `base`: renamed "<name>.vec", the optimizing tier
+/// additionally lowers recognized counted loops into VECLOOP
+/// superinstructions (requires bounds_check_elim, which it forces on). Only
+/// meaningful for profiles that reach Tier::Optimizing.
+EngineProfile vec(EngineProfile base);
+/// Lookup by name; "<profile>.tiered" resolves to tiered(<profile>) and
+/// "<profile>.vec" to vec(<profile>); the suffixes compose left to right.
 /// Throws std::invalid_argument for unknown names.
 EngineProfile by_name(const std::string& name);
 }  // namespace profiles

@@ -948,6 +948,26 @@ void Heap::request_gc() {
   if (gc_requester_) gc_requester_(GcKind::Major);
 }
 
+void Heap::pretouch(ObjRef obj) {
+  if (obj == nullptr || obj->is_old()) return;
+  if (obj->kind != ObjKind::Array && obj->kind != ObjKind::Matrix2) return;
+  if (obj->elem == ValType::Ref) return;  // would need old->young tracking
+  if (obj->alloc_bytes != 0) return;      // segment-resident: sweep promotes
+  std::lock_guard<std::mutex> lock(mu_);
+  // Move the entry out of the large-object nursery tail into the old prefix
+  // so minor sweeps (which only walk the tail) never visit it again.
+  for (std::size_t i = large_young_start_; i < large_.size(); ++i) {
+    if (large_[i] != obj) continue;
+    const std::size_t sz = large_sizes_[i];
+    std::swap(large_[i], large_[large_young_start_]);
+    std::swap(large_sizes_[i], large_sizes_[large_young_start_]);
+    obj->gc_state.store(ObjHeader::kGcOld, std::memory_order_relaxed);
+    ++large_young_start_;
+    old_bytes_ += sz;
+    return;
+  }
+}
+
 std::string string_value(ObjRef s) {
   if (s == nullptr || s->kind != ObjKind::String) return {};
   return std::string(s->chars(), static_cast<std::size_t>(s->length));

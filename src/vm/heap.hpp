@@ -390,6 +390,16 @@ class Heap {
   /// (tests/examples, the GC.Collect intrinsic).
   void request_gc();
 
+  /// GC.PretouchArray: hint that a freshly allocated primitive array is a
+  /// long-lived working set. Large-object-list arrays (the only allocations
+  /// big enough for the hint to matter) are promoted to the old generation
+  /// on the spot — minor collections then neither trace nor sweep them, and
+  /// their pages stay where the first-touch policy put them. Segment-resident
+  /// objects, ref-element arrays (which would need card tracking) and
+  /// already-old objects are left to the normal promotion path; null is
+  /// ignored. Safe to call from any mutator thread.
+  void pretouch(ObjRef obj);
+
  private:
   struct Segment;
   struct FreeRun {

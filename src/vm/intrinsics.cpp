@@ -164,6 +164,9 @@ void strlen_(VMContext& ctx, const Slot* a, Slot* r) {
   *r = Slot::from_i32(a[0].ref->length);
 }
 void gc_collect(VMContext& ctx, const Slot*, Slot*) { ctx.vm->collect(); }
+void gc_pretouch(VMContext& ctx, const Slot* a, Slot*) {
+  ctx.vm->heap().pretouch(a[0].ref);
+}
 void print_i4(VMContext&, const Slot* a, Slot*) {
   std::printf("%d\n", a[0].i32);
 }
@@ -231,6 +234,7 @@ const IntrinsicDef kTable[] = {
     {"Console.WriteI4", {{VT::I32}, VT::None}, print_i4, false},
     {"Console.WriteR8", {{VT::F64}, VT::None}, print_r8, false},
     {"Console.WriteStr", {{VT::Ref}, VT::None}, print_str, false},
+    {"GC.PretouchArray", {{VT::Ref}, VT::None}, gc_pretouch, false},
 };
 
 static_assert(sizeof(kTable) / sizeof(kTable[0]) == I_COUNT_,

@@ -77,6 +77,8 @@ enum Intr : std::int32_t {
   I_PRINT_I4,    // (i32) -> void (stdout; debugging aid)
   I_PRINT_R8,
   I_PRINT_STR,
+  I_GC_PRETOUCH,  // (ref array) -> void: promote a long-lived primitive
+                  // array out of the nursery (see Heap::pretouch)
 
   I_COUNT_,
 };

@@ -13,6 +13,7 @@
 #include "vm/telemetry/telemetry.hpp"
 #include "vm/regir.hpp"
 #include "vm/unwind.hpp"
+#include "vm/veckernels.hpp"
 
 namespace hpcnet::vm {
 
@@ -784,6 +785,188 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
             leave_frame();
             return result;
         }
+        break;
+      }
+
+      case ROp::VECLOOP: {
+        // Guarded vector fast path (DESIGN.md §12). If every span the kernel
+        // touches is provably in-bounds for the whole trip range, run the
+        // loop as one kernel call and leave the register state exactly as
+        // the scalar loop would at exit (ivar = limit, acc = final value);
+        // the scalar guard that follows then exits immediately. Any guard
+        // failure breaks out with NO state change, falling through to the
+        // retained scalar loop — which throws (or just runs) exactly as an
+        // unvectorized build would.
+        const RCode::VecLoop& v = rc.vec_loops[static_cast<std::size_t>(in.a)];
+        const std::int32_t start = R[v.ivar].i32;
+        std::int32_t limit;
+        if (v.limit >= 0) {
+          limit = R[v.limit].i32;
+        } else {
+          ObjRef larr = R[v.limit_arr].ref;
+          if (larr == nullptr) break;  // scalar loop throws the NRE
+          limit = larr->length;
+        }
+        if (start >= limit) break;  // zero-trip: nothing to do, touch nothing
+        ObjRef a0 = v.arr0 >= 0 ? R[v.arr0].ref : nullptr;
+        ObjRef a1 = v.arr1 >= 0 ? R[v.arr1].ref : nullptr;
+        ObjRef a2 = v.arr2 >= 0 ? R[v.arr2].ref : nullptr;
+        if ((v.arr0 >= 0 && a0 == nullptr) || (v.arr1 >= 0 && a1 == nullptr) ||
+            (v.arr2 >= 0 && a2 == nullptr) || start < 0) {
+          break;
+        }
+        bool ok = false;
+        switch (v.kernel) {
+          case veckernels::kMapScaleF64:
+          case veckernels::kMapScaleI4:
+          case veckernels::kSumF64:
+          case veckernels::kSumI4:
+            ok = limit <= a0->length;
+            break;
+          case veckernels::kMapAddF64:
+          case veckernels::kMapAddI4:
+          case veckernels::kDaxpyF64:
+          case veckernels::kDaxpyI4:
+          case veckernels::kDotF64:
+          case veckernels::kDotI4:
+            ok = limit <= a0->length && limit <= a1->length;
+            break;
+          case veckernels::kGatherDotF64:
+            // arr0 (x) is indexed through arr1's data-dependent values; the
+            // kernel checks those per element and abandons on a violation.
+            ok = limit <= a1->length && limit <= a2->length;
+            break;
+          case veckernels::kSor5F64:
+            ok = start >= 1 && limit <= a0->length - 1 &&
+                 limit <= a1->length && limit <= a2->length;
+            break;
+          default:
+            break;
+        }
+        if (!ok) break;
+
+        // Fuel: charge exactly what the scalar loop's in-loop pulses would
+        // have charged by its LAST pulse (not the residual past it — that
+        // stays in `backedges` for the frame's next pulse or exit charge, so
+        // call-boundary exhaustion checks downstream see identical state).
+        // If that charge would exhaust the budget, decline vectorization:
+        // the scalar loop then kills the job at precisely the right pulse.
+        const std::int64_t trips =
+            static_cast<std::int64_t>(limit) - static_cast<std::int64_t>(start);
+        const std::uint32_t save_backedges = backedges;
+        const std::uint32_t save_charged = fuel_charged;
+        const std::uint32_t save_pulse = pulse_next;
+        std::uint64_t bulk = 0;
+        if (fuel_on) {
+          const std::uint64_t after = static_cast<std::uint64_t>(backedges) +
+                                      static_cast<std::uint64_t>(trips);
+          if (after >= pulse_next) {
+            const std::uint64_t last_pulse =
+                after - (after % kFuelPulseBackedges);
+            bulk = last_pulse - fuel_charged;
+            if (ctx.fuel.remaining <= static_cast<std::int64_t>(bulk)) break;
+            ctx.fuel.charge(bulk);
+            fuel_charged = static_cast<std::uint32_t>(last_pulse);
+            pulse_next =
+                static_cast<std::uint32_t>(last_pulse) + kFuelPulseBackedges;
+          }
+          backedges = static_cast<std::uint32_t>(after);
+        }
+
+        Slot s0v, s1v;
+        if (v.s0_reg >= 0) {
+          s0v = R[v.s0_reg];
+        } else {
+          s0v.raw = static_cast<std::uint64_t>(v.s0_bits);
+        }
+        if (v.s1_reg >= 0) {
+          s1v = R[v.s1_reg];
+        } else {
+          s1v.raw = static_cast<std::uint64_t>(v.s1_bits);
+        }
+
+        bool ran = true;
+        switch (v.kernel) {
+          case veckernels::kMapScaleF64:
+            veckernels::map_scale_f64(a0->f64_data(), start, limit, s0v.f64);
+            break;
+          case veckernels::kMapAddF64:
+            veckernels::map_add_f64(a0->f64_data(), a1->f64_data(), start,
+                                    limit);
+            break;
+          case veckernels::kDaxpyF64:
+            veckernels::daxpy_f64(a0->f64_data(), a1->f64_data(), start,
+                                  limit, s0v.f64);
+            break;
+          case veckernels::kSumF64:
+            R[v.acc] = Slot::from_f64(
+                veckernels::sum_f64(a0->f64_data(), start, limit,
+                                    R[v.acc].f64));
+            break;
+          case veckernels::kDotF64:
+            R[v.acc] = Slot::from_f64(
+                veckernels::dot_f64(a0->f64_data(), a1->f64_data(), start,
+                                    limit, R[v.acc].f64));
+            break;
+          case veckernels::kGatherDotF64: {
+            double out = 0;
+            if (veckernels::gather_dot_f64(a0->f64_data(), a0->length,
+                                           a1->i32_data(), a2->f64_data(),
+                                           start, limit, R[v.acc].f64,
+                                           &out)) {
+              R[v.acc] = Slot::from_f64(out);
+            } else {
+              // Data-dependent gather index out of range: roll the fuel
+              // state back and let the scalar loop re-run — it meters itself
+              // pulse by pulse and throws at exactly the offending element.
+              backedges = save_backedges;
+              fuel_charged = save_charged;
+              pulse_next = save_pulse;
+              ctx.fuel.spent -= bulk;
+              ctx.fuel.remaining += static_cast<std::int64_t>(bulk);
+              ran = false;
+            }
+            break;
+          }
+          case veckernels::kSor5F64:
+            veckernels::sor5_f64(a0->f64_data(), a1->f64_data(),
+                                 a2->f64_data(), start, limit, s0v.f64,
+                                 s1v.f64);
+            break;
+          case veckernels::kMapScaleI4:
+            veckernels::map_scale_i32(a0->i32_data(), start, limit, s0v.i32);
+            break;
+          case veckernels::kMapAddI4:
+            veckernels::map_add_i32(a0->i32_data(), a1->i32_data(), start,
+                                    limit);
+            break;
+          case veckernels::kDaxpyI4:
+            veckernels::daxpy_i32(a0->i32_data(), a1->i32_data(), start,
+                                  limit, s0v.i32);
+            break;
+          case veckernels::kSumI4:
+            R[v.acc] = Slot::from_i32(
+                veckernels::sum_i32(a0->i32_data(), start, limit,
+                                    R[v.acc].i32));
+            break;
+          case veckernels::kDotI4:
+            R[v.acc] = Slot::from_i32(
+                veckernels::dot_i32(a0->i32_data(), a1->i32_data(), start,
+                                    limit, R[v.acc].i32));
+            break;
+          default:
+            ran = false;
+            break;
+        }
+        if (!ran) break;
+
+        // The whole loop ran: hand off to the scalar guard in exit position.
+        // One safepoint poll stands in for the per-back-edge polls (there is
+        // never a poll, allocation or call inside a lowered loop body).
+        R[v.ivar] = Slot::from_i32(limit);
+        telemetry::record_vec_loop(veckernels::kernel_name(v.kernel),
+                                   static_cast<std::uint64_t>(trips));
+        vm_.safepoint_poll(ctx);
         break;
       }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "vm/veckernels.hpp"
+
 namespace hpcnet::vm::regir {
 
 namespace {
@@ -206,6 +208,7 @@ const char* name_of(ROp op) {
     case ROp::ENDFINALLY_R: return "endfinally";
     case ROp::SAFEPOINT: return "safepoint";
     case ROp::CARDMARK: return "cardmark";
+    case ROp::VECLOOP: return "vecloop";
     case ROp::COUNT_: break;
   }
   return "?";
@@ -245,6 +248,50 @@ std::string to_string(const RInstr& in) {
   return s;
 }
 
+std::string to_string(const RInstr& in, const RCode& code) {
+  if (in.op != ROp::VECLOOP || in.a < 0 ||
+      static_cast<std::size_t>(in.a) >= code.vec_loops.size()) {
+    return to_string(in);
+  }
+  // Render from the side table: kernel name, spans, induction/limit.
+  const RCode::VecLoop& v = code.vec_loops[static_cast<std::size_t>(in.a)];
+  std::string s;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-12s %s i=r%d", "vecloop",
+                veckernels::kernel_name(v.kernel), v.ivar);
+  s += buf;
+  if (v.limit >= 0) {
+    std::snprintf(buf, sizeof buf, " lim=r%d", v.limit);
+  } else {
+    std::snprintf(buf, sizeof buf, " lim=len(r%d)", v.limit_arr);
+  }
+  s += buf;
+  const std::int32_t arrs[3] = {v.arr0, v.arr1, v.arr2};
+  for (int k = 0; k < 3; ++k) {
+    if (arrs[k] < 0) continue;
+    std::snprintf(buf, sizeof buf, " a%d=r%d", k, arrs[k]);
+    s += buf;
+  }
+  if (v.acc >= 0) {
+    std::snprintf(buf, sizeof buf, " acc=r%d", v.acc);
+    s += buf;
+  }
+  for (int k = 0; k < 2; ++k) {
+    const std::int32_t sreg = k == 0 ? v.s0_reg : v.s1_reg;
+    const std::int64_t bits = k == 0 ? v.s0_bits : v.s1_bits;
+    if (sreg < 0 && bits == 0) continue;  // kernel takes no such scalar
+    if (sreg >= 0) {
+      std::snprintf(buf, sizeof buf, " s%d=r%d", k, sreg);
+    } else {
+      std::snprintf(buf, sizeof buf, " s%d=#%lld", k,
+                    static_cast<long long>(bits));
+    }
+    s += buf;
+  }
+  if (in.pinned()) s += "  ; pinned";
+  return s;
+}
+
 std::string to_string(const RCode& code) {
   std::string s;
   s += "; " + code.method->name + " — " +
@@ -255,7 +302,7 @@ std::string to_string(const RCode& code) {
   for (std::size_t i = 0; i < code.code.size(); ++i) {
     std::snprintf(head, sizeof head, "%4zu: ", i);
     s += head;
-    s += to_string(code.code[i]);
+    s += to_string(code.code[i], code);
     s += "\n";
   }
   return s;

@@ -130,6 +130,14 @@ enum class ROp : std::uint8_t {
              // emitted after every ref STFLD/STELEM so the generational GC
              // sees old->young edges; CSE drops repeats between GC points
 
+  VECLOOP,  // vectorized loop superinstruction; a = index into
+            // RCode::vec_loops. Placed in the preheader of the scalar loop
+            // it replaces: when its runtime span guards pass it runs the
+            // whole kernel, advances the induction variable to the limit
+            // (so the retained scalar loop exits immediately) and polls one
+            // safepoint; when they fail it is a no-op and the scalar loop
+            // runs unchanged. Never a branch, never an OSR header.
+
   COUNT_,
 };
 
@@ -168,6 +176,30 @@ struct RCode {
     std::vector<std::int32_t> stack_regs;  // header entry stack, bottom-up
   };
   std::vector<DeoptPoint> deopt_points;
+
+  /// Vector-loop side table: one record per VECLOOP superinstruction
+  /// (indexed by the instruction's `a` field). All fields are register ids
+  /// except the kernel id and the spilled scalar immediates. `limit` is the
+  /// trip bound register, or -1 when the bound is `limit_arr.length`
+  /// (BCE-fused JLT_LEN loops). `s0_reg`/`s1_reg` name scalar operand
+  /// registers, or -1 when the operand is the constant in `s0_bits`/
+  /// `s1_bits` (raw slot bits, i32 or f64 per kernel).
+  struct VecLoop {
+    std::int32_t kernel = -1;     // veckernels::VecKernel
+    std::int32_t ivar = -1;       // induction variable register
+    std::int32_t limit = -1;      // trip bound register (-1: use limit_arr)
+    std::int32_t limit_arr = -1;  // array whose length bounds the loop
+    std::int32_t arr0 = -1;       // kernel span registers (meaning per
+    std::int32_t arr1 = -1;       // kernel; see veckernels.hpp)
+    std::int32_t arr2 = -1;
+    std::int32_t acc = -1;        // reduction accumulator register
+    std::int32_t s0_reg = -1;
+    std::int32_t s1_reg = -1;
+    std::int64_t s0_bits = 0;
+    std::int64_t s1_bits = 0;
+  };
+  std::vector<VecLoop> vec_loops;
+
   const MethodDef* method = nullptr;
   /// When the inlining pass expanded call sites, `method` points at this
   /// private copy of the body (re-verified, same name/id/signature) instead
@@ -188,6 +220,11 @@ struct RCode {
 
 /// One-line disassembly of a register instruction (jit_explorer, tests).
 std::string to_string(const RInstr& in);
+
+/// Side-table-aware variant: VECLOOP renders its kernel name, span and
+/// scalar operands from `code.vec_loops` (other ops defer to the one-line
+/// form). Used by the full disassembly and the per-pass trace listings.
+std::string to_string(const RInstr& in, const RCode& code);
 
 /// Full method disassembly.
 std::string to_string(const RCode& code);

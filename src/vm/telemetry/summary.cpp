@@ -228,6 +228,28 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                 static_cast<unsigned long long>(s.counter(Counter::Deopts)));
   os << line;
 
+  if (s.counter(Counter::VecLoopsEntered) != 0 || !s.vec_kernels.empty()) {
+    os << "\n== telemetry: vectorization ==\n";
+    std::snprintf(line, sizeof line, "  vec loops entered: %llu\n",
+                  static_cast<unsigned long long>(
+                      s.counter(Counter::VecLoopsEntered)));
+    os << line;
+    for (const VecKernelTelemetry& v : s.vec_kernels) {
+      // Trip counts are iterations, not ns, so print_histogram's ms
+      // formatting does not apply here.
+      std::snprintf(line, sizeof line,
+                    "  %s: entries %llu, trips total %llu, mean %.1f, "
+                    "min %llu, max %llu\n",
+                    v.kernel.c_str(),
+                    static_cast<unsigned long long>(v.trips.count()),
+                    static_cast<unsigned long long>(v.trips.total()),
+                    v.trips.mean(),
+                    static_cast<unsigned long long>(v.trips.min()),
+                    static_cast<unsigned long long>(v.trips.max()));
+      os << line;
+    }
+  }
+
   if (!s.tenants.empty()) {
     os << "\n== telemetry: execution service ==\n";
     for (const TenantTelemetry& ten : s.tenants) {

@@ -59,6 +59,7 @@ struct Hub {
   std::map<std::string, EngineJitTimes> jit;  // by engine name
   std::map<std::int32_t, std::int64_t> method_jit_ns;
   std::map<std::string, TenantTelemetry> tenants;  // by tenant name
+  std::map<std::string, support::Histogram> vec_trips;  // by kernel name
 
   std::vector<TraceEvent> events;
 
@@ -116,6 +117,7 @@ const char* counter_name(Counter c) {
     case Counter::Deopts: return "deopts";
     case Counter::CardsScanned: return "cards_scanned";
     case Counter::PromotedBytes: return "promoted_bytes";
+    case Counter::VecLoopsEntered: return "vec_loops_entered";
     case Counter::kCount: break;
   }
   return "?";
@@ -129,6 +131,7 @@ const char* jit_pass_name(JitPass p) {
     case JitPass::Cse: return "cse";
     case JitPass::Licm: return "licm";
     case JitPass::BoundsCheckElim: return "bounds-check-elim";
+    case JitPass::VecLower: return "vec-lower";
     case JitPass::Compact: return "compact";
     case JitPass::Finalize: return "finalize";
     case JitPass::kCount: break;
@@ -164,6 +167,7 @@ void reset() {
   h.jit.clear();
   h.method_jit_ns.clear();
   h.tenants.clear();
+  h.vec_trips.clear();
   h.events.clear();
 }
 
@@ -205,6 +209,9 @@ Snapshot snapshot() {
   out.gc = h.gc;
   for (const auto& [name, j] : h.jit) out.jit.push_back(j);
   for (const auto& [name, t] : h.tenants) out.tenants.push_back(t);
+  for (const auto& [name, hist] : h.vec_trips) {
+    out.vec_kernels.push_back(VecKernelTelemetry{name, hist});
+  }
   out.events = h.events;
   return out;
 }
@@ -437,6 +444,14 @@ void record_service_job(const std::string& tenant, std::uint8_t outcome,
   t.bytes_charged += bytes_charged;
   t.queue_ns += queue_ns;
   t.run_ns += run_ns;
+}
+
+void record_vec_loop(const char* kernel, std::uint64_t trips) {
+  if (!enabled()) return;
+  count(Counter::VecLoopsEntered);
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.vec_trips[kernel].record(trips);
 }
 
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

@@ -57,6 +57,8 @@ enum class Counter : std::uint8_t {
                      // (request_deopt invalidated the method's assumptions)
   CardsScanned,      // dirty cards visited by minor-collection card scans
   PromotedBytes,     // nursery-survivor bytes promoted to the old generation
+  VecLoopsEntered,   // VECLOOP superinstructions whose guards passed (the
+                     // whole loop ran as one vector kernel call)
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -70,6 +72,7 @@ enum class JitPass : std::uint8_t {
   Cse,              // common-subexpression elimination (EBB value numbering)
   Licm,             // loop-invariant code motion
   BoundsCheckElim,  // counted-loop bounds-check hoisting
+  VecLower,         // vector-loop lowering (VECLOOP superinstructions)
   Compact,          // dead-instruction squeeze + branch retarget
   Finalize,         // ref maps, arg pools, il->pc tables
   kCount,
@@ -133,6 +136,15 @@ struct TenantTelemetry {
   }
 };
 
+/// Vector-kernel execution stats (DESIGN.md §12): one row per VECLOOP kernel
+/// that actually ran, with a histogram of its trip counts. Accumulated by
+/// record_vec_loop (one hub-lock trip per guarded loop entry — a whole loop's
+/// worth of work, so the lock never dominates).
+struct VecKernelTelemetry {
+  std::string kernel;          // veckernels::kernel_name
+  support::Histogram trips;    // iterations per VECLOOP entry
+};
+
 struct EngineJitTimes {
   std::string engine;
   std::int64_t pass_ns[kNumJitPasses] = {};
@@ -156,6 +168,7 @@ struct Snapshot {
   GcTelemetry gc;
   std::vector<EngineJitTimes> jit;     // one entry per engine that compiled
   std::vector<TenantTelemetry> tenants;  // sorted by tenant name
+  std::vector<VecKernelTelemetry> vec_kernels;  // sorted by kernel name
   std::vector<TraceEvent> events;
 
   std::uint64_t counter(Counter c) const {
@@ -307,6 +320,11 @@ void record_monitor_contention_end(std::int64_t wait_ns);
 void record_service_job(const std::string& tenant, std::uint8_t outcome,
                         std::uint64_t fuel_spent, std::uint64_t bytes_charged,
                         std::int64_t queue_ns, std::int64_t run_ns);
+
+/// One VECLOOP superinstruction entered with its guards passing: `trips`
+/// scalar iterations ran as a single `kernel` call. Bumps
+/// Counter::VecLoopsEntered and records the trip count per kernel.
+void record_vec_loop(const char* kernel, std::uint64_t trips);
 
 /// Generic trace span on the current thread ("kernel" runs, etc.).
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

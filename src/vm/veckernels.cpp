@@ -1,0 +1,195 @@
+#include "vm/veckernels.hpp"
+
+#include "vm/arith.hpp"
+
+// The HPCNET_SIMD gate turns on intrinsic lanes for the element-independent
+// map kernels only. Everything else (and every build with the gate off, or
+// on an ISA we have no lanes for) runs the portable strip-mined loops below,
+// which GCC/Clang auto-vectorize where legal — and which define the
+// bit-exact semantics the intrinsic paths must reproduce.
+#if defined(HPCNET_SIMD)
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define HPCNET_SIMD_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define HPCNET_SIMD_SSE2 1
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#define HPCNET_SIMD_NEON 1
+#endif
+#endif
+
+namespace hpcnet::vm::veckernels {
+
+const char* kernel_name(std::int32_t k) {
+  switch (k) {
+    case kMapScaleF64: return "map.scale.f64";
+    case kMapAddF64: return "map.add.f64";
+    case kDaxpyF64: return "daxpy.f64";
+    case kSumF64: return "sum.f64";
+    case kDotF64: return "dot.f64";
+    case kGatherDotF64: return "gather.dot.f64";
+    case kSor5F64: return "sor5.f64";
+    case kMapScaleI4: return "map.scale.i4";
+    case kMapAddI4: return "map.add.i4";
+    case kDaxpyI4: return "daxpy.i4";
+    case kSumI4: return "sum.i4";
+    case kDotI4: return "dot.i4";
+    default: return "?";
+  }
+}
+
+bool simd_enabled() {
+#if defined(HPCNET_SIMD_AVX2) || defined(HPCNET_SIMD_SSE2) || \
+    defined(HPCNET_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// --- f64 map family: SIMD-legal (per-lane IEEE ops are exact) ----------
+
+void map_scale_f64(double* a, std::int32_t start, std::int32_t limit,
+                   double s) {
+  std::int32_t i = start;
+#if defined(HPCNET_SIMD_AVX2)
+  const __m256d vs = _mm256_set1_pd(s);
+  for (; i + 4 <= limit; i += 4) {
+    _mm256_storeu_pd(a + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), vs));
+  }
+#elif defined(HPCNET_SIMD_SSE2)
+  const __m128d vs = _mm_set1_pd(s);
+  for (; i + 2 <= limit; i += 2) {
+    _mm_storeu_pd(a + i, _mm_mul_pd(_mm_loadu_pd(a + i), vs));
+  }
+#elif defined(HPCNET_SIMD_NEON)
+  const float64x2_t vs = vdupq_n_f64(s);
+  for (; i + 2 <= limit; i += 2) {
+    vst1q_f64(a + i, vmulq_f64(vld1q_f64(a + i), vs));
+  }
+#endif
+  for (; i < limit; ++i) a[i] = a[i] * s;
+}
+
+void map_add_f64(double* a, const double* b, std::int32_t start,
+                 std::int32_t limit) {
+  std::int32_t i = start;
+#if defined(HPCNET_SIMD_AVX2)
+  for (; i + 4 <= limit; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+#elif defined(HPCNET_SIMD_SSE2)
+  for (; i + 2 <= limit; i += 2) {
+    _mm_storeu_pd(a + i, _mm_add_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+#elif defined(HPCNET_SIMD_NEON)
+  for (; i + 2 <= limit; i += 2) {
+    vst1q_f64(a + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+#endif
+  for (; i < limit; ++i) a[i] = a[i] + b[i];
+}
+
+void daxpy_f64(double* y, const double* x, std::int32_t start,
+               std::int32_t limit, double s) {
+  std::int32_t i = start;
+  // No FMA even on AVX2: the scalar engines round the mul and the add
+  // separately, and the bit-identity contract binds the vector tier to that.
+#if defined(HPCNET_SIMD_AVX2)
+  const __m256d vs = _mm256_set1_pd(s);
+  for (; i + 4 <= limit; i += 4) {
+    const __m256d prod = _mm256_mul_pd(vs, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+#elif defined(HPCNET_SIMD_SSE2)
+  const __m128d vs = _mm_set1_pd(s);
+  for (; i + 2 <= limit; i += 2) {
+    const __m128d prod = _mm_mul_pd(vs, _mm_loadu_pd(x + i));
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), prod));
+  }
+#elif defined(HPCNET_SIMD_NEON)
+  const float64x2_t vs = vdupq_n_f64(s);
+  for (; i + 2 <= limit; i += 2) {
+    const float64x2_t prod = vmulq_f64(vs, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+  }
+#endif
+  for (; i < limit; ++i) y[i] = y[i] + s * x[i];
+}
+
+// --- f64 reductions: strict scalar order (no reassociation) ------------
+
+double sum_f64(const double* a, std::int32_t start, std::int32_t limit,
+               double acc) {
+  for (std::int32_t i = start; i < limit; ++i) acc = acc + a[i];
+  return acc;
+}
+
+double dot_f64(const double* a, const double* b, std::int32_t start,
+               std::int32_t limit, double acc) {
+  for (std::int32_t i = start; i < limit; ++i) acc = acc + a[i] * b[i];
+  return acc;
+}
+
+bool gather_dot_f64(const double* x, std::int32_t xlen,
+                    const std::int32_t* col, const double* val,
+                    std::int32_t start, std::int32_t limit, double acc,
+                    double* out) {
+  for (std::int32_t i = start; i < limit; ++i) {
+    const std::int32_t c = col[i];
+    if (static_cast<std::uint32_t>(c) >= static_cast<std::uint32_t>(xlen)) {
+      return false;  // scalar loop re-runs and throws at element i
+    }
+    acc = acc + x[c] * val[i];
+  }
+  *out = acc;
+  return true;
+}
+
+void sor5_f64(double* g, const double* up, const double* down,
+              std::int32_t start, std::int32_t limit, double s0, double s1) {
+  // g[i-1] is this iteration's freshly-written neighbour: a loop-carried
+  // recurrence, so the order (and association) is the scalar loop's exactly.
+  for (std::int32_t i = start; i < limit; ++i) {
+    g[i] = s0 * (((up[i] + down[i]) + g[i - 1]) + g[i + 1]) + s1 * g[i];
+  }
+}
+
+// --- i32 kernels: wrapping semantics via arith.hpp ---------------------
+
+void map_scale_i32(std::int32_t* a, std::int32_t start, std::int32_t limit,
+                   std::int32_t s) {
+  for (std::int32_t i = start; i < limit; ++i) a[i] = arith::mul_i32(a[i], s);
+}
+
+void map_add_i32(std::int32_t* a, const std::int32_t* b, std::int32_t start,
+                 std::int32_t limit) {
+  for (std::int32_t i = start; i < limit; ++i) a[i] = arith::add_i32(a[i], b[i]);
+}
+
+void daxpy_i32(std::int32_t* y, const std::int32_t* x, std::int32_t start,
+               std::int32_t limit, std::int32_t s) {
+  for (std::int32_t i = start; i < limit; ++i) {
+    y[i] = arith::add_i32(y[i], arith::mul_i32(s, x[i]));
+  }
+}
+
+std::int32_t sum_i32(const std::int32_t* a, std::int32_t start,
+                     std::int32_t limit, std::int32_t acc) {
+  for (std::int32_t i = start; i < limit; ++i) acc = arith::add_i32(acc, a[i]);
+  return acc;
+}
+
+std::int32_t dot_i32(const std::int32_t* a, const std::int32_t* b,
+                     std::int32_t start, std::int32_t limit,
+                     std::int32_t acc) {
+  for (std::int32_t i = start; i < limit; ++i) {
+    acc = arith::add_i32(acc, arith::mul_i32(a[i], b[i]));
+  }
+  return acc;
+}
+
+}  // namespace hpcnet::vm::veckernels

@@ -1,0 +1,85 @@
+// Vector kernel library backing the VECLOOP superinstruction (DESIGN.md §12).
+//
+// Each kernel runs one whole recognized loop over raw unboxed array spans.
+// The dispatch layer (optimizing.cpp) has already proven every span access
+// in-bounds before a kernel runs, so the kernels themselves do no checking —
+// with one exception: GatherDot's indices are data-dependent, so it validates
+// each gather index itself and abandons (writing nothing) on a violation,
+// letting the retained scalar loop re-run and throw at the exact element.
+//
+// Bit-identity contract (the paper validates kernel outputs across engines):
+//  - Element-independent map kernels may be SIMD: IEEE add/mul are exact per
+//    lane, so any lane grouping gives bit-identical results. These are the
+//    only kernels the HPCNET_SIMD gate accelerates with intrinsics.
+//  - Reductions (Sum/Dot/GatherDot) and the SOR stencil (loop-carried
+//    g[j-1] recurrence) run in strict scalar order — no reassociation. The
+//    win there is dispatch elimination, not lane parallelism.
+//  - veckernels.cpp is compiled with -ffp-contract=off so no FMA contraction
+//    changes the separately-rounded mul+add the scalar engines produce.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcnet::vm::veckernels {
+
+enum VecKernel : std::int32_t {
+  // f64 kernels.
+  kMapScaleF64 = 0,  // arr0[i] = arr0[i] * s0
+  kMapAddF64,        // arr0[i] = arr0[i] + arr1[i]
+  kDaxpyF64,         // arr0[i] = arr0[i] + s0 * arr1[i]
+  kSumF64,           // acc += arr0[i]                       (strict order)
+  kDotF64,           // acc += arr0[i] * arr1[i]             (strict order)
+  kGatherDotF64,     // acc += arr0[arr1[i]] * arr2[i]       (strict order;
+                     //   arr1 is an i32 index array, checked per element)
+  kSor5F64,          // arr0[i] = s0*(((arr1[i]+arr2[i])+arr0[i-1])+arr0[i+1])
+                     //           + s1*arr0[i]               (strict order)
+  // i32 kernels (two's-complement wrapping, arith.hpp semantics).
+  kMapScaleI4,       // arr0[i] = arr0[i] * s0
+  kMapAddI4,         // arr0[i] = arr0[i] + arr1[i]
+  kDaxpyI4,          // arr0[i] = arr0[i] + s0 * arr1[i]
+  kSumI4,            // acc += arr0[i]
+  kDotI4,            // acc += arr0[i] * arr1[i]
+  kCount_,
+};
+
+const char* kernel_name(std::int32_t k);
+
+// --- f64 ---------------------------------------------------------------
+void map_scale_f64(double* a, std::int32_t start, std::int32_t limit,
+                   double s);
+void map_add_f64(double* a, const double* b, std::int32_t start,
+                 std::int32_t limit);
+void daxpy_f64(double* y, const double* x, std::int32_t start,
+               std::int32_t limit, double s);
+double sum_f64(const double* a, std::int32_t start, std::int32_t limit,
+               double acc);
+double dot_f64(const double* a, const double* b, std::int32_t start,
+               std::int32_t limit, double acc);
+/// Returns false (and writes nothing through *out) if any gather index is
+/// out of [0, xlen) — the caller must fall back to the scalar loop, which
+/// throws IndexOutOfRange at the right element.
+bool gather_dot_f64(const double* x, std::int32_t xlen,
+                    const std::int32_t* col, const double* val,
+                    std::int32_t start, std::int32_t limit, double acc,
+                    double* out);
+void sor5_f64(double* g, const double* up, const double* down,
+              std::int32_t start, std::int32_t limit, double s0, double s1);
+
+// --- i32 ---------------------------------------------------------------
+void map_scale_i32(std::int32_t* a, std::int32_t start, std::int32_t limit,
+                   std::int32_t s);
+void map_add_i32(std::int32_t* a, const std::int32_t* b, std::int32_t start,
+                 std::int32_t limit);
+void daxpy_i32(std::int32_t* y, const std::int32_t* x, std::int32_t start,
+               std::int32_t limit, std::int32_t s);
+std::int32_t sum_i32(const std::int32_t* a, std::int32_t start,
+                     std::int32_t limit, std::int32_t acc);
+std::int32_t dot_i32(const std::int32_t* a, const std::int32_t* b,
+                     std::int32_t start, std::int32_t limit,
+                     std::int32_t acc);
+
+/// True when this build's map kernels use SIMD intrinsics (HPCNET_SIMD and
+/// a supported ISA); reported in the telemetry summary.
+bool simd_enabled();
+
+}  // namespace hpcnet::vm::veckernels

@@ -427,6 +427,12 @@ std::vector<FlagCase> flag_matrix() {
     f.cse = true;
     f.licm = true;
   });
+  add("vec", [](EngineFlags& f) { f.vectorize = true; });
+  add("vec_no_cse", [](EngineFlags& f) {
+    f.vectorize = true;
+    f.cse = false;
+    f.licm = false;
+  });
   return cases;
 }
 
@@ -486,7 +492,7 @@ TEST_P(RegIrFlags, EveryFlagComboMatchesInterpreter) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombos, RegIrFlags,
-                         ::testing::Range<std::size_t>(0, 13));
+                         ::testing::Range<std::size_t>(0, 15));
 
 }  // namespace
 }  // namespace hpcnet::test
