@@ -23,6 +23,7 @@
 #include "support/reporter.hpp"
 #include "support/timer.hpp"
 #include "vm/execution.hpp"
+#include "vm/serialize.hpp"
 
 namespace {
 
@@ -169,6 +170,113 @@ int main(int argc, char** argv) {
     }
   }
   tables.push_back(std::move(monster));
+
+  // Snapshot warm start (DESIGN.md §13): one donor VM warms SOR through the
+  // tiered pipeline, its cache is captured into an immutable CodeArchive and
+  // round-tripped through the wire format ONCE; then N fresh VMs boot either
+  // cold or attached to that single shared archive. Columns: mean
+  // first-invocation time (time to first result), mean total time for all
+  // `iters` invocations (time to steady state), and the snapshot leg's own
+  // steady-state per-invocation mean — CI asserts snapshot first-invoke <=
+  // 1.2x snapshot steady, i.e. a restored VM's first call already runs the
+  // archived optimized code. Each row is best-of-3 boot rounds (same idiom
+  // as the scimark best-of-N canary): a first invocation is one sample per
+  // VM, so a single round is at the mercy of shared-host scheduling noise.
+  {
+    const std::vector<Slot> sargs = {Slot::from_i32(sor_n),
+                                     Slot::from_i32(sor_sweeps)};
+    const std::string prof = "clr11.tiered";
+    std::vector<char> blob;
+    std::uint64_t want_raw = 0;
+    {
+      vm::VirtualMachine donor;
+      const std::int32_t method = build_sor(donor);
+      auto eng = vm::make_engine(donor, vm::profiles::by_name(prof));
+      vm::VMContext& ctx = donor.main_context();
+      for (int i = 0; i < iters; ++i) {
+        want_raw = eng->invoke(ctx, method, sargs).raw;
+      }
+      blob = vm::serialize_archives({vm::capture_archive(donor, prof)});
+    }
+    // Deserialized once, shared (immutable, refcounted) by every VM below.
+    vm::VirtualMachine scratch;
+    build_sor(scratch);
+    const auto archives =
+        vm::deserialize_archives(scratch.module(), blob.data(), blob.size());
+    if (archives.empty() || archives[0]->records().empty()) {
+      std::cerr << "snapshot round trip produced an empty archive\n";
+      return 1;
+    }
+
+    support::ResultTable snap(
+        "warmup: snapshot warm start, SOR cold vs snapshot boot [us]");
+    constexpr int kBootRounds = 3;
+    for (const int n : {1, 4, 8}) {
+      double best_cold_first = 0, best_cold_total = 0;
+      double best_snap_first = 0, best_snap_total = 0, best_snap_steady = 0;
+      for (int rep = 0; rep < kBootRounds; ++rep) {
+        double cold_first = 0, cold_total = 0;
+        double snap_first = 0, snap_total = 0, snap_steady = 0;
+        for (int k = 0; k < n; ++k) {
+          for (const bool warm : {false, true}) {
+            vm::VirtualMachine v;
+            const std::int32_t method = build_sor(v);
+            if (warm) vm::attach_archive(v, archives[0]);
+            auto eng = vm::make_engine(v, vm::profiles::by_name(prof));
+            vm::VMContext& ctx = v.main_context();
+            std::vector<double> us(static_cast<std::size_t>(iters));
+            Slot last = Slot::from_i32(0);
+            for (int i = 0; i < iters; ++i) {
+              const auto t0 = support::now_ns();
+              last = eng->invoke(ctx, method, sargs);
+              us[static_cast<std::size_t>(i)] =
+                  support::elapsed_seconds(t0, support::now_ns()) * 1e6;
+            }
+            if (last.raw != want_raw) {
+              std::cerr << "snapshot SOR (" << (warm ? "warm" : "cold")
+                        << "): result mismatch vs donor\n";
+              return 1;
+            }
+            double total = 0;
+            for (double u : us) total += u;
+            double tail = 0;
+            const int tail_n = iters / 3;
+            for (int i = iters - tail_n; i < iters; ++i) {
+              tail += us[static_cast<std::size_t>(i)];
+            }
+            if (warm) {
+              snap_first += us[0];
+              snap_total += total;
+              snap_steady += tail / tail_n;
+            } else {
+              cold_first += us[0];
+              cold_total += total;
+            }
+          }
+        }
+        if (rep == 0 || cold_first < best_cold_first) {
+          best_cold_first = cold_first;
+        }
+        if (rep == 0 || cold_total < best_cold_total) {
+          best_cold_total = cold_total;
+        }
+        if (rep == 0 || snap_first < best_snap_first) {
+          best_snap_first = snap_first;
+          best_snap_steady = snap_steady;
+        }
+        if (rep == 0 || snap_total < best_snap_total) {
+          best_snap_total = snap_total;
+        }
+      }
+      const std::string row = "N=" + std::to_string(n);
+      snap.set(row, "cold first-invoke", best_cold_first / n);
+      snap.set(row, "snapshot first-invoke", best_snap_first / n);
+      snap.set(row, "cold all-invokes", best_cold_total / n);
+      snap.set(row, "snapshot all-invokes", best_snap_total / n);
+      snap.set(row, "snapshot steady", best_snap_steady / n);
+    }
+    tables.push_back(std::move(snap));
+  }
 
   for (const auto& t : tables) {
     t.print(std::cout);

@@ -21,6 +21,7 @@
 #include "support/timer.hpp"
 #include "vm/disasm.hpp"
 #include "vm/regcompile.hpp"
+#include "vm/serialize.hpp"
 
 using namespace hpcnet;
 using namespace hpcnet::cil;
@@ -149,9 +150,15 @@ int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "div";
   bool passes = false;
   std::string profile_name = "clr11";
+  std::string load_snapshot;
+  std::string save_snapshot;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--passes") == 0) {
       passes = true;
+    } else if (std::strcmp(argv[i], "--load-snapshot") == 0 && i + 1 < argc) {
+      load_snapshot = argv[++i];
+    } else if (std::strcmp(argv[i], "--save-snapshot") == 0 && i + 1 < argc) {
+      save_snapshot = argv[++i];
     } else {
       profile_name = argv[i];
     }
@@ -164,13 +171,28 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr,
                  "usage: jit_explorer [div|add|daxpy|call|cse|licm] "
-                 "[--passes [profile]] (%s)\n",
+                 "[--passes [profile]] [--load-snapshot FILE] "
+                 "[--save-snapshot FILE] (%s)\n",
                  e.what());
     return 1;
   }
   vm::verify(v.module(), method);
 
   if (passes) return dump_passes(v, method, profile_name);
+
+  // Warm-boot every profile's cache from an archive captured by an earlier
+  // --save-snapshot run: the "warm-up" invocations below then publish
+  // nothing new (the measured loop runs the archived code).
+  if (!load_snapshot.empty()) {
+    try {
+      const vm::ArchiveStats s = vm::load_snapshot(v, load_snapshot);
+      std::fprintf(stderr, "snapshot: restored %zu methods, %zu misses\n",
+                   s.restored, s.missed);
+    } catch (const vm::SerializeError& e) {
+      std::fprintf(stderr, "snapshot load failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   std::printf("================ CIL (what the 'C# compiler' emitted) "
               "================\n%s\n",
@@ -213,6 +235,18 @@ int main(int argc, char** argv) {
     const double secs = support::elapsed_seconds(t0, support::now_ns());
     std::printf("  %-10s %8.2f ns/iter\n", e->name().c_str(),
                 secs / iters * 1e9);
+  }
+
+  if (!save_snapshot.empty()) {
+    // All invocations are done (single-threaded tool): the caches are
+    // quiescent, so capture straight into a file.
+    try {
+      vm::save_snapshot(v, save_snapshot);
+      std::fprintf(stderr, "snapshot: saved to %s\n", save_snapshot.c_str());
+    } catch (const vm::SerializeError& e) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cil/sm.hpp"
+#include "vm/serialize.hpp"
 #include "vm/service/service.hpp"
 #include "vm/telemetry/summary.hpp"
 #include "vm/telemetry/telemetry.hpp"
@@ -25,12 +26,15 @@ namespace {
 const char* kUsage =
     "usage: vmserve [engine] [--workers N] [--tenants N] [--rounds N]\n"
     "               [--fuel F] [--mem MB] [--json]\n"
+    "               [--load-snapshot FILE] [--save-snapshot FILE]\n"
     "  engine     profile name (clr11, mono023, rotor10, clr11.tiered, ...)\n"
     "  --workers  worker threads sharing the VM          (default 4)\n"
     "  --tenants  tenants submitting jobs                (default 2)\n"
     "  --rounds   rounds of 5 mixed SciMark jobs each    (default 2)\n"
     "  --fuel     per-job fuel budget, backward branches (default 0 = off)\n"
-    "  --mem      per-tenant allocation budget in MB     (default 0 = off)\n";
+    "  --mem      per-tenant allocation budget in MB     (default 0 = off)\n"
+    "  --load-snapshot  warm-boot the service's code cache from FILE\n"
+    "  --save-snapshot  after draining, archive the warmed cache to FILE\n";
 
 struct JobSpec {
   const char* name;
@@ -53,10 +57,16 @@ int main(int argc, char** argv) {
   std::uint64_t fuel = 0;
   std::uint64_t mem_mb = 0;
   bool json = false;
+  std::string load_snapshot;
+  std::string save_snapshot;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (a == "--load-snapshot" && i + 1 < argc) {
+      load_snapshot = argv[++i];
+    } else if (a == "--save-snapshot" && i + 1 < argc) {
+      save_snapshot = argv[++i];
     } else if (a == "--tenants" && i + 1 < argc) {
       tenants = std::atoi(argv[++i]);
     } else if (a == "--rounds" && i + 1 < argc) {
@@ -98,7 +108,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  service::ExecutionService svc(machine, profile, {.workers = workers});
+  // Warm-boot the code cache before the service spins up its workers, so
+  // even the first job of the run dispatches into archived optimized code.
+  if (!load_snapshot.empty()) {
+    try {
+      const vm::ArchiveStats s = vm::load_snapshot(machine, load_snapshot);
+      std::fprintf(stderr, "snapshot: restored %zu methods, %zu misses\n",
+                   s.restored, s.missed);
+    } catch (const vm::SerializeError& e) {
+      std::fprintf(stderr, "snapshot load failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  service::ExecutionService svc(machine, profile,
+                                {.workers = workers, .warm_start = nullptr});
   for (int t = 0; t < tenants; ++t) {
     svc.add_tenant({.name = "tenant-" + std::to_string(t),
                     .fuel_per_job = fuel,
@@ -134,6 +158,19 @@ int main(int argc, char** argv) {
   }
   svc.drain();
   std::printf("\n");
+
+  if (!save_snapshot.empty()) {
+    // capture_snapshot drains first — the cache is quiescent while the
+    // archive walks it. save_snapshot then archives every warmed profile.
+    svc.capture_snapshot();
+    try {
+      vm::save_snapshot(machine, save_snapshot);
+      std::fprintf(stderr, "snapshot: saved to %s\n", save_snapshot.c_str());
+    } catch (const vm::SerializeError& e) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   telemetry::SummaryOptions opts;
   opts.json = json;

@@ -1,0 +1,89 @@
+// The immutable half of the code-cache split (DESIGN.md §13): a CodeArchive
+// is a refcounted, read-only collection of published regir::RCode bodies
+// plus per-method tier/hotness snapshots, captured from one VM's CodeCache
+// and attachable to any number of others. The CodeCache keeps the mutable
+// per-VM tier state (hotness counters, latches, deopt generations); the
+// archive owns nothing mutable, so N VM instances in one process can share
+// one archive — and boot pre-warmed from it — without recompiling or
+// copying a single body.
+//
+// Method identity across VMs is (method id, name, content hash of the
+// verified IL). The hash covers the method's own verified body, the string
+// pool entries and class layouts it references, and the transitive CALL
+// target set — everything a compiled body bakes in by id — so an archive
+// captured against a different program degrades to a cold miss instead of
+// running wrong code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpcnet::vm {
+
+class Module;
+class VirtualMachine;
+
+namespace regir {
+struct RCode;
+}
+
+class CodeArchive {
+ public:
+  struct MethodRecord {
+    std::int32_t method_id = -1;
+    std::string name;
+    std::uint64_t il_hash = 0;
+    std::uint8_t tier = 0;      // snapshotted dispatch Tier (numeric)
+    std::uint32_t hotness = 0;  // snapshotted hotness counter
+    /// Published optimizing-tier body; null when the method was snapshotted
+    /// below Tier::Optimizing (tier/hotness still warm-start the counters).
+    std::shared_ptr<const regir::RCode> code;
+  };
+
+  CodeArchive(std::string profile, std::vector<MethodRecord> records)
+      : profile_(std::move(profile)), records_(std::move(records)) {}
+
+  /// The engine-profile name whose CodeCache this archive snapshots; attach
+  /// targets the same-named cache, so profiles with differing pass mixes
+  /// never exchange code.
+  const std::string& profile() const { return profile_; }
+  const std::vector<MethodRecord>& records() const { return records_; }
+
+ private:
+  std::string profile_;
+  std::vector<MethodRecord> records_;
+};
+
+struct ArchiveStats {
+  std::size_t restored = 0;  // records written into the cache
+  std::size_t missed = 0;    // records rejected (id/name/hash mismatch)
+};
+
+/// Content hash (FNV-1a 64) of the verified IL of `method_id` plus the
+/// module state its compiled form bakes in: referenced strings, referenced
+/// class layouts, and the transitive CALL target set (each hashed the same
+/// way). The method (and every transitive callee) must already be verified;
+/// out-of-range ids poison the hash rather than faulting.
+std::uint64_t il_content_hash(const Module& module, std::int32_t method_id);
+
+/// Snapshots `vm`'s CodeCache for `profile_name` into an immutable archive.
+/// The VM must be quiesced: no engine may be executing or compiling against
+/// this cache during capture (ExecutionService::capture_snapshot drains
+/// first; tests/CLIs capture between invocations).
+std::shared_ptr<const CodeArchive> capture_archive(
+    VirtualMachine& vm, const std::string& profile_name);
+
+/// Warm-starts `vm`'s cache for the archive's profile: every record whose
+/// (id, name, verified-IL hash) matches the local module is published at its
+/// snapshotted tier and hotness — a subsequent first call runs straight from
+/// the archived optimized body, compiling nothing. Mismatches are counted
+/// and skipped (the method stays cold and compiles normally). Verifies each
+/// matching method under the VM-shared verify latch, so attaching to a VM
+/// with engines already running is safe; entries already warm are left
+/// untouched.
+ArchiveStats attach_archive(VirtualMachine& vm,
+                            const std::shared_ptr<const CodeArchive>& archive);
+
+}  // namespace hpcnet::vm

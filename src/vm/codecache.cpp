@@ -28,11 +28,18 @@ CodeCache::Chunk* CodeCache::grow(std::size_t chunk_index) {
 }
 
 const regir::RCode* CodeCache::adopt(
-    std::unique_ptr<const regir::RCode> code) {
+    std::shared_ptr<const regir::RCode> code) {
   const regir::RCode* raw = code.get();
   std::lock_guard<std::mutex> lock(mu_);
-  owned_.push_back(std::move(code));
+  owned_.emplace(raw, std::move(code));
   return raw;
+}
+
+std::shared_ptr<const regir::RCode> CodeCache::shared_code(
+    const regir::RCode* code) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = owned_.find(code);
+  return it != owned_.end() ? it->second : nullptr;
 }
 
 CodeCache::Entry& CodeCache::osr_entry(const void* body,

@@ -73,9 +73,20 @@ class CodeCache {
     return c->entries[id & (kChunkSize - 1)];
   }
 
-  /// Takes ownership of a compiled body; the returned pointer stays valid
-  /// for the cache's lifetime (entries publish it, never free it).
-  const regir::RCode* adopt(std::unique_ptr<const regir::RCode> code);
+  /// Retains a shared reference to a compiled body; the returned pointer
+  /// stays valid for the cache's lifetime (entries publish it, never free
+  /// it). Ownership is refcounted so the same immutable body can be held by
+  /// many VMs' caches and by a CodeArchive (src/vm/archive.hpp) at once —
+  /// the cache is now only the mutable per-VM tier-state layer over bodies
+  /// that may outlive it.
+  const regir::RCode* adopt(std::shared_ptr<const regir::RCode> code);
+
+  /// The shared handle behind a pointer previously returned by adopt(), or
+  /// null for a foreign pointer. This is how snapshot capture recovers
+  /// refcounted ownership of published bodies (archive.cpp); rare-path, so
+  /// it takes mu_.
+  std::shared_ptr<const regir::RCode> shared_code(
+      const regir::RCode* code) const;
 
   /// The OSR entry keyed (method body, loop-header pc). Bodies at distinct
   /// headers compile independently; continuations of a deopted continuation
@@ -95,9 +106,11 @@ class CodeCache {
 
   Chunk* grow(std::size_t chunk_index);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::atomic<Chunk*> chunks_[kMaxChunks] = {};
-  std::vector<std::unique_ptr<const regir::RCode>> owned_;
+  // Keyed by raw pointer so shared_code() can recover the refcounted handle
+  // for any published body (capture into a CodeArchive).
+  std::map<const regir::RCode*, std::shared_ptr<const regir::RCode>> owned_;
   // Entries are address-stable (they hold atomics and a mutex), so the OSR
   // map stores them behind unique_ptr.
   std::map<std::pair<const void*, std::int32_t>, std::unique_ptr<Entry>>

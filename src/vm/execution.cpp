@@ -237,6 +237,14 @@ CodeCache& VirtualMachine::code_cache(const std::string& key) {
   return *slot;
 }
 
+std::vector<std::string> VirtualMachine::code_cache_keys() const {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  std::vector<std::string> keys;
+  keys.reserve(caches_.size());
+  for (const auto& [key, cache] : caches_) keys.push_back(key);
+  return keys;  // std::map iteration order: already sorted
+}
+
 VirtualMachine::~VirtualMachine() {
   // Join any managed threads that were never joined so they don't outlive
   // the VM state they reference.

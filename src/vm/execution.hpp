@@ -333,6 +333,10 @@ class VirtualMachine {
   /// distinct names. Verification state lives in the reserved "<verify>"
   /// cache shared by every engine on this VM.
   CodeCache& code_cache(const std::string& key);
+  /// Names of every cache created so far, sorted (snapshot save enumerates
+  /// these to archive each warmed profile; "<verify>" is included — callers
+  /// that only want engine profiles skip it).
+  std::vector<std::string> code_cache_keys() const;
 
  private:
   friend class Engine;
@@ -374,7 +378,7 @@ class VirtualMachine {
   std::mutex main_ctx_mu_;
   std::unique_ptr<VMContext> main_ctx_;
 
-  std::mutex caches_mu_;
+  mutable std::mutex caches_mu_;
   std::map<std::string, std::unique_ptr<CodeCache>> caches_;
 };
 

@@ -122,6 +122,7 @@ class Module {
   const std::string& string_at(std::int32_t id) const {
     return strings_[static_cast<std::size_t>(id)];
   }
+  std::size_t string_count() const { return strings_.size(); }
 
   // --- Statics -----------------------------------------------------------
   /// Static field storage for a class (allocated lazily, zero-initialized).

@@ -474,15 +474,15 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
         break;
       }
       case ROp::MATH1_R8: {
-        auto fn = reinterpret_cast<double (*)(double)>(
-            static_cast<std::uintptr_t>(in.imm.i64));
-        R[in.d].f64 = fn(R[in.a].f64);
+        // imm is the vm::Intr id (position-independent); the table lookup is
+        // a dense switch the branch predictor resolves per call site.
+        R[in.d].f64 = regir::math1_fn(
+            static_cast<std::int32_t>(in.imm.i64))(R[in.a].f64);
         break;
       }
       case ROp::MATH2_R8: {
-        auto fn = reinterpret_cast<double (*)(double, double)>(
-            static_cast<std::uintptr_t>(in.imm.i64));
-        R[in.d].f64 = fn(R[in.a].f64, R[in.b].f64);
+        R[in.d].f64 = regir::math2_fn(static_cast<std::int32_t>(in.imm.i64))(
+            R[in.a].f64, R[in.b].f64);
         break;
       }
       case ROp::ABS_I4_R: R[in.d] = Slot::from_i32(R[in.a].i32 < 0 ? -R[in.a].i32 : R[in.a].i32); break;

@@ -616,24 +616,8 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
         const std::int32_t a0 = argc >= 1 ? sreg(d - argc, def.sig.params[0]) : -1;
         const std::int32_t a1 = argc >= 2 ? sreg(d - argc + 1, def.sig.params[1]) : -1;
         const std::int32_t rd = sreg(d - argc, def.sig.ret);
-        double (*fn1)(double) = nullptr;
-        double (*fn2)(double, double) = nullptr;
         ROp dedicated = ROp::NOP_R;
         switch (in.a) {
-          case I_SIN: fn1 = [](double x) { return std::sin(x); }; break;
-          case I_COS: fn1 = [](double x) { return std::cos(x); }; break;
-          case I_TAN: fn1 = [](double x) { return std::tan(x); }; break;
-          case I_ASIN: fn1 = [](double x) { return std::asin(x); }; break;
-          case I_ACOS: fn1 = [](double x) { return std::acos(x); }; break;
-          case I_ATAN: fn1 = [](double x) { return std::atan(x); }; break;
-          case I_FLOOR: fn1 = [](double x) { return std::floor(x); }; break;
-          case I_CEIL: fn1 = [](double x) { return std::ceil(x); }; break;
-          case I_SQRT: fn1 = [](double x) { return std::sqrt(x); }; break;
-          case I_EXP: fn1 = [](double x) { return std::exp(x); }; break;
-          case I_LOG: fn1 = [](double x) { return std::log(x); }; break;
-          case I_RINT: fn1 = [](double x) { return std::rint(x); }; break;
-          case I_ATAN2: fn2 = [](double y, double x) { return std::atan2(y, x); }; break;
-          case I_POW: fn2 = [](double x, double y) { return std::pow(x, y); }; break;
           case I_ABS_I4: dedicated = ROp::ABS_I4_R; break;
           case I_ABS_I8: dedicated = ROp::ABS_I8_R; break;
           case I_ABS_R4: dedicated = ROp::ABS_R4_R; break;
@@ -648,13 +632,16 @@ void Compiler::translate_one(std::int32_t pc, const Instr& in) {
           case I_MIN_R8: dedicated = ROp::MIN_R8_R; break;
           default: break;
         }
-        if (fn1 != nullptr) {
+        // The immediate carries the intrinsic ID (position-independent; the
+        // dispatch loop resolves it via math1_fn/math2_fn), so same id =>
+        // same value and CSE/LICM keying is unchanged.
+        if (regir::math1_fn(in.a) != nullptr) {
           RInstr& r = emit(ROp::MATH1_R8, rd, a0);
-          r.imm.i64 = static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(fn1));
+          r.imm.i64 = in.a;
           emitted = true;
-        } else if (fn2 != nullptr) {
+        } else if (regir::math2_fn(in.a) != nullptr) {
           RInstr& r = emit(ROp::MATH2_R8, rd, a0, a1);
-          r.imm.i64 = static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(fn2));
+          r.imm.i64 = in.a;
           emitted = true;
         } else if (dedicated != ROp::NOP_R) {
           emit(dedicated, rd, a0, a1);
@@ -1093,7 +1080,7 @@ void Compiler::optimize_blocks() {
 // operand stack). A directly recursive callee unrolls one level per round —
 // the HotSpot MaxRecursiveInlineLevel idea — bounded by inline_depth and the
 // total growth budget. The expanded body is re-verified and kept alive via
-// RCode::inlined_body so handler tables, stack maps and il_pc ranges all
+// RCode::body so handler tables, stack maps and il_pc ranges all
 // describe the code that was actually compiled.
 
 bool Compiler::inlinable(const MethodDef& callee) const {
@@ -2003,8 +1990,15 @@ std::string Compiler::dump_il() const {
 }
 
 void Compiler::finalize() {
-  rc_.method = mp_;
-  rc_.inlined_body = inlined_;
+  // Position independence: the RCode owns a copy of the body it compiled
+  // (the inline pass's expanded copy when inlining fired, otherwise the
+  // module method's verified state), so nothing in the published artifact
+  // points into the module of the VM that happened to drive this compile.
+  // The copy is taken post-verification: stack_in/reachable ride along for
+  // the OSR/deopt continuation builder.
+  if (inlined_ == nullptr) inlined_ = std::make_shared<MethodDef>(*mp_);
+  rc_.body = inlined_;
+  rc_.method = rc_.body.get();
   // Catch handlers receive the exception in the stack register for
   // (depth 0, Ref) — the verifier seeds handler entry stacks with [Ref].
   // Resolve these before the ref scan so any register created here is seen.

@@ -1,10 +1,38 @@
 #include "vm/regir.hpp"
 
+#include <cmath>
 #include <cstdio>
 
+#include "vm/intrinsics.hpp"
 #include "vm/veckernels.hpp"
 
 namespace hpcnet::vm::regir {
+
+Math1Fn math1_fn(std::int32_t intr_id) {
+  switch (intr_id) {
+    case I_SIN: return [](double x) { return std::sin(x); };
+    case I_COS: return [](double x) { return std::cos(x); };
+    case I_TAN: return [](double x) { return std::tan(x); };
+    case I_ASIN: return [](double x) { return std::asin(x); };
+    case I_ACOS: return [](double x) { return std::acos(x); };
+    case I_ATAN: return [](double x) { return std::atan(x); };
+    case I_FLOOR: return [](double x) { return std::floor(x); };
+    case I_CEIL: return [](double x) { return std::ceil(x); };
+    case I_SQRT: return [](double x) { return std::sqrt(x); };
+    case I_EXP: return [](double x) { return std::exp(x); };
+    case I_LOG: return [](double x) { return std::log(x); };
+    case I_RINT: return [](double x) { return std::rint(x); };
+    default: return nullptr;
+  }
+}
+
+Math2Fn math2_fn(std::int32_t intr_id) {
+  switch (intr_id) {
+    case I_ATAN2: return [](double y, double x) { return std::atan2(y, x); };
+    case I_POW: return [](double x, double y) { return std::pow(x, y); };
+    default: return nullptr;
+  }
+}
 
 namespace {
 

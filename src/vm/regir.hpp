@@ -79,9 +79,12 @@ enum class ROp : std::uint8_t {
   CALL_R,      // a = method id, b = args-pool index, d = dst (-1 void),
                // imm.i64 = argc                                  [gc point]
   CALLINTR_R,  // a = intrinsic id, rest as CALL_R                [gc point]
-  // fast_math inlined intrinsics (no marshalling, no pending check):
-  MATH1_R8,  // d.f64 <- fn(a.f64), imm = fn ptr
-  MATH2_R8,  // d.f64 <- fn(a.f64, b.f64), imm = fn ptr
+  // fast_math inlined intrinsics (no marshalling, no pending check). The
+  // immediate is the vm::Intr id, NOT a function pointer: compiled bodies
+  // must stay position-independent so a serialized archive restored into
+  // another process resolves the routine through math1_fn/math2_fn below.
+  MATH1_R8,  // d.f64 <- fn(a.f64), imm.i64 = vm::Intr id
+  MATH2_R8,  // d.f64 <- fn(a.f64, b.f64), imm.i64 = vm::Intr id
   ABS_I4_R, ABS_I8_R, ABS_R4_R, ABS_R8_R,
   MAX_I4_R, MAX_I8_R, MAX_R4_R, MAX_R8_R,
   MIN_I4_R, MIN_I8_R, MIN_R4_R, MIN_R8_R,
@@ -200,12 +203,17 @@ struct RCode {
   };
   std::vector<VecLoop> vec_loops;
 
+  /// Always points at `body` below — never into the module that happened to
+  /// drive the compile. Compiled code must be position-independent: an RCode
+  /// published into a CodeArchive outlives (and precedes) any particular VM,
+  /// so it carries its own verified copy of the method it implements.
   const MethodDef* method = nullptr;
-  /// When the inlining pass expanded call sites, `method` points at this
-  /// private copy of the body (re-verified, same name/id/signature) instead
-  /// of the module's method, so handler tables, stack maps and il_pc ranges
-  /// stay consistent with the code that was actually compiled.
-  std::shared_ptr<const MethodDef> inlined_body;
+  /// The owned body `method` points at: the module method's verified state
+  /// as of compilation, or — when the inlining pass expanded call sites —
+  /// the expanded, re-verified copy (same name/id/signature), so handler
+  /// tables, stack maps and il_pc ranges always describe the code that was
+  /// actually compiled.
+  std::shared_ptr<const MethodDef> body;
   std::vector<RInstr> code;
   std::vector<std::int32_t> args_pool;  // flattened call argument registers
   std::vector<std::int32_t> ref_regs;   // ref-typed registers (GC roots)
@@ -217,6 +225,16 @@ struct RCode {
   /// Registers = [slots][stack depth x type][scratch].
   std::int32_t slot_regs = 0;
 };
+
+/// Resolution of the fast-math superinstruction immediates: the native
+/// routine for a vm::Intr id, or nullptr when the id is not a one-argument
+/// (respectively two-argument) pure-math entry. Shared by the emitter, the
+/// dispatch loop and the archive deserializer (which validates restored
+/// immediates through the same tables).
+using Math1Fn = double (*)(double);
+using Math2Fn = double (*)(double, double);
+Math1Fn math1_fn(std::int32_t intr_id);
+Math2Fn math2_fn(std::int32_t intr_id);
 
 /// One-line disassembly of a register instruction (jit_explorer, tests).
 std::string to_string(const RInstr& in);

@@ -6,6 +6,11 @@
 
 #include "vm/execution.hpp"
 #include "vm/heap.hpp"
+#include "vm/intrinsics.hpp"
+#include "vm/regir.hpp"
+#include "vm/regir_ops.hpp"
+#include "vm/veckernels.hpp"
+#include "vm/verifier.hpp"
 
 namespace hpcnet::vm {
 
@@ -325,6 +330,539 @@ ObjRef deserialize_from_file(VirtualMachine& vm, VMContext& ctx,
   std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
                           std::istreambuf_iterator<char>());
   return deserialize_graph(vm, ctx, bytes.data(), bytes.size());
+}
+
+// --- Code archives (snapshot warm start) ----------------------------------
+
+namespace {
+
+constexpr std::uint32_t kArchiveMagic = 0x48504341;  // "HPCA"
+constexpr std::uint32_t kArchiveVersion = 1;
+// The checksum covers everything after its own field (byte offset 16).
+constexpr std::size_t kChecksumStart = 16;
+
+std::uint64_t fnv1a(const char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_str(Writer& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.raw(s.data(), s.size());
+}
+
+// Reader::bytes() throws before anything is allocated, so a hostile length
+// can never drive a giant allocation — the stream must actually contain it.
+std::string get_str(Reader& r) {
+  const std::uint32_t n = r.u32();
+  const char* p = r.bytes(n);
+  return std::string(p, n);
+}
+
+ValType get_valtype(Reader& r, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > static_cast<std::uint8_t>(ValType::Ref)) {
+    throw SerializeError(std::string("archive: bad ValType in ") + what);
+  }
+  return static_cast<ValType>(v);
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw SerializeError("archive: " + what);
+}
+
+// -- IL body ----------------------------------------------------------------
+// Only the raw fields travel: deserialization re-runs verify_body against
+// the local module, so verifier outputs (stack maps, reachability, the
+// stack-derived type annotations) are recomputed locally and never trusted
+// from the wire. The per-instruction type byte IS serialized — for newarr/
+// ldelem/conv/box-style ops it is a builder-set semantic input the verifier
+// validates rather than infers — but on every stack-derived op the verifier
+// overwrites it during simulation, so a hostile value can only fail
+// verification, never leak through.
+
+void put_body(Writer& w, const MethodDef& m) {
+  put_str(w, m.name);
+  w.i32(m.id);
+  w.u32(static_cast<std::uint32_t>(m.sig.params.size()));
+  for (ValType t : m.sig.params) w.u8(static_cast<std::uint8_t>(t));
+  w.u8(static_cast<std::uint8_t>(m.sig.ret));
+  w.u32(static_cast<std::uint32_t>(m.locals.size()));
+  for (ValType t : m.locals) w.u8(static_cast<std::uint8_t>(t));
+  w.u32(static_cast<std::uint32_t>(m.code.size()));
+  for (const Instr& in : m.code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u8(static_cast<std::uint8_t>(in.type));
+    w.i32(in.a);
+    w.i32(in.b);
+    w.u64(static_cast<std::uint64_t>(in.imm.i64));
+  }
+  w.u32(static_cast<std::uint32_t>(m.handlers.size()));
+  for (const ExHandler& h : m.handlers) {
+    w.u8(static_cast<std::uint8_t>(h.kind));
+    w.i32(h.try_begin);
+    w.i32(h.try_end);
+    w.i32(h.handler);
+    w.i32(h.catch_class);
+  }
+}
+
+MethodDef get_body(Reader& r) {
+  MethodDef m;
+  m.name = get_str(r);
+  m.id = r.i32();
+  const std::uint32_t nparams = r.u32();
+  for (std::uint32_t i = 0; i < nparams; ++i) {
+    m.sig.params.push_back(get_valtype(r, "param"));
+  }
+  m.sig.ret = get_valtype(r, "return type");
+  const std::uint32_t nlocals = r.u32();
+  for (std::uint32_t i = 0; i < nlocals; ++i) {
+    m.locals.push_back(get_valtype(r, "local"));
+  }
+  const std::uint32_t ncode = r.u32();
+  for (std::uint32_t i = 0; i < ncode; ++i) {
+    Instr in;
+    const std::uint8_t op = r.u8();
+    if (op >= static_cast<std::uint8_t>(Op::COUNT_)) bad("bad IL opcode");
+    in.op = static_cast<Op>(op);
+    in.type = get_valtype(r, "instruction type");
+    in.a = r.i32();
+    in.b = r.i32();
+    in.imm.i64 = static_cast<std::int64_t>(r.u64());
+    m.code.push_back(in);
+  }
+  const std::uint32_t nhandlers = r.u32();
+  for (std::uint32_t i = 0; i < nhandlers; ++i) {
+    ExHandler h;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(HandlerKind::Finally)) {
+      bad("bad handler kind");
+    }
+    h.kind = static_cast<HandlerKind>(kind);
+    h.try_begin = r.i32();
+    h.try_end = r.i32();
+    h.handler = r.i32();
+    h.catch_class = r.i32();
+    m.handlers.push_back(h);
+  }
+  return m;
+}
+
+// -- Compiled body ----------------------------------------------------------
+
+void put_rcode(Writer& w, const regir::RCode& rc) {
+  put_body(w, *rc.body);
+  w.i32(rc.num_regs);
+  w.i32(rc.slot_regs);
+  w.u32(static_cast<std::uint32_t>(rc.code.size()));
+  for (const regir::RInstr& in : rc.code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u8(in.flags);
+    w.i32(in.d);
+    w.i32(in.a);
+    w.i32(in.b);
+    w.i32(in.il_pc);
+    w.u64(static_cast<std::uint64_t>(in.imm.i64));
+  }
+  w.u32(static_cast<std::uint32_t>(rc.args_pool.size()));
+  for (std::int32_t v : rc.args_pool) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(rc.ref_regs.size()));
+  for (std::int32_t v : rc.ref_regs) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(rc.reg_types.size()));
+  for (ValType t : rc.reg_types) w.u8(static_cast<std::uint8_t>(t));
+  w.u32(static_cast<std::uint32_t>(rc.il2rpc.size()));
+  for (std::int32_t v : rc.il2rpc) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(rc.handler_exc_reg.size()));
+  for (std::int32_t v : rc.handler_exc_reg) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(rc.deopt_points.size()));
+  for (const regir::RCode::DeoptPoint& d : rc.deopt_points) {
+    w.i32(d.rpc);
+    w.i32(d.il_pc);
+    w.u32(static_cast<std::uint32_t>(d.stack_regs.size()));
+    for (std::int32_t v : d.stack_regs) w.i32(v);
+  }
+  w.u32(static_cast<std::uint32_t>(rc.vec_loops.size()));
+  for (const regir::RCode::VecLoop& v : rc.vec_loops) {
+    w.i32(v.kernel);
+    w.i32(v.ivar);
+    w.i32(v.limit);
+    w.i32(v.limit_arr);
+    w.i32(v.arr0);
+    w.i32(v.arr1);
+    w.i32(v.arr2);
+    w.i32(v.acc);
+    w.i32(v.s0_reg);
+    w.i32(v.s1_reg);
+    w.u64(static_cast<std::uint64_t>(v.s0_bits));
+    w.u64(static_cast<std::uint64_t>(v.s1_bits));
+  }
+}
+
+/// Full structural validation of a deserialized compiled body: everything
+/// the optimizing dispatch loop and the deopt/OSR machinery would otherwise
+/// trust blindly. Throws SerializeError on any violation — runs BEFORE the
+/// body is verified, so it only leans on raw sizes, never verifier outputs.
+void validate_rcode(const regir::RCode& rc, const Module& module) {
+  const std::size_t nregs = static_cast<std::size_t>(rc.num_regs);
+  const std::size_t ncode = rc.code.size();
+  const std::size_t il_size = rc.body->code.size();
+  if (rc.num_regs <= 0) bad("non-positive register count");
+  if (rc.slot_regs < 0 || static_cast<std::size_t>(rc.slot_regs) > nregs) {
+    bad("slot_regs out of range");
+  }
+  if (rc.reg_types.size() != nregs) bad("reg_types length mismatch");
+  if (rc.code.empty()) bad("empty compiled body");
+  if (rc.il2rpc.size() != il_size + 1) bad("il2rpc length mismatch");
+  if (rc.handler_exc_reg.size() != rc.body->handlers.size()) {
+    bad("handler_exc_reg length mismatch");
+  }
+  const auto reg_ok = [&](std::int32_t reg) {
+    return reg >= 0 && static_cast<std::size_t>(reg) < nregs;
+  };
+  const auto opt_reg_ok = [&](std::int32_t reg) {
+    return reg == -1 || reg_ok(reg);
+  };
+  for (std::int32_t reg : rc.args_pool) {
+    if (!reg_ok(reg)) bad("args_pool register out of range");
+  }
+  for (std::int32_t reg : rc.ref_regs) {
+    if (!reg_ok(reg) || rc.reg_types[static_cast<std::size_t>(reg)] !=
+                            ValType::Ref) {
+      bad("ref_regs entry is not a ref register");
+    }
+  }
+  for (std::int32_t rpc : rc.il2rpc) {
+    if (rpc < 0 || static_cast<std::size_t>(rpc) > ncode) {
+      bad("il2rpc target out of range");
+    }
+  }
+  for (std::int32_t reg : rc.handler_exc_reg) {
+    if (!opt_reg_ok(reg)) bad("handler_exc_reg out of range");
+  }
+  for (const regir::RInstr& in : rc.code) {
+    if (static_cast<std::uint8_t>(in.op) >=
+        static_cast<std::uint8_t>(regir::ROp::COUNT_)) {
+      bad("bad register opcode");
+    }
+    if (in.il_pc < -1 || (in.il_pc >= 0 &&
+                          static_cast<std::size_t>(in.il_pc) >= il_size)) {
+      bad("il_pc out of range");
+    }
+    if (regir::is_branch(in.op) &&
+        (in.d < 0 || static_cast<std::size_t>(in.d) >= ncode)) {
+      bad("branch target out of range");
+    }
+    // Register operands, via the same role table every pass uses.
+    const regir::Operands o = regir::operands_of(in, rc.args_pool);
+    if (!opt_reg_ok(o.def)) bad("defined register out of range");
+    for (int i = 0; i < o.nuses; ++i) {
+      if (!reg_ok(o.uses[i])) bad("used register out of range");
+    }
+    switch (in.op) {
+      case regir::ROp::LDSTR_R:
+        if (in.a < 0 ||
+            static_cast<std::size_t>(in.a) >= module.string_count()) {
+          bad("string pool id out of range");
+        }
+        break;
+      case regir::ROp::NEWOBJ_R:
+        if (in.a < 0 ||
+            static_cast<std::size_t>(in.a) >= module.class_count()) {
+          bad("class id out of range");
+        }
+        break;
+      case regir::ROp::LDFLD_R:
+      case regir::ROp::STFLD_R:
+        if (in.b < 0) bad("negative field index");
+        break;
+      case regir::ROp::LDSFLD_R:
+      case regir::ROp::STSFLD_R:
+        if (in.a < 0 ||
+            static_cast<std::size_t>(in.a) >= module.class_count()) {
+          bad("static class id out of range");
+        }
+        if (in.b < 0 || static_cast<std::size_t>(in.b) >=
+                            module.klass(in.a).static_fields.size()) {
+          bad("static field index out of range");
+        }
+        break;
+      case regir::ROp::NEWARR_R:
+        if (in.b < static_cast<std::int32_t>(ValType::I32) ||
+            in.b > static_cast<std::int32_t>(ValType::Ref)) {
+          bad("bad array element type");
+        }
+        break;
+      case regir::ROp::BOX_R:
+      case regir::ROp::UNBOX_R:
+        if (in.b < static_cast<std::int32_t>(ValType::I32) ||
+            in.b > static_cast<std::int32_t>(ValType::Ref)) {
+          bad("bad boxed type");
+        }
+        break;
+      case regir::ROp::NEWMAT_R:
+        if (in.imm.i64 < static_cast<std::int64_t>(ValType::I32) ||
+            in.imm.i64 > static_cast<std::int64_t>(ValType::Ref)) {
+          bad("bad matrix element type");
+        }
+        break;
+      case regir::ROp::CALL_R: {
+        if (in.a < 0 ||
+            static_cast<std::size_t>(in.a) >= module.method_count()) {
+          bad("call target out of range");
+        }
+        const std::int64_t argc = in.imm.i64;
+        if (argc < 0 ||
+            argc != static_cast<std::int64_t>(
+                        module.method(in.a).num_args())) {
+          bad("call arity mismatch");
+        }
+        if (in.b < 0 || static_cast<std::size_t>(in.b) + argc >
+                            rc.args_pool.size()) {
+          bad("call argument window out of range");
+        }
+        break;
+      }
+      case regir::ROp::CALLINTR_R: {
+        if (in.a < 0 || in.a >= I_COUNT_) bad("intrinsic id out of range");
+        const std::int64_t argc = in.imm.i64;
+        if (argc < 0 || in.b < 0 ||
+            static_cast<std::size_t>(in.b) + argc > rc.args_pool.size()) {
+          bad("intrinsic argument window out of range");
+        }
+        break;
+      }
+      case regir::ROp::MATH1_R8:
+        if (regir::math1_fn(static_cast<std::int32_t>(in.imm.i64)) ==
+            nullptr) {
+          bad("unresolvable math1 intrinsic");
+        }
+        break;
+      case regir::ROp::MATH2_R8:
+        if (regir::math2_fn(static_cast<std::int32_t>(in.imm.i64)) ==
+            nullptr) {
+          bad("unresolvable math2 intrinsic");
+        }
+        break;
+      case regir::ROp::VECLOOP:
+        if (in.a < 0 ||
+            static_cast<std::size_t>(in.a) >= rc.vec_loops.size()) {
+          bad("vec_loops index out of range");
+        }
+        break;
+      case regir::ROp::LEAVE_R:
+        if (in.a < 0 || static_cast<std::size_t>(in.a) > il_size) {
+          bad("leave target out of range");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  std::int32_t prev_rpc = -1;
+  for (const regir::RCode::DeoptPoint& d : rc.deopt_points) {
+    if (d.rpc <= prev_rpc || static_cast<std::size_t>(d.rpc) >= ncode) {
+      bad("deopt points not ascending within body");
+    }
+    prev_rpc = d.rpc;
+    if (d.il_pc < 0 || static_cast<std::size_t>(d.il_pc) >= il_size) {
+      bad("deopt il_pc out of range");
+    }
+    for (std::int32_t reg : d.stack_regs) {
+      if (!reg_ok(reg)) bad("deopt stack register out of range");
+    }
+  }
+  for (const regir::RCode::VecLoop& v : rc.vec_loops) {
+    if (v.kernel < 0 || v.kernel >= veckernels::kCount_) {
+      bad("vector kernel id out of range");
+    }
+    for (std::int32_t reg : {v.ivar, v.limit, v.limit_arr, v.arr0, v.arr1,
+                             v.arr2, v.acc, v.s0_reg, v.s1_reg}) {
+      if (!opt_reg_ok(reg)) bad("vector loop register out of range");
+    }
+  }
+}
+
+/// Reads one compiled body. Structural damage throws; a body whose IL fails
+/// local re-verification returns null (the caller degrades the record).
+std::shared_ptr<const regir::RCode> get_rcode(Reader& r, Module& module) {
+  auto rc = std::make_shared<regir::RCode>();
+  auto body = std::make_shared<MethodDef>(get_body(r));
+  rc->num_regs = r.i32();
+  rc->slot_regs = r.i32();
+  const std::uint32_t ncode = r.u32();
+  for (std::uint32_t i = 0; i < ncode; ++i) {
+    regir::RInstr in;
+    in.op = static_cast<regir::ROp>(r.u8());
+    in.flags = r.u8();
+    in.d = r.i32();
+    in.a = r.i32();
+    in.b = r.i32();
+    in.il_pc = r.i32();
+    in.imm.i64 = static_cast<std::int64_t>(r.u64());
+    rc->code.push_back(in);
+  }
+  const std::uint32_t npool = r.u32();
+  for (std::uint32_t i = 0; i < npool; ++i) rc->args_pool.push_back(r.i32());
+  const std::uint32_t nrefs = r.u32();
+  for (std::uint32_t i = 0; i < nrefs; ++i) rc->ref_regs.push_back(r.i32());
+  const std::uint32_t ntypes = r.u32();
+  for (std::uint32_t i = 0; i < ntypes; ++i) {
+    rc->reg_types.push_back(get_valtype(r, "register type"));
+  }
+  const std::uint32_t nil2 = r.u32();
+  for (std::uint32_t i = 0; i < nil2; ++i) rc->il2rpc.push_back(r.i32());
+  const std::uint32_t nhex = r.u32();
+  for (std::uint32_t i = 0; i < nhex; ++i) {
+    rc->handler_exc_reg.push_back(r.i32());
+  }
+  const std::uint32_t ndeopt = r.u32();
+  for (std::uint32_t i = 0; i < ndeopt; ++i) {
+    regir::RCode::DeoptPoint d;
+    d.rpc = r.i32();
+    d.il_pc = r.i32();
+    const std::uint32_t nstack = r.u32();
+    for (std::uint32_t j = 0; j < nstack; ++j) {
+      d.stack_regs.push_back(r.i32());
+    }
+    rc->deopt_points.push_back(std::move(d));
+  }
+  const std::uint32_t nvec = r.u32();
+  for (std::uint32_t i = 0; i < nvec; ++i) {
+    regir::RCode::VecLoop v;
+    v.kernel = r.i32();
+    v.ivar = r.i32();
+    v.limit = r.i32();
+    v.limit_arr = r.i32();
+    v.arr0 = r.i32();
+    v.arr1 = r.i32();
+    v.arr2 = r.i32();
+    v.acc = r.i32();
+    v.s0_reg = r.i32();
+    v.s1_reg = r.i32();
+    v.s0_bits = static_cast<std::int64_t>(r.u64());
+    v.s1_bits = static_cast<std::int64_t>(r.u64());
+    rc->vec_loops.push_back(v);
+  }
+  rc->body = body;
+  rc->method = rc->body.get();
+  validate_rcode(*rc, module);
+  // Re-verify the restored IL against the local module: fills types, stack
+  // maps and reachability (which deopt continuations consume) from LOCAL
+  // state. An unverifiable body is not an attack we need to distinguish
+  // from a stale archive — both degrade to a cold compile.
+  try {
+    verify_body(module, *body);
+  } catch (const VerifyError&) {
+    return nullptr;
+  }
+  return rc;
+}
+
+}  // namespace
+
+std::vector<char> serialize_archives(
+    const std::vector<std::shared_ptr<const CodeArchive>>& archives) {
+  Writer body;
+  body.u32(static_cast<std::uint32_t>(archives.size()));
+  for (const auto& ar : archives) {
+    put_str(body, ar->profile());
+    body.u32(static_cast<std::uint32_t>(ar->records().size()));
+    for (const CodeArchive::MethodRecord& rec : ar->records()) {
+      body.i32(rec.method_id);
+      put_str(body, rec.name);
+      body.u64(rec.il_hash);
+      body.u8(rec.tier);
+      body.u32(rec.hotness);
+      body.u8(rec.code != nullptr ? 1 : 0);
+      if (rec.code != nullptr) put_rcode(body, *rec.code);
+    }
+  }
+  const std::vector<char> payload = body.take();
+  Writer w;
+  w.u32(kArchiveMagic);
+  w.u32(kArchiveVersion);
+  w.u64(fnv1a(payload.data(), payload.size()));
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+std::vector<std::shared_ptr<const CodeArchive>> deserialize_archives(
+    Module& module, const char* data, std::size_t size) {
+  Reader r(data, size);
+  if (r.u32() != kArchiveMagic) throw SerializeError("archive: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kArchiveVersion) {
+    throw SerializeError("archive: unsupported version " +
+                         std::to_string(version));
+  }
+  const std::uint64_t want = r.u64();
+  if (size < kChecksumStart ||
+      fnv1a(data + kChecksumStart, size - kChecksumStart) != want) {
+    throw SerializeError("archive: checksum mismatch");
+  }
+  std::vector<std::shared_ptr<const CodeArchive>> out;
+  const std::uint32_t narchives = r.u32();
+  for (std::uint32_t ai = 0; ai < narchives; ++ai) {
+    std::string profile = get_str(r);
+    std::vector<CodeArchive::MethodRecord> records;
+    const std::uint32_t nrecords = r.u32();
+    for (std::uint32_t ri = 0; ri < nrecords; ++ri) {
+      CodeArchive::MethodRecord rec;
+      rec.method_id = r.i32();
+      rec.name = get_str(r);
+      rec.il_hash = r.u64();
+      rec.tier = r.u8();
+      rec.hotness = r.u32();
+      if (rec.tier > static_cast<std::uint8_t>(Tier::Optimizing)) {
+        throw SerializeError("archive: bad tier byte");
+      }
+      if (r.u8() != 0) rec.code = get_rcode(r, module);
+      if (rec.code == nullptr &&
+          rec.tier >= static_cast<std::uint8_t>(Tier::Optimizing)) {
+        // Unverifiable-body degradation path: never dispatch to a tier
+        // whose compiled artifact is absent.
+        rec.tier = static_cast<std::uint8_t>(Tier::Baseline);
+      }
+      records.push_back(std::move(rec));
+    }
+    out.push_back(std::make_shared<const CodeArchive>(std::move(profile),
+                                                      std::move(records)));
+  }
+  return out;
+}
+
+void save_snapshot(VirtualMachine& vm, const std::string& path) {
+  std::vector<std::shared_ptr<const CodeArchive>> archives;
+  for (const std::string& key : vm.code_cache_keys()) {
+    if (key == "<verify>") continue;  // latches only, nothing to snapshot
+    std::shared_ptr<const CodeArchive> ar = capture_archive(vm, key);
+    if (!ar->records().empty()) archives.push_back(std::move(ar));
+  }
+  const std::vector<char> bytes = serialize_archives(archives);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SerializeError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SerializeError("cannot write " + path);
+}
+
+ArchiveStats load_snapshot(VirtualMachine& vm, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ArchiveStats total;
+  for (const auto& ar :
+       deserialize_archives(vm.module(), bytes.data(), bytes.size())) {
+    const ArchiveStats s = attach_archive(vm, ar);
+    total.restored += s.restored;
+    total.missed += s.missed;
+  }
+  return total;
 }
 
 }  // namespace hpcnet::vm

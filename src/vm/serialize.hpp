@@ -8,17 +8,32 @@
 //   [u32 magic][u32 object count][records...]
 // Each record: [u8 kind][type info][payload]; object references inside
 // payloads are encoded as record indices (-1 = null).
+//
+// The same module also carries the snapshot wire format (DESIGN.md §13): a
+// separately-tagged archive section that round-trips CodeArchives — compiled
+// regir::RCode bodies (instructions, constant pools, deopt and vector-loop
+// side tables, the owned IL body) plus per-method tier/hotness records:
+//   [u32 'HPCA'][u32 version][u64 fnv1a checksum of the remainder]
+//   [u32 narchives][per archive: profile, records...]
+// Deserialization is defensive end to end: truncation, bad magic/version,
+// checksum mismatches, out-of-range ids/registers/branch targets and
+// side-table length mismatches all throw SerializeError — and restored IL
+// bodies are re-verified against the local module rather than trusted, so a
+// hostile archive can degrade to a cold miss but never to UB.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "vm/archive.hpp"
 #include "vm/value.hpp"
 
 namespace hpcnet::vm {
 
+class Module;
 class VirtualMachine;
 struct VMContext;
 
@@ -49,5 +64,30 @@ void serialize_to_file(VirtualMachine& vm, ObjRef root,
                        const std::string& path);
 ObjRef deserialize_from_file(VirtualMachine& vm, VMContext& ctx,
                              const std::string& path);
+
+// --- Code archives (snapshot warm start) ----------------------------------
+
+/// Serializes one or more CodeArchives (one per engine profile) into the
+/// 'HPCA' archive stream described above.
+std::vector<char> serialize_archives(
+    const std::vector<std::shared_ptr<const CodeArchive>>& archives);
+
+/// Reconstructs CodeArchives from serialize_archives output. Structural
+/// damage throws SerializeError. Each restored compiled body is re-verified
+/// against `module` (verify_body) — a body whose IL does not verify locally
+/// is dropped to a counters-only record (tier clamped below Optimizing), so
+/// stale or foreign archives degrade to cold compiles, never to bad code.
+std::vector<std::shared_ptr<const CodeArchive>> deserialize_archives(
+    Module& module, const char* data, std::size_t size);
+
+/// Captures every warmed engine-profile cache of `vm` (code_cache_keys()
+/// minus the reserved "<verify>" cache) and writes one archive stream to
+/// `path`. The VM must be quiesced (see capture_archive).
+void save_snapshot(VirtualMachine& vm, const std::string& path);
+
+/// Reads an archive stream from `path` and attaches every archive in it to
+/// `vm`'s same-named caches. Returns the aggregate restore/miss counts.
+/// Throws SerializeError on malformed input or unreadable files.
+ArchiveStats load_snapshot(VirtualMachine& vm, const std::string& path);
 
 }  // namespace hpcnet::vm

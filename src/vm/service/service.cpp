@@ -77,6 +77,13 @@ ExecutionService::ExecutionService(VirtualMachine& vm,
                                    const EngineProfile& profile,
                                    Options options)
     : vm_(vm), profile_(profile) {
+  // Warm-start before any worker exists: attach is cheap (refcount + cache
+  // stores, no compilation), and doing it here means the very first job a
+  // worker picks up already dispatches into the archived optimized code.
+  if (options.warm_start != nullptr &&
+      options.warm_start->profile() == profile_.name) {
+    attach_archive(vm_, options.warm_start);
+  }
   const int n = options.workers < 1 ? 1 : options.workers;
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -162,6 +169,15 @@ void ExecutionService::drain(VMContext* ctx) {
     drain_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
   }
   if (ctx != nullptr) vm_.leave_safe_region(*ctx);
+}
+
+std::shared_ptr<const CodeArchive> ExecutionService::capture_snapshot(
+    VMContext* ctx) {
+  // Quiesce first: with the queue empty and no job in flight, the workers
+  // are parked in their wait loops — nothing is executing or compiling
+  // against the profile's cache while capture walks it.
+  drain(ctx);
+  return capture_archive(vm_, profile_.name);
 }
 
 TenantStats ExecutionService::tenant_stats(const std::string& tenant) const {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "vm/archive.hpp"
 #include "vm/execution.hpp"
 
 namespace hpcnet::vm::service {
@@ -104,6 +105,12 @@ struct TenantStats {
 
 struct ServiceOptions {
   int workers = 1;
+  /// Optional warm start: attached to the VM before any worker runs, so the
+  /// workers' first jobs dispatch straight into the archived optimized code
+  /// (no per-instance recompilation — N services can share one archive).
+  /// Ignored (cold boot) when null or when the archive targets a different
+  /// profile than the service's.
+  std::shared_ptr<const CodeArchive> warm_start;
 };
 
 class ExecutionService {
@@ -134,6 +141,13 @@ class ExecutionService {
   /// Blocks until every job submitted so far has finished. Same attached-
   /// caller rule as JobHandle::wait.
   void drain(VMContext* ctx = nullptr);
+
+  /// Snapshots the service's warmed code cache into an immutable archive.
+  /// This is an explicit quiesced operation: it drains the queue first (no
+  /// job runs or compiles during capture), then captures the profile's
+  /// cache. The archive can seed other services via Options::warm_start or
+  /// be serialized with serialize_archives/save_snapshot.
+  std::shared_ptr<const CodeArchive> capture_snapshot(VMContext* ctx = nullptr);
 
   TenantStats tenant_stats(const std::string& tenant) const;
   int workers() const { return static_cast<int>(threads_.size()); }

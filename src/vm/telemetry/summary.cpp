@@ -228,6 +228,20 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
                 static_cast<unsigned long long>(s.counter(Counter::Deopts)));
   os << line;
 
+  if (s.counter(Counter::SnapshotMethodsRestored) != 0 ||
+      s.counter(Counter::SnapshotMisses) != 0 ||
+      s.archive_load_ns.count() != 0) {
+    os << "\n== telemetry: snapshot warm start ==\n";
+    std::snprintf(line, sizeof line,
+                  "  methods restored: %llu, misses: %llu\n",
+                  static_cast<unsigned long long>(
+                      s.counter(Counter::SnapshotMethodsRestored)),
+                  static_cast<unsigned long long>(
+                      s.counter(Counter::SnapshotMisses)));
+    os << line;
+    print_histogram(os, s.archive_load_ns, "archive loads");
+  }
+
   if (s.counter(Counter::VecLoopsEntered) != 0 || !s.vec_kernels.empty()) {
     os << "\n== telemetry: vectorization ==\n";
     std::snprintf(line, sizeof line, "  vec loops entered: %llu\n",

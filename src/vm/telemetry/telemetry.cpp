@@ -50,6 +50,7 @@ struct Hub {
   support::Histogram major_pause_ns;
   support::Histogram safepoint_stall_ns;
   support::Histogram monitor_wait_ns;
+  support::Histogram archive_load_ns;
   GcTelemetry gc;
   // Sweep facts for the in-progress collection, consumed by record_gc_pause.
   std::uint64_t pending_gc_allocated = 0;
@@ -118,6 +119,8 @@ const char* counter_name(Counter c) {
     case Counter::CardsScanned: return "cards_scanned";
     case Counter::PromotedBytes: return "promoted_bytes";
     case Counter::VecLoopsEntered: return "vec_loops_entered";
+    case Counter::SnapshotMethodsRestored: return "snapshot_methods_restored";
+    case Counter::SnapshotMisses: return "snapshot_misses";
     case Counter::kCount: break;
   }
   return "?";
@@ -162,6 +165,7 @@ void reset() {
   h.major_pause_ns.reset();
   h.safepoint_stall_ns.reset();
   h.monitor_wait_ns.reset();
+  h.archive_load_ns.reset();
   h.gc = GcTelemetry{};
   h.pending_gc_allocated = h.pending_gc_freed = h.pending_gc_swept = 0;
   h.jit.clear();
@@ -206,6 +210,7 @@ Snapshot snapshot() {
   out.major_pause_ns = h.major_pause_ns;
   out.safepoint_stall_ns = h.safepoint_stall_ns;
   out.monitor_wait_ns = h.monitor_wait_ns;
+  out.archive_load_ns = h.archive_load_ns;
   out.gc = h.gc;
   for (const auto& [name, j] : h.jit) out.jit.push_back(j);
   for (const auto& [name, t] : h.tenants) out.tenants.push_back(t);
@@ -452,6 +457,16 @@ void record_vec_loop(const char* kernel, std::uint64_t trips) {
   Hub& h = hub();
   std::lock_guard<std::mutex> lock(h.mu);
   h.vec_trips[kernel].record(trips);
+}
+
+void record_archive_load(std::uint64_t restored, std::uint64_t missed,
+                         std::int64_t ns) {
+  if (!enabled()) return;
+  if (restored != 0) count(Counter::SnapshotMethodsRestored, restored);
+  if (missed != 0) count(Counter::SnapshotMisses, missed);
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.archive_load_ns.record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
 }
 
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

@@ -59,6 +59,10 @@ enum class Counter : std::uint8_t {
   PromotedBytes,     // nursery-survivor bytes promoted to the old generation
   VecLoopsEntered,   // VECLOOP superinstructions whose guards passed (the
                      // whole loop ran as one vector kernel call)
+  SnapshotMethodsRestored,  // archive records attached warm (code/tier/
+                            // hotness published into a cold cache entry)
+  SnapshotMisses,           // archive records rejected at attach (id, name
+                            // or verified-IL hash mismatch — stale archive)
   kCount,
 };
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
@@ -165,6 +169,7 @@ struct Snapshot {
   support::Histogram major_pause_ns;     // full collections only
   support::Histogram safepoint_stall_ns;
   support::Histogram monitor_wait_ns;  // contended-acquire wait times
+  support::Histogram archive_load_ns;  // per attach_archive call, whole-load
   GcTelemetry gc;
   std::vector<EngineJitTimes> jit;     // one entry per engine that compiled
   std::vector<TenantTelemetry> tenants;  // sorted by tenant name
@@ -325,6 +330,12 @@ void record_service_job(const std::string& tenant, std::uint8_t outcome,
 /// scalar iterations ran as a single `kernel` call. Bumps
 /// Counter::VecLoopsEntered and records the trip count per kernel.
 void record_vec_loop(const char* kernel, std::uint64_t trips);
+
+/// One attach_archive call finished: `restored` records published warm,
+/// `missed` rejected, `ns` the whole attach (verify + hash + publish).
+/// Bumps the Snapshot* counters and records the load-time histogram.
+void record_archive_load(std::uint64_t restored, std::uint64_t missed,
+                         std::int64_t ns);
 
 /// Generic trace span on the current thread ("kernel" runs, etc.).
 void record_span(const char* cat, std::string name, std::int64_t begin_ns,

@@ -171,7 +171,7 @@ const regir::RCode& TieredEngine::compile_optimizing(CodeCache::Entry& e,
   }
   const telemetry::CompileContext tel_engine(profile_.name.c_str());
   const std::int64_t compile_begin = support::now_ns();
-  auto compiled = std::make_unique<const regir::RCode>(
+  auto compiled = std::make_shared<const regir::RCode>(
       regir::compile(vm_.module(), m, profile_.flags));
   const regir::RCode* rc = cache_.adopt(std::move(compiled));
   e.code[kOpt].store(rc, std::memory_order_release);
@@ -242,12 +242,11 @@ const regir::RCode* TieredEngine::osr_code(const MethodDef& body,
   }
   const telemetry::CompileContext tel_engine(profile_.name.c_str());
   const std::int64_t compile_begin = support::now_ns();
-  auto compiled = std::make_unique<regir::RCode>(
+  // No lifetime knot here anymore: compile() always hands the RCode its own
+  // body copy, so the detached continuation's shared_ptr map entry is not
+  // load-bearing for the published code.
+  auto compiled = std::make_shared<const regir::RCode>(
       regir::compile(vm_.module(), *cont, profile_.flags));
-  // Keep the detached continuation alive as long as its code: the inline
-  // pass sets inlined_body to its own copy, otherwise the RCode would hold
-  // a dangling method pointer once our shared_ptr map is gone.
-  if (compiled->inlined_body == nullptr) compiled->inlined_body = cont;
   const regir::RCode* rc = cache_.adopt(std::move(compiled));
   e.code[kOpt].store(rc, std::memory_order_release);
   e.tier.store(kOpt, std::memory_order_release);

@@ -236,8 +236,11 @@ TEST(RegIr, InliningRemovesCallSites) {
   EXPECT_EQ(count_op(off, ROp::CALL_R), 1u);
   // The callee body is spliced in: the multiply now appears in the caller.
   EXPECT_GE(count_op(on, ROp::MUL_I4), 1u);
-  EXPECT_NE(on.inlined_body, nullptr);
-  EXPECT_EQ(off.inlined_body, nullptr);
+  // Every RCode owns its body; only the inlined one was actually expanded.
+  ASSERT_NE(on.body, nullptr);
+  ASSERT_NE(off.body, nullptr);
+  EXPECT_GT(on.body->il_size(), vm.module().method(m).il_size());
+  EXPECT_EQ(off.body->il_size(), vm.module().method(m).il_size());
 }
 
 TEST(RegIr, InliningRespectsSizeBudget) {
@@ -256,7 +259,8 @@ TEST(RegIr, InliningRespectsSizeBudget) {
   f.inline_max_il = 24;
   const RCode rc = regir::compile(vm.module(), vm.module().method(m), f);
   EXPECT_EQ(count_op(rc, ROp::CALL_R), 1u);
-  EXPECT_EQ(rc.inlined_body, nullptr);
+  ASSERT_NE(rc.body, nullptr);
+  EXPECT_EQ(rc.body->il_size(), vm.module().method(m).il_size());
 }
 
 TEST(RegIr, RecursiveInlineIsBoundedByDepth) {

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
+#include "vm/regir.hpp"
 #include "vm/serialize.hpp"
 #include "vm_test_util.hpp"
 
@@ -169,6 +172,233 @@ TEST_F(SerializeTest, SurvivesGcPressureDuringDeserialize) {
   int n = 0;
   for (ObjRef p = copy; p != nullptr; p = p->fields()[1].ref) ++n;
   EXPECT_EQ(n, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Code-archive ('HPCA') wire format: hostile-input hardening. Round-trip
+// correctness (bit-identical results, warm tiers, shared archives) lives in
+// test_snapshot.cpp; here every test feeds the deserializer damaged bytes
+// and asserts SerializeError or clean degradation — never UB.
+
+// Mirrors the stream's own FNV-1a 64 so tests can re-seal a deliberately
+// corrupted payload and reach the validation layers behind the checksum.
+std::uint64_t fnv1a64(const char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Stream layout: [u32 magic][u32 version][u64 checksum of bytes 16..end].
+void reseal(std::vector<char>& b) {
+  const std::uint64_t h = fnv1a64(b.data() + 16, b.size() - 16);
+  std::memcpy(b.data() + 8, &h, sizeof h);
+}
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  VirtualMachine vm;
+  std::int32_t method = -1;
+  std::vector<char> blob;  // valid archive of `method` warmed under clr11
+
+  void SetUp() override {
+    method = build_sum_squares(vm, "arch.sum");
+    auto eng = make_engine(vm, profiles::by_name("clr11"));
+    VMContext& ctx = vm.main_context();
+    const std::vector<Slot> args = {Slot::from_i32(10)};
+    const Slot r = eng->invoke(ctx, method, args);
+    ASSERT_EQ(r.i32, 285);  // sum of i*i, i in [0,10)
+    blob = serialize_archives({capture_archive(vm, "clr11")});
+    ASSERT_GT(blob.size(), 16u);
+  }
+
+  /// (n: I32) -> I32: sum of i*i — a counted loop so the compiled body has
+  /// branches, an il2rpc table and deopt points for the fuzzer to chew on.
+  static std::int32_t build_sum_squares(VirtualMachine& v,
+                                        const std::string& name) {
+    ILBuilder b(v.module(), name, {{ValType::I32}, ValType::I32});
+    const auto i = b.add_local(ValType::I32);
+    const auto acc = b.add_local(ValType::I32);
+    auto cond = b.new_label();
+    auto top = b.new_label();
+    b.ldc_i4(0).stloc(i).ldc_i4(0).stloc(acc).br(cond);
+    b.bind(top);
+    b.ldloc(acc).ldloc(i).ldloc(i).mul().add().stloc(acc);
+    b.ldloc(i).ldc_i4(1).add().stloc(i);
+    b.bind(cond);
+    b.ldloc(i).ldarg(0).blt(top);
+    b.ldloc(acc).ret();
+    return b.finish();
+  }
+
+  /// The blob's single archive, parsed back (it is valid by construction).
+  std::shared_ptr<const CodeArchive> parse() {
+    auto as = deserialize_archives(vm.module(), blob.data(), blob.size());
+    EXPECT_EQ(as.size(), 1u);
+    return as.at(0);
+  }
+
+  /// Re-wraps one record (possibly with a mutated compiled body) and
+  /// serializes it, resealing nothing — serialize_archives seals itself.
+  static std::vector<char> wrap(const CodeArchive::MethodRecord& rec) {
+    auto a = std::make_shared<const CodeArchive>(
+        "clr11", std::vector<CodeArchive::MethodRecord>{rec});
+    return serialize_archives({a});
+  }
+};
+
+TEST_F(ArchiveTest, RoundTripsWarmRecord) {
+  const auto a = parse();
+  EXPECT_EQ(a->profile(), "clr11");
+  ASSERT_FALSE(a->records().empty());
+  bool found = false;
+  for (const auto& rec : a->records()) {
+    if (rec.method_id != method) continue;
+    found = true;
+    EXPECT_EQ(rec.name, "arch.sum");
+    EXPECT_NE(rec.code, nullptr);
+    EXPECT_EQ(rec.il_hash, il_content_hash(vm.module(), method));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ArchiveTest, RejectsTruncation) {
+  // Every proper prefix must throw: header cuts die on magic/version/
+  // checksum reads, payload cuts on the checksum (it covers to the end).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                          std::size_t{15}, std::size_t{17}, blob.size() / 2,
+                          blob.size() - 1}) {
+    EXPECT_THROW(deserialize_archives(vm.module(), blob.data(), cut),
+                 SerializeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(ArchiveTest, RejectsBadMagic) {
+  auto b = blob;
+  b[0] = 'X';
+  EXPECT_THROW(deserialize_archives(vm.module(), b.data(), b.size()),
+               SerializeError);
+}
+
+TEST_F(ArchiveTest, RejectsBadVersion) {
+  auto b = blob;
+  b[4] = static_cast<char>(0x7f);
+  EXPECT_THROW(deserialize_archives(vm.module(), b.data(), b.size()),
+               SerializeError);
+}
+
+TEST_F(ArchiveTest, RejectsChecksumMismatch) {
+  auto b = blob;
+  b[b.size() / 2] ^= 0x01;  // payload damage, seal left stale
+  EXPECT_THROW(deserialize_archives(vm.module(), b.data(), b.size()),
+               SerializeError);
+}
+
+TEST_F(ArchiveTest, ByteFlipFuzzNeverFaults) {
+  // Flip one payload byte at a time and RE-SEAL, so the damage reaches the
+  // structural validators and the re-verifier behind the checksum. Each
+  // variant must either throw SerializeError or parse into records that
+  // attach cleanly (possibly as misses) into a fresh VM — never crash.
+  std::size_t threw = 0, parsed = 0;
+  for (std::size_t off = 16; off < blob.size();
+       off += (off < 96 ? 1 : 7)) {
+    auto b = blob;
+    b[off] ^= 0xff;
+    reseal(b);
+    VirtualMachine fresh;
+    build_sum_squares(fresh, "arch.sum");
+    try {
+      const auto as = deserialize_archives(fresh.module(), b.data(), b.size());
+      for (const auto& a : as) attach_archive(fresh, a);
+      ++parsed;
+    } catch (const SerializeError&) {
+      ++threw;
+    }
+  }
+  // Both outcomes must actually occur: some flips are structural damage,
+  // some land in hash/hotness fields and degrade to misses or benign skews.
+  EXPECT_GT(threw, 0u);
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST_F(ArchiveTest, OutOfRangeMethodIdIsAMiss) {
+  // An id beyond the local module parses fine (the wire format is module-
+  // agnostic) but can never match at attach time.
+  CodeArchive::MethodRecord rec;
+  rec.method_id = 9999;
+  rec.name = "arch.sum";
+  rec.il_hash = 0xdeadbeefull;
+  rec.tier = 1;
+  rec.hotness = 5;
+  const auto bytes = wrap(rec);
+  const auto as = deserialize_archives(vm.module(), bytes.data(), bytes.size());
+  ASSERT_EQ(as.size(), 1u);
+  VirtualMachine fresh;
+  build_sum_squares(fresh, "arch.sum");
+  const ArchiveStats st = attach_archive(fresh, as[0]);
+  EXPECT_EQ(st.restored, 0u);
+  EXPECT_EQ(st.missed, 1u);
+}
+
+TEST_F(ArchiveTest, RejectsSideTableLengthMismatch) {
+  const auto a = parse();
+  const CodeArchive::MethodRecord* warm = nullptr;
+  for (const auto& rec : a->records()) {
+    if (rec.method_id == method && rec.code != nullptr) warm = &rec;
+  }
+  ASSERT_NE(warm, nullptr);
+  // il2rpc must map every IL pc (plus the end sentinel); drop one entry.
+  auto mutated = std::make_shared<regir::RCode>(*warm->code);
+  mutated->il2rpc.pop_back();
+  CodeArchive::MethodRecord rec = *warm;
+  rec.code = mutated;
+  const auto bytes = wrap(rec);
+  EXPECT_THROW(deserialize_archives(vm.module(), bytes.data(), bytes.size()),
+               SerializeError);
+}
+
+TEST_F(ArchiveTest, RejectsOutOfRangeRegister) {
+  const auto a = parse();
+  const CodeArchive::MethodRecord* warm = nullptr;
+  for (const auto& rec : a->records()) {
+    if (rec.method_id == method && rec.code != nullptr) warm = &rec;
+  }
+  ASSERT_NE(warm, nullptr);
+  auto mutated = std::make_shared<regir::RCode>(*warm->code);
+  ASSERT_FALSE(mutated->code.empty());
+  mutated->code[0].d = mutated->num_regs + 10;
+  CodeArchive::MethodRecord rec = *warm;
+  rec.code = mutated;
+  const auto bytes = wrap(rec);
+  EXPECT_THROW(deserialize_archives(vm.module(), bytes.data(), bytes.size()),
+               SerializeError);
+}
+
+TEST_F(ArchiveTest, StaleHashDegradesToMiss) {
+  // Same method name and id, different body in the attaching VM: the
+  // verified-IL hash no longer matches, so the record is skipped and the
+  // method stays cold (it will compile normally on first call).
+  VirtualMachine other;
+  std::int32_t local;
+  {
+    ILBuilder b(other.module(), "arch.sum", {{ValType::I32}, ValType::I32});
+    b.ldarg(0).ldc_i4(7).add().ret();  // different semantics entirely
+    local = b.finish();
+  }
+  ASSERT_EQ(local, method);  // same id, same name, different body
+  const auto as = deserialize_archives(other.module(), blob.data(),
+                                       blob.size());
+  ASSERT_EQ(as.size(), 1u);
+  const ArchiveStats st = attach_archive(other, as[0]);
+  EXPECT_EQ(st.restored, 0u);
+  EXPECT_GE(st.missed, 1u);
+  // And the local semantics win at execution time.
+  auto eng = make_engine(other, profiles::by_name("clr11"));
+  const std::vector<Slot> args = {Slot::from_i32(10)};
+  EXPECT_EQ(eng->invoke(other.main_context(), local, args).i32, 17);
 }
 
 }  // namespace
