@@ -1,14 +1,21 @@
 // vmserve: the multi-tenant execution service over SciMark jobs.
 //
 //   $ ./vmserve [engine] [--workers N] [--tenants N] [--rounds N]
-//               [--fuel F] [--mem MB] [--json]
+//               [--fuel F] [--mem MB] [--deadline MS] [--json]
+//   $ ./vmserve [engine] --listen PORT [--workers N] [--tenants N] ...
 //
 // Builds the SciMark kernels into one VM, starts an ExecutionService with N
 // workers on the chosen engine profile, registers N tenants (each with the
-// given per-job fuel and per-tenant memory budget; 0 = unmetered), submits
-// `rounds` rounds of mixed-size jobs per tenant, then prints every job's
-// outcome and the per-tenant telemetry summary (fuel spent, bytes charged,
-// jobs completed/killed, queue wait).
+// given per-job fuel, wall-clock deadline and per-tenant memory budget;
+// 0 = unmetered), submits `rounds` rounds of mixed-size jobs per tenant,
+// then prints every job's outcome and the per-tenant telemetry summary
+// (fuel spent, bytes charged, jobs completed/killed, queue wait).
+//
+// With --listen the local job loop is replaced by the TCP front end
+// (src/vm/net): the service binds 127.0.0.1:PORT (0 = ephemeral; the bound
+// port is printed), accepts any registered tenant (HELLO token ignored —
+// this is a loopback demo, not a deployment posture), and serves SUBMIT/
+// STATS/SNAPSHOT frames until stdin reaches EOF.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "cil/sm.hpp"
+#include "vm/net/server.hpp"
 #include "vm/serialize.hpp"
 #include "vm/service/service.hpp"
 #include "vm/telemetry/summary.hpp"
@@ -25,7 +33,8 @@ namespace {
 
 const char* kUsage =
     "usage: vmserve [engine] [--workers N] [--tenants N] [--rounds N]\n"
-    "               [--fuel F] [--mem MB] [--json]\n"
+    "               [--fuel F] [--mem MB] [--deadline MS] [--json]\n"
+    "               [--listen PORT]\n"
     "               [--load-snapshot FILE] [--save-snapshot FILE]\n"
     "  engine     profile name (clr11, mono023, rotor10, clr11.tiered, ...)\n"
     "  --workers  worker threads sharing the VM          (default 4)\n"
@@ -33,6 +42,10 @@ const char* kUsage =
     "  --rounds   rounds of 5 mixed SciMark jobs each    (default 2)\n"
     "  --fuel     per-job fuel budget, backward branches (default 0 = off)\n"
     "  --mem      per-tenant allocation budget in MB     (default 0 = off)\n"
+    "  --deadline per-job wall-clock budget in ms        (default 0 = off)\n"
+    "  --listen   serve jobs over TCP on 127.0.0.1:PORT (0 = ephemeral)\n"
+    "             instead of running the local job loop; runs until stdin\n"
+    "             EOF, then prints the telemetry summary\n"
     "  --load-snapshot  warm-boot the service's code cache from FILE\n"
     "  --save-snapshot  after draining, archive the warmed cache to FILE\n";
 
@@ -56,6 +69,9 @@ int main(int argc, char** argv) {
   int rounds = 2;
   std::uint64_t fuel = 0;
   std::uint64_t mem_mb = 0;
+  std::uint64_t deadline_ms = 0;
+  bool listen = false;
+  int listen_port = 0;
   bool json = false;
   std::string load_snapshot;
   std::string save_snapshot;
@@ -75,6 +91,11 @@ int main(int argc, char** argv) {
       fuel = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (a == "--mem" && i + 1 < argc) {
       mem_mb = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--deadline" && i + 1 < argc) {
+      deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--listen" && i + 1 < argc) {
+      listen = true;
+      listen_port = std::atoi(argv[++i]);
     } else if (a == "--json") {
       json = true;
     } else if (a == "--help" || a == "-h") {
@@ -126,7 +147,36 @@ int main(int argc, char** argv) {
   for (int t = 0; t < tenants; ++t) {
     svc.add_tenant({.name = "tenant-" + std::to_string(t),
                     .fuel_per_job = fuel,
-                    .memory_budget_bytes = mem_mb << 20});
+                    .memory_budget_bytes = mem_mb << 20,
+                    .deadline_ms = deadline_ms});
+  }
+
+  if (listen) {
+    vm::net::ServerOptions sopt;
+    sopt.port = static_cast<std::uint16_t>(listen_port);
+    sopt.open_tenants = true;  // loopback demo: any registered tenant
+    vm::net::VmServer server(machine, svc, sopt);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "listen failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("vmserve: listening on 127.0.0.1:%u (%d workers, %d tenants)\n",
+                server.port(), svc.workers(), tenants);
+    std::printf("vmserve: close stdin (ctrl-d) to shut down\n");
+    std::fflush(stdout);
+    // Serve until the operator (or driving script) closes stdin.
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
+    }
+    server.stop();
+    svc.drain();
+    telemetry::SummaryOptions opts;
+    opts.json = json;
+    telemetry::print_summary(std::cout, telemetry::snapshot(),
+                             &machine.module(), opts);
+    return 0;
   }
 
   struct Pending {

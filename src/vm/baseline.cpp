@@ -91,6 +91,11 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
                         "fuel budget exhausted");
     return Slot{};
   }
+  if (ctx.fuel.past_deadline()) {
+    vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                        "wall-clock deadline exceeded");
+    return Slot{};
+  }
   telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -198,6 +203,12 @@ Slot BaselineBackend::exec(VMContext& ctx, const MethodDef& m,
       if (ctx.fuel.exhausted()) {
         vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
                             "fuel budget exhausted");
+        return false;
+      }
+      // Wall-clock deadline poll at the same pulse (DESIGN.md §14).
+      if (ctx.fuel.past_deadline()) {
+        vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                            "wall-clock deadline exceeded");
         return false;
       }
     }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "support/java_random.hpp"
+#include "support/timer.hpp"
 #include "vm/heap.hpp"
 #include "vm/module.hpp"
 
@@ -197,16 +198,33 @@ class ManagedException : public std::runtime_error {
 /// metering adds no second branch to the dispatch loops (DESIGN.md §11).
 /// When the budget runs dry the job faults with a catchable FuelExhausted
 /// exception at the next back-edge safepoint or call boundary.
+///
+/// The meter also carries the job's wall-clock deadline (DESIGN.md §14):
+/// fuel is deterministic but not time, so a tenant job that must finish by a
+/// real-time SLA arms `deadline_ns` (monotonic, support::now_ns epoch) next
+/// to — or instead of — a fuel budget. The deadline is polled at the same
+/// back-edge pulse cadence as fuel and at call boundaries, surfacing as a
+/// catchable HPCNet.DeadlineExceededException; overshoot past the deadline
+/// is bounded by one pulse window of execution. A job with only a deadline
+/// armed runs with `remaining` clamped to INT64_MAX so the fuel axis never
+/// fires.
 struct FuelMeter {
   bool active = false;
   std::int64_t remaining = 0;  // may go negative by < one pulse window
   std::uint64_t spent = 0;     // taken backward branches charged so far
+  std::int64_t deadline_ns = 0;  // monotonic now_ns() deadline; 0 = none
 
   void charge(std::uint64_t n) {
     spent += n;
     remaining -= static_cast<std::int64_t>(n);
   }
   bool exhausted() const { return active && remaining <= 0; }
+  /// True once the wall clock has passed the armed deadline. Costs a clock
+  /// read, so callers check it only at pulse/call-boundary cadence and only
+  /// when a deadline is armed.
+  bool past_deadline() const {
+    return deadline_ns != 0 && support::now_ns() >= deadline_ns;
+  }
 };
 
 /// Fuel pulse cadence when no OSR counter is armed; with the tiered pipeline

@@ -96,6 +96,11 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
                         "fuel budget exhausted");
     return Slot{};
   }
+  if (ctx.fuel.past_deadline()) {
+    vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                        "wall-clock deadline exceeded");
+    return Slot{};
+  }
   telemetry::InvocationScope tel(m.id, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -221,6 +226,13 @@ Slot InterpBackend::exec(VMContext& ctx, const MethodDef& m,
       if (ctx.fuel.exhausted()) {
         vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
                             "fuel budget exhausted");
+        return false;
+      }
+      // The wall-clock deadline rides the same pulse: one clock read per
+      // window, only when a deadline is armed (DESIGN.md §14).
+      if (ctx.fuel.past_deadline()) {
+        vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                            "wall-clock deadline exceeded");
         return false;
       }
     }

@@ -37,6 +37,10 @@ Module::Module() {
       define_class("HPCNet.FuelExhaustedException", {}, exc_exception_);
   exc_oom_ =
       define_class("System.OutOfMemoryException", {}, exc_exception_);
+  // Wall-clock deadline kills (DESIGN.md §14) — appended after the PR-6
+  // classes so every earlier id stays stable for serialized modules.
+  exc_deadline_ =
+      define_class("HPCNet.DeadlineExceededException", {}, exc_exception_);
 }
 
 std::int32_t Module::define_class(const std::string& name,

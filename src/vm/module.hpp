@@ -108,6 +108,7 @@ class Module {
   std::int32_t invalid_cast_class() const { return exc_invalidcast_; }
   std::int32_t fuel_exhausted_class() const { return exc_fuel_; }
   std::int32_t out_of_memory_class() const { return exc_oom_; }
+  std::int32_t deadline_exceeded_class() const { return exc_deadline_; }
 
   // --- Methods -----------------------------------------------------------
   /// Registers an (unverified) method body; returns its id.
@@ -157,6 +158,7 @@ class Module {
   std::int32_t exc_invalidcast_ = -1;
   std::int32_t exc_fuel_ = -1;
   std::int32_t exc_oom_ = -1;
+  std::int32_t exc_deadline_ = -1;
 };
 
 }  // namespace hpcnet::vm

@@ -1,0 +1,32 @@
+#include "vm/net/protocol.hpp"
+
+namespace hpcnet::vm::net {
+
+std::vector<char> encode_frame(FrameType type,
+                               const std::vector<char>& payload) {
+  if (payload.size() + 1 > kMaxFramePayload) {
+    throw ProtocolError("frame payload exceeds protocol limit");
+  }
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::HelloOk: return "HELLO_OK";
+    case FrameType::Submit: return "SUBMIT";
+    case FrameType::Result: return "RESULT";
+    case FrameType::Stats: return "STATS";
+    case FrameType::StatsOk: return "STATS_OK";
+    case FrameType::Snapshot: return "SNAPSHOT";
+    case FrameType::SnapshotOk: return "SNAPSHOT_OK";
+    case FrameType::Error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace hpcnet::vm::net

@@ -1,0 +1,681 @@
+#include "vm/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "vm/net/protocol.hpp"
+#include "vm/serialize.hpp"
+
+namespace hpcnet::vm::net {
+
+namespace {
+
+void set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Scoped GC-safe region (poll and potentially-blocking submits run inside
+/// one; everything touching the managed heap runs outside).
+class SafeRegion {
+ public:
+  SafeRegion(VirtualMachine& vm, VMContext& ctx) : vm_(vm), ctx_(ctx) {
+    vm_.enter_safe_region(ctx_);
+  }
+  ~SafeRegion() { vm_.leave_safe_region(ctx_); }
+  SafeRegion(const SafeRegion&) = delete;
+  SafeRegion& operator=(const SafeRegion&) = delete;
+
+ private:
+  VirtualMachine& vm_;
+  VMContext& ctx_;
+};
+
+std::uint32_t read_le32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// Completion hooks from service workers rendezvous with the loop thread
+/// here: append {connection, request}, poke the wake pipe. Jointly owned by
+/// the server and every outstanding hook, so a job that outlives the server
+/// (or its connection) fires into a closed queue and is dropped.
+struct DoneQueue {
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  int wake_fd = -1;
+  bool closed = false;
+};
+
+/// A job the loop has submitted and not yet answered. The handle keeps the
+/// job's ref-typed result pinned until the RESULT frame is encoded.
+struct Pending {
+  service::JobHandle handle;
+  ValType ret = ValType::None;
+};
+
+struct Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  bool authed = false;
+  bool closing = false;  // flush `out`, then close (ERROR frame sent)
+  bool dead = false;
+  std::string tenant;
+  std::vector<char> in;
+  std::vector<char> out;
+  std::size_t out_off = 0;
+  std::map<std::uint64_t, Pending> pending;
+};
+
+}  // namespace
+
+struct VmServer::Impl {
+  VirtualMachine& vm;
+  service::ExecutionService& svc;
+  ServerOptions opt;
+  std::map<std::string, std::string> creds;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::uint16_t bound_port = 0;
+  std::shared_ptr<DoneQueue> done = std::make_shared<DoneQueue>();
+  std::atomic<bool> stop{false};
+  std::thread loop;
+  bool started = false;
+
+  Impl(VirtualMachine& v, service::ExecutionService& s, ServerOptions o)
+      : vm(v), svc(s), opt(std::move(o)) {}
+
+  void start();
+  void shutdown();
+  void loop_main();
+  void drain_done(std::map<std::uint64_t, Connection>& conns);
+  void handle_frame(Connection& c, FrameType type, const char* payload,
+                    std::size_t size, VMContext& ctx);
+  void handle_hello(Connection& c, WireReader& r);
+  void handle_submit(Connection& c, const char* payload, std::size_t size,
+                     VMContext& ctx);
+  void handle_stats(Connection& c);
+  void handle_snapshot(Connection& c, VMContext& ctx);
+  void send_frame(Connection& c, FrameType type,
+                  const std::vector<char>& payload);
+  void send_result(Connection& c, std::uint64_t req, ValType ret,
+                   const service::JobResult& res);
+  void send_reject(Connection& c, std::uint64_t req, const std::string& why);
+  void protocol_error_close(Connection& c, const std::string& msg);
+  bool read_input(Connection& c, VMContext& ctx);
+  bool flush_output(Connection& c);
+  service::ExecutionService::Completion make_completion(std::uint64_t cid,
+                                                        std::uint64_t req);
+};
+
+void VmServer::Impl::start() {
+  if (started) return;
+  listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt.port);
+  if (::inet_pton(AF_INET, opt.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd);
+    listen_fd = -1;
+    throw std::system_error(EINVAL, std::generic_category(), "bad host");
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 128) < 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    listen_fd = -1;
+    throw std::system_error(err, std::generic_category(), "bind/listen");
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+  bound_port = ntohs(bound.sin_port);
+  set_nonblock(listen_fd);
+
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    listen_fd = -1;
+    throw std::system_error(err, std::generic_category(), "pipe");
+  }
+  wake_read = pipefd[0];
+  wake_write = pipefd[1];
+  set_nonblock(wake_read);
+  set_nonblock(wake_write);
+  {
+    std::lock_guard<std::mutex> lock(done->mu);
+    done->wake_fd = wake_write;
+    done->closed = false;
+  }
+  stop.store(false);
+  loop = std::thread([this] { loop_main(); });
+  started = true;
+}
+
+void VmServer::Impl::shutdown() {
+  if (!started) return;
+  {
+    // Close the rendezvous first: completion hooks from jobs still running
+    // must become no-ops before their wake fd disappears.
+    std::lock_guard<std::mutex> lock(done->mu);
+    done->closed = true;
+    done->wake_fd = -1;
+  }
+  stop.store(true);
+  char b = 1;
+  (void)!::write(wake_write, &b, 1);
+  loop.join();
+  ::close(wake_write);
+  ::close(wake_read);
+  ::close(listen_fd);
+  wake_write = wake_read = listen_fd = -1;
+  started = false;
+}
+
+service::ExecutionService::Completion VmServer::Impl::make_completion(
+    std::uint64_t cid, std::uint64_t req) {
+  std::shared_ptr<DoneQueue> dq = done;
+  return [dq, cid, req](const service::JobResult&) {
+    std::lock_guard<std::mutex> lock(dq->mu);
+    if (dq->closed) return;
+    dq->entries.emplace_back(cid, req);
+    char b = 1;
+    (void)!::write(dq->wake_fd, &b, 1);  // EAGAIN fine: a wake is pending
+  };
+}
+
+void VmServer::Impl::loop_main() {
+  // Engine-less attach, like the host's main_context: this thread never
+  // executes IL, but graph (de)serialization reads and allocates from the
+  // managed heap, which needs a context and its TLAB.
+  std::unique_ptr<VMContext> ctx = vm.attach_thread(nullptr);
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_id = 1;
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd slot (0 = none)
+
+  while (!stop.load()) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (static_cast<int>(conns.size()) < opt.max_connections) {
+      fds.push_back({listen_fd, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, c] : conns) {
+      short ev = POLLIN;
+      if (c.out_off < c.out.size()) ev |= POLLOUT;
+      fds.push_back({c.fd, ev, 0});
+      fd_conn.push_back(id);
+    }
+    int n;
+    {
+      // Parked in poll, the loop must not block a stop-the-world collection
+      // triggered by a worker mid-job.
+      SafeRegion safe(vm, *ctx);
+      n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    }
+    if (stop.load()) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_read, buf, sizeof buf) > 0) {
+      }
+    }
+    // Completed jobs first, so their RESULT frames ride this iteration's
+    // flush.
+    drain_done(conns);
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fd_conn[i] != 0) continue;
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      for (;;) {  // the listening socket
+        const int cfd = ::accept(listen_fd, nullptr, nullptr);
+        if (cfd < 0) break;
+        if (static_cast<int>(conns.size()) >= opt.max_connections) {
+          ::close(cfd);
+          continue;
+        }
+        set_nonblock(cfd);
+        int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        Connection c;
+        c.fd = cfd;
+        c.id = next_id++;
+        conns.emplace(c.id, std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fd_conn[i] == 0) continue;
+      auto it = conns.find(fd_conn[i]);
+      if (it == conns.end()) continue;
+      Connection& c = it->second;
+      if ((fds[i].revents & POLLIN) != 0 && !c.dead) {
+        if (!read_input(c, *ctx)) c.dead = true;
+      }
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) c.dead = true;
+      if ((fds[i].revents & POLLHUP) != 0 && !c.dead) {
+        // Peer went away; whatever read_input salvaged above is all there is.
+        c.dead = true;
+      }
+    }
+
+    // Flush everything with output pending (including frames just produced),
+    // then reap: a closing connection dies once its ERROR frame is out, a
+    // dead connection takes its pending jobs with it.
+    std::vector<std::uint64_t> reap;
+    for (auto& [id, c] : conns) {
+      if (!c.dead && !flush_output(c)) c.dead = true;
+      if (c.closing && c.out_off >= c.out.size()) c.dead = true;
+      if (c.dead) reap.push_back(id);
+    }
+    for (std::uint64_t id : reap) {
+      auto it = conns.find(id);
+      Connection& c = it->second;
+      ::close(c.fd);
+      // Connection-lifetime cancellation: a dropped socket rejects its
+      // still-queued jobs now; running jobs finish but report into a
+      // connection that no longer exists and are dropped by drain_done.
+      for (auto& [req, p] : c.pending) svc.cancel(p.handle);
+      conns.erase(it);
+    }
+  }
+
+  for (auto& [id, c] : conns) {
+    ::close(c.fd);
+    for (auto& [req, p] : c.pending) svc.cancel(p.handle);
+  }
+  conns.clear();
+  vm.detach_thread(*ctx);
+}
+
+void VmServer::Impl::drain_done(std::map<std::uint64_t, Connection>& conns) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+  {
+    std::lock_guard<std::mutex> lock(done->mu);
+    batch.swap(done->entries);
+  }
+  for (const auto& [cid, req] : batch) {
+    auto ci = conns.find(cid);
+    if (ci == conns.end()) continue;  // connection died before the job
+    Connection& c = ci->second;
+    auto pi = c.pending.find(req);
+    if (pi == c.pending.end()) continue;
+    Pending p = std::move(pi->second);
+    // The hook only fires after the result is published, so this wait
+    // returns immediately; the handle stays live (result pinned) until the
+    // frame below has serialized it.
+    const service::JobResult res = p.handle.wait(nullptr);
+    send_result(c, req, p.ret, res);
+    c.pending.erase(pi);
+  }
+}
+
+void VmServer::Impl::send_frame(Connection& c, FrameType type,
+                                const std::vector<char>& payload) {
+  const std::vector<char> frame = encode_frame(type, payload);
+  c.out.insert(c.out.end(), frame.begin(), frame.end());
+}
+
+void VmServer::Impl::protocol_error_close(Connection& c,
+                                          const std::string& msg) {
+  WireWriter w;
+  w.str(msg);
+  send_frame(c, FrameType::Error, w.data());
+  c.closing = true;
+}
+
+void VmServer::Impl::send_reject(Connection& c, std::uint64_t req,
+                                 const std::string& why) {
+  service::JobResult res;
+  res.outcome = service::JobOutcome::Rejected;
+  res.error = why;
+  send_result(c, req, ValType::None, res);
+}
+
+void VmServer::Impl::send_result(Connection& c, std::uint64_t req, ValType ret,
+                                 const service::JobResult& res) {
+  WireWriter w;
+  w.u64(req);
+  w.u8(static_cast<std::uint8_t>(res.outcome));
+  std::string error = res.error;
+  if (res.outcome != service::JobOutcome::Completed) {
+    w.u8(static_cast<std::uint8_t>(ValType::None));
+  } else {
+    switch (ret) {
+      case ValType::I32:
+      case ValType::I64:
+      case ValType::F32:
+      case ValType::F64:
+        w.u8(static_cast<std::uint8_t>(ret));
+        w.u64(res.value.raw);
+        break;
+      case ValType::Ref: {
+        std::vector<char> blob;
+        if (res.value.ref != nullptr) {
+          try {
+            blob = serialize_graph(vm, res.value.ref);
+          } catch (const SerializeError& e) {
+            w.u8(static_cast<std::uint8_t>(ValType::None));
+            error = std::string("result not serializable: ") + e.what();
+            break;
+          }
+        }
+        if (blob.size() > kMaxFramePayload / 2) {
+          w.u8(static_cast<std::uint8_t>(ValType::None));
+          error = "result graph too large for one frame";
+          break;
+        }
+        w.u8(static_cast<std::uint8_t>(ValType::Ref));
+        w.u32(static_cast<std::uint32_t>(blob.size()));
+        w.bytes(blob.data(), blob.size());
+        break;
+      }
+      case ValType::None:
+      default:
+        w.u8(static_cast<std::uint8_t>(ValType::None));
+        break;
+    }
+  }
+  w.str(error);
+  w.u64(res.fuel_spent);
+  w.u64(res.bytes_charged);
+  w.u64(static_cast<std::uint64_t>(res.queue_ns));
+  w.u64(static_cast<std::uint64_t>(res.run_ns));
+  send_frame(c, FrameType::Result, w.data());
+}
+
+bool VmServer::Impl::read_input(Connection& c, VMContext& ctx) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t k = ::recv(c.fd, buf, sizeof buf, 0);
+    if (k > 0) {
+      c.in.insert(c.in.end(), buf, buf + k);
+      if (static_cast<std::size_t>(k) < sizeof buf) break;
+      continue;
+    }
+    if (k == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  std::size_t off = 0;
+  while (!c.closing && c.in.size() - off >= 4) {
+    const std::uint32_t len = read_le32(c.in.data() + off);
+    if (len < 1 || len > kMaxFramePayload) {
+      protocol_error_close(c, "bad frame length");
+      break;
+    }
+    if (c.in.size() - off - 4 < len) break;  // incomplete; wait for more
+    const FrameType type = static_cast<FrameType>(c.in[off + 4]);
+    handle_frame(c, type, c.in.data() + off + 5, len - 1, ctx);
+    off += 4 + static_cast<std::size_t>(len);
+  }
+  if (off != 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+  return true;
+}
+
+bool VmServer::Impl::flush_output(Connection& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t k = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (k > 0) {
+      c.out_off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  c.out.clear();
+  c.out_off = 0;
+  return true;
+}
+
+void VmServer::Impl::handle_frame(Connection& c, FrameType type,
+                                  const char* payload, std::size_t size,
+                                  VMContext& ctx) {
+  if (c.closing) return;
+  switch (type) {
+    case FrameType::Hello: {
+      WireReader r(payload, size);
+      handle_hello(c, r);
+      return;
+    }
+    case FrameType::Submit:
+      if (!c.authed) {
+        protocol_error_close(c, "HELLO required before SUBMIT");
+        return;
+      }
+      handle_submit(c, payload, size, ctx);
+      return;
+    case FrameType::Stats:
+      if (!c.authed) {
+        protocol_error_close(c, "HELLO required before STATS");
+        return;
+      }
+      handle_stats(c);
+      return;
+    case FrameType::Snapshot:
+      if (!c.authed) {
+        protocol_error_close(c, "HELLO required before SNAPSHOT");
+        return;
+      }
+      handle_snapshot(c, ctx);
+      return;
+    default:
+      protocol_error_close(c, "unexpected frame type");
+      return;
+  }
+}
+
+void VmServer::Impl::handle_hello(Connection& c, WireReader& r) {
+  if (c.authed) {
+    protocol_error_close(c, "duplicate HELLO");
+    return;
+  }
+  try {
+    const std::uint32_t magic = r.u32();
+    if (magic != kMagic) {
+      protocol_error_close(c, "bad magic");
+      return;
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kVersion) {
+      protocol_error_close(c, "unsupported protocol version");
+      return;
+    }
+    const std::string tenant = r.str();
+    const std::string token = r.str();
+    const auto it = creds.find(tenant);
+    const bool ok = it != creds.end()
+                        ? it->second == token
+                        : (opt.open_tenants && svc.has_tenant(tenant));
+    if (!ok) {
+      protocol_error_close(c, "auth failed");
+      return;
+    }
+    c.authed = true;
+    c.tenant = tenant;
+  } catch (const ProtocolError&) {
+    protocol_error_close(c, "malformed HELLO");
+    return;
+  }
+  WireWriter w;
+  w.u32(kVersion);
+  send_frame(c, FrameType::HelloOk, w.data());
+}
+
+void VmServer::Impl::handle_submit(Connection& c, const char* payload,
+                                   std::size_t size, VMContext& ctx) {
+  WireReader r(payload, size);
+  std::uint64_t req = 0;
+  bool have_req = false;
+  std::vector<ObjRef> pins;
+  const auto unpin_all = [&] {
+    for (ObjRef o : pins) vm.unpin(o);
+    pins.clear();
+  };
+  try {
+    req = r.u64();
+    have_req = true;
+    const std::int32_t method = r.i32();
+    const std::uint8_t argc = r.u8();
+    std::vector<Slot> args;
+    args.reserve(argc);
+    for (std::uint8_t i = 0; i < argc; ++i) {
+      const auto tag = static_cast<ValType>(r.u8());
+      Slot s;
+      switch (tag) {
+        case ValType::I32:
+        case ValType::I64:
+        case ValType::F32:
+        case ValType::F64:
+          s.raw = r.u64();
+          break;
+        case ValType::Ref: {
+          const std::uint32_t len = r.u32();
+          if (len == 0) {
+            s.ref = nullptr;
+            break;
+          }
+          const char* blob = r.bytes(len);
+          // Same defensive path the snapshot loader uses: structural damage
+          // throws SerializeError, which becomes a Rejected RESULT below.
+          const ObjRef root = deserialize_graph(vm, ctx, blob, len);
+          // Pin before anything can block: the raw root on this native
+          // stack is not a GC root.
+          vm.pin(root);
+          pins.push_back(root);
+          s.ref = root;
+          break;
+        }
+        default:
+          throw ProtocolError("bad argument tag");
+      }
+      args.push_back(s);
+    }
+    if (!r.empty()) throw ProtocolError("trailing bytes in SUBMIT");
+
+    ValType ret = ValType::None;
+    Module& mod = vm.module();
+    if (method >= 0 && static_cast<std::size_t>(method) < mod.method_count()) {
+      ret = mod.method(method).sig.ret;
+    }
+    // GC-safe across submit: it can block while a snapshot quiesce holds
+    // admission closed, and an unsafe blocked loop would deadlock the
+    // collection that quiesce is waiting out. The arg graphs are pinned.
+    service::JobHandle handle = [&] {
+      SafeRegion safe(vm, ctx);
+      return svc.submit(c.tenant, method, std::move(args),
+                        make_completion(c.id, req));
+    }();
+    unpin_all();
+    // A submit-time reject already fired its completion hook into the done
+    // queue; the queue is only drained by this thread after dispatch, so
+    // inserting now is not a race.
+    c.pending.emplace(req, Pending{std::move(handle), ret});
+  } catch (const ProtocolError& e) {
+    unpin_all();
+    if (!have_req) {
+      protocol_error_close(c, e.what());
+      return;
+    }
+    send_reject(c, req, e.what());
+  } catch (const SerializeError& e) {
+    unpin_all();
+    send_reject(c, req, std::string("bad argument graph: ") + e.what());
+  } catch (const std::exception& e) {
+    unpin_all();
+    send_reject(c, req, e.what());  // unknown tenant / service stopping
+  }
+}
+
+void VmServer::Impl::handle_stats(Connection& c) {
+  const service::TenantStats st = svc.tenant_stats(c.tenant);
+  WireWriter w;
+  w.u64(st.jobs_completed);
+  w.u64(st.jobs_killed_fuel);
+  w.u64(st.jobs_killed_memory);
+  w.u64(st.jobs_killed_deadline);
+  w.u64(st.jobs_faulted);
+  w.u64(st.jobs_rejected);
+  w.u64(st.fuel_spent);
+  w.u64(st.bytes_charged);
+  w.u64(static_cast<std::uint64_t>(st.queue_ns));
+  w.u64(static_cast<std::uint64_t>(st.run_ns));
+  send_frame(c, FrameType::StatsOk, w.data());
+}
+
+void VmServer::Impl::handle_snapshot(Connection& c, VMContext& ctx) {
+  if (!opt.allow_snapshot) {
+    protocol_error_close(c, "snapshot disabled");
+    return;
+  }
+  try {
+    // Quiesces the whole service (admission closed, queue drained) and
+    // blocks the loop until done — every connection stalls; that is the
+    // documented cost of the operation.
+    std::shared_ptr<const CodeArchive> archive = svc.capture_snapshot(&ctx);
+    const std::vector<char> stream = serialize_archives({archive});
+    if (stream.size() + 1 > kMaxFramePayload) {
+      protocol_error_close(c, "snapshot too large for one frame");
+      return;
+    }
+    send_frame(c, FrameType::SnapshotOk, stream);
+  } catch (const std::exception& e) {
+    protocol_error_close(c, std::string("snapshot failed: ") + e.what());
+  }
+}
+
+VmServer::VmServer(VirtualMachine& vm, service::ExecutionService& service,
+                   ServerOptions options)
+    : impl_(std::make_unique<Impl>(vm, service, std::move(options))) {}
+
+VmServer::~VmServer() { impl_->shutdown(); }
+
+void VmServer::add_credential(const std::string& tenant,
+                              const std::string& token) {
+  impl_->creds[tenant] = token;
+}
+
+void VmServer::start() { impl_->start(); }
+
+void VmServer::stop() { impl_->shutdown(); }
+
+std::uint16_t VmServer::port() const { return impl_->bound_port; }
+
+}  // namespace hpcnet::vm::net

@@ -1,0 +1,84 @@
+// Async TCP front end over the multi-tenant execution service (DESIGN.md
+// §14): one poll()-driven event-loop thread owns the listening socket, every
+// connection's non-blocking fd and its read/write buffers, and speaks the
+// length-prefixed protocol of protocol.hpp. Job execution stays on the
+// service's worker pool — the loop only decodes SUBMIT frames (including
+// deserialize_graph for ref-typed args, through the same defensive path the
+// snapshot code uses), submits with a completion hook, and encodes RESULT
+// frames when the hook reports back through a wake pipe.
+//
+// Threading model:
+//   * The loop thread attaches to the VM (engine-less, like main_context)
+//     because argument/result graph (de)serialization allocates from and
+//     reads the managed heap. It parks GC-safe only across poll() and across
+//     submit (which can block while a snapshot quiesce holds admission
+//     closed) — everywhere else it runs in a normal region, so a collection
+//     cannot sweep a graph it is mid-way through decoding.
+//   * Service workers run jobs and fire the completion hook; the hook only
+//     appends {connection, request} to a queue behind its own mutex and
+//     writes one byte to the wake pipe — it never touches connection state,
+//     which belongs exclusively to the loop thread.
+//
+// Connection lifecycle: HELLO must come first and carries the protocol
+// version plus tenant name and auth token; a bad magic, version, tenant or
+// token gets an ERROR frame and the connection is closed. A connection that
+// drops (EOF, reset) has every job it still has pending cancelled — queued
+// jobs are failed as Rejected immediately, running jobs finish but their
+// results are discarded with the connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "vm/service/service.hpp"
+
+namespace hpcnet::vm::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; see VmServer::port()
+  int max_connections = 64;
+  /// Accept a HELLO for any tenant registered with the service, regardless
+  /// of token, when no credential was configured for it. Credentials added
+  /// with add_credential still take precedence. Meant for examples and local
+  /// benchmarking; tests and anything internet-facing configure credentials.
+  bool open_tenants = false;
+  /// Allow the SNAPSHOT frame (it quiesces the whole service, so a server
+  /// shared by untrusted tenants may want it off).
+  bool allow_snapshot = true;
+};
+
+/// The VM and the service must outlive the server. stop() (or destruction)
+/// joins the loop thread and cancels every job still pending for a
+/// connection; completion hooks from jobs that were already running fire
+/// into a detached, closed queue and are dropped harmlessly.
+class VmServer {
+ public:
+  VmServer(VirtualMachine& vm, service::ExecutionService& service,
+           ServerOptions options = {});
+  ~VmServer();
+
+  VmServer(const VmServer&) = delete;
+  VmServer& operator=(const VmServer&) = delete;
+
+  /// Registers tenant -> token; HELLO for this tenant must present exactly
+  /// this token. Call before start().
+  void add_credential(const std::string& tenant, const std::string& token);
+
+  /// Binds, listens and spawns the loop thread. Throws std::system_error on
+  /// socket errors (port in use, etc.).
+  void start();
+  /// Stops accepting, closes every connection, joins the loop. Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0 to the kernel-chosen ephemeral port).
+  /// Valid after start().
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hpcnet::vm::net

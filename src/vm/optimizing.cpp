@@ -97,6 +97,11 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
                         "fuel budget exhausted");
     return Slot{};
   }
+  if (ctx.fuel.past_deadline()) {
+    vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                        "wall-clock deadline exceeded");
+    return Slot{};
+  }
   telemetry::record_invocation(m.id, 0, kTierIndex);
   const auto arena_mark = ctx.arena.mark();
 
@@ -160,6 +165,13 @@ Slot OptimizingBackend::run(VMContext& ctx, const RCode& rc,
           // caller's bailout path sees the pending exception and dispatches.
           vm_.throw_exception(ctx, mod.fuel_exhausted_class(),
                               "fuel budget exhausted");
+          return true;
+        }
+        // Wall-clock deadline poll at the same pulse; same pc contract as
+        // the fuel kill above (DESIGN.md §14).
+        if (ctx.fuel.past_deadline()) {
+          vm_.throw_exception(ctx, mod.deadline_exceeded_class(),
+                              "wall-clock deadline exceeded");
           return true;
         }
       }

@@ -125,8 +125,9 @@ std::vector<support::ResultTable> summary_tables(const Snapshot& s,
     for (const TenantTelemetry& ten : s.tenants) {
       t.set(ten.tenant, "jobs", static_cast<double>(ten.jobs_total()));
       t.set(ten.tenant, "completed", static_cast<double>(ten.jobs_completed));
-      const std::uint64_t killed =
-          ten.jobs_killed_fuel + ten.jobs_killed_memory;
+      const std::uint64_t killed = ten.jobs_killed_fuel +
+                                   ten.jobs_killed_memory +
+                                   ten.jobs_killed_deadline;
       t.set(ten.tenant, "killed", static_cast<double>(killed));
       if (ten.jobs_faulted != 0) {
         t.set(ten.tenant, "faulted", static_cast<double>(ten.jobs_faulted));
@@ -270,12 +271,14 @@ void print_summary(std::ostream& os, const Snapshot& s, const Module* module,
       std::snprintf(
           line, sizeof line,
           "  %s: %llu jobs (%llu ok, %llu fuel-killed, %llu mem-killed, "
-          "%llu faulted, %llu rejected), fuel %llu, alloc %.2f MB\n",
+          "%llu deadline-killed, %llu faulted, %llu rejected), fuel %llu, "
+          "alloc %.2f MB\n",
           ten.tenant.c_str(),
           static_cast<unsigned long long>(ten.jobs_total()),
           static_cast<unsigned long long>(ten.jobs_completed),
           static_cast<unsigned long long>(ten.jobs_killed_fuel),
           static_cast<unsigned long long>(ten.jobs_killed_memory),
+          static_cast<unsigned long long>(ten.jobs_killed_deadline),
           static_cast<unsigned long long>(ten.jobs_faulted),
           static_cast<unsigned long long>(ten.jobs_rejected),
           static_cast<unsigned long long>(ten.fuel_spent),

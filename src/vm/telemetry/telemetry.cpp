@@ -443,6 +443,7 @@ void record_service_job(const std::string& tenant, std::uint8_t outcome,
     case 1: t.jobs_killed_fuel += 1; break;
     case 2: t.jobs_killed_memory += 1; break;
     case 3: t.jobs_faulted += 1; break;
+    case 5: t.jobs_killed_deadline += 1; break;
     default: t.jobs_rejected += 1; break;
   }
   t.fuel_spent += fuel_spent;

@@ -127,6 +127,7 @@ struct TenantTelemetry {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_killed_fuel = 0;    // FuelExhausted terminations
   std::uint64_t jobs_killed_memory = 0;  // allocation-budget terminations
+  std::uint64_t jobs_killed_deadline = 0;  // wall-clock-deadline terminations
   std::uint64_t jobs_faulted = 0;        // other managed/native faults
   std::uint64_t jobs_rejected = 0;       // refused before execution
   std::uint64_t fuel_spent = 0;          // taken backward branches, all jobs
@@ -136,7 +137,7 @@ struct TenantTelemetry {
 
   std::uint64_t jobs_total() const {
     return jobs_completed + jobs_killed_fuel + jobs_killed_memory +
-           jobs_faulted + jobs_rejected;
+           jobs_killed_deadline + jobs_faulted + jobs_rejected;
   }
 };
 
@@ -321,7 +322,7 @@ void record_monitor_contention_end(std::int64_t wait_ns);
 /// One execution-service job finished (src/vm/service). `outcome` is the
 /// numeric service::JobOutcome (uint8 to keep this header free of
 /// service.hpp): 0 completed, 1 killed-fuel, 2 killed-memory, 3 faulted,
-/// 4 rejected. Low-frequency: one hub-lock trip per job.
+/// 4 rejected, 5 killed-deadline. Low-frequency: one hub-lock trip per job.
 void record_service_job(const std::string& tenant, std::uint8_t outcome,
                         std::uint64_t fuel_spent, std::uint64_t bytes_charged,
                         std::int64_t queue_ns, std::int64_t run_ns);

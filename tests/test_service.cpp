@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "vm/heap.hpp"
 #include "vm/ilbuilder.hpp"
 #include "vm/intrinsics.hpp"
+#include "vm/monitor.hpp"
 #include "vm/service/service.hpp"
 #include "vm/verifier.hpp"
 
@@ -390,6 +393,310 @@ TEST(Service, CoTenantKillDoesNotPerturbVictimResults) {
   EXPECT_EQ(svc.tenant_stats("victim").jobs_completed, victims.size());
   EXPECT_EQ(svc.tenant_stats("noisy").jobs_killed_fuel, 8u);
   EXPECT_EQ(svc.tenant_stats("noisy").jobs_killed_memory, 8u);
+}
+
+/// gate(obj) { lock(obj) { Monitor.Pulse(obj); Monitor.Wait(obj); } ret 1 }
+/// Handshake for deterministic "worker busy" tests, no sleeps or racy flags:
+/// the test thread holds the monitor, submits this job, then calls
+/// monitors().wait — which parks until the worker has picked the job up,
+/// entered the monitor and pulsed. When the test's wait returns, the worker
+/// is provably in-flight and parked (GC-safe) in Monitor.Wait; pulse + exit
+/// releases it.
+std::int32_t build_gate(Module& mod, const std::string& name) {
+  ILBuilder b(mod, name, {{ValType::Ref}, ValType::I32});
+  b.ldarg(0).call_intr(I_MON_ENTER);
+  b.ldarg(0).call_intr(I_MON_PULSE);
+  b.ldarg(0).call_intr(I_MON_WAIT);
+  b.ldarg(0).call_intr(I_MON_EXIT);
+  b.ldc_i4(1).ret();
+  return b.finish();
+}
+
+// Regression (PR 10): ref-typed args of a QUEUED job were not GC roots — a
+// Slot in the service's deque is invisible to the collector's stack walk, so
+// a major collection between submit and pickup swept an otherwise-
+// unreachable argument graph and the job later dereferenced freed memory.
+// submit now pins the graph until worker pickup. Census is exact:
+// heap.stats().live_objects drains the lazy sweep list.
+TEST(Service, QueuedRefArgsSurviveMajorCollection) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const auto node_cls = mod.define_class(
+      "svc.Node", {{"a", ValType::Ref}, {"b", ValType::Ref}, {"v", ValType::I32}});
+  // touch(n) = n.v + n.a.v + n.b.v — faults loudly if the graph died.
+  ILBuilder tb(mod, "svc.touch", {{ValType::Ref}, ValType::I32});
+  tb.ldarg(0).ldfld(node_cls, 2);
+  tb.ldarg(0).ldfld(node_cls, 0).ldfld(node_cls, 2).add();
+  tb.ldarg(0).ldfld(node_cls, 1).ldfld(node_cls, 2).add();
+  tb.ret();
+  const auto touch = tb.finish();
+  const auto gate = build_gate(mod, "svc.gate");
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a"});
+
+  VMContext& ctx = vm.main_context();
+  Heap& heap = vm.heap();
+  ObjRef lock = heap.alloc_instance(vm.thread_class(), &ctx.tlab);
+  Pinned lock_pin(vm, lock);
+  vm.monitors().enter(ctx, lock);
+  auto blocker = svc.submit("a", gate, {Slot::from_ref(lock)});
+  // Returns once the worker has picked the blocker up, pulsed, and parked
+  // GC-safe in Monitor.Wait — the worker is now provably busy.
+  ASSERT_TRUE(vm.monitors().wait(ctx, lock));
+
+  const std::size_t base = heap.stats().live_objects;
+  service::JobHandle queued = [&] {
+    // Scope the native pins: after this block the 3-node graph is reachable
+    // ONLY through the queued job's submit-time pins.
+    ObjRef root = heap.alloc_instance(node_cls, &ctx.tlab);
+    Pinned root_pin(vm, root);
+    ObjRef na = heap.alloc_instance(node_cls, &ctx.tlab);
+    root->fields()[0].ref = na;
+    ObjRef nb = heap.alloc_instance(node_cls, &ctx.tlab);
+    root->fields()[1].ref = nb;
+    root->fields()[2].i32 = 5;
+    na->fields()[2].i32 = 7;
+    nb->fields()[2].i32 = 9;
+    return svc.submit("a", touch, {Slot::from_ref(root)});
+  }();
+  EXPECT_EQ(heap.stats().live_objects, base + 3);
+
+  // The worker is parked inside the gate job; `queued` sits in the deque.
+  vm.collect();
+  EXPECT_EQ(heap.stats().live_objects, base + 3);  // pins held the graph
+
+  vm.monitors().pulse(ctx, lock);
+  vm.monitors().exit(ctx, lock);
+  EXPECT_EQ(blocker.wait(&ctx).outcome, JobOutcome::Completed);
+  const JobResult r = queued.wait(&ctx);
+  ASSERT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r.value.i32, 21);
+  svc.drain(&ctx);
+  // Pickup unpinned the args; with the job done the graph is garbage again.
+  vm.collect();
+  EXPECT_EQ(heap.stats().live_objects, base);
+}
+
+// Regression (PR 10): capture_snapshot drained and then captured without
+// closing admission, so a submit racing the drain predicate could start a
+// compile while capture walked the cache (a TSan-visible race on cache
+// internals). Admission is now held closed across the whole quiesce window.
+// This test is the TSan witness: 8 submitters hammer submit while the main
+// thread captures repeatedly.
+TEST(Service, SubmitRacesCaptureSnapshotSafely) {
+  VirtualMachine vm;
+  const auto spin = build_spin(vm.module(), "svc.spin");
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 2});
+  svc.add_tenant({.name = "a"});
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 20;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const JobResult r =
+            svc.submit("a", spin, {Slot::from_i32(2000)}).wait();
+        if (r.outcome == JobOutcome::Completed) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_NE(svc.capture_snapshot(), nullptr);
+  }
+  for (std::thread& t : submitters) t.join();
+  svc.drain();
+  EXPECT_EQ(ok.load(), kThreads * kJobsPerThread);
+}
+
+// Regression (PR 10): ~ExecutionService used to leave still-queued jobs
+// undelivered — a handle whose service died blocked in wait() forever. The
+// destructor now fails them as Rejected ("service stopped") BEFORE joining,
+// so waits unblock even while an in-flight job is still finishing.
+TEST(Service, DestroyedServiceRejectsQueuedJobs) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const auto gate = build_gate(mod, "svc.gate");
+  const auto spin = build_spin(mod, "svc.spin");
+
+  VMContext& ctx = vm.main_context();
+  ObjRef lock = vm.heap().alloc_instance(vm.thread_class(), &ctx.tlab);
+  Pinned lock_pin(vm, lock);
+  vm.monitors().enter(ctx, lock);
+
+  auto svc = std::make_unique<ExecutionService>(vm, profiles::clr11(),
+                                                ExecutionService::Options{.workers = 1});
+  svc->add_tenant({.name = "a"});
+  auto blocker = svc->submit("a", gate, {Slot::from_ref(lock)});
+  // Handshake: do not queue the spins (or destroy the service) until the
+  // worker has provably picked the blocker up and parked in Monitor.Wait.
+  ASSERT_TRUE(vm.monitors().wait(ctx, lock));
+  std::vector<service::JobHandle> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(svc->submit("a", spin, {Slot::from_i32(10)}));
+  }
+  // Destroy the service while its only worker is parked inside the gate job
+  // (the 4 spins cannot have started). The destructor must fail them before
+  // joining — these waits would otherwise deadlock against the held monitor.
+  std::thread destroyer([&] { svc.reset(); });
+  for (auto& h : queued) {
+    const JobResult r = h.wait(&ctx);
+    EXPECT_EQ(r.outcome, JobOutcome::Rejected);
+    EXPECT_EQ(r.error, "service stopped");
+  }
+  vm.monitors().pulse(ctx, lock);
+  vm.monitors().exit(ctx, lock);
+  destroyer.join();
+  // The in-flight gate job was allowed to finish normally.
+  EXPECT_EQ(blocker.wait(&ctx).outcome, JobOutcome::Completed);
+}
+
+TEST(Service, CancelRemovesQueuedJobOnly) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const auto gate = build_gate(mod, "svc.gate");
+  const auto spin = build_spin(mod, "svc.spin");
+
+  VMContext& ctx = vm.main_context();
+  ObjRef lock = vm.heap().alloc_instance(vm.thread_class(), &ctx.tlab);
+  Pinned lock_pin(vm, lock);
+  vm.monitors().enter(ctx, lock);
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a"});
+  auto blocker = svc.submit("a", gate, {Slot::from_ref(lock)});
+  // Wait for pickup: without the handshake, cancel(victim) could race the
+  // worker's pop and legitimately remove the still-queued blocker instead.
+  ASSERT_TRUE(vm.monitors().wait(ctx, lock));
+  auto victim = svc.submit("a", spin, {Slot::from_i32(10)});
+  EXPECT_TRUE(svc.cancel(victim));
+  EXPECT_FALSE(svc.cancel(victim));  // already finished (as Rejected)
+  const JobResult r = victim.wait(&ctx);
+  EXPECT_EQ(r.outcome, JobOutcome::Rejected);
+  EXPECT_EQ(r.error, "cancelled");
+  // A running job is never interrupted by cancel.
+  EXPECT_FALSE(svc.cancel(blocker));
+  vm.monitors().pulse(ctx, lock);
+  vm.monitors().exit(ctx, lock);
+  EXPECT_EQ(blocker.wait(&ctx).outcome, JobOutcome::Completed);
+  svc.drain(&ctx);
+  EXPECT_EQ(svc.tenant_stats("a").jobs_rejected, 1u);
+  EXPECT_EQ(svc.tenant_stats("a").jobs_completed, 1u);
+}
+
+// PR 10: wall-clock deadlines ride the same pulse cadence as fuel, in every
+// tier. The kill is not deterministic in fuel units (it is time), but the
+// outcome, the exception class and the stats axis are.
+TEST(Service, DeadlineKillsInEveryTier) {
+  for (const char* prof : {"rotor10", "mono023", "clr11", "clr11.tiered"}) {
+    VirtualMachine vm;
+    const auto spin = build_spin(vm.module(), "svc.spin");
+    ExecutionService svc(vm, profiles::by_name(prof), {.workers = 1});
+    svc.add_tenant({.name = "a", .deadline_ms = 50});
+    const JobResult r =
+        svc.submit("a", spin, {Slot::from_i32(1 << 30)}).wait();
+    ASSERT_EQ(r.outcome, JobOutcome::KilledDeadline) << prof;
+    EXPECT_GE(r.run_ns, 50'000'000) << prof;
+    // Deadline-only tenants still arm the meter (with the fuel axis clamped
+    // to infinity), so the job's work is accounted even though fuel never
+    // kills it.
+    EXPECT_GT(r.fuel_spent, 0u) << prof;
+    EXPECT_EQ(svc.tenant_stats("a").jobs_killed_deadline, 1u) << prof;
+  }
+}
+
+TEST(Service, DeadlineExceededIsCatchableInIl) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  // try { spin-loop } catch (DeadlineExceeded) { return -1; }
+  ILBuilder b(mod, "svc.catch_deadline", {{ValType::I32}, ValType::I32});
+  const auto i = b.add_local(ValType::I32);
+  const auto res = b.add_local(ValType::I32);
+  auto t0 = b.new_label();
+  auto t1 = b.new_label();
+  auto h = b.new_label();
+  auto out = b.new_label();
+  auto loop = b.new_label();
+  auto done = b.new_label();
+  b.ldc_i4(0).stloc(res);
+  b.ldc_i4(0).stloc(i);
+  b.bind(t0);
+  b.bind(loop);
+  b.ldloc(i).ldarg(0).bge(done);
+  b.ldloc(i).ldc_i4(1).add().stloc(i);
+  b.br(loop);
+  b.bind(done);
+  b.ldc_i4(1).stloc(res);
+  b.leave(out);
+  b.bind(t1);
+  b.add_catch(t0, t1, h, mod.deadline_exceeded_class());
+  b.bind(h);
+  b.pop().ldc_i4(-1).stloc(res).leave(out);
+  b.bind(out);
+  b.ldloc(res).ret();
+  const auto catcher = b.finish();
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "a", .deadline_ms = 50});
+  const JobResult r = svc.submit("a", catcher, {Slot::from_i32(1 << 30)}).wait();
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r.value.i32, -1);
+}
+
+// PR 10: deficit round-robin over per-tenant sub-queues replaced the global
+// FIFO. With the single worker parked behind the gate, the dispatch order of
+// a pre-filled backlog is a pure function of the queues and weights.
+TEST(Service, WeightedSchedulingInterleavesByWeight) {
+  VirtualMachine vm;
+  Module& mod = vm.module();
+  const auto gate = build_gate(mod, "svc.gate");
+  const auto spin = build_spin(mod, "svc.spin");
+
+  VMContext& ctx = vm.main_context();
+  ObjRef lock = vm.heap().alloc_instance(vm.thread_class(), &ctx.tlab);
+  Pinned lock_pin(vm, lock);
+  vm.monitors().enter(ctx, lock);
+
+  ExecutionService svc(vm, profiles::clr11(), {.workers = 1});
+  svc.add_tenant({.name = "gate"});
+  svc.add_tenant({.name = "heavy", .weight = 3});
+  svc.add_tenant({.name = "light", .weight = 1});
+  auto blocker = svc.submit("gate", gate, {Slot::from_ref(lock)});
+  // The backlog below must be fully queued before the worker frees up; the
+  // handshake proves the worker is parked inside the gate job first.
+  ASSERT_TRUE(vm.monitors().wait(ctx, lock));
+
+  std::mutex order_mu;
+  std::string order;
+  const auto record = [&](char tag) {
+    return [&order_mu, &order, tag](const JobResult&) {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(tag);
+    };
+  };
+  std::vector<service::JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(
+        svc.submit("heavy", spin, {Slot::from_i32(10)}, record('H')));
+  }
+  for (int i = 0; i < 2; ++i) {
+    handles.push_back(
+        svc.submit("light", spin, {Slot::from_i32(10)}, record('L')));
+  }
+  vm.monitors().pulse(ctx, lock);
+  vm.monitors().exit(ctx, lock);
+  EXPECT_EQ(blocker.wait(&ctx).outcome, JobOutcome::Completed);
+  for (auto& h : handles) {
+    EXPECT_EQ(h.wait(&ctx).outcome, JobOutcome::Completed);
+  }
+  svc.drain(&ctx);
+  std::lock_guard<std::mutex> g(order_mu);
+  // heavy serves 3 per turn, light 1: HHH L HHH L.
+  EXPECT_EQ(order, "HHHLHHHL");
 }
 
 TEST(Service, ConcurrentSubmissionFromEightThreads) {
